@@ -1,0 +1,81 @@
+// Shared helpers for the experiment harnesses (E1–E9).
+//
+// Each bench binary regenerates one experiment from DESIGN.md §3 and
+// prints a self-contained, paper-style table: the workload, the cost
+// model, the measured rows, and the shape statement being tested.
+#pragma once
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "util/clock.hpp"
+
+namespace oopp::bench {
+
+inline void headline(const std::string& id, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::printf("  ");
+  std::vprintf(fmt, args);
+  std::printf("\n");
+  va_end(args);
+}
+
+inline void describe_cost(const net::CostModel& c) {
+  note("cost model: latency=%.1f us, bandwidth=%s, per-msg=%.2f us",
+       c.latency_ns / 1e3,
+       c.bytes_per_us > 0
+           ? (std::to_string(c.bytes_per_us / 1e3) + " GB/s").c_str()
+           : "infinite",
+       c.per_message_ns / 1e3);
+}
+
+/// Median wall-clock seconds of `reps` runs of fn().
+template <class Fn>
+double median_seconds(int reps, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    times.push_back(t.seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Scratch directory for device backing files; removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("oopp-bench-" + tag + "-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+}  // namespace oopp::bench

@@ -1,0 +1,159 @@
+// E12 — the paper's motivating computation (§1): a 3-D Fourier transform
+// over an array stored on many page devices, too large for the client's
+// memory budget.
+//
+// Claims exercised:
+//   * the transform completes within ANY memory budget, and the total
+//     I/O volume is invariant — the budget only changes how many slab
+//     round trips move it (two read+write passes over the array);
+//   * the PageMap (§5) determines how far each slab's I/O fans out over
+//     the devices — the same out-of-core FFT is ~D x faster on a
+//     round-robin layout than on a single spindle.
+#include <cstdio>
+
+#include "array/array.hpp"
+#include "array/block_storage.hpp"
+#include "bench_common.hpp"
+#include "core/oopp.hpp"
+#include "fft/fft3d.hpp"
+#include "fft/out_of_core.hpp"
+#include "util/prng.hpp"
+
+using namespace oopp;
+namespace arr = oopp::array;
+using bench::ScratchDir;
+
+namespace {
+
+arr::Array make_disk_array(Cluster& cluster, const ScratchDir& dir,
+                           const std::string& tag, const Extents3& n,
+                           const Extents3& b, int devices,
+                           arr::PageMapKind kind, std::uint32_t service_us) {
+  const Extents3 grid{ceil_div(n.n1, b.n1), ceil_div(n.n2, b.n2),
+                      ceil_div(n.n3, b.n3)};
+  const arr::PageMapSpec spec{kind};
+  arr::BlockStorageConfig cfg;
+  cfg.file_prefix = dir.file(tag);
+  cfg.devices = devices;
+  cfg.pages_per_device =
+      static_cast<std::int32_t>(spec.pages_per_device(grid, devices));
+  cfg.n1 = static_cast<int>(b.n1);
+  cfg.n2 = static_cast<int>(b.n2);
+  cfg.n3 = static_cast<int>(b.n3);
+  cfg.device_options.service_us = service_us;
+  auto storage = arr::create_block_storage(cfg, [&](std::int32_t i) {
+    return static_cast<net::MachineId>(i % cluster.size());
+  });
+  return arr::Array(n.n1, n.n2, n.n3, b.n1, b.n2, b.n3, storage, spec);
+}
+
+}  // namespace
+
+int main() {
+  bench::headline("E12 out-of-core FFT over page devices (paper §1 + §5)",
+                  "any memory budget computes the same transform with the "
+                  "same I/O volume; the PageMap sets the I/O parallelism");
+
+  Cluster cluster(4);
+  ScratchDir dir("e12");
+
+  const Extents3 N{32, 32, 32};
+  const Extents3 b{8, 8, 8};  // 64 pages of 4 KiB doubles
+  const int devices = 8;
+  constexpr std::uint32_t kServiceUs = 300;
+  const double array_mib =
+      double(N.volume()) * sizeof(double) * 2 / (1 << 20);
+  bench::note("complex field: %lld^3 (%.1f MiB re+im), 64 pages/array, "
+              "%d devices, %u us service",
+              static_cast<long long>(N.n1), array_mib, devices, kServiceUs);
+
+  // Reference result computed in memory.
+  Xoshiro256 rng(21);
+  std::vector<double> re0(static_cast<std::size_t>(N.volume()));
+  std::vector<double> im0(re0.size());
+  for (auto& x : re0) x = rng.uniform(-1, 1);
+  for (auto& x : im0) x = rng.uniform(-1, 1);
+  std::vector<fft::cplx> expect(re0.size());
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    expect[i] = fft::cplx(re0[i], im0[i]);
+  fft::fft3d_inplace(expect, N, -1);
+
+  const auto whole = arr::Domain::whole(N);
+
+  std::printf("\nmemory-budget sweep (round-robin layout):\n");
+  std::printf("%12s | %7s %7s %12s %10s | %10s\n", "budget", "slabs1",
+              "slabs2", "elems moved", "ms", "max err");
+  std::printf("-------------+---------------------------------------+------"
+              "-----\n");
+  for (std::size_t budget :
+       {std::size_t{64} << 10, std::size_t{256} << 10, std::size_t{1} << 20,
+        std::size_t{64} << 20}) {
+    auto re = make_disk_array(cluster, dir, "rrA" + std::to_string(budget),
+                              N, b, devices, arr::PageMapKind::kRoundRobin,
+                              kServiceUs);
+    auto im = make_disk_array(cluster, dir, "rrB" + std::to_string(budget),
+                              N, b, devices, arr::PageMapKind::kRoundRobin,
+                              kServiceUs);
+    re.write(re0, whole);
+    im.write(im0, whole);
+
+    Timer t;
+    const auto stats = fft::fft3d_out_of_core(
+        re, im, -1, fft::OutOfCoreOptions{.max_bytes = budget});
+    const double ms = t.millis();
+
+    const auto re_out = re.read(whole);
+    const auto im_out = im.read(whole);
+    double err = 0.0;
+    for (std::size_t i = 0; i < expect.size(); ++i)
+      err = std::max(err, std::abs(fft::cplx(re_out[i], im_out[i]) -
+                                   expect[i]));
+
+    std::printf("%9zu KB | %7lld %7lld %12llu %10.1f | %10.2e\n",
+                budget >> 10, static_cast<long long>(stats.pass1_slabs),
+                static_cast<long long>(stats.pass2_slabs),
+                static_cast<unsigned long long>(stats.elements_moved), ms,
+                err);
+    arr::destroy_block_storage(
+        const_cast<arr::BlockStorage&>(re.storage()));
+    arr::destroy_block_storage(
+        const_cast<arr::BlockStorage&>(im.storage()));
+  }
+
+  std::printf("\nlayout sweep (1 MiB budget):\n");
+  std::printf("%14s | %10s | %10s\n", "layout", "ms", "vs single");
+  double single_ms = 0.0;
+  for (auto kind :
+       {arr::PageMapKind::kSingleDevice, arr::PageMapKind::kBlocked,
+        arr::PageMapKind::kRoundRobin}) {
+    const arr::PageMapSpec spec{kind};
+    auto re = make_disk_array(cluster, dir,
+                              std::string("lyA") + spec.name(), N, b,
+                              devices, kind, kServiceUs);
+    auto im = make_disk_array(cluster, dir,
+                              std::string("lyB") + spec.name(), N, b,
+                              devices, kind, kServiceUs);
+    re.write(re0, whole);
+    im.write(im0, whole);
+    Timer t;
+    (void)fft::fft3d_out_of_core(
+        re, im, -1, fft::OutOfCoreOptions{.max_bytes = std::size_t{1} << 20});
+    const double ms = t.millis();
+    if (kind == arr::PageMapKind::kSingleDevice) single_ms = ms;
+    std::printf("%14s | %10.1f | %9.1fx\n", spec.name(), ms, single_ms / ms);
+    arr::destroy_block_storage(
+        const_cast<arr::BlockStorage&>(re.storage()));
+    arr::destroy_block_storage(
+        const_cast<arr::BlockStorage&>(im.storage()));
+  }
+
+  std::printf("\nshape checks:\n");
+  bench::note("elements moved is identical for every budget (two passes, "
+              "exactly) and max err ~1e-12: same transform");
+  bench::note("budgets below a page-layer force read-modify-write on "
+              "shared pages — wall time jumps although the logical volume "
+              "is unchanged (align slabs to page rows)");
+  bench::note("round-robin beats single-device by ~the device count — the "
+              "PageMap determines the computation's I/O parallelism");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E15 — extension: third-party array copies.
+//
+// Copying one distributed Array into another can route every page through
+// the client (read + write) or order device-to-device pulls (the client
+// sends one tiny command per page).  Under a bandwidth-limited client
+// link the direct path wins by ~2x (payload crosses one link instead of
+// two, and the client link stops being the funnel); page service times
+// also overlap across device pairs.
+#include <cstdio>
+#include <numeric>
+
+#include "array/array.hpp"
+#include "array/block_storage.hpp"
+#include "array/copy.hpp"
+#include "bench_common.hpp"
+#include "core/oopp.hpp"
+
+using namespace oopp;
+namespace arr = oopp::array;
+using bench::ScratchDir;
+
+int main() {
+  bench::headline("E15 third-party array copy",
+                  "device-to-device pulls keep the payload off the "
+                  "client's link: ~2x over client-buffered copies");
+
+  // Finite NIC occupancy makes the client link a real resource — the
+  // thing the buffered path funnels every byte through (twice).
+  Cluster::Options opts;
+  opts.machines = 4;
+  opts.cost = net::CostModel{.latency_ns = 25'000,
+                             .bytes_per_us = 1'200.0,
+                             .per_message_ns = 500,
+                             .egress_bytes_per_us = 100.0,
+                             .egress_per_message_ns = 500,
+                             .ingress_bytes_per_us = 100.0,
+                             .ingress_per_message_ns = 500};
+  Cluster cluster(opts);
+  bench::describe_cost(opts.cost);
+  bench::note("NIC occupancy: 100 MB/s egress and ingress per machine");
+  ScratchDir dir("e15");
+
+  const Extents3 N{32, 32, 32};
+  const Extents3 b{16, 16, 16};
+  const Extents3 grid{2, 2, 2};
+  constexpr int kDevices = 8;
+  constexpr std::uint32_t kServiceUs = 50;
+
+  auto make_array = [&](const std::string& tag, arr::PageMapKind kind) {
+    const arr::PageMapSpec spec{kind};
+    arr::BlockStorageConfig cfg;
+    cfg.file_prefix = dir.file(tag);
+    cfg.devices = kDevices;
+    cfg.pages_per_device =
+        static_cast<std::int32_t>(spec.pages_per_device(grid, kDevices));
+    cfg.n1 = static_cast<int>(b.n1);
+    cfg.n2 = static_cast<int>(b.n2);
+    cfg.n3 = static_cast<int>(b.n3);
+    cfg.device_options.service_us = kServiceUs;
+    auto storage = arr::create_block_storage(cfg, [&](std::int32_t i) {
+      return static_cast<net::MachineId>(i % cluster.size());
+    });
+    return arr::Array(N.n1, N.n2, N.n3, b.n1, b.n2, b.n3, storage, spec);
+  };
+
+  auto src = make_array("src", arr::PageMapKind::kRoundRobin);
+  auto dst = make_array("dst", arr::PageMapKind::kBlocked);
+  const auto whole = arr::Domain::whole(N);
+  std::vector<double> buf(static_cast<std::size_t>(whole.volume()));
+  std::iota(buf.begin(), buf.end(), 0.0);
+  src.write(buf, whole);
+  bench::note("%lld pages of 16^3 doubles, %d devices, %u us service",
+              static_cast<long long>(grid.volume()), kDevices, kServiceUs);
+
+  const double buffered_ms = bench::median_seconds(3, [&] {
+                               auto data = src.read(whole);
+                               dst.write(data, whole);
+                             }) * 1e3;
+
+  const double direct_ms = bench::median_seconds(3, [&] {
+                             (void)arr::copy(src, dst, whole);
+                           }) * 1e3;
+
+  OOPP_CHECK(dst.read(whole) == buf);
+  std::printf("\n%18s | %10s\n", "path", "ms");
+  std::printf("-------------------+-----------\n");
+  std::printf("%18s | %10.1f\n", "client-buffered", buffered_ms);
+  std::printf("%18s | %10.1f\n", "device-to-device", direct_ms);
+  std::printf("\nshape checks:\n");
+  bench::note("direct path is %.1fx faster: the buffered copy pushes every "
+              "byte through the client's ingress AND egress port, the "
+              "direct copy spreads page crossings over the device machines",
+              buffered_ms / direct_ms);
+  bench::note("the gap grows with page size (fixed per-pull round trips "
+              "amortize; the NIC terms dominate)");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E2 — remote plain data access granularity (paper §2).
+//
+// Claim: `data[i] = x` on a remote double array costs one client/server
+// round trip per element — correct but expensive; bulk transfers amortize
+// the per-message cost over many elements.
+//
+// Measures, for n elements on a simulated HPC fabric:
+//   element loop — n round trips (the paper's data[7] = 3.1415 semantics);
+//   bulk         — one assign/slice pair moving all n at once.
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/oopp.hpp"
+
+using namespace oopp;
+
+int main() {
+  bench::headline("E2  remote plain data: element vs bulk (paper §2)",
+                  "each element access is one round trip; bulk transfer "
+                  "amortizes it by orders of magnitude");
+
+  Cluster::Options opts;
+  opts.machines = 2;
+  opts.cost = net::CostModel::hpc_fabric();
+  Cluster cluster(opts);
+  bench::describe_cost(opts.cost);
+
+  std::printf("\n%8s | %14s %14s %12s | %16s\n", "n", "element us", "bulk us",
+              "speedup", "us per element");
+  std::printf("---------+------------------------------------------+-------"
+              "---------\n");
+
+  for (std::uint64_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
+    auto data = cluster.make_remote_array<double>(1, n);
+    std::vector<double> values(n);
+    std::iota(values.begin(), values.end(), 0.0);
+
+    const int reps = n >= 4096 ? 3 : 7;
+    const double elem_s = bench::median_seconds(reps, [&] {
+      for (std::uint64_t i = 0; i < n; ++i) data[i] = values[i];
+      double acc = 0.0;
+      for (std::uint64_t i = 0; i < n; ++i) acc += data[i];
+      (void)acc;
+    });
+    const double bulk_s = bench::median_seconds(reps, [&] {
+      data.assign(0, values);
+      auto back = data.to_vector();
+      (void)back;
+    });
+
+    std::printf("%8llu | %14.0f %14.1f %11.0fx | %16.3f\n",
+                static_cast<unsigned long long>(n), elem_s * 1e6,
+                bulk_s * 1e6, elem_s / bulk_s,
+                elem_s * 1e6 / static_cast<double>(2 * n));
+    data.destroy();
+  }
+
+  std::printf("\nshape checks:\n");
+  bench::note("element cost per item is ~flat (dominated by round trip)");
+  bench::note("bulk/element gap widens with n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E3 — move the data vs move the computation (paper §3).
+//
+// Claim: summing a remote n^3 block either ships the whole page to the
+// client (read_array + local sum) or ships the computation (device-side
+// sum, one double back).  On a bandwidth-limited interconnect the
+// computation-shipping variant wins for large pages; for tiny pages the
+// two are comparable (both dominated by latency).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/oopp.hpp"
+#include "storage/array_page_device.hpp"
+#include "util/prng.hpp"
+
+using namespace oopp;
+using bench::ScratchDir;
+
+int main() {
+  bench::headline("E3  move data vs move computation (paper §3)",
+                  "device-side sum ships 8 bytes; page-copy sum ships n^3 "
+                  "doubles — crossover as pages grow");
+
+  Cluster::Options opts;
+  opts.machines = 2;
+  opts.cost = net::CostModel::commodity_cluster();
+  Cluster cluster(opts);
+  bench::describe_cost(opts.cost);
+  ScratchDir dir("e3");
+
+  std::printf("\n%6s %10s | %14s %14s %10s\n", "n", "page KiB",
+              "ship-data us", "ship-compute us", "ratio");
+  std::printf("------------------+----------------------------------------\n");
+
+  for (int n : {4, 8, 16, 32, 64, 96}) {
+    auto dev = cluster.make_remote<storage::ArrayPageDevice>(
+        1, dir.file("blk" + std::to_string(n)), 2, n, n, n);
+
+    storage::ArrayPage page(n, n, n);
+    Xoshiro256 rng(static_cast<std::uint64_t>(n));
+    for (index_t i = 0; i < page.elements(); ++i)
+      page.values()[i] = rng.uniform(0.0, 1.0);
+    dev.call<&storage::ArrayPageDevice::write_array>(page, 0);
+
+    const int reps = n >= 64 ? 5 : 11;
+    double sum_a = 0.0, sum_b = 0.0;
+    const double ship_data = bench::median_seconds(reps, [&] {
+      auto local = dev.call<&storage::ArrayPageDevice::read_array>(0);
+      sum_a = local.sum();
+    });
+    const double ship_compute = bench::median_seconds(reps, [&] {
+      sum_b = dev.call<&storage::ArrayPageDevice::sum>(0);
+    });
+
+    OOPP_CHECK(sum_a == sum_b);
+    const double kib =
+        static_cast<double>(page.size()) / 1024.0;
+    std::printf("%6d %10.1f | %14.0f %15.0f %9.2fx\n", n, kib,
+                ship_data * 1e6, ship_compute * 1e6,
+                ship_data / ship_compute);
+    dev.destroy();
+  }
+
+  std::printf("\nshape checks:\n");
+  bench::note("tiny pages: ratio ~1 (latency-bound either way)");
+  bench::note("large pages: ship-data grows with bytes/beta; ratio >> 1");
+  return 0;
+}

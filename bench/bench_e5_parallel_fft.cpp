@@ -1,0 +1,116 @@
+// E5 — the distributed FFT process group (paper §4, §1).
+//
+// Claim: a group of N FFT processes jointly computes the transform of a
+// 3-D array, exchanging slabs by executing methods on remote objects.
+//
+// On this single-core host compute cannot speed up with N, so the
+// experiment reports what the framework controls: correctness against the
+// node-local FFT, wall time, and the communication volume (messages and
+// bytes) the group exchanges — plus the §4 wiring ablation: the deep-
+// copied group (SetGroup's "preferable" form) vs chasing a remote
+// directory of pointers on every peer access.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/oopp.hpp"
+#include "fft/fft3d.hpp"
+#include "fft/fft_worker.hpp"
+#include "util/prng.hpp"
+
+using namespace oopp;
+using fft::cplx;
+
+namespace {
+
+struct RunResult {
+  double ms = 0.0;
+  double err = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+RunResult run(Cluster& cluster, const Extents3& e, int workers,
+              bool use_directory, const std::vector<cplx>& input,
+              const std::vector<cplx>& expect) {
+  fft::DistributedFFT3D dfft(
+      e, workers,
+      [&](int w) {
+        return static_cast<net::MachineId>(w % cluster.size());
+      },
+      fft::DistributedFFT3D::Options{.use_directory = use_directory,
+                                     .restore_layout = true});
+  dfft.scatter(input);
+
+  const auto m0 = cluster.fabric().messages_sent();
+  const auto b0 = cluster.fabric().bytes_sent();
+  Timer t;
+  dfft.forward();
+  RunResult r;
+  r.ms = t.millis();
+  r.messages = cluster.fabric().messages_sent() - m0;
+  r.bytes = cluster.fabric().bytes_sent() - b0;
+
+  auto got = dfft.gather();
+  for (std::size_t i = 0; i < got.size(); ++i)
+    r.err = std::max(r.err, std::abs(got[i] - expect[i]));
+  dfft.shutdown();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::headline("E5  distributed 3-D FFT process group (paper §4)",
+                  "N processes jointly transform the array via remote "
+                  "method execution; deep-copied group wiring beats "
+                  "directory chasing");
+
+  Cluster::Options opts;
+  opts.machines = 4;
+  opts.cost = net::CostModel::commodity_cluster();
+  Cluster cluster(opts);
+  bench::describe_cost(opts.cost);
+
+  const Extents3 e{32, 32, 32};
+  bench::note("array: %lld x %lld x %lld complex (%.1f MiB); single core — "
+              "communication, not compute, is under test",
+              static_cast<long long>(e.n1), static_cast<long long>(e.n2),
+              static_cast<long long>(e.n3),
+              double(e.volume()) * sizeof(cplx) / (1 << 20));
+
+  Xoshiro256 rng(5);
+  std::vector<cplx> input(static_cast<std::size_t>(e.volume()));
+  for (auto& v : input) v = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+
+  auto expect = input;
+  Timer t;
+  fft::fft3d_inplace(expect, e, -1);
+  const double local_ms = t.millis();
+  std::printf("\nnode-local 3-D FFT baseline: %.1f ms\n", local_ms);
+
+  std::printf("\n%3s %10s | %10s %10s %10s %12s\n", "N", "wiring", "ms",
+              "max err", "msgs", "MiB moved");
+  std::printf("---------------+-----------------------------------------------\n");
+
+  for (int workers : {1, 2, 4, 8}) {
+    for (bool use_dir : {false, true}) {
+      if (workers == 1 && use_dir) continue;
+      const auto r = run(cluster, e, workers, use_dir, input, expect);
+      std::printf("%3d %10s | %10.1f %10.2e %10llu %12.2f\n", workers,
+                  use_dir ? "directory" : "deep-copy", r.ms, r.err,
+                  static_cast<unsigned long long>(r.messages),
+                  double(r.bytes) / (1 << 20));
+    }
+  }
+
+  std::printf("\nshape checks:\n");
+  bench::note("max err ~1e-12 for every N: the group computes the same "
+              "transform");
+  bench::note("bytes moved ~2 x array (forward + layout-restore all-to-all)");
+  bench::note("directory wiring roughly doubles the message count "
+              "(deterministic: 2 lookup round trips per peer per exchange); "
+              "its latency cost emerges as N grows — at small N it hides "
+              "in this host's scheduling noise");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E9 — group barrier cost (paper §4).
+//
+// Claim: "an explicit compiler-supported barrier method for arrays of
+// objects may be useful.  For example, the processes belonging to the fft
+// array can be synchronized with fft->barrier();"
+//
+// The barrier is a ping through every member's command queue, issued as a
+// split loop.  Cost should stay ~flat in group size on a latency-bound
+// fabric (pings overlap), and the barrier must order correctly after
+// in-flight work.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/oopp.hpp"
+
+using namespace oopp;
+
+namespace {
+
+class Sleeper {
+ public:
+  Sleeper() = default;
+  int nap(int ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return ++naps_;
+  }
+  int naps() const { return naps_; }
+
+ private:
+  int naps_ = 0;
+};
+
+}  // namespace
+
+template <>
+struct oopp::rpc::class_def<Sleeper> {
+  static std::string name() { return "bench.Sleeper"; }
+  using ctors = ctor_list<ctor<>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&Sleeper::nap>("nap");
+    b.template method<&Sleeper::naps>("naps");
+  }
+};
+
+int main() {
+  bench::headline("E9  group barrier (paper §4)",
+                  "barrier = split-loop ping through every member's command "
+                  "queue: ~flat in group size, ordered after pending work");
+
+  Cluster::Options opts;
+  opts.machines = 4;
+  opts.cost = net::CostModel::hpc_fabric();
+  Cluster cluster(opts);
+  bench::describe_cost(opts.cost);
+
+  std::printf("\n%4s | %14s %18s\n", "N", "idle barrier us",
+              "barrier after work ms");
+  std::printf("-----+------------------------------------\n");
+
+  for (int n : {2, 4, 8, 16, 32, 64}) {
+    ProcessGroup<Sleeper> group;
+    for (int i = 0; i < n; ++i)
+      group.push_back(cluster.make_remote<Sleeper>(
+          static_cast<net::MachineId>(i % cluster.size())));
+
+    const double idle_us =
+        bench::median_seconds(15, [&] { group.barrier(); }) * 1e6;
+
+    // Barrier must wait for in-flight commands: each member gets a 10 ms
+    // nap; the barrier should cost ~10 ms (overlapped), not n x 10 ms.
+    const double busy_ms = bench::median_seconds(3, [&] {
+      auto futs = group.async_all<&Sleeper::nap>(10);
+      group.barrier();
+      for (auto& f : futs) (void)f.get();
+    }) * 1e3;
+
+    std::printf("%4d | %14.0f %18.1f\n", n, idle_us, busy_ms);
+    group.destroy_all();
+  }
+
+  std::printf("\nshape checks:\n");
+  bench::note("idle barrier ~flat in N (pings overlap on the fabric)");
+  bench::note("busy barrier ~ the nap length, not N x nap: it waits for "
+              "each member exactly once, in parallel");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// out_of_core_fft: the paper's §1 motivating computation as a demo —
+// a 3-D Fourier transform over an array stored across many page-device
+// processes, computed within a memory budget far smaller than the array.
+//
+// A pure tone is written into the distributed array; the out-of-core
+// transform must concentrate all energy in a single spectral bin, and the
+// inverse must restore the tone — all while the client never holds more
+// than the budget.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <numbers>
+
+#include "array/array.hpp"
+#include "array/block_storage.hpp"
+#include "core/oopp.hpp"
+#include "fft/out_of_core.hpp"
+#include "util/clock.hpp"
+
+using namespace oopp;
+namespace arr = oopp::array;
+
+int main() {
+  Cluster cluster(4);
+  const auto dir = std::filesystem::temp_directory_path() / "oopp-ooc-demo";
+  std::filesystem::create_directories(dir);
+
+  const Extents3 N{32, 32, 32};
+  const Extents3 b{8, 8, 8};
+  const int devices = 8;
+  const arr::PageMapSpec layout{arr::PageMapKind::kRoundRobin};
+  const Extents3 grid{4, 4, 4};
+
+  auto make_array = [&](const std::string& tag) {
+    arr::BlockStorageConfig cfg;
+    cfg.file_prefix = (dir / tag).string();
+    cfg.devices = devices;
+    cfg.pages_per_device =
+        static_cast<std::int32_t>(layout.pages_per_device(grid, devices));
+    cfg.n1 = static_cast<int>(b.n1);
+    cfg.n2 = static_cast<int>(b.n2);
+    cfg.n3 = static_cast<int>(b.n3);
+    auto storage = arr::create_block_storage(cfg, [&](std::int32_t i) {
+      return static_cast<net::MachineId>(i % cluster.size());
+    });
+    return arr::Array(N.n1, N.n2, N.n3, b.n1, b.n2, b.n3, storage, layout);
+  };
+  auto re = make_array("re");
+  auto im = make_array("im");
+  std::printf("distributed complex field %lld^3 on %d devices (%s layout)\n",
+              static_cast<long long>(N.n1), devices, layout.name());
+
+  // A pure 3-D tone with wave vector k = (3, 5, 7).
+  const index_t k1 = 3, k2 = 5, k3 = 7;
+  const auto whole = arr::Domain::whole(N);
+  std::vector<double> re0(static_cast<std::size_t>(N.volume()));
+  std::vector<double> im0(re0.size());
+  for (index_t i1 = 0; i1 < N.n1; ++i1)
+    for (index_t i2 = 0; i2 < N.n2; ++i2)
+      for (index_t i3 = 0; i3 < N.n3; ++i3) {
+        const double phase =
+            2.0 * std::numbers::pi *
+            (double(k1 * i1) / double(N.n1) + double(k2 * i2) / double(N.n2) +
+             double(k3 * i3) / double(N.n3));
+        re0[N.linear(i1, i2, i3)] = std::cos(phase);
+        im0[N.linear(i1, i2, i3)] = std::sin(phase);
+      }
+  re.write(re0, whole);
+  im.write(im0, whole);
+
+  // Forward transform with a budget of one page layer (~128 KiB) — the
+  // array itself is 512 KiB complex and the paper has petabytes in mind.
+  const fft::OutOfCoreOptions budget{.max_bytes = std::size_t{128} << 10};
+  Timer t;
+  const auto stats = fft::fft3d_out_of_core(re, im, -1, budget);
+  std::printf("forward out-of-core FFT: %.1f ms, %lld + %lld slabs, "
+              "%.2f MiB moved (budget %.0f KiB)\n",
+              t.millis(), static_cast<long long>(stats.pass1_slabs),
+              static_cast<long long>(stats.pass2_slabs),
+              double(stats.elements_moved) * sizeof(fft::cplx) / (1 << 20),
+              double(budget.max_bytes) / 1024.0);
+
+  // All spectral energy must sit in bin (k1, k2, k3).
+  const double spike_re = re.get(k1, k2, k3);
+  const double elsewhere = re.get(0, 0, 0);
+  std::printf("spectrum: bin(%lld,%lld,%lld) = %.1f (expect %lld), "
+              "bin(0,0,0) = %.2e\n",
+              static_cast<long long>(k1), static_cast<long long>(k2),
+              static_cast<long long>(k3), spike_re,
+              static_cast<long long>(N.volume()), elsewhere);
+
+  // Inverse + normalize, and check the tone survived the disk round trip.
+  fft::fft3d_out_of_core(re, im, +1, budget);
+  re.scale(1.0 / double(N.volume()), whole);
+  im.scale(1.0 / double(N.volume()), whole);
+  const auto re_back = re.read(whole);
+  double err = 0.0;
+  for (std::size_t i = 0; i < re_back.size(); ++i)
+    err = std::max(err, std::abs(re_back[i] - re0[i]));
+  std::printf("round-trip error after inverse: %.2e\n", err);
+
+  std::filesystem::remove_all(dir);
+  const bool ok =
+      std::abs(spike_re - double(N.volume())) < 1e-6 && err < 1e-10;
+  std::printf(ok ? "out-of-core transform verified; done.\n"
+                 : "UNEXPECTED spectrum!\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,380 @@
+#include "array/array.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "core/future.hpp"
+
+namespace oopp::array {
+
+using storage::ArrayPage;
+using storage::ArrayPageDevice;
+
+namespace {
+
+Extents3 make_grid(const Extents3& n, const Extents3& b) {
+  return {ceil_div(n.n1, b.n1), ceil_div(n.n2, b.n2), ceil_div(n.n3, b.n3)};
+}
+
+}  // namespace
+
+Array::Array(index_t N1, index_t N2, index_t N3, index_t n1, index_t n2,
+             index_t n3, BlockStorage data, PageMapSpec map, IoMode io)
+    : n_{N1, N2, N3},
+      b_{n1, n2, n3},
+      grid_(make_grid(n_, b_)),
+      data_(std::move(data)),
+      spec_(map),
+      map_(map.instantiate(grid_, static_cast<std::int32_t>(data_.size()))),
+      io_(io) {
+  OOPP_CHECK_MSG(n_.volume() > 0 && b_.volume() > 0,
+                 "array and page extents must be positive");
+  OOPP_CHECK_MSG(!data_.empty(), "block storage is empty");
+}
+
+Array::Array(index_t N1, index_t N2, index_t N3, index_t n1, index_t n2,
+             index_t n3, BlockStorage data, std::shared_ptr<PageMap> map,
+             IoMode io)
+    : n_{N1, N2, N3},
+      b_{n1, n2, n3},
+      grid_(make_grid(n_, b_)),
+      data_(std::move(data)),
+      custom_map_(true),
+      map_(std::move(map)),
+      io_(io) {
+  OOPP_CHECK_MSG(n_.volume() > 0 && b_.volume() > 0,
+                 "array and page extents must be positive");
+  OOPP_CHECK_MSG(!data_.empty(), "block storage is empty");
+  OOPP_CHECK_MSG(map_ != nullptr, "null page map");
+}
+
+Array::Array(serial::IArchive& ia) {
+  std::uint8_t io = 0;
+  ia(n_.n1, n_.n2, n_.n3, b_.n1, b_.n2, b_.n3, data_, spec_, io,
+     pages_read_, pages_written_);
+  io_ = static_cast<IoMode>(io);
+  grid_ = make_grid(n_, b_);
+  map_ = spec_.instantiate(grid_, static_cast<std::int32_t>(data_.size()));
+}
+
+void Array::oopp_save(serial::OArchive& oa) const {
+  OOPP_CHECK_MSG(!custom_map_,
+                 "an Array with a custom PageMap cannot be serialized; use a "
+                 "PageMapSpec layout");
+  // data_ is a vector of remote pointers; const_cast is safe because
+  // serializing does not mutate.
+  auto& self = const_cast<Array&>(*this);
+  oa(n_.n1, n_.n2, n_.n3, b_.n1, b_.n2, b_.n3, self.data_, self.spec_,
+     static_cast<std::uint8_t>(io_), pages_read_, pages_written_);
+}
+
+void Array::rebuild_from_spec() {
+  if (data_.empty()) return;  // write path of an empty handle
+  grid_ = make_grid(n_, b_);
+  map_ = spec_.instantiate(grid_, static_cast<std::int32_t>(data_.size()));
+}
+
+Domain Array::page_box(index_t p1, index_t p2, index_t p3) const {
+  return Domain(p1 * b_.n1, std::min((p1 + 1) * b_.n1, n_.n1),
+                p2 * b_.n2, std::min((p2 + 1) * b_.n2, n_.n2),
+                p3 * b_.n3, std::min((p3 + 1) * b_.n3, n_.n3));
+}
+
+void Array::validate_domain(const Domain& domain) const {
+  OOPP_CHECK_MSG(valid(), "operation on an empty Array handle");
+  OOPP_CHECK_MSG(Domain::whole(n_).contains(domain),
+                 "domain exceeds array bounds");
+}
+
+const remote_ptr<ArrayPageDevice>& Array::device(
+    const PageAddress& addr) const {
+  OOPP_CHECK_MSG(addr.device_id >= 0 &&
+                     static_cast<std::size_t>(addr.device_id) < data_.size(),
+                 "page map produced device " << addr.device_id
+                                             << " out of range");
+  return data_[addr.device_id];
+}
+
+template <class Fn>
+void Array::for_each_page(const Domain& domain, Fn&& fn) const {
+  if (domain.empty()) return;
+  const index_t p1lo = domain.lo(0) / b_.n1;
+  const index_t p1hi = ceil_div(domain.hi(0), b_.n1);
+  const index_t p2lo = domain.lo(1) / b_.n2;
+  const index_t p2hi = ceil_div(domain.hi(1), b_.n2);
+  const index_t p3lo = domain.lo(2) / b_.n3;
+  const index_t p3hi = ceil_div(domain.hi(2), b_.n3);
+  for (index_t p1 = p1lo; p1 < p1hi; ++p1)
+    for (index_t p2 = p2lo; p2 < p2hi; ++p2)
+      for (index_t p3 = p3lo; p3 < p3hi; ++p3)
+        fn(p1, p2, p3, map_->physical_page_address(p1, p2, p3),
+           page_box(p1, p2, p3));
+}
+
+namespace {
+
+/// Copy the intersection region from a fetched page into the caller's
+/// subarray buffer; contiguous i3 runs move with one memcpy each.
+void page_to_buffer(const ArrayPage& page, index_t o1, index_t o2, index_t o3,
+                    const Domain& inter, const Domain& domain,
+                    std::vector<double>& out) {
+  const double* v = page.values();
+  const Extents3& pe = page.extents();
+  const index_t run = inter.extent(2);
+  for (index_t i1 = inter.lo(0); i1 < inter.hi(0); ++i1) {
+    for (index_t i2 = inter.lo(1); i2 < inter.hi(1); ++i2) {
+      const double* src =
+          v + pe.linear(i1 - o1, i2 - o2, inter.lo(2) - o3);
+      double* dst = out.data() + domain.local_offset(i1, i2, inter.lo(2));
+      std::memcpy(dst, src, static_cast<std::size_t>(run) * sizeof(double));
+    }
+  }
+}
+
+/// Overlay the intersection region of the caller's subarray onto a page.
+void buffer_to_page(const std::vector<double>& sub, const Domain& domain,
+                    const Domain& inter, index_t o1, index_t o2, index_t o3,
+                    ArrayPage& page) {
+  double* v = page.values();
+  const Extents3& pe = page.extents();
+  const index_t run = inter.extent(2);
+  for (index_t i1 = inter.lo(0); i1 < inter.hi(0); ++i1) {
+    for (index_t i2 = inter.lo(1); i2 < inter.hi(1); ++i2) {
+      const double* src =
+          sub.data() + domain.local_offset(i1, i2, inter.lo(2));
+      double* dst = v + pe.linear(i1 - o1, i2 - o2, inter.lo(2) - o3);
+      std::memcpy(dst, src, static_cast<std::size_t>(run) * sizeof(double));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> Array::read(const Domain& domain) const {
+  validate_domain(domain);
+  std::vector<double> out(static_cast<std::size_t>(domain.volume()));
+  if (domain.empty()) return out;
+
+  struct Pending {
+    Future<ArrayPage> fut;
+    Domain inter;
+    index_t o1, o2, o3;
+  };
+  std::vector<Pending> pending;
+
+  for_each_page(domain, [&](index_t p1, index_t p2, index_t p3,
+                            const PageAddress& addr, const Domain& box) {
+    const Domain inter = domain.intersect(box);
+    if (inter.empty()) return;
+    const index_t o1 = p1 * b_.n1, o2 = p2 * b_.n2, o3 = p3 * b_.n3;
+    const auto& dev = device(addr);
+    if (io_ == IoMode::kSequential) {
+      // Paper §2: the whole round trip completes before the next page.
+      const ArrayPage page =
+          dev.call<&ArrayPageDevice::read_array>(addr.index);
+      page_to_buffer(page, o1, o2, o3, inter, domain, out);
+      ++pages_read_;
+    } else {
+      // Paper §4: send-loop now, receive-loop below.
+      pending.push_back({dev.async<&ArrayPageDevice::read_array>(addr.index),
+                         inter, o1, o2, o3});
+    }
+  });
+
+  for (auto& p : pending) {
+    const ArrayPage page = p.fut.get();
+    page_to_buffer(page, p.o1, p.o2, p.o3, p.inter, domain, out);
+    ++pages_read_;
+  }
+  return out;
+}
+
+void Array::write(const std::vector<double>& subarray, const Domain& domain) {
+  validate_domain(domain);
+  OOPP_CHECK_MSG(
+      subarray.size() == static_cast<std::size_t>(domain.volume()),
+      "subarray has " << subarray.size() << " elements, domain needs "
+                      << domain.volume());
+  if (domain.empty()) return;
+
+  struct Rmw {
+    Future<ArrayPage> fut;  // outstanding read of a partially covered page
+    std::int32_t index;
+    const remote_ptr<ArrayPageDevice>* dev;
+    Domain inter;
+    index_t o1, o2, o3;
+  };
+  std::vector<Rmw> rmw;
+  std::vector<Future<void>> writes;
+
+  for_each_page(domain, [&](index_t p1, index_t p2, index_t p3,
+                            const PageAddress& addr, const Domain& box) {
+    const Domain inter = domain.intersect(box);
+    if (inter.empty()) return;
+    const index_t o1 = p1 * b_.n1, o2 = p2 * b_.n2, o3 = p3 * b_.n3;
+    const auto& dev = device(addr);
+    const bool full = inter == box;
+
+    if (full) {
+      // Fully covered: build the page locally, no read needed.
+      ArrayPage page(static_cast<int>(b_.n1), static_cast<int>(b_.n2),
+                     static_cast<int>(b_.n3));
+      buffer_to_page(subarray, domain, inter, o1, o2, o3, page);
+      if (io_ == IoMode::kSequential) {
+        dev.call<&ArrayPageDevice::write_array>(page, addr.index);
+      } else {
+        writes.push_back(
+            dev.async<&ArrayPageDevice::write_array>(page, addr.index));
+      }
+      ++pages_written_;
+      return;
+    }
+
+    // Partially covered: read-modify-write.
+    if (io_ == IoMode::kSequential) {
+      ArrayPage page = dev.call<&ArrayPageDevice::read_array>(addr.index);
+      buffer_to_page(subarray, domain, inter, o1, o2, o3, page);
+      dev.call<&ArrayPageDevice::write_array>(page, addr.index);
+      ++pages_read_;
+      ++pages_written_;
+    } else {
+      rmw.push_back({dev.async<&ArrayPageDevice::read_array>(addr.index),
+                     addr.index, &dev, inter, o1, o2, o3});
+    }
+  });
+
+  for (auto& r : rmw) {
+    ArrayPage page = r.fut.get();
+    buffer_to_page(subarray, domain, r.inter, r.o1, r.o2, r.o3, page);
+    writes.push_back(
+        r.dev->async<&ArrayPageDevice::write_array>(page, r.index));
+    ++pages_read_;
+    ++pages_written_;
+  }
+  for (auto& w : writes) w.get();
+}
+
+double Array::sum(const Domain& domain) const {
+  validate_domain(domain);
+  if (domain.empty()) return 0.0;
+
+  std::vector<Future<double>> partials;
+  double acc = 0.0;
+
+  for_each_page(domain, [&](index_t p1, index_t p2, index_t p3,
+                            const PageAddress& addr, const Domain& box) {
+    const Domain inter = domain.intersect(box);
+    if (inter.empty()) return;
+    const index_t o1 = p1 * b_.n1, o2 = p2 * b_.n2, o3 = p3 * b_.n3;
+    const auto& dev = device(addr);
+    // The partial reduction runs on the device's machine; only the scalar
+    // comes back (paper §3: "move the computation to the data").
+    if (io_ == IoMode::kSequential) {
+      acc += dev.call<&ArrayPageDevice::sum_region>(
+          addr.index, inter.lo(0) - o1, inter.hi(0) - o1, inter.lo(1) - o2,
+          inter.hi(1) - o2, inter.lo(2) - o3, inter.hi(2) - o3);
+      ++pages_read_;
+    } else {
+      partials.push_back(dev.async<&ArrayPageDevice::sum_region>(
+          addr.index, inter.lo(0) - o1, inter.hi(0) - o1, inter.lo(1) - o2,
+          inter.hi(1) - o2, inter.lo(2) - o3, inter.hi(2) - o3));
+    }
+  });
+
+  // Deterministic combination order: page iteration order.
+  for (auto& f : partials) {
+    acc += f.get();
+    ++pages_read_;
+  }
+  return acc;
+}
+
+double Array::sum_all() const { return sum(Domain::whole(n_)); }
+
+double Array::reduce(ReduceOp op, const Domain& domain) const {
+  validate_domain(domain);
+  OOPP_CHECK_MSG(!domain.empty(), "reduction over an empty domain");
+
+  double acc = 0.0;
+  if (op == ReduceOp::kMin) acc = std::numeric_limits<double>::infinity();
+  if (op == ReduceOp::kMax) acc = -std::numeric_limits<double>::infinity();
+  auto combine = [&](double partial) {
+    if (op == ReduceOp::kMin)
+      acc = std::min(acc, partial);
+    else if (op == ReduceOp::kMax)
+      acc = std::max(acc, partial);
+    else
+      acc += partial;
+  };
+
+  std::vector<Future<double>> partials;
+  for_each_page(domain, [&](index_t p1, index_t p2, index_t p3,
+                            const PageAddress& addr, const Domain& box) {
+    const Domain inter = domain.intersect(box);
+    if (inter.empty()) return;
+    const index_t o1 = p1 * b_.n1, o2 = p2 * b_.n2, o3 = p3 * b_.n3;
+    const auto& dev = device(addr);
+    if (io_ == IoMode::kSequential) {
+      combine(dev.call<&ArrayPageDevice::reduce_region>(
+          op, addr.index, inter.lo(0) - o1, inter.hi(0) - o1,
+          inter.lo(1) - o2, inter.hi(1) - o2, inter.lo(2) - o3,
+          inter.hi(2) - o3));
+      ++pages_read_;
+    } else {
+      partials.push_back(dev.async<&ArrayPageDevice::reduce_region>(
+          op, addr.index, inter.lo(0) - o1, inter.hi(0) - o1,
+          inter.lo(1) - o2, inter.hi(1) - o2, inter.lo(2) - o3,
+          inter.hi(2) - o3));
+    }
+  });
+  for (auto& f : partials) {
+    combine(f.get());
+    ++pages_read_;
+  }
+  return acc;
+}
+
+double Array::norm2(const Domain& domain) const {
+  return std::sqrt(reduce(ReduceOp::kSumSq, domain));
+}
+
+void Array::update(UpdateOp op, double s, const Domain& domain) {
+  validate_domain(domain);
+  if (domain.empty()) return;
+  std::vector<Future<void>> futs;
+  for_each_page(domain, [&](index_t p1, index_t p2, index_t p3,
+                            const PageAddress& addr, const Domain& box) {
+    const Domain inter = domain.intersect(box);
+    if (inter.empty()) return;
+    const index_t o1 = p1 * b_.n1, o2 = p2 * b_.n2, o3 = p3 * b_.n3;
+    const auto& dev = device(addr);
+    if (io_ == IoMode::kSequential) {
+      dev.call<&ArrayPageDevice::update_region>(
+          op, s, addr.index, inter.lo(0) - o1, inter.hi(0) - o1,
+          inter.lo(1) - o2, inter.hi(1) - o2, inter.lo(2) - o3,
+          inter.hi(2) - o3);
+      ++pages_written_;
+    } else {
+      futs.push_back(dev.async<&ArrayPageDevice::update_region>(
+          op, s, addr.index, inter.lo(0) - o1, inter.hi(0) - o1,
+          inter.lo(1) - o2, inter.hi(1) - o2, inter.lo(2) - o3,
+          inter.hi(2) - o3));
+    }
+  });
+  for (auto& f : futs) {
+    f.get();
+    ++pages_written_;
+  }
+}
+
+double Array::get(index_t i1, index_t i2, index_t i3) const {
+  return read(Domain(i1, i1 + 1, i2, i2 + 1, i3, i3 + 1))[0];
+}
+
+void Array::set(index_t i1, index_t i2, index_t i3, double v) {
+  write({v}, Domain(i1, i1 + 1, i2, i2 + 1, i3, i3 + 1));
+}
+
+}  // namespace oopp::array

@@ -1,0 +1,201 @@
+// Array: a (potentially huge) three-dimensional array of doubles stored as
+// page blocks across many ArrayPageDevice processes (paper §5).
+//
+// The array is indexed on [0,N1) x [0,N2) x [0,N3) and broken into
+// rectangular blocks of n1 x n2 x n3 doubles, one ArrayPage per block.
+// A PageMap maps logical page coordinates to {device, index}; the choice
+// of map determines how far reads and writes fan out across devices.
+//
+// The Array object itself is "a client process for performing computations
+// on a small subdomain of the array data" — it is an ordinary class you
+// can use locally *and* a remotable class you can deploy as multiple
+// coordinating client processes (experiment E7).
+//
+// IoMode selects between the paper's §2 sequential semantics (one page
+// round trip at a time) and the §4 compiler-split loop (all page requests
+// in flight at once); E4/E6 measure the difference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "array/block_storage.hpp"
+#include "array/domain.hpp"
+#include "array/page_map.hpp"
+
+namespace oopp::array {
+
+enum class IoMode : std::uint8_t {
+  kSequential = 0,  // paper §2: each instruction completes before the next
+  kParallel = 1,    // paper §4: send-loop then receive-loop
+};
+
+class Array {
+ public:
+  /// Empty handle; only meaningful as a deserialization target (an Array
+  /// arrives by value as a remote-method argument, the paper's
+  /// `transform(sign, Array* a)`).  Using an empty Array throws.
+  Array() = default;
+
+  /// Built-in layout policy (serializable — usable for remote clients).
+  Array(index_t N1, index_t N2, index_t N3, index_t n1, index_t n2,
+        index_t n3, BlockStorage data, PageMapSpec map,
+        IoMode io = IoMode::kParallel);
+
+  /// Custom layout policy (local use only; such an Array cannot be
+  /// serialized or persisted).
+  Array(index_t N1, index_t N2, index_t N3, index_t n1, index_t n2,
+        index_t n3, BlockStorage data, std::shared_ptr<PageMap> map,
+        IoMode io = IoMode::kParallel);
+
+  /// Restore from a passivated image.
+  explicit Array(serial::IArchive& ia);
+  void oopp_save(serial::OArchive& oa) const;
+
+  /// Assemble the subarray covered by `domain` (row-major).  The paper's
+  /// `read(double* subarray, Domain*)` with the buffer returned by value.
+  [[nodiscard]] std::vector<double> read(const Domain& domain) const;
+
+  /// Update the array region covered by `domain` from a row-major buffer
+  /// of domain.volume() doubles.  Partially covered pages are
+  /// read-modified-written.
+  void write(const std::vector<double>& subarray, const Domain& domain);
+
+  /// Sum over a domain, computed device-side: each overlapping page
+  /// contributes a partial sum produced by its ArrayPageDevice process
+  /// ("move the computation to the data"); the Array client combines them.
+  [[nodiscard]] double sum(const Domain& domain) const;
+
+  /// Sum of the whole array via a loop over subdomains.
+  [[nodiscard]] double sum_all() const;
+
+  using ReduceOp = storage::ArrayPageDevice::Reduce;
+  using UpdateOp = storage::ArrayPageDevice::Update;
+
+  /// Generalized device-side reduction over a domain (sum / min / max /
+  /// sum of squares); per-page partials are computed by the storage
+  /// processes and combined by this client.
+  [[nodiscard]] double reduce(ReduceOp op, const Domain& domain) const;
+
+  [[nodiscard]] double min(const Domain& domain) const {
+    return reduce(ReduceOp::kMin, domain);
+  }
+  [[nodiscard]] double max(const Domain& domain) const {
+    return reduce(ReduceOp::kMax, domain);
+  }
+  /// Euclidean norm over a domain (device-side sum of squares).
+  [[nodiscard]] double norm2(const Domain& domain) const;
+
+  /// Device-side in-place update over a domain: the touched pages never
+  /// cross the network.
+  void update(UpdateOp op, double s, const Domain& domain);
+
+  void fill(double v, const Domain& domain) {
+    update(UpdateOp::kFill, v, domain);
+  }
+  void scale(double a, const Domain& domain) {
+    update(UpdateOp::kScale, a, domain);
+  }
+  void shift(double d, const Domain& domain) {
+    update(UpdateOp::kShift, d, domain);
+  }
+
+  /// Single element access (one page round trip each — expensive, exists
+  /// for completeness and tests).
+  [[nodiscard]] double get(index_t i1, index_t i2, index_t i3) const;
+  void set(index_t i1, index_t i2, index_t i3, double v);
+
+  [[nodiscard]] bool valid() const { return !data_.empty(); }
+  [[nodiscard]] const Extents3& extents() const { return n_; }
+
+  /// Physical address of the page with page-grid coordinates (p1,p2,p3).
+  [[nodiscard]] PageAddress page_address(index_t p1, index_t p2,
+                                         index_t p3) const {
+    OOPP_CHECK(valid());
+    return map_->physical_page_address(p1, p2, p3);
+  }
+  [[nodiscard]] const Extents3& page_extents() const { return b_; }
+  [[nodiscard]] Extents3 page_grid() const { return grid_; }
+  [[nodiscard]] const BlockStorage& storage() const { return data_; }
+  [[nodiscard]] IoMode io_mode() const { return io_; }
+  void set_io_mode(IoMode io) { io_ = io; }
+
+  /// I/O accounting since construction (pages fetched/stored by this
+  /// client).  Exposed remotely for the benches.
+  [[nodiscard]] std::uint64_t pages_read() const { return pages_read_; }
+  [[nodiscard]] std::uint64_t pages_written() const { return pages_written_; }
+
+ private:
+  /// Visit every page overlapping `domain`: fn(p1, p2, p3, addr, page_box)
+  /// where page_box is the page's index box clipped to the array bounds.
+  template <class Fn>
+  void for_each_page(const Domain& domain, Fn&& fn) const;
+
+  [[nodiscard]] Domain page_box(index_t p1, index_t p2, index_t p3) const;
+  void validate_domain(const Domain& domain) const;
+  [[nodiscard]] const remote_ptr<storage::ArrayPageDevice>& device(
+      const PageAddress& addr) const;
+
+  Extents3 n_{};     // array extents N1,N2,N3
+  Extents3 b_{};     // page block extents n1,n2,n3
+  Extents3 grid_{};  // page grid: ceil(N/n) per axis
+  BlockStorage data_;
+  PageMapSpec spec_{};
+  bool custom_map_ = false;
+  std::shared_ptr<PageMap> map_;
+  IoMode io_ = IoMode::kParallel;
+  mutable std::uint64_t pages_read_ = 0;
+  mutable std::uint64_t pages_written_ = 0;
+
+  /// Recompute grid_ and map_ from the serialized fields.
+  void rebuild_from_spec();
+
+  template <class Ar>
+  friend void oopp_serialize(Ar& ar, Array& a);
+};
+
+/// By-value wire format: an Array travels as {extents, page extents,
+/// block storage (remote pointers), layout spec, io mode} and rebuilds
+/// its page map on arrival.  Custom-PageMap arrays cannot travel.
+template <class Ar>
+void oopp_serialize(Ar& ar, Array& a) {
+  OOPP_CHECK_MSG(!a.custom_map_,
+                 "an Array with a custom PageMap cannot be serialized");
+  std::uint8_t io = static_cast<std::uint8_t>(a.io_);
+  ar(a.n_.n1, a.n_.n2, a.n_.n3, a.b_.n1, a.b_.n2, a.b_.n3, a.data_, a.spec_,
+     io);
+  a.io_ = static_cast<IoMode>(io);
+  a.rebuild_from_spec();  // no-op result on the write path
+}
+
+}  // namespace oopp::array
+
+// Remote protocol: Array as a deployable client process (paper §5).
+template <>
+struct oopp::rpc::class_def<oopp::array::Array> {
+  using A = oopp::array::Array;
+  static std::string name() { return "oopp.array.Array"; }
+  using ctors = ctor_list<
+      ctor<oopp::index_t, oopp::index_t, oopp::index_t, oopp::index_t,
+           oopp::index_t, oopp::index_t, oopp::array::BlockStorage,
+           oopp::array::PageMapSpec>,
+      ctor<oopp::index_t, oopp::index_t, oopp::index_t, oopp::index_t,
+           oopp::index_t, oopp::index_t, oopp::array::BlockStorage,
+           oopp::array::PageMapSpec, oopp::array::IoMode>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&A::read>("read");
+    b.template method<&A::write>("write");
+    b.template method<&A::sum>("sum");
+    b.template method<&A::sum_all>("sum_all");
+    b.template method<&A::reduce>("reduce");
+    b.template method<&A::norm2>("norm2");
+    b.template method<&A::update>("update");
+    b.template method<&A::get>("get");
+    b.template method<&A::set>("set");
+    b.template method<&A::pages_read>("pages_read");
+    b.template method<&A::pages_written>("pages_written");
+    b.persistent();
+  }
+};

@@ -1,0 +1,32 @@
+#include "array/block_storage.hpp"
+
+#include "core/future.hpp"
+#include "util/assert.hpp"
+
+namespace oopp::array {
+
+BlockStorage create_block_storage(
+    const BlockStorageConfig& config,
+    const std::function<net::MachineId(std::int32_t)>& placement) {
+  OOPP_CHECK_MSG(config.devices > 0, "need at least one device");
+  OOPP_CHECK_MSG(!config.file_prefix.empty(), "empty backing file prefix");
+  BlockStorage out;
+  out.reserve(static_cast<std::size_t>(config.devices));
+  for (std::int32_t i = 0; i < config.devices; ++i) {
+    out.push_back(make_remote<storage::ArrayPageDevice>(
+        placement(i), config.file_prefix + ".dev" + std::to_string(i),
+        config.pages_per_device, config.n1, config.n2, config.n3,
+        config.device_options));
+  }
+  return out;
+}
+
+void destroy_block_storage(BlockStorage& storage) {
+  std::vector<Future<void>> futs;
+  futs.reserve(storage.size());
+  for (auto& dev : storage) futs.push_back(dev.async_destroy());
+  for (auto& f : futs) f.get();
+  storage.clear();
+}
+
+}  // namespace oopp::array

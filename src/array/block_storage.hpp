@@ -1,0 +1,39 @@
+// BlockStorage: the collection of ArrayPageDevice processes an Array's
+// pages live on (paper §5: `typedef vector<ArrayPageDevice*> BlockStorage`).
+//
+// Each device should sit on its own spindle/machine; create_block_storage
+// spawns one device process per entry, placed by a caller-supplied policy,
+// each with its own backing file — the substrate standing in for the
+// paper's "hundreds of hard-drives attached to multiple computing nodes".
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/remote_ptr.hpp"
+#include "storage/array_page_device.hpp"
+
+namespace oopp::array {
+
+using BlockStorage = std::vector<remote_ptr<storage::ArrayPageDevice>>;
+
+struct BlockStorageConfig {
+  std::string file_prefix;      // device i uses "<prefix>.dev<i>"
+  std::int32_t devices = 1;     // number of ArrayPageDevice processes
+  std::int32_t pages_per_device = 1;
+  std::int32_t n1 = 1, n2 = 1, n3 = 1;  // page block shape
+  storage::DeviceOptions device_options{};
+};
+
+/// Spawn the device processes.  `placement(i)` says which machine hosts
+/// device i (e.g. round-robin over the cluster).  Runs in the calling
+/// thread's machine context.
+BlockStorage create_block_storage(
+    const BlockStorageConfig& config,
+    const std::function<net::MachineId(std::int32_t)>& placement);
+
+/// Terminate every device process (parallel).
+void destroy_block_storage(BlockStorage& storage);
+
+}  // namespace oopp::array

@@ -1,0 +1,66 @@
+#include "array/copy.hpp"
+
+#include "core/future.hpp"
+
+namespace oopp::array {
+
+bool copy_is_page_aligned(const Array& src, const Array& dst,
+                          const Domain& domain) {
+  if (src.page_extents() != dst.page_extents()) return false;
+  const Extents3& b = src.page_extents();
+  const Extents3& n = src.extents();
+  for (int axis = 0; axis < 3; ++axis) {
+    const index_t block =
+        axis == 0 ? b.n1 : (axis == 1 ? b.n2 : b.n3);
+    const index_t extent =
+        axis == 0 ? n.n1 : (axis == 1 ? n.n2 : n.n3);
+    if (domain.lo(axis) % block != 0) return false;
+    if (domain.hi(axis) % block != 0 && domain.hi(axis) != extent)
+      return false;
+  }
+  return true;
+}
+
+CopyStats copy(const Array& src, Array& dst, const Domain& domain) {
+  OOPP_CHECK_MSG(src.extents() == dst.extents(),
+                 "array extents differ; copy requires matching shapes");
+  CopyStats stats;
+  if (domain.empty()) return stats;
+
+  if (!copy_is_page_aligned(src, dst, domain)) {
+    // Buffered path through the client.
+    auto buf = src.read(domain);
+    stats.elements_buffered = buf.size();
+    dst.write(buf, domain);
+    return stats;
+  }
+
+  // Third-party path: destination devices pull pages from source devices.
+  const Extents3& b = src.page_extents();
+  const index_t p1lo = domain.lo(0) / b.n1;
+  const index_t p1hi = ceil_div(domain.hi(0), b.n1);
+  const index_t p2lo = domain.lo(1) / b.n2;
+  const index_t p2hi = ceil_div(domain.hi(1), b.n2);
+  const index_t p3lo = domain.lo(2) / b.n3;
+  const index_t p3hi = ceil_div(domain.hi(2), b.n3);
+
+  std::vector<Future<void>> futs;
+  for (index_t p1 = p1lo; p1 < p1hi; ++p1) {
+    for (index_t p2 = p2lo; p2 < p2hi; ++p2) {
+      for (index_t p3 = p3lo; p3 < p3hi; ++p3) {
+        const PageAddress from = src.page_address(p1, p2, p3);
+        const PageAddress to = dst.page_address(p1, p2, p3);
+        const auto& src_dev = src.storage()[from.device_id];
+        const auto& dst_dev = dst.storage()[to.device_id];
+        futs.push_back(
+            dst_dev.async<&storage::ArrayPageDevice::pull_page>(
+                src_dev, from.index, to.index));
+        ++stats.pages_direct;
+      }
+    }
+  }
+  for (auto& f : futs) f.get();
+  return stats;
+}
+
+}  // namespace oopp::array

@@ -1,0 +1,31 @@
+// Array-to-array copies.
+//
+// When the two arrays share a page shape and the domain is page-aligned,
+// the copy is ordered as third-party transfers: each destination device
+// pulls its pages straight from the corresponding source device; the
+// client issues one tiny command per page and the payload never crosses
+// the client's link.  Otherwise the copy falls back to a buffered
+// read + write through the client.
+#pragma once
+
+#include <cstdint>
+
+#include "array/array.hpp"
+
+namespace oopp::array {
+
+struct CopyStats {
+  std::uint64_t pages_direct = 0;      // device → device transfers
+  std::uint64_t elements_buffered = 0; // moved through the client
+};
+
+/// Copy the contents of src's `domain` into the same coordinates of dst.
+/// The arrays must have identical extents and the domain must fit both.
+CopyStats copy(const Array& src, Array& dst, const Domain& domain);
+
+/// True if the fast path applies: identical page shapes and a domain that
+/// starts and ends on page boundaries (or the array edge).
+[[nodiscard]] bool copy_is_page_aligned(const Array& src, const Array& dst,
+                                        const Domain& domain);
+
+}  // namespace oopp::array

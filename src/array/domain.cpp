@@ -1,0 +1,33 @@
+#include "array/domain.hpp"
+
+#include <algorithm>
+
+namespace oopp::array {
+
+Domain::Domain(index_t lo1, index_t hi1, index_t lo2, index_t hi2,
+               index_t lo3, index_t hi3)
+    : lo_{lo1, lo2, lo3}, hi_{hi1, hi2, hi3} {
+  for (int a = 0; a < 3; ++a)
+    OOPP_CHECK_MSG(lo_[a] <= hi_[a],
+                   "domain axis " << a << " has lo " << lo_[a] << " > hi "
+                                  << hi_[a]);
+}
+
+bool Domain::contains(const Domain& other) const {
+  if (other.empty()) return true;
+  for (int a = 0; a < 3; ++a)
+    if (other.lo_[a] < lo_[a] || other.hi_[a] > hi_[a]) return false;
+  return true;
+}
+
+Domain Domain::intersect(const Domain& other) const {
+  std::array<index_t, 3> lo{}, hi{};
+  for (int a = 0; a < 3; ++a) {
+    lo[a] = std::max(lo_[a], other.lo_[a]);
+    hi[a] = std::min(hi_[a], other.hi_[a]);
+    if (hi[a] < lo[a]) return Domain();  // empty
+  }
+  return Domain(lo[0], hi[0], lo[1], hi[1], lo[2], hi[2]);
+}
+
+}  // namespace oopp::array

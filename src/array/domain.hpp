@@ -1,0 +1,74 @@
+// Domain: a rectangular subdomain of a 3-D index space (paper §5).
+//
+// The paper's Domain(N11, N12, N21, N22, N31, N32) is interpreted as the
+// half-open box [N11, N12) x [N21, N22) x [N31, N32).  Domains describe
+// the regions Array::read/write/sum operate on.
+#pragma once
+
+#include <array>
+
+#include "serial/archive.hpp"
+#include "util/ndindex.hpp"
+
+namespace oopp::array {
+
+class Domain {
+ public:
+  Domain() = default;
+
+  /// Half-open box; lo <= hi required per axis.
+  Domain(index_t lo1, index_t hi1, index_t lo2, index_t hi2, index_t lo3,
+         index_t hi3);
+
+  /// The whole box [0, e.n1) x [0, e.n2) x [0, e.n3).
+  static Domain whole(const Extents3& e) {
+    return Domain(0, e.n1, 0, e.n2, 0, e.n3);
+  }
+
+  [[nodiscard]] index_t lo(int axis) const { return lo_[check_axis(axis)]; }
+  [[nodiscard]] index_t hi(int axis) const { return hi_[check_axis(axis)]; }
+  [[nodiscard]] index_t extent(int axis) const {
+    return hi_[check_axis(axis)] - lo_[axis];
+  }
+  [[nodiscard]] Extents3 extents() const {
+    return {extent(0), extent(1), extent(2)};
+  }
+  [[nodiscard]] index_t volume() const { return extents().volume(); }
+  [[nodiscard]] bool empty() const { return volume() == 0; }
+
+  [[nodiscard]] bool contains(index_t i1, index_t i2, index_t i3) const {
+    return i1 >= lo_[0] && i1 < hi_[0] && i2 >= lo_[1] && i2 < hi_[1] &&
+           i3 >= lo_[2] && i3 < hi_[2];
+  }
+  [[nodiscard]] bool contains(const Domain& other) const;
+
+  /// Intersection (possibly empty).
+  [[nodiscard]] Domain intersect(const Domain& other) const;
+
+  /// Linear offset of a global index within this domain's local (row-major)
+  /// layout — where that element lives in the subarray buffer.
+  [[nodiscard]] index_t local_offset(index_t i1, index_t i2,
+                                     index_t i3) const {
+    return extents().linear(i1 - lo_[0], i2 - lo_[1], i3 - lo_[2]);
+  }
+
+  bool operator==(const Domain&) const = default;
+
+ private:
+  static int check_axis(int axis) {
+    OOPP_CHECK_MSG(axis >= 0 && axis < 3, "axis " << axis << " out of range");
+    return axis;
+  }
+  std::array<index_t, 3> lo_{0, 0, 0};
+  std::array<index_t, 3> hi_{0, 0, 0};
+
+  template <class Ar>
+  friend void oopp_serialize(Ar& ar, Domain& d);
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, Domain& d) {
+  ar(d.lo_, d.hi_);
+}
+
+}  // namespace oopp::array

@@ -1,0 +1,44 @@
+#include "array/page_map.hpp"
+
+namespace oopp::array {
+
+std::shared_ptr<PageMap> PageMapSpec::instantiate(Extents3 page_grid,
+                                                  std::int32_t devices) const {
+  switch (kind) {
+    case PageMapKind::kSingleDevice:
+      return std::make_shared<SingleDevicePageMap>(page_grid);
+    case PageMapKind::kRoundRobin:
+      return std::make_shared<RoundRobinPageMap>(page_grid, devices);
+    case PageMapKind::kBlocked:
+      return std::make_shared<BlockedPageMap>(page_grid, devices);
+  }
+  OOPP_CHECK_MSG(false, "unknown PageMapKind");
+  return nullptr;
+}
+
+index_t PageMapSpec::pages_per_device(Extents3 page_grid,
+                                      std::int32_t devices) const {
+  switch (kind) {
+    case PageMapKind::kSingleDevice:
+      return page_grid.volume();
+    case PageMapKind::kRoundRobin:
+    case PageMapKind::kBlocked:
+      return ceil_div(page_grid.volume(), devices);
+  }
+  OOPP_CHECK_MSG(false, "unknown PageMapKind");
+  return 0;
+}
+
+const char* PageMapSpec::name() const {
+  switch (kind) {
+    case PageMapKind::kSingleDevice:
+      return "single-device";
+    case PageMapKind::kRoundRobin:
+      return "round-robin";
+    case PageMapKind::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+}  // namespace oopp::array

@@ -1,0 +1,132 @@
+// PageMap: maps logical array page coordinates to physical addresses
+// {device_id, index} within a BlockStorage (paper §5).
+//
+// "The PageMap describes the array data layout and is crucial in
+// determining the I/O patterns of the computation" — experiment E6
+// quantifies exactly that.  Three built-in policies:
+//
+//   kSingleDevice — everything on device 0: no I/O parallelism (baseline);
+//   kRoundRobin   — page k on device k mod D: adjacent pages on different
+//                   devices, so bulk reads fan out maximally;
+//   kBlocked      — contiguous runs of pages per device: a small domain
+//                   touches one device (data locality, no fan-out).
+//
+// Custom layouts: subclass PageMap and hand Array a shared_ptr; the
+// PageMapSpec value type exists so the built-in policies can travel inside
+// serialized Array clients.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "serial/archive.hpp"
+#include "util/ndindex.hpp"
+
+namespace oopp::array {
+
+/// The paper's physical page address.
+struct PageAddress {
+  std::int32_t device_id = 0;
+  std::int32_t index = 0;
+
+  bool operator==(const PageAddress&) const = default;
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, PageAddress& a) {
+  ar(a.device_id, a.index);
+}
+
+/// Abstract layout policy, as in the paper.  Coordinates are *page*
+/// coordinates (p1, p2, p3) in the page grid, not element indices.
+class PageMap {
+ public:
+  virtual ~PageMap() = default;
+  [[nodiscard]] virtual PageAddress physical_page_address(
+      index_t p1, index_t p2, index_t p3) const = 0;
+};
+
+class SingleDevicePageMap final : public PageMap {
+ public:
+  explicit SingleDevicePageMap(Extents3 page_grid, std::int32_t device = 0)
+      : grid_(page_grid), device_(device) {}
+  [[nodiscard]] PageAddress physical_page_address(index_t p1, index_t p2,
+                                                  index_t p3) const override {
+    return {device_, static_cast<std::int32_t>(grid_.linear(p1, p2, p3))};
+  }
+
+ private:
+  Extents3 grid_;
+  std::int32_t device_;
+};
+
+class RoundRobinPageMap final : public PageMap {
+ public:
+  RoundRobinPageMap(Extents3 page_grid, std::int32_t devices)
+      : grid_(page_grid), devices_(devices) {
+    OOPP_CHECK(devices_ > 0);
+  }
+  [[nodiscard]] PageAddress physical_page_address(index_t p1, index_t p2,
+                                                  index_t p3) const override {
+    const index_t lin = grid_.linear(p1, p2, p3);
+    return {static_cast<std::int32_t>(lin % devices_),
+            static_cast<std::int32_t>(lin / devices_)};
+  }
+
+ private:
+  Extents3 grid_;
+  std::int32_t devices_;
+};
+
+class BlockedPageMap final : public PageMap {
+ public:
+  BlockedPageMap(Extents3 page_grid, std::int32_t devices)
+      : grid_(page_grid),
+        devices_(devices),
+        chunk_(ceil_div(page_grid.volume(), devices)) {
+    OOPP_CHECK(devices_ > 0);
+  }
+  [[nodiscard]] PageAddress physical_page_address(index_t p1, index_t p2,
+                                                  index_t p3) const override {
+    const index_t lin = grid_.linear(p1, p2, p3);
+    return {static_cast<std::int32_t>(lin / chunk_),
+            static_cast<std::int32_t>(lin % chunk_)};
+  }
+
+ private:
+  Extents3 grid_;
+  std::int32_t devices_;
+  index_t chunk_;
+};
+
+/// Serializable description of a built-in layout; instantiated against the
+/// array's page grid at construction time.
+enum class PageMapKind : std::uint8_t {
+  kSingleDevice = 0,
+  kRoundRobin = 1,
+  kBlocked = 2,
+};
+
+struct PageMapSpec {
+  PageMapKind kind = PageMapKind::kRoundRobin;
+
+  [[nodiscard]] std::shared_ptr<PageMap> instantiate(
+      Extents3 page_grid, std::int32_t devices) const;
+
+  /// Slots each device must provision so every logical page of the grid
+  /// has a home under this layout (e.g. single-device needs the whole
+  /// grid on device 0).
+  [[nodiscard]] index_t pages_per_device(Extents3 page_grid,
+                                         std::int32_t devices) const;
+
+  [[nodiscard]] const char* name() const;
+
+  bool operator==(const PageMapSpec&) const = default;
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, PageMapSpec& s) {
+  ar(s.kind);
+}
+
+}  // namespace oopp::array

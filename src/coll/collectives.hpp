@@ -1,0 +1,327 @@
+// Collective operations over process groups.
+//
+// The paper's conclusion claims the framework has the expressive power of
+// the established models; this module makes that concrete by building the
+// MPI-style collectives — broadcast, reduce, all-reduce, gather, scatter —
+// purely out of objects executing methods on each other.
+//
+// Every collective exists in two forms:
+//
+//   flat — the master drives all N members directly (a §4 split loop).
+//          One machine injects all the traffic, so with a finite-egress
+//          NIC the cost grows ~N.
+//   tree — members forward along a recursive-halving binomial tree, so
+//          injection load spreads across machines and the critical path
+//          is ~log2(N) rounds.  Each parent's call returns only after its
+//          subtree completes, so the root's call completing IS the
+//          collective's completion — no separate barrier needed.
+//
+// Experiment E11 measures the crossover.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/group.hpp"
+#include "core/remote_ptr.hpp"
+#include "rpc/binding.hpp"
+#include "util/assert.hpp"
+#include "util/type_name.hpp"
+
+namespace oopp::coll {
+
+enum class ReduceKind : std::uint8_t {
+  kSum = 0,
+  kProd = 1,
+  kMin = 2,
+  kMax = 3,
+};
+
+template <class T>
+T combine_one(ReduceKind k, T a, T b) {
+  switch (k) {
+    case ReduceKind::kSum:
+      return a + b;
+    case ReduceKind::kProd:
+      return a * b;
+    case ReduceKind::kMin:
+      return b < a ? b : a;
+    case ReduceKind::kMax:
+      return a < b ? b : a;
+  }
+  OOPP_CHECK_MSG(false, "unknown ReduceKind");
+  return a;
+}
+
+template <class T>
+void combine_into(ReduceKind k, std::vector<T>& acc,
+                  const std::vector<T>& other) {
+  OOPP_CHECK_MSG(acc.size() == other.size(),
+                 "reduction buffers differ in length");
+  for (std::size_t i = 0; i < acc.size(); ++i)
+    acc[i] = combine_one(k, acc[i], other[i]);
+}
+
+/// A group member participating in collectives.  Applications either use
+/// it directly as a data holder or embed one per machine as a side-car.
+///
+/// Tree protocol: ranks are *relative* to the root (rel = (id - root + n)
+/// mod n).  A node owning the relative range [rel, rel + span) halves the
+/// range, hands the upper half to the member at rel + span/2, and recurses
+/// on the lower half — the classic binomial schedule, expressed as nested
+/// remote method executions.
+template <class T>
+class CollWorker {
+ public:
+  explicit CollWorker(int id) : id_(id) {}
+
+  void set_group(int n, const ProcessGroup<CollWorker>& group) {
+    OOPP_CHECK(static_cast<int>(group.size()) == n);
+    n_ = n;
+    group_ = group;
+  }
+
+  void set_data(const std::vector<T>& v) { data_ = v; }
+  std::vector<T> data() const { return data_; }
+  int id() const { return id_; }
+
+  // -- tree broadcast -------------------------------------------------------
+
+  /// Deliver `value` to every member of the relative range [rel, rel+span).
+  /// Called on the range's first member; returns when the whole subtree
+  /// has the value.
+  void tree_bcast(int root, std::int64_t rel, std::int64_t span,
+                  const std::vector<T>& value) {
+    check_wired();
+    data_ = value;
+    std::vector<Future<void>> kids;
+    std::int64_t s = span;
+    while (s > 1) {
+      const std::int64_t half = s / 2 + (s % 2);  // lower half keeps extra
+      const std::int64_t child_rel = rel + half;
+      if (child_rel < rel + s) {
+        kids.push_back(peer(child_rel, root)
+                           .template async<&CollWorker::tree_bcast>(
+                               root, child_rel, s - half, value));
+      }
+      s = half;
+    }
+    for (auto& f : kids) f.get();
+  }
+
+  // -- tree reduce ----------------------------------------------------------
+
+  /// Combine the data of the relative range [rel, rel+span); returns the
+  /// combined vector to the caller (ultimately the root's caller).
+  std::vector<T> tree_reduce(int root, std::int64_t rel, std::int64_t span,
+                             ReduceKind kind) const {
+    check_wired();
+    std::vector<Future<std::vector<T>>> kids;
+    std::int64_t s = span;
+    while (s > 1) {
+      const std::int64_t half = s / 2 + (s % 2);
+      const std::int64_t child_rel = rel + half;
+      if (child_rel < rel + s) {
+        kids.push_back(peer(child_rel, root)
+                           .template async<&CollWorker::tree_reduce>(
+                               root, child_rel, s - half, kind));
+      }
+      s = half;
+    }
+    std::vector<T> acc = data_;
+    for (auto& f : kids) combine_into(kind, acc, f.get());
+    return acc;
+  }
+
+  // -- tree gather ----------------------------------------------------------
+
+  /// Collect (absolute id, data) pairs for the subtree.
+  std::vector<std::pair<std::int32_t, std::vector<T>>> tree_gather(
+      int root, std::int64_t rel, std::int64_t span) const {
+    check_wired();
+    std::vector<Future<std::vector<std::pair<std::int32_t, std::vector<T>>>>>
+        kids;
+    std::int64_t s = span;
+    while (s > 1) {
+      const std::int64_t half = s / 2 + (s % 2);
+      const std::int64_t child_rel = rel + half;
+      if (child_rel < rel + s) {
+        kids.push_back(peer(child_rel, root)
+                           .template async<&CollWorker::tree_gather>(
+                               root, child_rel, s - half));
+      }
+      s = half;
+    }
+    std::vector<std::pair<std::int32_t, std::vector<T>>> out;
+    out.emplace_back(id_, data_);
+    for (auto& f : kids) {
+      auto part = f.get();
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+  // -- tree scatter -----------------------------------------------------------
+
+  /// Distribute chunks[i] to the member with relative rank rel + i, for
+  /// the subtree rooted here.  chunks.size() == span.
+  void tree_scatter(int root, std::int64_t rel,
+                    const std::vector<std::vector<T>>& chunks) {
+    check_wired();
+    OOPP_CHECK(!chunks.empty());
+    std::vector<Future<void>> kids;
+    std::int64_t s = static_cast<std::int64_t>(chunks.size());
+    std::vector<std::vector<T>> mine(chunks.begin(), chunks.end());
+    while (s > 1) {
+      const std::int64_t half = s / 2 + (s % 2);
+      const std::int64_t child_rel = rel + half;
+      if (child_rel < rel + s) {
+        std::vector<std::vector<T>> upper(mine.begin() + half,
+                                          mine.begin() + s);
+        kids.push_back(peer(child_rel, root)
+                           .template async<&CollWorker::tree_scatter>(
+                               root, child_rel, upper));
+      }
+      s = half;
+    }
+    data_ = mine[0];
+    for (auto& f : kids) f.get();
+  }
+
+ private:
+  void check_wired() const {
+    OOPP_CHECK_MSG(n_ > 0, "set_group before collectives");
+  }
+  remote_ptr<CollWorker> peer(std::int64_t rel, int root) const {
+    return group_[static_cast<std::size_t>((rel + root) % n_)];
+  }
+
+  int id_ = 0;
+  int n_ = 0;
+  ProcessGroup<CollWorker> group_;
+  std::vector<T> data_;
+};
+
+// ---------------------------------------------------------------------------
+// Master-side drivers
+// ---------------------------------------------------------------------------
+
+enum class Topology : std::uint8_t { kFlat = 0, kTree = 1 };
+
+/// Create and wire a collective group, one member per placement(i).
+template <class T>
+ProcessGroup<CollWorker<T>> make_group(
+    int n, const std::function<net::MachineId(int)>& placement) {
+  ProcessGroup<CollWorker<T>> group;
+  for (int i = 0; i < n; ++i)
+    group.push_back(make_remote<CollWorker<T>>(placement(i), i));
+  for (int i = 0; i < n; ++i)
+    group[i].template call<&CollWorker<T>::set_group>(n, group);
+  return group;
+}
+
+template <class T>
+void broadcast(const ProcessGroup<CollWorker<T>>& group, int root,
+               const std::vector<T>& value, Topology topo) {
+  const auto n = static_cast<std::int64_t>(group.size());
+  OOPP_CHECK(root >= 0 && root < n);
+  if (topo == Topology::kFlat) {
+    group.template invoke_all<&CollWorker<T>::set_data>(value);
+  } else {
+    group[root].template call<&CollWorker<T>::tree_bcast>(root, 0, n, value);
+  }
+}
+
+template <class T>
+std::vector<T> reduce(const ProcessGroup<CollWorker<T>>& group, int root,
+                      ReduceKind kind, Topology topo) {
+  const auto n = static_cast<std::int64_t>(group.size());
+  OOPP_CHECK(root >= 0 && root < n);
+  if (topo == Topology::kFlat) {
+    auto parts = group.template collect<&CollWorker<T>::data>();
+    std::vector<T> acc = parts[root];
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (i == root) continue;
+      combine_into(kind, acc, parts[i]);
+    }
+    return acc;
+  }
+  return group[root].template call<&CollWorker<T>::tree_reduce>(root, 0, n,
+                                                                kind);
+}
+
+template <class T>
+std::vector<T> all_reduce(const ProcessGroup<CollWorker<T>>& group,
+                          ReduceKind kind, Topology topo) {
+  auto total = reduce(group, 0, kind, topo);
+  broadcast(group, 0, total, topo);
+  return total;
+}
+
+/// Root collects every member's data, ordered by member id.
+template <class T>
+std::vector<std::vector<T>> gather(const ProcessGroup<CollWorker<T>>& group,
+                                   int root, Topology topo) {
+  const auto n = static_cast<std::int64_t>(group.size());
+  OOPP_CHECK(root >= 0 && root < n);
+  std::vector<std::vector<T>> out(static_cast<std::size_t>(n));
+  if (topo == Topology::kFlat) {
+    auto parts = group.template collect<&CollWorker<T>::data>();
+    for (std::int64_t i = 0; i < n; ++i) out[i] = std::move(parts[i]);
+    return out;
+  }
+  auto pairs =
+      group[root].template call<&CollWorker<T>::tree_gather>(root, 0, n);
+  OOPP_CHECK(static_cast<std::int64_t>(pairs.size()) == n);
+  for (auto& [id, data] : pairs) out[static_cast<std::size_t>(id)] =
+                                     std::move(data);
+  return out;
+}
+
+/// chunks[i] lands in member i's data.
+template <class T>
+void scatter(const ProcessGroup<CollWorker<T>>& group, int root,
+             const std::vector<std::vector<T>>& chunks, Topology topo) {
+  const auto n = static_cast<std::int64_t>(group.size());
+  OOPP_CHECK(root >= 0 && root < n);
+  OOPP_CHECK(static_cast<std::int64_t>(chunks.size()) == n);
+  if (topo == Topology::kFlat) {
+    std::vector<Future<void>> futs;
+    for (std::int64_t i = 0; i < n; ++i)
+      futs.push_back(group[i].template async<&CollWorker<T>::set_data>(
+          chunks[static_cast<std::size_t>(i)]));
+    for (auto& f : futs) f.get();
+    return;
+  }
+  // Rotate chunks into relative order for the tree.
+  std::vector<std::vector<T>> rel(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i)
+    rel[static_cast<std::size_t>(i)] =
+        chunks[static_cast<std::size_t>((i + root) % n)];
+  group[root].template call<&CollWorker<T>::tree_scatter>(root, 0, rel);
+}
+
+}  // namespace oopp::coll
+
+template <class T>
+struct oopp::rpc::class_def<oopp::coll::CollWorker<T>> {
+  using W = oopp::coll::CollWorker<T>;
+  static std::string name() {
+    return "oopp.coll.Worker<" + std::string(oopp::type_name<T>()) + ">";
+  }
+  using ctors = ctor_list<ctor<int>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&W::set_group>("set_group");
+    b.template method<&W::set_data>("set_data");
+    b.template method<&W::data>("data");
+    b.template method<&W::id>("id");
+    b.template method<&W::tree_bcast>("tree_bcast");
+    b.template method<&W::tree_reduce>("tree_reduce");
+    b.template method<&W::tree_gather>("tree_gather");
+    b.template method<&W::tree_scatter>("tree_scatter");
+  }
+};

@@ -1,0 +1,270 @@
+// Cluster: the collection of machines a program runs across.
+//
+// Owns the fabric and one Node per machine.  The thread that constructs
+// the Cluster becomes the driver, running "on machine 0" exactly like the
+// code in the paper's examples; other threads can enter a machine context
+// with use().
+//
+// The Cluster is also the persistence runtime of §5: persist() checkpoints
+// a process under a symbolic address, passivate() additionally terminates
+// the live process, and lookup() re-activates it (on its home machine or a
+// machine of your choice).  The name service backing the symbolic address
+// space is itself a remotable object living on machine 0.
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/name_service.hpp"
+#include "core/remote_data.hpp"
+#include "core/remote_ptr.hpp"
+#include "net/cost_model.hpp"
+#include "net/fabric.hpp"
+#include "net/tcp_mesh_fabric.hpp"
+#include "rpc/node.hpp"
+
+namespace oopp {
+
+/// Aggregated cluster metrics (per-node counters + fabric traffic).
+struct ClusterStats {
+  std::vector<rpc::NodeStats> per_node;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+
+  [[nodiscard]] rpc::NodeStats totals() const {
+    rpc::NodeStats t;
+    for (const auto& n : per_node) {
+      t.objects_live += n.objects_live;
+      t.requests_served += n.requests_served;
+      t.control_requests += n.control_requests;
+      t.remote_exceptions += n.remote_exceptions;
+      t.objects_spawned += n.objects_spawned;
+      t.objects_destroyed += n.objects_destroyed;
+      t.pool_threads += n.pool_threads;
+      t.pool_tasks_run += n.pool_tasks_run;
+    }
+    return t;
+  }
+};
+
+class Cluster {
+ public:
+  enum class FabricKind {
+    kInProc,  // simulated interconnect with CostModel (default)
+    kTcp,     // real loopback sockets
+  };
+
+  struct Options {
+    std::size_t machines = 4;
+    FabricKind fabric = FabricKind::kInProc;
+    net::CostModel cost = net::CostModel::zero();
+    rpc::Node::Options node{};
+    /// Directory for passivated process images.  Empty → a fresh temp
+    /// directory owned (and removed) by this Cluster.
+    std::filesystem::path state_dir{};
+    /// Make the symbolic-address registry itself survive cluster
+    /// shutdown: the name service is re-activated from
+    /// state_dir/registry.img on startup (records from the previous
+    /// incarnation become passive) and checkpointed there on shutdown.
+    /// Requires an explicit state_dir.
+    bool persistent_registry = false;
+    /// Custom interconnect: when set, overrides `fabric`/`cost`.  Used to
+    /// wrap the transport (e.g. net::FaultyFabric for fault injection).
+    std::function<std::unique_ptr<net::Fabric>(std::size_t machines)>
+        fabric_factory{};
+    /// Multi-process deployment: when non-empty, this OS process hosts
+    /// only `local_machine`; the other machine ids are separate processes
+    /// (oopp_noded) reachable at these endpoints.  Overrides `machines`,
+    /// `fabric` and `fabric_factory`.
+    std::vector<net::Endpoint> mesh_endpoints{};
+    net::MachineId local_machine = 0;
+  };
+
+  explicit Cluster(Options opts);
+  explicit Cluster(std::size_t machines)
+      : Cluster(Options{.machines = machines}) {}
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] rpc::Node& node(net::MachineId m);
+  [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] ClusterStats stats() const;
+  [[nodiscard]] const std::filesystem::path& state_dir() const {
+    return state_dir_;
+  }
+
+  /// Enter machine m's context on the current thread (RAII).  The
+  /// machine must be hosted by this process.
+  [[nodiscard]] rpc::Node::ContextGuard use(net::MachineId m) {
+    return rpc::Node::ContextGuard(&node(m));
+  }
+
+  /// The machine this process hosts (0 except in mesh deployments).
+  [[nodiscard]] net::MachineId local_machine() const { return local_; }
+  /// True if machine m is hosted by this OS process.
+  [[nodiscard]] bool is_local(net::MachineId m) const {
+    return m < nodes_.size() && nodes_[m] != nullptr;
+  }
+
+  /// Ask a peer process of a mesh deployment to shut down (its
+  /// wait_for_shutdown_request() returns).
+  void request_shutdown(net::MachineId m);
+
+  /// The paper's `new(machine i) T(args...)`.
+  template <class T, class... A>
+  remote_ptr<T> make_remote(net::MachineId machine, A&&... args) {
+    MaybeContext ctx(this);
+    return oopp::make_remote<T>(machine, std::forward<A>(args)...);
+  }
+
+  /// The paper's `new(machine i) T[n]` for plain data.
+  template <class T>
+  remote_data<T> make_remote_array(net::MachineId machine, std::uint64_t n) {
+    MaybeContext ctx(this);
+    auto p = oopp::make_remote<RemoteVector<T>>(machine, n);
+    return remote_data<T>(p, n);
+  }
+
+  template <class T>
+  remote_data<T> make_remote_array(net::MachineId machine,
+                                   std::vector<T> init) {
+    MaybeContext ctx(this);
+    const std::uint64_t n = init.size();
+    auto p = oopp::make_remote<RemoteVector<T>>(machine, std::move(init));
+    return remote_data<T>(p, n);
+  }
+
+  // -- persistent processes (§5) --------------------------------------------
+
+  /// Checkpoint a live process under a symbolic address.  The process
+  /// keeps running; the image on disk reflects its state at the point
+  /// where its command queue was drained.
+  template <class T>
+  void persist(const remote_ptr<T>& p, const std::string& uri) {
+    MaybeContext ctx(this);
+    checkpoint_impl(p.ref(), uri, /*destroy_after=*/false,
+                    rpc::class_def<T>::name());
+  }
+
+  /// Checkpoint and terminate: the process becomes passive — reachable
+  /// only through its symbolic address until lookup() re-activates it.
+  template <class T>
+  void passivate(const remote_ptr<T>& p, const std::string& uri) {
+    MaybeContext ctx(this);
+    checkpoint_impl(p.ref(), uri, /*destroy_after=*/true,
+                    rpc::class_def<T>::name());
+  }
+
+  /// Resolve a symbolic address.  A live process is returned as-is; a
+  /// passive one is re-activated from its image on `activate_on`
+  /// (defaulting to its home machine).  Throws rpc::rpc_error for unknown
+  /// addresses and class mismatches.
+  template <class T>
+  remote_ptr<T> lookup(const std::string& uri,
+                       std::optional<net::MachineId> activate_on = {}) {
+    MaybeContext ctx(this);
+    rpc::ensure_registered<T>();
+    return remote_ptr<T>(
+        lookup_impl(uri, rpc::class_def<T>::name(), activate_on));
+  }
+
+  /// Move a persistent process to another machine: checkpoint, terminate,
+  /// re-activate from the image on `target`.  Previously held remote
+  /// pointers dangle; the returned pointer is the process's new identity.
+  /// Registered symbolic addresses keep working (the record is updated
+  /// when the process was registered).
+  template <class T>
+  remote_ptr<T> migrate(const remote_ptr<T>& p, net::MachineId target) {
+    MaybeContext ctx(this);
+    rpc::ensure_registered<T>();
+    return remote_ptr<T>(
+        migrate_impl(p.ref(), target, rpc::class_def<T>::name()));
+  }
+
+  /// Drop a symbolic address and its on-disk image.  Does not touch a live
+  /// process.  Returns false if the address was unknown.
+  bool forget(const std::string& uri);
+
+  /// All registered symbolic addresses.
+  std::vector<std::string> persisted_uris();
+
+  /// Checkpoint the registry to state_dir/registry.img now (also done
+  /// automatically on shutdown when Options::persistent_registry is set).
+  void save_registry();
+
+  /// Fresh checkpoint of every *live* registered process (their images
+  /// catch up to current state), so a subsequent cluster restart with a
+  /// persistent registry resumes everything from "now".  Returns the
+  /// number of processes checkpointed.
+  std::size_t checkpoint_all();
+
+  // -- automatic passivation ("activating and de-activating processes as
+  //    needed", §5) ---------------------------------------------------------
+
+  /// Cap the number of *registered* processes live at once.  When an
+  /// activation or persist would exceed the cap, the least-recently-used
+  /// registered process is passivated automatically (checkpointed and
+  /// terminated).  Direct remote pointers to an auto-passivated process
+  /// dangle; under a cap, access registered processes through their
+  /// symbolic addresses — lookup() re-activates transparently.
+  /// 0 (default) = unlimited.
+  void set_active_limit(std::size_t limit);
+
+  /// Number of registered processes currently live.
+  [[nodiscard]] std::size_t active_registered();
+
+ private:
+  struct MaybeContext {
+    std::optional<rpc::Node::ContextGuard> guard;
+    explicit MaybeContext(Cluster* c) {
+      if (rpc::Node::current() == nullptr)
+        guard.emplace(&c->node(c->local_));
+    }
+  };
+
+  remote_ptr<NameService> name_service();
+  void checkpoint_impl(RemoteRef ref, const std::string& uri,
+                       bool destroy_after, const std::string& expected_class);
+
+  /// Passivate the live process behind a registered URI (no LRU upkeep).
+  void passivate_registered(const std::string& uri);
+  /// Mark a URI live in the LRU and enforce the active limit.
+  void note_live(const std::string& uri);
+  /// Drop a URI from the LRU (passivated, forgotten, or destroyed).
+  void note_gone(const std::string& uri);
+  RemoteRef lookup_impl(const std::string& uri,
+                        const std::string& expected_class,
+                        std::optional<net::MachineId> activate_on);
+  RemoteRef migrate_impl(RemoteRef ref, net::MachineId target,
+                         const std::string& expected_class);
+  [[nodiscard]] std::filesystem::path image_path(const std::string& uri) const;
+
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<rpc::Node>> nodes_;  // null = remote process
+  net::MachineId local_ = 0;
+  std::optional<rpc::Node::ContextGuard> driver_guard_;
+  std::filesystem::path state_dir_;
+  bool own_state_dir_ = false;
+  bool persistent_registry_ = false;
+
+  std::mutex ns_mu_;
+  remote_ptr<NameService> ns_;
+
+  // LRU of live registered processes (front = most recently used).
+  std::mutex lru_mu_;
+  std::size_t active_limit_ = 0;
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, std::list<std::string>::iterator> lru_pos_;
+};
+
+}  // namespace oopp

@@ -1,0 +1,64 @@
+// Typed future over a raw response message.
+//
+// The paper's default semantics is synchronous (§2); futures are the
+// runtime primitive behind §4's compiler transformation — a loop of remote
+// calls becomes a loop of sends followed by a loop of receives.  async()
+// on a remote pointer returns one of these; get() performs the "receive"
+// half, decoding the result or re-raising the remote exception.
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <type_traits>
+
+#include "net/message.hpp"
+#include "rpc/node.hpp"
+#include "serial/archive.hpp"
+
+namespace oopp {
+
+template <class R>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(std::future<net::Message> f) : f_(std::move(f)) {}
+
+  [[nodiscard]] bool valid() const { return f_.valid(); }
+  void wait() { f_.wait(); }
+
+  /// Wait up to `timeout`; true if the response is ready.  A false return
+  /// does not cancel anything — the remote method keeps executing and a
+  /// later wait/get still works (the paper's semantics has no remote
+  /// cancellation: only delete terminates a process).
+  template <class Rep, class Period>
+  [[nodiscard]] bool wait_for(std::chrono::duration<Rep, Period> timeout) {
+    return f_.wait_for(timeout) == std::future_status::ready;
+  }
+
+  /// get() with a deadline: throws CallTimeout if no response arrives in
+  /// time.  The call itself is NOT cancelled.
+  template <class Rep, class Period>
+  R get_for(std::chrono::duration<Rep, Period> timeout) {
+    if (!wait_for(timeout))
+      throw rpc::CallTimeout("remote call did not complete within deadline");
+    return get();
+  }
+
+  /// Block for the response; decode the result.  Throws RemoteError /
+  /// ObjectNotFound / ... exactly like the synchronous call would.
+  R get() {
+    net::Message resp = f_.get();
+    rpc::Node::throw_on_error(resp);
+    if constexpr (std::is_void_v<R>) {
+      return;
+    } else {
+      serial::IArchive ia(resp.payload);
+      return ia.read<R>();
+    }
+  }
+
+ private:
+  std::future<net::Message> f_;
+};
+
+}  // namespace oopp

@@ -1,0 +1,126 @@
+// ProcessGroup<T>: an array of remote processes operated on together.
+//
+// The paper's §4 uses an array of FFT processes: the master creates one
+// per machine, hands every member the whole group (deep-copied remote
+// pointers), runs methods on all members, and synchronizes them with a
+// compiler-supported barrier (`fft->barrier()`).  ProcessGroup packages
+// those idioms:
+//
+//   call_all  — the sequential loop of §2 (one member at a time);
+//   async_all — the compiler-split loop of §4 (all members in flight);
+//   barrier() — completes when every member has drained its command queue.
+//
+// A ProcessGroup serializes as a vector of remote pointers, so passing a
+// group to a remote method performs exactly the deep copy the paper calls
+// "preferable".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/future.hpp"
+#include "core/remote_ptr.hpp"
+
+namespace oopp {
+
+template <class T>
+class ProcessGroup {
+ public:
+  ProcessGroup() = default;
+  explicit ProcessGroup(std::vector<remote_ptr<T>> members)
+      : members_(std::move(members)) {}
+
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+  remote_ptr<T>& operator[](std::size_t i) { return members_[i]; }
+  const remote_ptr<T>& operator[](std::size_t i) const { return members_[i]; }
+  void push_back(remote_ptr<T> p) { members_.push_back(p); }
+
+  auto begin() { return members_.begin(); }
+  auto end() { return members_.end(); }
+  auto begin() const { return members_.begin(); }
+  auto end() const { return members_.end(); }
+  [[nodiscard]] const std::vector<remote_ptr<T>>& members() const {
+    return members_;
+  }
+
+  /// Sequential semantics (§2): each member's call completes before the
+  /// next is issued.  Results are discarded; use collect() to keep them.
+  template <auto M, class... A>
+  void call_all(const A&... args) const {
+    for (const auto& p : members_) p.template call<M>(args...);
+  }
+
+  /// Split-loop semantics (§4): issue every send, then it is up to the
+  /// caller when to collect.  Wall-clock is the slowest member, not the sum.
+  template <auto M, class... A>
+  [[nodiscard]] std::vector<Future<rpc::method_result_t<M>>> async_all(
+      const A&... args) const {
+    std::vector<Future<rpc::method_result_t<M>>> futs;
+    futs.reserve(members_.size());
+    for (const auto& p : members_) futs.push_back(p.template async<M>(args...));
+    return futs;
+  }
+
+  /// async_all + gather of all results (non-void methods).
+  template <auto M, class... A>
+  [[nodiscard]] std::vector<rpc::method_result_t<M>> collect(
+      const A&... args) const {
+    auto futs = async_all<M>(args...);
+    std::vector<rpc::method_result_t<M>> out;
+    out.reserve(futs.size());
+    for (auto& f : futs) out.push_back(f.get());
+    return out;
+  }
+
+  /// async_all + wait for void methods.
+  template <auto M, class... A>
+  void invoke_all(const A&... args) const {
+    auto futs = async_all<M>(args...);
+    for (auto& f : futs) f.get();
+  }
+
+  /// Per-member arguments: fn(i) produces the argument tuple for member i.
+  template <auto M, class ArgFn>
+  void invoke_all_indexed(ArgFn&& fn) const {
+    std::vector<Future<rpc::method_result_t<M>>> futs;
+    futs.reserve(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      futs.push_back(std::apply(
+          [&](const auto&... a) { return members_[i].template async<M>(a...); },
+          fn(i)));
+    }
+    for (auto& f : futs) f.get();
+  }
+
+  /// The paper's `fft->barrier()`: completes once every member has drained
+  /// all previously issued commands.
+  void barrier() const {
+    std::vector<Future<void>> futs;
+    futs.reserve(members_.size());
+    for (const auto& p : members_) futs.push_back(p.async_ping());
+    for (auto& f : futs) f.get();
+  }
+
+  /// Terminate every member process (in parallel).
+  void destroy_all() {
+    std::vector<Future<void>> futs;
+    futs.reserve(members_.size());
+    for (const auto& p : members_) futs.push_back(p.async_destroy());
+    for (auto& f : futs) f.get();
+    members_.clear();
+  }
+
+ private:
+  std::vector<remote_ptr<T>> members_;
+
+  template <class Ar, class U>
+  friend void oopp_serialize(Ar& ar, ProcessGroup<U>& g);
+};
+
+template <class Ar, class T>
+void oopp_serialize(Ar& ar, ProcessGroup<T>& g) {
+  ar(g.members_);
+}
+
+}  // namespace oopp

@@ -1,0 +1,21 @@
+// Umbrella header for the OOPP framework: include this to get the whole
+// object-oriented parallel programming surface —
+//
+//   Cluster        the machines your program runs across
+//   make_remote    the paper's `new(machine i) T(args...)`
+//   remote_ptr<T>  call<>/async<> remote method execution
+//   remote_data<T> the paper's `new(machine i) double[n]`
+//   ProcessGroup   arrays of processes, split loops, barrier()
+//   persist/lookup persistent processes with symbolic addresses
+#pragma once
+
+#include "core/cluster.hpp"
+#include "core/future.hpp"
+#include "core/group.hpp"
+#include "core/name_service.hpp"
+#include "core/remote_data.hpp"
+#include "core/remote_ptr.hpp"
+#include "core/remote_ref.hpp"
+#include "core/watchdog.hpp"
+#include "rpc/binding.hpp"
+#include "rpc/errors.hpp"

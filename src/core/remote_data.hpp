@@ -1,0 +1,161 @@
+// Remote plain data (paper §2):
+//
+//     double* data = new(machine 2) double[1024];
+//     data[7] = 3.1415;
+//     double x = data[2];
+//
+// becomes
+//
+//     auto data = cluster.make_remote_array<double>(2, 1024);
+//     data[7] = 3.1415;
+//     double x = data[2];
+//
+// Element access costs one client/server round trip, exactly as the paper
+// specifies.  Bulk transfers (slice/assign/to_vector) exist because the E2
+// experiment quantifies how expensive the per-element protocol is — the
+// framework makes the choice available, the programmer makes the call.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/remote_ptr.hpp"
+#include "rpc/binding.hpp"
+#include "util/assert.hpp"
+#include "util/type_name.hpp"
+
+namespace oopp {
+
+/// Servant: a block of n values of T living on some machine.
+template <class T>
+class RemoteVector {
+ public:
+  explicit RemoteVector(std::uint64_t n) : v_(n) {}
+  explicit RemoteVector(std::vector<T> init) : v_(std::move(init)) {}
+
+  /// Restore from a passivated image (persistence).
+  explicit RemoteVector(serial::IArchive& ia) { ia(v_); }
+  void oopp_save(serial::OArchive& oa) const { oa(v_); }
+
+  T get(std::uint64_t i) const {
+    OOPP_CHECK_MSG(i < v_.size(), "RemoteVector index " << i << " out of "
+                                                        << v_.size());
+    return v_[i];
+  }
+  void set(std::uint64_t i, T x) {
+    OOPP_CHECK_MSG(i < v_.size(), "RemoteVector index " << i << " out of "
+                                                        << v_.size());
+    v_[i] = std::move(x);
+  }
+  std::vector<T> slice(std::uint64_t lo, std::uint64_t n) const {
+    OOPP_CHECK(lo + n <= v_.size());
+    return std::vector<T>(v_.begin() + lo, v_.begin() + lo + n);
+  }
+  void assign(std::uint64_t lo, const std::vector<T>& xs) {
+    OOPP_CHECK(lo + xs.size() <= v_.size());
+    std::copy(xs.begin(), xs.end(), v_.begin() + lo);
+  }
+  void fill(T x) { std::fill(v_.begin(), v_.end(), x); }
+  std::uint64_t size() const { return v_.size(); }
+
+  /// Local reduction — "move the computation to the data" for free.
+  T sum() const {
+    T acc{};
+    for (const auto& x : v_) acc += x;
+    return acc;
+  }
+
+ private:
+  std::vector<T> v_;
+};
+
+namespace rpc_defs {}  // anchor for grep: class_defs live next to classes
+
+/// remote_data<T>: client-side handle with array syntax.
+template <class T>
+class remote_data {
+ public:
+  remote_data() = default;
+  remote_data(remote_ptr<RemoteVector<T>> p, std::uint64_t n)
+      : p_(p), n_(n) {}
+
+  /// Proxy giving `data[i] = x` / `T x = data[i]` the paper's semantics:
+  /// each use is one remote round trip.
+  class reference {
+   public:
+    reference(remote_ptr<RemoteVector<T>> p, std::uint64_t i)
+        : p_(p), i_(i) {}
+    operator T() const { return p_.template call<&RemoteVector<T>::get>(i_); }
+    reference& operator=(T x) {
+      p_.template call<&RemoteVector<T>::set>(i_, std::move(x));
+      return *this;
+    }
+
+   private:
+    remote_ptr<RemoteVector<T>> p_;
+    std::uint64_t i_;
+  };
+
+  reference operator[](std::uint64_t i) { return reference(p_, i); }
+  T operator[](std::uint64_t i) const {
+    return p_.template call<&RemoteVector<T>::get>(i);
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return n_; }
+  [[nodiscard]] bool valid() const { return p_.valid(); }
+  [[nodiscard]] remote_ptr<RemoteVector<T>> ptr() const { return p_; }
+
+  // Bulk transfers.
+  [[nodiscard]] std::vector<T> to_vector() const {
+    return p_.template call<&RemoteVector<T>::slice>(std::uint64_t{0}, n_);
+  }
+  [[nodiscard]] std::vector<T> slice(std::uint64_t lo, std::uint64_t n) const {
+    return p_.template call<&RemoteVector<T>::slice>(lo, n);
+  }
+  void assign(std::uint64_t lo, const std::vector<T>& xs) {
+    p_.template call<&RemoteVector<T>::assign>(lo, xs);
+  }
+  void fill(T x) { p_.template call<&RemoteVector<T>::fill>(std::move(x)); }
+  [[nodiscard]] T sum() const {
+    return p_.template call<&RemoteVector<T>::sum>();
+  }
+
+  /// delete[] — terminate the block's process.
+  void destroy() {
+    p_.destroy();
+    p_ = {};
+    n_ = 0;
+  }
+
+ private:
+  remote_ptr<RemoteVector<T>> p_;
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace oopp
+
+// Protocol description for RemoteVector<T> — one registration per element
+// type, instantiated on first use.
+template <class T>
+struct oopp::rpc::class_def<oopp::RemoteVector<T>> {
+  using V = oopp::RemoteVector<T>;
+
+  static std::string name() {
+    return "oopp.vec<" + std::string(oopp::type_name<T>()) + ">";
+  }
+
+  using ctors = ctor_list<ctor<std::uint64_t>, ctor<std::vector<T>>>;
+
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&V::get>("get");
+    b.template method<&V::set>("set");
+    b.template method<&V::slice>("slice");
+    b.template method<&V::assign>("assign");
+    b.template method<&V::fill>("fill");
+    b.template method<&V::size>("size");
+    if constexpr (requires(T a, const T& b) { a += b; })
+      b.template method<&V::sum>("sum");
+    b.persistent();
+  }
+};

@@ -1,0 +1,169 @@
+// remote_ptr<T>: a typed pointer to an object living on another machine.
+//
+// This is the paper's central abstraction: `new(machine i) T(...)` yields a
+// pointer through which methods execute on the remote process.  C++ cannot
+// overload `->` to marshal arbitrary member calls, so the dereference is
+// spelled explicitly:
+//
+//     paper:   PageStore->write(page, addr);
+//     here:    PageStore.call<&PageDevice::write>(page, addr);
+//
+// call<>  — synchronous, the paper's §2 semantics: the instruction and all
+//           its communications complete before the next one runs.
+// async<> — returns a Future; the §4 "split loop" escape hatch.
+//
+// Remote pointers serialize by value ({machine, object id}), convert
+// implicitly from derived to base (process inheritance, §3), and destroy()
+// is the paper's `delete p` — it terminates the remote process after all
+// previously issued commands complete.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "core/future.hpp"
+#include "core/remote_ref.hpp"
+#include "rpc/binding.hpp"
+#include "rpc/node.hpp"
+#include "rpc/traits.hpp"
+#include "util/assert.hpp"
+
+namespace oopp {
+
+namespace detail {
+
+/// The node whose context the calling thread runs in; hard error if none —
+/// remote calls only make sense "on a machine".
+inline rpc::Node& context_node() {
+  rpc::Node* n = rpc::Node::current();
+  OOPP_CHECK_MSG(n != nullptr,
+                 "no machine context on this thread; create the Cluster on "
+                 "this thread or use Cluster::use(machine)");
+  return *n;
+}
+
+}  // namespace detail
+
+template <class T>
+class remote_ptr {
+ public:
+  using element_type = T;
+
+  remote_ptr() = default;
+  remote_ptr(net::MachineId machine, net::ObjectId object)
+      : ref_{machine, object} {}
+  explicit remote_ptr(RemoteRef ref) : ref_(ref) {}
+
+  /// Derived-to-base conversion: a remote ArrayPageDevice is a remote
+  /// PageDevice (paper §3).
+  template <class U>
+    requires(std::is_base_of_v<T, U> && !std::is_same_v<T, U>)
+  remote_ptr(const remote_ptr<U>& u) : ref_(u.ref()) {}
+
+  [[nodiscard]] bool valid() const { return ref_.valid(); }
+  explicit operator bool() const { return valid(); }
+  [[nodiscard]] net::MachineId machine() const { return ref_.machine; }
+  [[nodiscard]] net::ObjectId id() const { return ref_.object; }
+  [[nodiscard]] RemoteRef ref() const { return ref_; }
+
+  bool operator==(const remote_ptr&) const = default;
+
+  /// Synchronous remote method execution.
+  template <auto M, class... A>
+  rpc::method_result_t<M> call(A&&... args) const {
+    using R = rpc::method_result_t<M>;
+    Future<R> f = async<M>(std::forward<A>(args)...);
+    return f.get();
+  }
+
+  /// Asynchronous remote method execution: the "send" half of the split
+  /// loop.  The returned Future's get() is the "receive" half.
+  template <auto M, class... A>
+  Future<rpc::method_result_t<M>> async(A&&... args) const {
+    static_assert(std::is_base_of_v<rpc::method_class_t<M>, T>,
+                  "method does not belong to T or a base of T");
+    OOPP_CHECK_MSG(valid(), "call through null remote pointer");
+    rpc::ensure_registered<T>();
+    const net::MethodId mid = rpc::method_registry<M>::id;
+    OOPP_CHECK_MSG(mid != 0,
+                   "method not bound in class_def — add it to bind()");
+    typename rpc::member_fn_traits<decltype(M)>::args_tuple tup(
+        std::forward<A>(args)...);
+    serial::OArchive oa;
+    oa(tup);
+    return Future<rpc::method_result_t<M>>(detail::context_node().async_raw(
+        ref_.machine, ref_.object, mid, oa.take()));
+  }
+
+  /// No-op round trip through the object's command queue: completes after
+  /// every previously issued command on this object has completed.
+  void ping() const { async_ping().get(); }
+
+  [[nodiscard]] Future<void> async_ping() const {
+    OOPP_CHECK(valid());
+    rpc::ensure_registered<T>();
+    serial::OArchive oa;
+    return Future<void>(detail::context_node().async_raw(
+        ref_.machine, ref_.object, net::method_id(rpc::kPingMethod),
+        oa.take()));
+  }
+
+  /// The paper's `delete p`: terminate the remote process.  Completes
+  /// after all previously issued commands on the object have finished.
+  void destroy() const { async_destroy().get(); }
+
+  [[nodiscard]] Future<void> async_destroy() const {
+    OOPP_CHECK(valid());
+    serial::OArchive oa;
+    oa(static_cast<std::uint64_t>(ref_.object));
+    return Future<void>(detail::context_node().async_raw(
+        ref_.machine, net::kNodeObject, net::method_id(rpc::kDestroyMethod),
+        oa.take()));
+  }
+
+ private:
+  RemoteRef ref_;
+};
+
+template <class Ar, class T>
+void oopp_serialize(Ar& ar, remote_ptr<T>& p) {
+  // One symmetric body: writing reads r from p; reading overwrites r and
+  // stores it back.  The redundant store on the write path is free.
+  RemoteRef r = p.ref();
+  ar(r);
+  p = remote_ptr<T>(r);
+}
+
+/// Untyped ping: round trip through the command queue of ANY object,
+/// known only by reference.  Every class serves the built-in ping, so no
+/// registration is needed.  Throws rpc::ObjectNotFound for dead objects.
+inline void ping_ref(RemoteRef ref) {
+  OOPP_CHECK_MSG(ref.valid(), "ping of null reference");
+  serial::OArchive oa;
+  (void)detail::context_node().call_raw(
+      ref.machine, ref.object, net::method_id(rpc::kPingMethod), oa.take());
+}
+
+/// Construct an object of class T on `machine` — the paper's
+/// `new(machine i) T(args...)`.  Usable from the driver thread and from
+/// inside servant methods (nested construction).
+template <class T, class... A>
+remote_ptr<T> make_remote(net::MachineId machine, A&&... args) {
+  rpc::ensure_registered<T>();
+  using def = rpc::class_def<T>;
+  constexpr std::size_t idx =
+      rpc::ctor_match<typename def::ctors, A...>::index;
+  static_assert(idx != rpc::kNoCtor,
+                "no registered constructor matches these arguments");
+  using Ctor = typename rpc::ctor_at<typename def::ctors, idx>::type;
+  typename Ctor::tuple tup(std::forward<A>(args)...);
+  serial::OArchive oa;
+  oa(def::name(), static_cast<std::uint32_t>(idx), tup);
+  net::Message resp = detail::context_node().call_raw(
+      machine, net::kNodeObject, net::method_id(rpc::kSpawnMethod),
+      oa.take());
+  serial::IArchive ia(resp.payload);
+  return remote_ptr<T>(machine, ia.read<std::uint64_t>());
+}
+
+}  // namespace oopp

@@ -1,0 +1,42 @@
+// RemoteRef: the wire representation of a remote pointer.
+//
+// A remote pointer is just {machine, object id}.  Because it serializes as
+// plain data, remote pointers can themselves be passed to remote methods —
+// this is what makes the paper's §4 SetGroup work: the master hands every
+// FFT process an array of remote pointers to the whole group, and the
+// deep-copy the paper recommends is nothing more than serializing
+// vector<remote_ptr<T>> by value.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/message.hpp"
+#include "serial/archive.hpp"
+
+namespace oopp {
+
+struct RemoteRef {
+  net::MachineId machine = 0;
+  net::ObjectId object = 0;  // 0 = null
+
+  [[nodiscard]] bool valid() const { return object != 0; }
+
+  constexpr bool operator==(const RemoteRef&) const = default;
+  constexpr auto operator<=>(const RemoteRef&) const = default;
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, RemoteRef& r) {
+  ar(r.machine, r.object);
+}
+
+}  // namespace oopp
+
+template <>
+struct std::hash<oopp::RemoteRef> {
+  std::size_t operator()(const oopp::RemoteRef& r) const noexcept {
+    return std::hash<std::uint64_t>()(
+        (static_cast<std::uint64_t>(r.machine) << 48) ^ r.object);
+  }
+};

@@ -1,0 +1,156 @@
+// Watchdog: a failure detector, and the library's demonstration of an
+// *active* object — a process with its own internal thread that executes
+// methods on other objects unprompted.
+//
+// The paper's processes are reactive (they serve commands), but nothing
+// stops a servant from owning a thread: the watchdog probes a set of
+// remote objects with pings on a fixed period and records which are alive,
+// which are gone (ObjectNotFound — deleted), and which are unreachable.
+// Supervision logic (e.g. KvStore::promote_backup) polls status() and
+// reacts.
+//
+// The internal thread needs a machine context to issue pings; it inherits
+// the context of the node that constructed the watchdog.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/remote_ptr.hpp"
+#include "rpc/binding.hpp"
+#include "rpc/errors.hpp"
+
+namespace oopp {
+
+enum class WatchState : std::uint8_t {
+  kUnknown = 0,  // not probed yet
+  kAlive = 1,
+  kDead = 2,  // ObjectNotFound: the process was deleted
+};
+
+struct WatchReport {
+  RemoteRef target;
+  WatchState state = WatchState::kUnknown;
+  std::uint64_t probes = 0;
+  std::uint64_t failures = 0;
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, WatchReport& r) {
+  std::uint8_t s = static_cast<std::uint8_t>(r.state);
+  ar(r.target, s, r.probes, r.failures);
+  r.state = static_cast<WatchState>(s);
+}
+
+class Watchdog {
+ public:
+  /// Probe every watched object each `period_ms` milliseconds.
+  explicit Watchdog(std::uint32_t period_ms)
+      : period_ms_(period_ms), home_(rpc::Node::current()) {
+    OOPP_CHECK(period_ms_ > 0);
+    OOPP_CHECK_MSG(home_ != nullptr,
+                   "Watchdog must be constructed on a machine");
+    prober_ = std::thread([this] { probe_loop(); });
+  }
+
+  ~Watchdog() {
+    {
+      std::lock_guard lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    if (prober_.joinable()) prober_.join();
+  }
+
+  /// Watch an object (any remotable type; the probe is the built-in ping).
+  void watch(RemoteRef target) {
+    std::lock_guard lock(mu_);
+    reports_.emplace(target, WatchReport{target, WatchState::kUnknown, 0, 0});
+  }
+
+  bool unwatch(RemoteRef target) {
+    std::lock_guard lock(mu_);
+    return reports_.erase(target) > 0;
+  }
+
+  [[nodiscard]] std::vector<WatchReport> status() const {
+    std::lock_guard lock(mu_);
+    std::vector<WatchReport> out;
+    out.reserve(reports_.size());
+    for (const auto& [_, r] : reports_) out.push_back(r);
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t rounds() const {
+    return rounds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void probe_loop() {
+    // The prober runs inside the servant but issues ordinary remote
+    // calls — it needs the hosting node's context.
+    rpc::Node::ContextGuard guard(home_);
+    std::unique_lock lock(mu_);
+    while (!stopping_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                   [this] { return stopping_; });
+      if (stopping_) break;
+      auto targets = reports_;
+      lock.unlock();
+
+      for (auto& [ref, report] : targets) {
+        ++report.probes;
+        try {
+          ping_ref(ref);
+          report.state = WatchState::kAlive;
+        } catch (const rpc::ObjectNotFound&) {
+          report.state = WatchState::kDead;
+          ++report.failures;
+        } catch (const std::exception&) {
+          ++report.failures;  // transient: keep the previous state
+        }
+      }
+
+      lock.lock();
+      for (const auto& [ref, report] : targets) {
+        auto it = reports_.find(ref);
+        if (it != reports_.end()) it->second = report;
+      }
+      rounds_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint32_t period_ms_;
+  rpc::Node* home_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<RemoteRef, WatchReport> reports_;
+  std::atomic<std::uint64_t> rounds_{0};
+  bool stopping_ = false;
+  std::thread prober_;
+};
+
+}  // namespace oopp
+
+/// AnyObject is a probe-only handle: no constructors, no methods beyond
+/// the built-in ping every class serves.
+template <>
+struct oopp::rpc::class_def<oopp::Watchdog> {
+  using W = oopp::Watchdog;
+  static std::string name() { return "oopp.Watchdog"; }
+  using ctors = ctor_list<ctor<std::uint32_t>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&W::watch>("watch");
+    b.template method<&W::unwatch>("unwatch");
+    b.template method<&W::status>("status", reentrant);
+    b.template method<&W::rounds>("rounds", reentrant);
+  }
+};

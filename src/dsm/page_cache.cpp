@@ -1,0 +1,130 @@
+#include "dsm/page_cache.hpp"
+
+#include "core/future.hpp"
+
+namespace oopp::dsm {
+
+// ---------------------------------------------------------------------------
+// CoherentDevice
+// ---------------------------------------------------------------------------
+
+storage::ArrayPage CoherentDevice::read_array_subscribe(
+    int page_index, remote_ptr<PageCache> subscriber, RemoteRef device_self) {
+  OOPP_CHECK(subscriber.valid());
+  OOPP_CHECK_MSG(!self_ref_.valid() || self_ref_ == device_self,
+                 "subscribers disagree about this device's identity");
+  self_ref_ = device_self;
+  auto page = read_array(page_index);
+  subscribers_[page_index].insert(subscriber.ref());
+  return page;
+}
+
+void CoherentDevice::write_array_coherent(const storage::ArrayPage& page,
+                                          int page_index) {
+  write_array(page, page_index);
+  auto it = subscribers_.find(page_index);
+  if (it == subscribers_.end()) return;
+  // Invalidate every subscriber and wait for the acknowledgements: after
+  // this method returns, no cache anywhere serves the old bytes.  The
+  // subscription survives — a reader that comes back simply misses once.
+  const PageKey key{self_ref_, page_index};
+  std::vector<Future<void>> acks;
+  acks.reserve(it->second.size());
+  for (const auto& sub : it->second)
+    acks.push_back(
+        remote_ptr<PageCache>(sub).async<&PageCache::invalidate>(key));
+  for (auto& a : acks) a.get();
+}
+
+void CoherentDevice::unsubscribe(int page_index,
+                                 remote_ptr<PageCache> subscriber) {
+  auto it = subscribers_.find(page_index);
+  if (it == subscribers_.end()) return;
+  it->second.erase(subscriber.ref());
+  if (it->second.empty()) subscribers_.erase(it);
+}
+
+std::uint64_t CoherentDevice::subscriber_count(int page_index) const {
+  auto it = subscribers_.find(page_index);
+  return it == subscribers_.end() ? 0 : it->second.size();
+}
+
+// ---------------------------------------------------------------------------
+// PageCache
+// ---------------------------------------------------------------------------
+
+storage::ArrayPage PageCache::read_array(remote_ptr<CoherentDevice> device,
+                                         int page_index) {
+  OOPP_CHECK_MSG(self_.valid(), "set_self before reads");
+  const PageKey key{device.ref(), page_index};
+
+  std::vector<PageKey> drop;
+  {
+    std::lock_guard lock(mu_);
+    auto it = pages_.find(key);
+    if (it != pages_.end()) {
+      ++hits_;
+      // Touch LRU.
+      lru_.erase(lru_pos_[key]);
+      lru_.push_front(key);
+      lru_pos_[key] = lru_.begin();
+      return it->second;
+    }
+    ++misses_;
+    pending_ = key;
+    pending_poisoned_ = false;
+    drop.swap(to_unsubscribe_);
+  }
+
+  // Retire stale subscriptions from past evictions (outside the lock).
+  for (const auto& k : drop) {
+    remote_ptr<CoherentDevice> dev(k.device);
+    dev.call<&CoherentDevice::unsubscribe>(k.index, self_);
+  }
+
+  // Fetch + subscribe.  An invalidation may land during this call (the
+  // write it belongs to was ordered after our subscription on the
+  // device's queue) — then the fetched bytes are already stale and must
+  // not be cached.
+  auto page = device.call<&CoherentDevice::read_array_subscribe>(
+      page_index, self_, device.ref());
+
+  {
+    std::lock_guard lock(mu_);
+    if (!pending_poisoned_) {
+      pages_[key] = page;
+      lru_.push_front(key);
+      lru_pos_[key] = lru_.begin();
+      while (pages_.size() > capacity_) evict_lru_locked();
+    }
+    pending_.reset();
+  }
+  return page;
+}
+
+void PageCache::invalidate(PageKey key) {
+  std::lock_guard lock(mu_);
+  ++invalidations_;
+  if (pending_ && *pending_ == key) pending_poisoned_ = true;
+  auto it = pages_.find(key);
+  if (it == pages_.end()) return;
+  lru_.erase(lru_pos_[key]);
+  lru_pos_.erase(key);
+  pages_.erase(it);
+}
+
+std::uint64_t PageCache::resident() const {
+  std::lock_guard lock(mu_);
+  return pages_.size();
+}
+
+void PageCache::evict_lru_locked() {
+  OOPP_CHECK(!lru_.empty());
+  const PageKey victim = lru_.back();
+  lru_.pop_back();
+  lru_pos_.erase(victim);
+  pages_.erase(victim);
+  to_unsubscribe_.push_back(victim);  // dropped at the next miss
+}
+
+}  // namespace oopp::dsm

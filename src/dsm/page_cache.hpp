@@ -1,0 +1,179 @@
+// Coherent page caching — distributed-shared-memory flavour on top of the
+// storage substrate.
+//
+// The paper's §2 "shared memory implementation" gives many computing
+// processes access to one data block; every access is a round trip.  This
+// module adds the optimization a DSM system would: each machine hosts a
+// PageCache process; reads go through the local cache, and devices track
+// their readers and *call them back* to invalidate on writes — remote
+// method execution flowing server → client, the same primitive in the
+// other direction.
+//
+//   CoherentDevice — an ArrayPageDevice whose subscribing reads register
+//                    the reader's cache, and whose coherent writes
+//                    invalidate every subscriber (and wait for their
+//                    acknowledgements) before acknowledging the writer:
+//                    a read after a completed write never sees stale data.
+//   PageCache      — per-machine read-through cache with LRU eviction and
+//                    hit/miss/invalidation counters.
+//
+// Deadlock discipline: cache → device calls are queued (distinct objects);
+// device → cache invalidations target a *reentrant* method, so they land
+// even while that cache is blocked inside a read.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "core/remote_ptr.hpp"
+#include "storage/array_page_device.hpp"
+
+namespace oopp::dsm {
+
+class PageCache;
+
+/// Key of a cached page: the owning device process + page index.
+struct PageKey {
+  RemoteRef device;
+  std::int32_t index = 0;
+
+  bool operator<(const PageKey& o) const {
+    if (device.machine != o.device.machine)
+      return device.machine < o.device.machine;
+    if (device.object != o.device.object)
+      return device.object < o.device.object;
+    return index < o.index;
+  }
+  bool operator==(const PageKey&) const = default;
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, PageKey& k) {
+  ar(k.device, k.index);
+}
+
+/// A block device whose pages can be cached coherently by reader caches.
+class CoherentDevice : public storage::ArrayPageDevice {
+ public:
+  CoherentDevice(std::string filename, int number_of_pages, int n1, int n2,
+                 int n3)
+      : ArrayPageDevice(std::move(filename), number_of_pages, n1, n2, n3) {}
+  CoherentDevice(std::string filename, int number_of_pages, int n1, int n2,
+                 int n3, storage::DeviceOptions options)
+      : ArrayPageDevice(std::move(filename), number_of_pages, n1, n2, n3,
+                        options) {}
+
+  /// Restore from a passivated image.  Subscriptions are not persisted —
+  /// caches of a previous incarnation are gone; readers resubscribe.
+  explicit CoherentDevice(serial::IArchive& ia) : ArrayPageDevice(ia) {}
+
+  /// Read a page and remember the caller's cache as a subscriber.
+  /// `device_self` is this device's own reference as the subscriber
+  /// addresses it — the identity echoed back in invalidations (an object
+  /// does not otherwise know its own remote pointer).
+  storage::ArrayPage read_array_subscribe(int page_index,
+                                          remote_ptr<PageCache> subscriber,
+                                          RemoteRef device_self);
+
+  /// Write a page, then invalidate (and wait for) every subscriber of
+  /// that page.  After this returns, no cache serves the old bytes.
+  void write_array_coherent(const storage::ArrayPage& page, int page_index);
+
+  /// A cache drops its subscription when it evicts the page.
+  void unsubscribe(int page_index, remote_ptr<PageCache> subscriber);
+
+  [[nodiscard]] std::uint64_t subscriber_count(int page_index) const;
+
+ private:
+  std::map<int, std::set<RemoteRef>> subscribers_;
+  RemoteRef self_ref_{};  // learned from the first subscription
+};
+
+/// Per-machine read-through page cache (one process per reader machine).
+class PageCache {
+ public:
+  explicit PageCache(std::uint32_t capacity_pages)
+      : capacity_(capacity_pages) {
+    OOPP_CHECK(capacity_ > 0);
+  }
+
+  /// Wire the cache's own identity (needed to subscribe at devices).
+  void set_self(remote_ptr<PageCache> self) { self_ = self; }
+
+  /// Read-through: serve from cache or fetch-and-subscribe.
+  storage::ArrayPage read_array(remote_ptr<CoherentDevice> device,
+                                int page_index);
+
+  /// Invalidation callback from a device.  REENTRANT: arrives while this
+  /// cache may be blocked inside read_array.
+  void invalidate(PageKey key);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t invalidations() const { return invalidations_; }
+  [[nodiscard]] std::uint64_t resident() const;
+
+ private:
+  void evict_lru_locked();
+
+  std::uint32_t capacity_;
+  remote_ptr<PageCache> self_;
+
+  mutable std::mutex mu_;  // guards everything below (invalidate is reentrant)
+  std::map<PageKey, storage::ArrayPage> pages_;
+  std::list<PageKey> lru_;  // front = most recent
+  std::map<PageKey, std::list<PageKey>::iterator> lru_pos_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t invalidations_ = 0;
+
+  // The fetch in flight (reads are queued, so at most one) and whether an
+  // invalidation raced it — a poisoned fetch must not be cached.
+  std::optional<PageKey> pending_;
+  bool pending_poisoned_ = false;
+
+  // Evicted subscriptions to drop (performed outside the cache lock).
+  std::vector<PageKey> to_unsubscribe_;
+};
+
+}  // namespace oopp::dsm
+
+template <>
+struct oopp::rpc::class_def<oopp::dsm::CoherentDevice> {
+  using D = oopp::dsm::CoherentDevice;
+  static std::string name() { return "oopp.dsm.CoherentDevice"; }
+  using ctors = ctor_list<
+      ctor<std::string, int, int, int, int>,
+      ctor<std::string, int, int, int, int, oopp::storage::DeviceOptions>>;
+  template <class B>
+  static void bind(B& b) {
+    // Inherit the whole ArrayPageDevice protocol (which itself inherits
+    // PageDevice's) — three levels of process inheritance.
+    class_def<oopp::storage::ArrayPageDevice>::bind(b);
+    b.template method<&D::read_array_subscribe>("read_array_subscribe");
+    b.template method<&D::write_array_coherent>("write_array_coherent");
+    b.template method<&D::unsubscribe>("unsubscribe");
+    b.template method<&D::subscriber_count>("subscriber_count");
+  }
+};
+
+template <>
+struct oopp::rpc::class_def<oopp::dsm::PageCache> {
+  using C = oopp::dsm::PageCache;
+  static std::string name() { return "oopp.dsm.PageCache"; }
+  using ctors = ctor_list<ctor<std::uint32_t>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&C::set_self>("set_self");
+    b.template method<&C::read_array>("read_array");
+    b.template method<&C::invalidate>("invalidate", reentrant);
+    b.template method<&C::hits>("hits");
+    b.template method<&C::misses>("misses");
+    b.template method<&C::invalidations>("invalidations");
+    b.template method<&C::resident>("resident");
+  }
+};

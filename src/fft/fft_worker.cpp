@@ -1,0 +1,369 @@
+#include "fft/fft_worker.hpp"
+
+#include "core/future.hpp"
+#include "util/assert.hpp"
+
+namespace oopp::fft {
+
+RowSplit split_rows(index_t n, int p, int w) {
+  OOPP_CHECK(p > 0 && w >= 0 && w < p);
+  return {n * w / p, n * (w + 1) / p};
+}
+
+// ---------------------------------------------------------------------------
+// FFTWorker
+// ---------------------------------------------------------------------------
+
+void FFTWorker::set_group(int n, const ProcessGroup<FFTWorker>& group) {
+  OOPP_CHECK_MSG(static_cast<int>(group.size()) == n,
+                 "group size mismatch: " << group.size() << " vs " << n);
+  n_ = n;
+  group_ = group;  // the §4 deep copy: a local array of remote pointers
+  use_directory_ = false;
+}
+
+void FFTWorker::set_group_directory(int n, remote_ptr<GroupDirectory> dir) {
+  OOPP_CHECK(dir.valid());
+  n_ = n;
+  directory_ = dir;
+  use_directory_ = true;
+}
+
+void FFTWorker::set_extents(index_t N1, index_t N2, index_t N3) {
+  OOPP_CHECK(N1 >= 1 && N2 >= 1 && N3 >= 1);
+  global_ = {N1, N2, N3};
+  loaded_ = false;
+  transposed_ = false;
+}
+
+std::int64_t FFTWorker::rows_lo() const {
+  OOPP_CHECK_MSG(n_ > 0, "group not set");
+  return split_rows(global_.n1, n_, id_).lo;
+}
+
+std::int64_t FFTWorker::rows_hi() const {
+  OOPP_CHECK_MSG(n_ > 0, "group not set");
+  return split_rows(global_.n1, n_, id_).hi;
+}
+
+void FFTWorker::load_slab(const std::vector<cplx>& slab) {
+  OOPP_CHECK_MSG(global_.volume() > 0, "set_extents before load_slab");
+  const auto rows = split_rows(global_.n1, n_, id_);
+  const auto expected = rows.count() * global_.n2 * global_.n3;
+  OOPP_CHECK_MSG(static_cast<index_t>(slab.size()) == expected,
+                 "slab has " << slab.size() << " elements, expected "
+                             << expected);
+  slab_ = slab;
+  loaded_ = true;
+  transposed_ = false;
+}
+
+std::vector<cplx> FFTWorker::get_slab() const {
+  OOPP_CHECK_MSG(loaded_, "no slab loaded");
+  return slab_;
+}
+
+void FFTWorker::load_slab_from(array::Array re, array::Array im) {
+  OOPP_CHECK_MSG(global_.volume() > 0, "set_extents before load_slab_from");
+  OOPP_CHECK_MSG(re.extents() == global_ && im.extents() == global_,
+                 "array extents do not match the transform extents");
+  const auto rows = split_rows(global_.n1, n_, id_);
+  slab_.assign(
+      static_cast<std::size_t>(rows.count() * global_.n2 * global_.n3),
+      cplx{});
+  if (rows.count() > 0) {
+    const array::Domain mine(rows.lo, rows.hi, 0, global_.n2, 0, global_.n3);
+    // The worker acts as an Array client: both reads fan out over the
+    // storage devices in parallel (IoMode of the arrays).
+    const auto re_buf = re.read(mine);
+    const auto im_buf = im.read(mine);
+    for (std::size_t i = 0; i < slab_.size(); ++i)
+      slab_[i] = cplx(re_buf[i], im_buf[i]);
+  }
+  loaded_ = true;
+  transposed_ = false;
+}
+
+void FFTWorker::store_slab_to(array::Array re, array::Array im) {
+  OOPP_CHECK_MSG(loaded_, "no slab loaded");
+  OOPP_CHECK_MSG(!transposed_,
+                 "slab is axis-transposed; restore layout before storing");
+  OOPP_CHECK_MSG(re.extents() == global_ && im.extents() == global_,
+                 "array extents do not match the transform extents");
+  const auto rows = split_rows(global_.n1, n_, id_);
+  if (rows.count() == 0) return;
+  const array::Domain mine(rows.lo, rows.hi, 0, global_.n2, 0, global_.n3);
+  std::vector<double> re_buf(slab_.size());
+  std::vector<double> im_buf(slab_.size());
+  for (std::size_t i = 0; i < slab_.size(); ++i) {
+    re_buf[i] = slab_[i].real();
+    im_buf[i] = slab_[i].imag();
+  }
+  re.write(re_buf, mine);
+  im.write(im_buf, mine);
+}
+
+void FFTWorker::scale_slab(double s) {
+  scale(slab_, s);
+}
+
+remote_ptr<FFTWorker> FFTWorker::peer(int v) const {
+  if (!use_directory_) return group_[v];
+  // Shallow wiring: chase the remote directory — one extra round trip per
+  // access, the §4 anti-pattern the deep copy avoids.
+  return directory_.call<&GroupDirectory::get>(v);
+}
+
+void FFTWorker::deposit_block(int from, std::uint64_t epoch,
+                              const std::vector<cplx>& block) {
+  {
+    std::lock_guard lock(staging_mu_);
+    staging_[{epoch, from}] = block;
+  }
+  staging_cv_.notify_all();
+}
+
+void FFTWorker::exchange(bool to_transposed) {
+  const std::uint64_t epoch = ++epoch_;
+  const index_t N1 = global_.n1, N2 = global_.n2, N3 = global_.n3;
+  const RowSplit me1 = split_rows(N1, n_, id_);
+  const RowSplit me2 = split_rows(N2, n_, id_);
+
+  // -- pack & send one block per peer (split loop: all sends in flight) ----
+  std::vector<Future<void>> sends;
+  sends.reserve(static_cast<std::size_t>(n_));
+  for (int v = 0; v < n_; ++v) {
+    const RowSplit v1 = split_rows(N1, n_, v);
+    const RowSplit v2 = split_rows(N2, n_, v);
+    std::vector<cplx> block;
+
+    if (to_transposed) {
+      // Natural slab (me1.count, N2, N3) → block (me1.count, v2.count, N3).
+      const Extents3 local{me1.count(), N2, N3};
+      block.resize(static_cast<std::size_t>(me1.count() * v2.count() * N3));
+      std::size_t o = 0;
+      for (index_t i1 = 0; i1 < me1.count(); ++i1)
+        for (index_t i2 = v2.lo; i2 < v2.hi; ++i2) {
+          const cplx* src = slab_.data() + local.linear(i1, i2, 0);
+          std::copy(src, src + N3, block.begin() + o);
+          o += static_cast<std::size_t>(N3);
+        }
+    } else {
+      // Transposed slab (me2.count, N1, N3) → block (me2.count, v1.count, N3).
+      const Extents3 local{me2.count(), N1, N3};
+      block.resize(static_cast<std::size_t>(me2.count() * v1.count() * N3));
+      std::size_t o = 0;
+      for (index_t i2 = 0; i2 < me2.count(); ++i2)
+        for (index_t i1 = v1.lo; i1 < v1.hi; ++i1) {
+          const cplx* src = slab_.data() + local.linear(i2, i1, 0);
+          std::copy(src, src + N3, block.begin() + o);
+          o += static_cast<std::size_t>(N3);
+        }
+    }
+
+    if (v == id_) {
+      deposit_block(id_, epoch, block);  // own contribution, no network
+    } else {
+      sends.push_back(
+          peer(v).async<&FFTWorker::deposit_block>(id_, epoch, block));
+    }
+  }
+  for (auto& f : sends) f.get();
+
+  // -- wait for all peers' blocks ------------------------------------------
+  std::vector<std::vector<cplx>> blocks(static_cast<std::size_t>(n_));
+  {
+    std::unique_lock lock(staging_mu_);
+    staging_cv_.wait(lock, [&] {
+      for (int u = 0; u < n_; ++u)
+        if (!staging_.contains({epoch, u})) return false;
+      return true;
+    });
+    for (int u = 0; u < n_; ++u) {
+      auto it = staging_.find({epoch, u});
+      blocks[u] = std::move(it->second);
+      staging_.erase(it);
+    }
+  }
+
+  // -- unpack into the new layout ------------------------------------------
+  if (to_transposed) {
+    // New slab (me2.count, N1, N3); block from u is (u1.count, me2.count, N3).
+    const Extents3 next{me2.count(), N1, N3};
+    std::vector<cplx> out(static_cast<std::size_t>(next.volume()));
+    for (int u = 0; u < n_; ++u) {
+      const RowSplit u1 = split_rows(N1, n_, u);
+      const auto& block = blocks[u];
+      std::size_t o = 0;
+      for (index_t i1 = u1.lo; i1 < u1.hi; ++i1)
+        for (index_t i2 = 0; i2 < me2.count(); ++i2) {
+          std::copy(block.begin() + o, block.begin() + o + N3,
+                    out.begin() + next.linear(i2, i1, 0));
+          o += static_cast<std::size_t>(N3);
+        }
+    }
+    slab_ = std::move(out);
+    transposed_ = true;
+  } else {
+    // New slab (me1.count, N2, N3); block from u is (u2.count, me1.count, N3).
+    const Extents3 next{me1.count(), N2, N3};
+    std::vector<cplx> out(static_cast<std::size_t>(next.volume()));
+    for (int u = 0; u < n_; ++u) {
+      const RowSplit u2 = split_rows(N2, n_, u);
+      const auto& block = blocks[u];
+      std::size_t o = 0;
+      for (index_t i2 = u2.lo; i2 < u2.hi; ++i2)
+        for (index_t i1 = 0; i1 < me1.count(); ++i1) {
+          std::copy(block.begin() + o, block.begin() + o + N3,
+                    out.begin() + next.linear(i1, i2, 0));
+          o += static_cast<std::size_t>(N3);
+        }
+    }
+    slab_ = std::move(out);
+    transposed_ = false;
+  }
+}
+
+void FFTWorker::transform(int sign, bool restore_layout) {
+  OOPP_CHECK_MSG(loaded_, "no slab loaded");
+  OOPP_CHECK_MSG(!transposed_,
+                 "slab is axis-transposed; restore layout before another "
+                 "transform");
+  OOPP_CHECK_MSG(n_ > 0, "group not set");
+  const index_t N1 = global_.n1, N2 = global_.n2, N3 = global_.n3;
+  const RowSplit me1 = split_rows(N1, n_, id_);
+  const RowSplit me2 = split_rows(N2, n_, id_);
+
+  // Phase 1: node-local FFT along axes 2 and 3 of every owned plane.
+  if (me1.count() > 0) {
+    const Extents3 local{me1.count(), N2, N3};
+    fft3d_axis(slab_, local, 2, sign);
+    fft3d_axis(slab_, local, 1, sign);
+  }
+
+  // Phase 2: all-to-all transpose (axis 1 <-> axis 2).
+  exchange(/*to_transposed=*/true);
+
+  // Phase 3: FFT along global axis 1, now node-local as the middle axis of
+  // the (me2.count, N1, N3) slab.
+  if (me2.count() > 0) {
+    const Extents3 local{me2.count(), N1, N3};
+    fft3d_axis(slab_, local, 1, sign);
+  }
+
+  // Phase 4: restore natural layout.
+  if (restore_layout) exchange(/*to_transposed=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// DistributedFFT3D
+// ---------------------------------------------------------------------------
+
+DistributedFFT3D::DistributedFFT3D(
+    Extents3 extents, int workers,
+    const std::function<net::MachineId(int)>& placement, Options options)
+    : extents_(extents), p_(workers), options_(options) {
+  OOPP_CHECK(workers >= 1);
+  // The paper's master loop: create N processes, then tell each about the
+  // group.
+  for (int w = 0; w < p_; ++w)
+    group_.push_back(make_remote<FFTWorker>(placement(w), w));
+
+  if (options_.use_directory) {
+    directory_ = make_remote<GroupDirectory>(placement(0), group_);
+    group_.invoke_all_indexed<&FFTWorker::set_group_directory>(
+        [&](std::size_t) { return std::make_tuple(p_, directory_); });
+  } else {
+    group_.invoke_all_indexed<&FFTWorker::set_group>(
+        [&](std::size_t) { return std::make_tuple(p_, std::cref(group_)); });
+  }
+  group_.invoke_all<&FFTWorker::set_extents>(extents_.n1, extents_.n2,
+                                             extents_.n3);
+}
+
+DistributedFFT3D::~DistributedFFT3D() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Cluster may already be gone; worker teardown is best-effort here.
+  }
+}
+
+void DistributedFFT3D::shutdown() {
+  if (!group_.empty()) group_.destroy_all();
+  if (directory_.valid()) {
+    directory_.destroy();
+    directory_ = {};
+  }
+}
+
+void DistributedFFT3D::scatter(const std::vector<cplx>& data) {
+  OOPP_CHECK_MSG(static_cast<index_t>(data.size()) == extents_.volume(),
+                 "data size does not match extents");
+  const index_t plane = extents_.n2 * extents_.n3;
+  std::vector<Future<void>> futs;
+  futs.reserve(static_cast<std::size_t>(p_));
+  for (int w = 0; w < p_; ++w) {
+    const RowSplit rows = split_rows(extents_.n1, p_, w);
+    std::vector<cplx> slab(data.begin() + rows.lo * plane,
+                           data.begin() + rows.hi * plane);
+    futs.push_back(group_[w].async<&FFTWorker::load_slab>(slab));
+  }
+  for (auto& f : futs) f.get();
+}
+
+void DistributedFFT3D::scatter_from(const array::Array& re,
+                                    const array::Array& im) {
+  OOPP_CHECK_MSG(re.extents() == extents_ && im.extents() == extents_,
+                 "array extents do not match the transform extents");
+  group_.invoke_all<&FFTWorker::load_slab_from>(re, im);
+}
+
+void DistributedFFT3D::gather_to(const array::Array& re,
+                                 const array::Array& im) {
+  OOPP_CHECK_MSG(re.extents() == extents_ && im.extents() == extents_,
+                 "array extents do not match the transform extents");
+  // When every worker's slab starts on a page boundary, each page is
+  // written by exactly one worker and the stores may run in parallel.
+  // Otherwise two workers read-modify-write the same edge page and would
+  // lose updates — serialize the stores (the PageMap/decomposition
+  // interplay §5 warns about).
+  bool page_aligned = true;
+  for (int w = 1; w < p_; ++w) {
+    if (split_rows(extents_.n1, p_, w).lo % re.page_extents().n1 != 0) {
+      page_aligned = false;
+      break;
+    }
+  }
+  if (page_aligned) {
+    group_.invoke_all<&FFTWorker::store_slab_to>(re, im);
+  } else {
+    group_.call_all<&FFTWorker::store_slab_to>(re, im);
+  }
+}
+
+void DistributedFFT3D::transform(int sign) {
+  group_.invoke_all<&FFTWorker::transform>(sign, options_.restore_layout);
+}
+
+void DistributedFFT3D::inverse(bool normalize) {
+  transform(+1);
+  if (normalize)
+    group_.invoke_all<&FFTWorker::scale_slab>(
+        1.0 / static_cast<double>(extents_.volume()));
+}
+
+std::vector<cplx> DistributedFFT3D::gather() const {
+  const index_t plane = extents_.n2 * extents_.n3;
+  std::vector<cplx> out(static_cast<std::size_t>(extents_.volume()));
+  auto futs = group_.async_all<&FFTWorker::get_slab>();
+  for (int w = 0; w < p_; ++w) {
+    const RowSplit rows = split_rows(extents_.n1, p_, w);
+    auto slab = futs[w].get();
+    OOPP_CHECK(static_cast<index_t>(slab.size()) == rows.count() * plane);
+    std::copy(slab.begin(), slab.end(), out.begin() + rows.lo * plane);
+  }
+  return out;
+}
+
+}  // namespace oopp::fft

@@ -1,0 +1,229 @@
+// FFTWorker: the paper's §4 FFT process, and DistributedFFT3D, the master-
+// side facade that creates and drives the group.
+//
+// Algorithm (slab decomposition, the classic distributed 3-D FFT):
+//   worker w owns rows i1 in [w*N1/P, (w+1)*N1/P) of the N1 x N2 x N3
+//   global array.
+//   1. each worker FFTs its planes along axes 2 and 3 (node-local);
+//   2. all-to-all transpose: axis 1 <-> axis 2.  Every worker packs one
+//      block per peer and executes deposit_block on it — a one-sided
+//      remote method (reentrant: it lands while the peer itself is blocked
+//      inside transform), exactly the paper's "processes exchange
+//      information by executing methods on remote objects";
+//   3. each worker FFTs along (global) axis 1, now node-local;
+//   4. optionally a second all-to-all restores the natural layout.
+//
+// Group wiring is the paper's SetGroup: the master hands every worker the
+// whole group of remote pointers, deep-copied (§4 calls the deep copy
+// "preferable").  The alternative it warns about — keeping a remote
+// pointer to the master's array and chasing it on every access — is also
+// implemented (GroupDirectory / set_group_directory) so the E5 ablation
+// can measure the difference.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "array/array.hpp"
+#include "core/group.hpp"
+#include "core/remote_ptr.hpp"
+#include "fft/fft3d.hpp"
+#include "util/ndindex.hpp"
+
+namespace oopp::fft {
+
+/// Balanced 1-D block split: rows [begin, end) of n for rank w of p.
+struct RowSplit {
+  index_t lo = 0, hi = 0;
+  [[nodiscard]] index_t count() const { return hi - lo; }
+};
+[[nodiscard]] RowSplit split_rows(index_t n, int p, int w);
+
+class FFTWorker;
+
+/// The "shallow copy" alternative (§4): a server holding the group's
+/// remote pointers; members chase it on every peer access.
+class GroupDirectory {
+ public:
+  explicit GroupDirectory(const ProcessGroup<FFTWorker>& group)
+      : members_(group.members()) {}
+  remote_ptr<FFTWorker> get(int i) const { return members_.at(i); }
+  int size() const { return static_cast<int>(members_.size()); }
+
+ private:
+  std::vector<remote_ptr<FFTWorker>> members_;
+};
+
+class FFTWorker {
+ public:
+  explicit FFTWorker(int id) : id_(id) {}
+
+  /// The paper's SetGroup with deep copy: "copies the entire remote array
+  /// of remote pointers to a local array of remote pointers".
+  void set_group(int n, const ProcessGroup<FFTWorker>& group);
+
+  /// Shallow-copy wiring: remember only a remote pointer to the directory
+  /// process; every peer access costs an extra round trip.
+  void set_group_directory(int n, remote_ptr<GroupDirectory> dir);
+
+  /// Global array extents; this worker will own its split_rows share of
+  /// axis 1.
+  void set_extents(index_t N1, index_t N2, index_t N3);
+
+  /// Load this worker's slab: rows_lo()..rows_hi() of axis 1, row-major
+  /// (local_rows, N2, N3).
+  void load_slab(const std::vector<cplx>& slab);
+
+  [[nodiscard]] std::vector<cplx> get_slab() const;
+
+  /// The paper's §4 `transform(sign, Array* a)` data path: the worker is
+  /// itself an Array client and pulls its own slab straight from the
+  /// storage processes ("moving the computation to the data").  The
+  /// complex field travels as two double Arrays (real and imaginary
+  /// parts) with identical extents.
+  void load_slab_from(array::Array re, array::Array im);
+
+  /// Push this worker's slab back into the distributed Array.  Requires
+  /// natural (non-transposed) layout.
+  void store_slab_to(array::Array re, array::Array im);
+
+  /// The distributed transform phase driver (run on every worker by the
+  /// master's split loop).  sign = -1 forward / +1 inverse; when
+  /// restore_layout is false the result stays axis-transposed and a
+  /// second call is invalid until layout is restored.
+  void transform(int sign, bool restore_layout);
+
+  /// One-sided block delivery for the transpose.  REENTRANT: executes
+  /// while the target is blocked inside transform().
+  void deposit_block(int from, std::uint64_t epoch,
+                     const std::vector<cplx>& block);
+
+  /// Multiply the local slab by s (inverse-transform normalization).
+  void scale_slab(double s);
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int group_size() const { return n_; }
+  [[nodiscard]] std::int64_t rows_lo() const;
+  [[nodiscard]] std::int64_t rows_hi() const;
+  [[nodiscard]] bool transposed() const { return transposed_; }
+
+ private:
+  remote_ptr<FFTWorker> peer(int v) const;
+  void exchange(bool to_transposed);
+
+  int id_ = 0;
+  int n_ = 0;  // group size
+  ProcessGroup<FFTWorker> group_;          // deep-copied wiring
+  remote_ptr<GroupDirectory> directory_;   // shallow wiring (ablation)
+  bool use_directory_ = false;
+
+  Extents3 global_{};
+  std::vector<cplx> slab_;
+  bool loaded_ = false;
+  bool transposed_ = false;
+
+  // Transpose staging: blocks deposited by peers, keyed by (epoch, from).
+  std::mutex staging_mu_;
+  std::condition_variable staging_cv_;
+  std::map<std::pair<std::uint64_t, int>, std::vector<cplx>> staging_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Master-side facade: spawn the group, wire it, scatter/transform/gather.
+class DistributedFFT3D {
+ public:
+  struct Options {
+    bool use_directory = false;  // shallow wiring ablation
+    bool restore_layout = true;  // transpose back after the transform
+  };
+
+  DistributedFFT3D(Extents3 extents, int workers,
+                   const std::function<net::MachineId(int)>& placement)
+      : DistributedFFT3D(extents, workers, placement, Options{}) {}
+  DistributedFFT3D(Extents3 extents, int workers,
+                   const std::function<net::MachineId(int)>& placement,
+                   Options options);
+  ~DistributedFFT3D();
+
+  DistributedFFT3D(const DistributedFFT3D&) = delete;
+  DistributedFFT3D& operator=(const DistributedFFT3D&) = delete;
+
+  /// Split a full row-major array into slabs and load them (split loop).
+  void scatter(const std::vector<cplx>& data);
+
+  /// §4's `transform(sign, a)` data path: every worker pulls its own slab
+  /// from the distributed Array (re/im parts) in parallel.
+  void scatter_from(const array::Array& re, const array::Array& im);
+
+  /// Push the workers' slabs back into the distributed Array.
+  void gather_to(const array::Array& re, const array::Array& im);
+
+  /// Run the distributed transform: the paper's
+  /// `for (id...) fft[id]->transform(sign, a)` as a split loop.
+  void transform(int sign);
+
+  void forward() { transform(-1); }
+  /// Inverse transform; divides by the volume when normalize is true so a
+  /// forward/inverse round trip is the identity.
+  void inverse(bool normalize = true);
+
+  /// Reassemble the full array from the slabs.
+  [[nodiscard]] std::vector<cplx> gather() const;
+
+  [[nodiscard]] const ProcessGroup<FFTWorker>& workers() const {
+    return group_;
+  }
+  [[nodiscard]] const Extents3& extents() const { return extents_; }
+
+  /// Terminate the worker (and directory) processes.
+  void shutdown();
+
+ private:
+  Extents3 extents_{};
+  int p_ = 0;
+  Options options_{};
+  ProcessGroup<FFTWorker> group_;
+  remote_ptr<GroupDirectory> directory_;
+};
+
+}  // namespace oopp::fft
+
+template <>
+struct oopp::rpc::class_def<oopp::fft::FFTWorker> {
+  using W = oopp::fft::FFTWorker;
+  static std::string name() { return "oopp.fft.Worker"; }
+  using ctors = ctor_list<ctor<int>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&W::set_group>("set_group");
+    b.template method<&W::set_group_directory>("set_group_directory");
+    b.template method<&W::set_extents>("set_extents");
+    b.template method<&W::load_slab>("load_slab");
+    b.template method<&W::load_slab_from>("load_slab_from");
+    b.template method<&W::store_slab_to>("store_slab_to");
+    b.template method<&W::get_slab>("get_slab");
+    b.template method<&W::transform>("transform");
+    b.template method<&W::deposit_block>("deposit_block", reentrant);
+    b.template method<&W::scale_slab>("scale_slab");
+    b.template method<&W::id>("id");
+    b.template method<&W::group_size>("group_size");
+    b.template method<&W::rows_lo>("rows_lo");
+    b.template method<&W::rows_hi>("rows_hi");
+  }
+};
+
+template <>
+struct oopp::rpc::class_def<oopp::fft::GroupDirectory> {
+  using D = oopp::fft::GroupDirectory;
+  static std::string name() { return "oopp.fft.GroupDirectory"; }
+  using ctors = ctor_list<ctor<oopp::ProcessGroup<oopp::fft::FFTWorker>>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&D::get>("get");
+    b.template method<&D::size>("size");
+  }
+};

@@ -1,0 +1,84 @@
+#include "fft/out_of_core.hpp"
+
+#include <algorithm>
+
+#include "fft/fft3d.hpp"
+#include "util/assert.hpp"
+
+namespace oopp::fft {
+
+namespace {
+
+/// Rows per slab so that rows * row_elems complex doubles fit the budget.
+index_t slab_rows(std::size_t max_bytes, index_t row_elems, index_t total) {
+  const std::size_t per_row =
+      static_cast<std::size_t>(row_elems) * sizeof(cplx);
+  index_t rows = per_row == 0
+                     ? total
+                     : static_cast<index_t>(max_bytes / per_row);
+  return std::clamp<index_t>(rows, 1, total);
+}
+
+std::vector<cplx> fuse(const std::vector<double>& re,
+                       const std::vector<double>& im) {
+  OOPP_CHECK(re.size() == im.size());
+  std::vector<cplx> out(re.size());
+  for (std::size_t i = 0; i < re.size(); ++i) out[i] = cplx(re[i], im[i]);
+  return out;
+}
+
+void split(const std::vector<cplx>& buf, std::vector<double>& re,
+           std::vector<double>& im) {
+  re.resize(buf.size());
+  im.resize(buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    re[i] = buf[i].real();
+    im[i] = buf[i].imag();
+  }
+}
+
+}  // namespace
+
+OutOfCoreStats fft3d_out_of_core(array::Array& re, array::Array& im,
+                                 int sign, OutOfCoreOptions options) {
+  OOPP_CHECK_MSG(re.extents() == im.extents(),
+                 "real and imaginary arrays must have identical extents");
+  const Extents3 n = re.extents();
+  OutOfCoreStats stats;
+  std::vector<double> re_buf, im_buf;
+
+  // -- pass 1: axis-0 slabs, transform axes 1 and 2 -------------------------
+  const index_t c1 = slab_rows(options.max_bytes, n.n2 * n.n3, n.n1);
+  for (index_t i1 = 0; i1 < n.n1; i1 += c1) {
+    const index_t hi = std::min(i1 + c1, n.n1);
+    const array::Domain slab(i1, hi, 0, n.n2, 0, n.n3);
+    auto buf = fuse(re.read(slab), im.read(slab));
+    const Extents3 local{hi - i1, n.n2, n.n3};
+    fft3d_axis(buf, local, 2, sign);
+    fft3d_axis(buf, local, 1, sign);
+    split(buf, re_buf, im_buf);
+    re.write(re_buf, slab);
+    im.write(im_buf, slab);
+    ++stats.pass1_slabs;
+    stats.elements_moved += 2 * buf.size();
+  }
+
+  // -- pass 2: axis-1 slabs, transform axis 0 --------------------------------
+  const index_t c2 = slab_rows(options.max_bytes, n.n1 * n.n3, n.n2);
+  for (index_t i2 = 0; i2 < n.n2; i2 += c2) {
+    const index_t hi = std::min(i2 + c2, n.n2);
+    const array::Domain slab(0, n.n1, i2, hi, 0, n.n3);
+    auto buf = fuse(re.read(slab), im.read(slab));
+    const Extents3 local{n.n1, hi - i2, n.n3};
+    fft3d_axis(buf, local, 0, sign);
+    split(buf, re_buf, im_buf);
+    re.write(re_buf, slab);
+    im.write(im_buf, slab);
+    ++stats.pass2_slabs;
+    stats.elements_moved += 2 * buf.size();
+  }
+
+  return stats;
+}
+
+}  // namespace oopp::fft

@@ -1,0 +1,48 @@
+// Out-of-core 3-D FFT over a disk-backed distributed Array.
+//
+// This is the paper's §1 motivating problem: "computing a Fourier
+// transform on a very large (Petascale) three-dimensional array", stored
+// across many page devices, where the whole array never fits in any one
+// machine's memory.  The transform runs in two bounded-memory passes over
+// the Array (the complex field travels as separate real and imaginary
+// Arrays of identical shape):
+//
+//   pass 1 — slabs along axis 0: read rows [i1, i1+c1), transform axes
+//             1 and 2 in memory, write back;
+//   pass 2 — slabs along axis 1: read columns [i2, i2+c2), transform
+//             axis 0 in memory, write back.
+//
+// Slab widths are derived from a caller-supplied memory budget; every
+// element is read and written exactly twice regardless of the budget —
+// the budget only changes how many round trips that takes.  The PageMap
+// of the underlying Array decides how far each slab read fans out over
+// the devices (experiment E12).
+#pragma once
+
+#include <cstddef>
+
+#include "array/array.hpp"
+#include "fft/fft.hpp"
+
+namespace oopp::fft {
+
+struct OutOfCoreOptions {
+  /// Client-side buffer budget in bytes (both passes stay within it).
+  /// The minimum slab (one row / one column) is used if the budget is
+  /// smaller than that.
+  std::size_t max_bytes = std::size_t{64} << 20;
+};
+
+struct OutOfCoreStats {
+  index_t pass1_slabs = 0;
+  index_t pass2_slabs = 0;
+  std::uint64_t elements_moved = 0;  // elements read + written, both passes
+};
+
+/// Transform the complex field (re, im) in place on its storage.
+/// sign = -1 forward / +1 inverse, unnormalized (use scale via
+/// Array::scale for 1/N normalization).  Returns pass statistics.
+OutOfCoreStats fft3d_out_of_core(array::Array& re, array::Array& im,
+                                 int sign, OutOfCoreOptions options = {});
+
+}  // namespace oopp::fft

@@ -1,0 +1,55 @@
+// FFT plans: precomputed per-length state (bit-reversal permutation and
+// per-stage twiddle tables for powers of two; chirp and convolution
+// kernels for Bluestein lengths), plus a process-wide plan cache.
+//
+// The distributed workers and the out-of-core passes transform the same
+// lengths thousands of times; planning once amortizes all trigonometry.
+// fft_inplace() uses the cache transparently.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fft/fft.hpp"
+
+namespace oopp::fft {
+
+class Plan1D {
+ public:
+  /// Plan a transform of length n with the given sign (-1 forward, +1
+  /// inverse).  Unnormalized, like fft_inplace.
+  Plan1D(index_t n, int sign);
+
+  void execute(std::span<cplx> data) const;
+
+  [[nodiscard]] index_t length() const { return n_; }
+  [[nodiscard]] int sign() const { return sign_; }
+
+ private:
+  void execute_pow2(std::span<cplx> data) const;
+  void execute_bluestein(std::span<cplx> data) const;
+
+  index_t n_;
+  int sign_;
+  bool pow2_;
+
+  // Power-of-two state.
+  std::vector<std::uint32_t> bitrev_;   // permutation
+  std::vector<cplx> twiddles_;          // concatenated per-stage tables
+
+  // Bluestein state.
+  index_t m_ = 0;                        // padded power-of-two length
+  std::vector<cplx> chirp_;              // w_k = exp(sign i pi k^2 / n)
+  std::vector<cplx> kernel_fft_;         // FFT of the convolution kernel
+  std::shared_ptr<const Plan1D> pad_forward_;
+  std::shared_ptr<const Plan1D> pad_inverse_;
+};
+
+/// Process-wide cache; returns a shared plan for (n, sign).  Thread-safe.
+std::shared_ptr<const Plan1D> plan_for(index_t n, int sign);
+
+/// Entries currently cached (for tests).
+std::size_t plan_cache_size();
+
+}  // namespace oopp::fft

@@ -1,0 +1,201 @@
+#include "kv/kv_store.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "core/future.hpp"
+#include "util/assert.hpp"
+
+namespace oopp::kv {
+
+// ---------------------------------------------------------------------------
+// KvShard
+// ---------------------------------------------------------------------------
+
+void KvShard::simulate_service_time() const {
+  if (service_us_ > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(service_us_));
+}
+
+std::uint64_t KvShard::put(const std::string& key, const std::string& value) {
+  simulate_service_time();
+  map_[key] = value;
+  ++version_;
+  replicate_put(key, value);
+  return version_;
+}
+
+std::optional<std::string> KvShard::get(const std::string& key) const {
+  simulate_service_time();
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvShard::erase(const std::string& key) {
+  const bool existed = map_.erase(key) > 0;
+  if (existed) {
+    ++version_;
+    replicate_erase(key);
+  }
+  return existed;
+}
+
+std::vector<std::pair<std::string, std::string>> KvShard::scan(
+    const std::string& prefix, std::uint64_t limit) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = map_.lower_bound(prefix);
+       it != map_.end() && out.size() < limit; ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> KvShard::dump() const {
+  return {map_.begin(), map_.end()};
+}
+
+void KvShard::load(
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    std::uint64_t version) {
+  map_.clear();
+  map_.insert(pairs.begin(), pairs.end());
+  version_ = version;
+}
+
+void KvShard::replicate_put(const std::string& key,
+                            const std::string& value) {
+  // Synchronous chain replication: the backup has applied the mutation
+  // (in the same order, thanks to its command queue) before the primary
+  // acknowledges.  The backup itself has no backup, so the nested put
+  // recurses at most once.
+  if (backup_.valid()) backup_.call<&KvShard::put>(key, value);
+}
+
+void KvShard::replicate_erase(const std::string& key) {
+  if (backup_.valid()) backup_.call<&KvShard::erase>(key);
+}
+
+// ---------------------------------------------------------------------------
+// KvStore
+// ---------------------------------------------------------------------------
+
+KvStore KvStore::create(
+    Config config, const std::function<net::MachineId(int)>& placement,
+    const std::function<net::MachineId(int)>& backup_placement) {
+  OOPP_CHECK_MSG(config.shards > 0, "a store needs at least one shard");
+  KvStore store;
+  store.primaries_.reserve(config.shards);
+  store.backups_.resize(config.shards);
+  for (int s = 0; s < config.shards; ++s)
+    store.primaries_.push_back(
+        make_remote<KvShard>(placement(s), config.shard_service_us));
+  if (config.replicate) {
+    for (int s = 0; s < config.shards; ++s) {
+      const net::MachineId machine =
+          backup_placement ? backup_placement(s) : placement(s) + 1;
+      store.backups_[s] =
+          make_remote<KvShard>(machine, config.shard_service_us);
+      store.primaries_[s].call<&KvShard::set_backup>(store.backups_[s]);
+    }
+  }
+  return store;
+}
+
+void KvStore::put(const std::string& key, const std::string& value) {
+  primaries_[shard_of(key)].call<&KvShard::put>(key, value);
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  return primaries_[shard_of(key)].call<&KvShard::get>(key);
+}
+
+bool KvStore::erase(const std::string& key) {
+  return primaries_[shard_of(key)].call<&KvShard::erase>(key);
+}
+
+void KvStore::multi_put(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  // Split loop: all shards ingest concurrently; per-shard order follows
+  // issue order (FIFO command queues).
+  std::vector<Future<std::uint64_t>> futs;
+  futs.reserve(pairs.size());
+  for (const auto& [k, v] : pairs)
+    futs.push_back(primaries_[shard_of(k)].async<&KvShard::put>(k, v));
+  for (auto& f : futs) (void)f.get();
+}
+
+std::vector<std::optional<std::string>> KvStore::multi_get(
+    const std::vector<std::string>& keys) const {
+  std::vector<Future<std::optional<std::string>>> futs;
+  futs.reserve(keys.size());
+  for (const auto& k : keys)
+    futs.push_back(primaries_[shard_of(k)].async<&KvShard::get>(k));
+  std::vector<std::optional<std::string>> out;
+  out.reserve(keys.size());
+  for (auto& f : futs) out.push_back(f.get());
+  return out;
+}
+
+std::uint64_t KvStore::size() const {
+  std::vector<Future<std::uint64_t>> futs;
+  futs.reserve(primaries_.size());
+  for (const auto& p : primaries_) futs.push_back(p.async<&KvShard::size>());
+  std::uint64_t total = 0;
+  for (auto& f : futs) total += f.get();
+  return total;
+}
+
+std::vector<std::pair<std::string, std::string>> KvStore::scan(
+    const std::string& prefix, std::uint64_t limit_per_shard) const {
+  std::vector<Future<std::vector<std::pair<std::string, std::string>>>> futs;
+  futs.reserve(primaries_.size());
+  for (const auto& p : primaries_)
+    futs.push_back(p.async<&KvShard::scan>(prefix, limit_per_shard));
+  std::vector<std::pair<std::string, std::string>> all;
+  for (auto& f : futs) {
+    auto part = f.get();
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+void KvStore::promote_backup(int shard) {
+  OOPP_CHECK(shard >= 0 && shard < shards());
+  OOPP_CHECK_MSG(backups_[shard].valid(),
+                 "shard " << shard << " has no backup to promote");
+  primaries_[shard] = backups_[shard];
+  backups_[shard] = {};
+}
+
+void KvStore::add_backup(int shard, net::MachineId machine) {
+  OOPP_CHECK(shard >= 0 && shard < shards());
+  OOPP_CHECK_MSG(!backups_[shard].valid(),
+                 "shard " << shard << " already has a backup");
+  auto fresh = make_remote<KvShard>(machine);
+  // Bootstrap: full state transfer, then attach.  Mutations issued after
+  // set_backup flow through the chain; the transfer and the attach run
+  // through the primary's queue, so no mutation is lost in between when
+  // driven from a single client.
+  const auto snapshot = primaries_[shard].call<&KvShard::dump>();
+  const auto version = primaries_[shard].call<&KvShard::version>();
+  fresh.call<&KvShard::load>(snapshot, version);
+  primaries_[shard].call<&KvShard::set_backup>(fresh);
+  backups_[shard] = fresh;
+}
+
+void KvStore::destroy() {
+  std::vector<Future<void>> futs;
+  for (auto& p : primaries_)
+    if (p.valid()) futs.push_back(p.async_destroy());
+  for (auto& b : backups_)
+    if (b.valid()) futs.push_back(b.async_destroy());
+  for (auto& f : futs) f.get();
+  primaries_.clear();
+  backups_.clear();
+}
+
+}  // namespace oopp::kv

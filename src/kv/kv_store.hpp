@@ -1,0 +1,184 @@
+// A sharded, replicated key-value store built from objects-as-processes.
+//
+// The paper's conclusion claims the framework covers "client-server
+// applications" and is useful for "operating system design"; this module
+// is that claim made concrete.  Everything is ordinary remote objects:
+//
+//   KvShard  — one partition, a versioned ordered map.  Optionally chains
+//              to a backup shard: a primary applies each mutation locally
+//              and then executes the same mutation on its backup before
+//              acknowledging (synchronous chain replication — the
+//              object-as-process command queue gives per-shard
+//              linearizability for free).
+//   KvStore  — the client facade: hashes keys onto shards, runs multi-key
+//              operations as §4 split loops, and can promote a backup to
+//              primary when a primary process dies (failover).
+//
+// Shards opt into the §5 persistence machinery, so a whole store can be
+// passivated and re-activated through symbolic addresses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/group.hpp"
+#include "core/remote_ptr.hpp"
+#include "rpc/binding.hpp"
+
+namespace oopp::kv {
+
+/// One partition of the key space.
+class KvShard {
+ public:
+  KvShard() = default;
+
+  /// Simulated per-operation service time (storage engine cost) — the
+  /// same device-modeling idea as storage::DeviceOptions; lets benches
+  /// study sharding with server work as the scarce resource.
+  explicit KvShard(std::uint32_t service_us) : service_us_(service_us) {}
+
+  explicit KvShard(serial::IArchive& ia) { ia(map_, version_, service_us_); }
+  void oopp_save(serial::OArchive& oa) const {
+    oa(map_, version_, service_us_);
+  }
+
+  /// Store; returns the store-wide mutation version of this shard.
+  std::uint64_t put(const std::string& key, const std::string& value);
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Remove; returns true if the key existed.
+  bool erase(const std::string& key);
+
+  [[nodiscard]] std::uint64_t size() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Keys with the given prefix, ordered, at most `limit` pairs.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> scan(
+      const std::string& prefix, std::uint64_t limit) const;
+
+  /// Chain replication: every subsequent mutation is forwarded to (and
+  /// acknowledged by) the backup before the primary acknowledges.
+  void set_backup(remote_ptr<KvShard> backup) { backup_ = backup; }
+  [[nodiscard]] bool has_backup() const { return backup_.valid(); }
+
+  /// Full state transfer (bootstrap a fresh backup).
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> dump() const;
+  void load(const std::vector<std::pair<std::string, std::string>>& pairs,
+            std::uint64_t version);
+
+ private:
+  void replicate_put(const std::string& key, const std::string& value);
+  void replicate_erase(const std::string& key);
+  void simulate_service_time() const;
+
+  std::map<std::string, std::string> map_;
+  std::uint64_t version_ = 0;
+  std::uint32_t service_us_ = 0;
+  remote_ptr<KvShard> backup_;
+};
+
+/// Client facade.  Copyable and serializable: hand it to remote worker
+/// processes and they become clients of the same store.
+class KvStore {
+ public:
+  struct Config {
+    int shards = 4;
+    bool replicate = false;  // one backup per shard
+    std::uint32_t shard_service_us = 0;  // simulated per-op engine cost
+  };
+
+  KvStore() = default;
+
+  /// Create the shard processes.  placement(i) hosts primary i;
+  /// backups (if any) are placed by backup_placement (default: the next
+  /// machine over, so a machine loss never takes both copies).
+  static KvStore create(
+      Config config, const std::function<net::MachineId(int)>& placement,
+      const std::function<net::MachineId(int)>& backup_placement = {});
+
+  // -- single-key ops --------------------------------------------------------
+  void put(const std::string& key, const std::string& value);
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  bool erase(const std::string& key);
+
+  // -- multi-key ops (split loops across shards) ----------------------------
+  void multi_put(
+      const std::vector<std::pair<std::string, std::string>>& pairs);
+  [[nodiscard]] std::vector<std::optional<std::string>> multi_get(
+      const std::vector<std::string>& keys) const;
+
+  /// Total pairs across shards.
+  [[nodiscard]] std::uint64_t size() const;
+
+  /// All pairs with the prefix, merged and ordered.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> scan(
+      const std::string& prefix, std::uint64_t limit_per_shard = 1000) const;
+
+  // -- availability ----------------------------------------------------------
+
+  /// Replace shard s's primary with its backup (the old primary is
+  /// presumed dead).  The promoted shard runs without a backup until
+  /// add_backup is called.
+  void promote_backup(int shard);
+
+  /// Attach a fresh backup process for shard s on the given machine,
+  /// bootstrapped with a full state transfer.
+  void add_backup(int shard, net::MachineId machine);
+
+  [[nodiscard]] int shards() const { return static_cast<int>(primaries_.size()); }
+  [[nodiscard]] int shard_of(const std::string& key) const {
+    return static_cast<int>(std::hash<std::string>()(key) %
+                            primaries_.size());
+  }
+  [[nodiscard]] const remote_ptr<KvShard>& primary(int s) const {
+    return primaries_[s];
+  }
+  [[nodiscard]] const remote_ptr<KvShard>& backup(int s) const {
+    return backups_[s];
+  }
+
+  /// Terminate every shard process.
+  void destroy();
+
+ private:
+  std::vector<remote_ptr<KvShard>> primaries_;
+  std::vector<remote_ptr<KvShard>> backups_;  // invalid entries = none
+
+  template <class Ar>
+  friend void oopp_serialize(Ar& ar, KvStore& s);
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, KvStore& s) {
+  ar(s.primaries_, s.backups_);
+}
+
+}  // namespace oopp::kv
+
+template <>
+struct oopp::rpc::class_def<oopp::kv::KvShard> {
+  using S = oopp::kv::KvShard;
+  static std::string name() { return "oopp.kv.Shard"; }
+  using ctors = ctor_list<ctor<>, ctor<std::uint32_t>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&S::put>("put");
+    b.template method<&S::get>("get");
+    b.template method<&S::erase>("erase");
+    b.template method<&S::size>("size");
+    b.template method<&S::version>("version");
+    b.template method<&S::scan>("scan");
+    b.template method<&S::set_backup>("set_backup");
+    b.template method<&S::has_backup>("has_backup");
+    b.template method<&S::dump>("dump");
+    b.template method<&S::load>("load");
+    b.persistent();
+  }
+};

@@ -1,0 +1,57 @@
+// Fabric: the interconnect abstraction.
+//
+// A Fabric moves Messages between machines.  Two implementations ship:
+//
+//  * InProcFabric — machines live in one address space; the fabric applies
+//    an alpha-beta CostModel so communication costs are visible (this is
+//    the default substrate standing in for the paper's physical cluster).
+//  * TcpFabric    — machines exchange frames over real loopback sockets;
+//    every byte genuinely crosses the kernel socket layer.
+//
+// Node code is fabric-agnostic: it only ever consumes its Inbox and calls
+// send().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "net/inbox.hpp"
+#include "net/message.hpp"
+
+namespace oopp::net {
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  /// Register the inbox that receives messages addressed to machine `id`.
+  /// Must be called for every machine before any send() targeting it.
+  virtual void attach(MachineId id, Inbox* inbox) = 0;
+
+  /// Deliver `m` to the machine in m.header.dst.  Never blocks on the
+  /// receiver.  Thread-safe.
+  virtual void send(Message m) = 0;
+
+  /// Tear down background resources (threads, sockets).  Idempotent.
+  virtual void shutdown() {}
+
+  // -- traffic accounting (used by benches and tests) ----------------------
+  [[nodiscard]] std::uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void account(const Message& m) {
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(m.wire_size(), std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+}  // namespace oopp::net

@@ -1,0 +1,83 @@
+// Per-node delayed-delivery message queue.
+//
+// Every node consumes exactly one Inbox regardless of which fabric feeds
+// it.  The in-process fabric timestamps messages with a future delivery
+// time computed from the CostModel; pop() holds messages back until their
+// delivery time, which is how simulated network delay is realized without
+// blocking the *sender*.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "net/message.hpp"
+#include "util/clock.hpp"
+
+namespace oopp::net {
+
+class Inbox {
+ public:
+  /// Enqueue for delivery at `deliver_at` (steady-clock).  Messages are
+  /// kept in push order; the fabric guarantees per-link monotonic
+  /// timestamps so FIFO order per link is preserved.
+  void push(Message m, time_point deliver_at) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return;  // dropping on the floor models a dead node
+      queue_.push_back(Entry{std::move(m), deliver_at});
+    }
+    cv_.notify_one();
+  }
+
+  void push_now(Message m) { push(std::move(m), steady_clock::now()); }
+
+  /// Block until a message is deliverable (its timestamp has passed) or
+  /// the inbox is closed.  Returns nullopt on close.
+  std::optional<Message> pop() {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      if (!queue_.empty()) {
+        const auto due = queue_.front().deliver_at;
+        const auto now = steady_clock::now();
+        if (due <= now) {
+          Message m = std::move(queue_.front().msg);
+          queue_.pop_front();
+          return m;
+        }
+        cv_.wait_until(lock, due);
+        continue;
+      }
+      if (closed_) return std::nullopt;
+      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    }
+  }
+
+  /// Unblock all consumers; subsequent pushes are dropped.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  struct Entry {
+    Message msg;
+    time_point deliver_at;
+  };
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Entry> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace oopp::net

@@ -1,0 +1,110 @@
+// In-process fabric: the default cluster substrate.
+//
+// Each simulated machine's inbox is reachable directly; send() stamps the
+// message with a delivery time computed from the CostModel and enqueues it.
+// The sender never blocks, so N simultaneous transfers overlap exactly as
+// they would on N independent links — this is what makes the paper's §4
+// split-loop experiment reproduce.
+//
+// FIFO per link: delivery timestamps on each (src, dst) pair are forced to
+// be monotonically non-decreasing, so a small message can never overtake a
+// large one on the same link.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "net/fabric.hpp"
+#include "util/assert.hpp"
+
+namespace oopp::net {
+
+class InProcFabric final : public Fabric {
+ public:
+  explicit InProcFabric(std::size_t machines, CostModel cost = CostModel::zero())
+      : cost_(cost),
+        inboxes_(machines, nullptr),
+        links_(machines * machines),
+        egress_(machines),
+        ingress_(machines) {}
+
+  void attach(MachineId id, Inbox* inbox) override {
+    OOPP_CHECK(id < inboxes_.size());
+    inboxes_[id] = inbox;
+  }
+
+  void send(Message m) override {
+    const MachineId src = m.header.src;
+    const MachineId dst = m.header.dst;
+    OOPP_CHECK_MSG(dst < inboxes_.size() && inboxes_[dst] != nullptr,
+                   "send to unattached machine " << dst);
+    account(m);
+
+    if (src == dst) {
+      // Machine-local loopback: no NIC, no link — deliver immediately
+      // (still through the inbox, so semantics are unchanged).
+      inboxes_[dst]->push_now(std::move(m));
+      return;
+    }
+
+    const auto now = steady_clock::now();
+
+    // Sender NIC occupancy: this machine's outgoing messages serialize on
+    // its egress port.  The message enters the network only when the NIC
+    // finishes injecting it.
+    auto injected_at = now;
+    const auto egress = cost_.egress_ns(m.wire_size());
+    if (egress > 0) {
+      Egress& port = egress_[src];
+      std::lock_guard lock(port.mu);
+      const auto start = std::max(now, port.busy_until);
+      port.busy_until = start + std::chrono::nanoseconds(egress);
+      injected_at = port.busy_until;
+    }
+
+    const auto delay = std::chrono::nanoseconds(cost_.delay_ns(m.wire_size()));
+    auto deliver_at = injected_at + delay;
+
+    // Receiver NIC occupancy: messages addressed to one machine drain
+    // through its ingress port one at a time (incast).
+    const auto ingress = cost_.ingress_ns(m.wire_size());
+    if (ingress > 0) {
+      Egress& port = ingress_[dst];
+      std::lock_guard lock(port.mu);
+      const auto start = std::max(deliver_at, port.busy_until);
+      port.busy_until = start + std::chrono::nanoseconds(ingress);
+      deliver_at = port.busy_until;
+    }
+
+    Link& link = links_[src * inboxes_.size() + dst];
+    {
+      std::lock_guard lock(link.mu);
+      if (deliver_at <= link.last)
+        deliver_at = link.last + std::chrono::nanoseconds(1);
+      link.last = deliver_at;
+    }
+    inboxes_[dst]->push(std::move(m), deliver_at);
+  }
+
+  [[nodiscard]] const CostModel& cost_model() const { return cost_; }
+
+ private:
+  struct Link {
+    std::mutex mu;
+    time_point last{};
+  };
+  struct Egress {
+    std::mutex mu;
+    time_point busy_until{};
+  };
+  CostModel cost_;
+  std::vector<Inbox*> inboxes_;
+  std::vector<Link> links_;
+  std::vector<Egress> egress_;
+  std::vector<Egress> ingress_;
+};
+
+}  // namespace oopp::net

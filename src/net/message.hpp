@@ -1,0 +1,87 @@
+// Wire-level message types shared by every fabric implementation.
+//
+// The paper's model: constructing an object on machine i spawns a server
+// process there; every remote method execution is a client/server exchange.
+// A Message is one direction of that exchange — either a Request (invoke
+// method `method` on object `object` with serialized arguments in
+// `payload`) or a Response (serialized result, or a serialized exception
+// when status != ok).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace oopp::net {
+
+using MachineId = std::uint32_t;
+using ObjectId = std::uint64_t;
+using MethodId = std::uint64_t;
+using SeqNum = std::uint64_t;
+
+/// Reserved object id: messages addressed to the node itself (control
+/// plane: spawn, shutdown, ping).
+inline constexpr ObjectId kNodeObject = 0;
+
+enum class MsgKind : std::uint8_t {
+  kRequest = 0,
+  kResponse = 1,
+};
+
+enum class CallStatus : std::uint8_t {
+  kOk = 0,
+  kRemoteException = 1,   // servant method threw; payload carries details
+  kObjectNotFound = 2,    // no such object on the destination machine
+  kMethodNotFound = 3,    // object exists but method id is unknown
+  kBadFrame = 4,          // argument deserialization failed
+};
+
+struct MessageHeader {
+  MsgKind kind = MsgKind::kRequest;
+  CallStatus status = CallStatus::kOk;  // meaningful for responses
+  MachineId src = 0;
+  MachineId dst = 0;
+  SeqNum seq = 0;
+  ObjectId object = kNodeObject;
+  MethodId method = 0;
+  /// FNV-1a-32 of the payload; 0 when checksumming is disabled.
+  std::uint32_t payload_crc = 0;
+};
+
+/// FNV-1a over arbitrary bytes, folded to 32 bits, never returning 0 (so
+/// 0 can mean "unchecked").
+inline std::uint32_t payload_checksum(const std::vector<std::byte>& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint8_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  auto folded = static_cast<std::uint32_t>(h ^ (h >> 32));
+  return folded == 0 ? 1 : folded;
+}
+
+struct Message {
+  MessageHeader header;
+  std::vector<std::byte> payload;
+
+  /// Total bytes this message occupies on the wire; used by the network
+  /// cost model and by transfer accounting in the benches.
+  [[nodiscard]] std::size_t wire_size() const {
+    return sizeof(MessageHeader) + payload.size();
+  }
+};
+
+/// FNV-1a hash used to derive stable MethodIds from method names.  Both
+/// sides of the protocol register methods by name, so the hash only has to
+/// be stable, not cryptographic.
+constexpr MethodId method_id(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace oopp::net

@@ -1,0 +1,156 @@
+#include "net/tcp_fabric.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "net/tcp_wire.hpp"
+#include "util/assert.hpp"
+
+namespace oopp::net {
+
+struct TcpFabric::Link {
+  std::mutex mu;
+  int fd = -1;
+  ~Link() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+struct TcpFabric::Endpoint {
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+  Inbox* inbox = nullptr;
+  std::thread acceptor;
+  std::mutex readers_mu;
+  std::vector<std::thread> readers;
+  std::vector<int> reader_fds;
+
+  ~Endpoint() { stop(); }
+
+  void stop() {
+    if (listen_fd >= 0) {
+      ::shutdown(listen_fd, SHUT_RDWR);
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    if (acceptor.joinable()) acceptor.join();
+    {
+      std::lock_guard lock(readers_mu);
+      for (int fd : reader_fds) ::shutdown(fd, SHUT_RDWR);
+    }
+    std::vector<std::thread> rs;
+    {
+      std::lock_guard lock(readers_mu);
+      rs.swap(readers);
+    }
+    for (auto& t : rs)
+      if (t.joinable()) t.join();
+    {
+      std::lock_guard lock(readers_mu);
+      for (int fd : reader_fds) ::close(fd);
+      reader_fds.clear();
+    }
+  }
+
+  void listen_on_ephemeral() {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    OOPP_CHECK_MSG(listen_fd >= 0, "socket() failed: " << std::strerror(errno));
+    int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    OOPP_CHECK_MSG(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) == 0,
+                   "bind() failed: " << std::strerror(errno));
+    OOPP_CHECK(::listen(listen_fd, 64) == 0);
+    socklen_t len = sizeof(addr);
+    OOPP_CHECK(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                             &len) == 0);
+    port = ntohs(addr.sin_port);
+  }
+
+  void start_accepting() {
+    acceptor = std::thread([this] {
+      for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) return;  // listener closed: shut down
+        wire::set_nodelay(fd);
+        std::lock_guard lock(readers_mu);
+        reader_fds.push_back(fd);
+        readers.emplace_back([this, fd] { read_loop(fd); });
+      }
+    });
+  }
+
+  void read_loop(int fd) {
+    Message m;
+    while (wire::recv_frame(fd, m)) inbox->push_now(std::move(m));
+  }
+};
+
+TcpFabric::TcpFabric(std::size_t machines) {
+  endpoints_.reserve(machines);
+  for (std::size_t i = 0; i < machines; ++i)
+    endpoints_.push_back(std::make_unique<Endpoint>());
+}
+
+TcpFabric::~TcpFabric() { shutdown(); }
+
+void TcpFabric::attach(MachineId id, Inbox* inbox) {
+  OOPP_CHECK(id < endpoints_.size());
+  Endpoint& ep = *endpoints_[id];
+  ep.inbox = inbox;
+  ep.listen_on_ephemeral();
+  ep.start_accepting();
+}
+
+std::uint16_t TcpFabric::port(MachineId id) const {
+  OOPP_CHECK(id < endpoints_.size());
+  return endpoints_[id]->port;
+}
+
+TcpFabric::Link& TcpFabric::link_for(MachineId src, MachineId dst) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+  std::lock_guard lock(links_mu_);
+  auto it = links_.find(key);
+  if (it != links_.end()) return *it->second;
+
+  auto link = std::make_unique<Link>();
+  link->fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  OOPP_CHECK_MSG(link->fd >= 0, "socket() failed: " << std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(endpoints_[dst]->port);
+  OOPP_CHECK_MSG(::connect(link->fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0,
+                 "connect to machine " << dst
+                                       << " failed: " << std::strerror(errno));
+  wire::set_nodelay(link->fd);
+  auto [pos, inserted] = links_.emplace(key, std::move(link));
+  OOPP_CHECK(inserted);
+  return *pos->second;
+}
+
+void TcpFabric::send(Message m) {
+  OOPP_CHECK_MSG(m.header.dst < endpoints_.size(),
+                 "send to unknown machine " << m.header.dst);
+  account(m);
+  Link& link = link_for(m.header.src, m.header.dst);
+  std::lock_guard lock(link.mu);
+  OOPP_CHECK_MSG(wire::send_frame(link.fd, m), "frame write failed");
+}
+
+void TcpFabric::shutdown() {
+  if (down_) return;
+  down_ = true;
+  {
+    std::lock_guard lock(links_mu_);
+    links_.clear();  // closes outgoing sockets; peers' readers exit on EOF
+  }
+  for (auto& ep : endpoints_) ep->stop();
+}
+
+}  // namespace oopp::net

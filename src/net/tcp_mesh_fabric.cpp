@@ -1,0 +1,187 @@
+#include "net/tcp_mesh_fabric.hpp"
+
+#include <netdb.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "net/tcp_wire.hpp"
+#include "util/assert.hpp"
+#include "util/clock.hpp"
+
+namespace oopp::net {
+
+struct TcpMeshFabric::Link {
+  std::mutex mu;
+  int fd = -1;
+  ~Link() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+TcpMeshFabric::TcpMeshFabric(std::vector<Endpoint> peers, Options opts)
+    : peers_(std::move(peers)), opts_(opts) {
+  OOPP_CHECK_MSG(!peers_.empty(), "empty endpoint table");
+}
+
+TcpMeshFabric::~TcpMeshFabric() { shutdown(); }
+
+void TcpMeshFabric::attach(MachineId id, Inbox* inbox) {
+  OOPP_CHECK_MSG(!attached_,
+                 "TcpMeshFabric hosts exactly one machine per process");
+  OOPP_CHECK(id < peers_.size());
+  attached_ = true;
+  local_ = id;
+  inbox_ = inbox;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  OOPP_CHECK_MSG(listen_fd_ >= 0, "socket() failed: " << std::strerror(errno));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(peers_[id].port);
+  OOPP_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+                 "bind to port " << peers_[id].port
+                                 << " failed: " << std::strerror(errno));
+  OOPP_CHECK(::listen(listen_fd_, 64) == 0);
+
+  acceptor_ = std::thread([this] {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      wire::set_nodelay(fd);
+      std::lock_guard lock(readers_mu_);
+      reader_fds_.push_back(fd);
+      readers_.emplace_back([this, fd] {
+        Message m;
+        while (wire::recv_frame(fd, m)) inbox_->push_now(std::move(m));
+      });
+    }
+  });
+}
+
+TcpMeshFabric::Link& TcpMeshFabric::link_for(MachineId dst) {
+  {
+    std::lock_guard lock(links_mu_);
+    auto it = links_.find(dst);
+    if (it != links_.end()) return *it->second;
+  }
+
+  // Resolve and dial with retry: peers of one cluster may come up in any
+  // order.
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(peers_[dst].port);
+  OOPP_CHECK_MSG(::getaddrinfo(peers_[dst].host.c_str(), port_str.c_str(),
+                               &hints, &res) == 0,
+                 "cannot resolve " << peers_[dst].host);
+
+  const auto deadline = steady_clock::now() + opts_.connect_deadline;
+  int fd = -1;
+  for (;;) {
+    fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+    OOPP_CHECK(fd >= 0);
+    if (::connect(fd, res->ai_addr, res->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+    if (steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ::freeaddrinfo(res);
+  OOPP_CHECK_MSG(fd >= 0, "cannot connect to machine "
+                              << dst << " at " << peers_[dst].host << ":"
+                              << peers_[dst].port);
+  wire::set_nodelay(fd);
+
+  std::lock_guard lock(links_mu_);
+  auto it = links_.find(dst);
+  if (it != links_.end()) {
+    // Lost a dial race; keep the established one.
+    ::close(fd);
+    return *it->second;
+  }
+  auto link = std::make_unique<Link>();
+  link->fd = fd;
+  auto [pos, inserted] = links_.emplace(dst, std::move(link));
+  OOPP_CHECK(inserted);
+  return *pos->second;
+}
+
+void TcpMeshFabric::send(Message m) {
+  OOPP_CHECK_MSG(m.header.dst < peers_.size(),
+                 "send to unknown machine " << m.header.dst);
+  OOPP_CHECK_MSG(m.header.src == local_,
+                 "mesh fabric can only send as machine " << local_);
+  account(m);
+
+  if (m.header.dst == local_) {
+    // Loopback without touching the kernel.
+    inbox_->push_now(std::move(m));
+    return;
+  }
+
+  Link& link = link_for(m.header.dst);
+  std::lock_guard lock(link.mu);
+  OOPP_CHECK_MSG(wire::send_frame(link.fd, m),
+                 "frame write to machine " << m.header.dst << " failed");
+}
+
+void TcpMeshFabric::shutdown() {
+  if (down_) return;
+  down_ = true;
+  {
+    std::lock_guard lock(links_mu_);
+    links_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard lock(readers_mu_);
+    for (int fd : reader_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> rs;
+  {
+    std::lock_guard lock(readers_mu_);
+    rs.swap(readers_);
+  }
+  for (auto& t : rs)
+    if (t.joinable()) t.join();
+  {
+    std::lock_guard lock(readers_mu_);
+    for (int fd : reader_fds_) ::close(fd);
+    reader_fds_.clear();
+  }
+}
+
+std::vector<Endpoint> load_endpoints(const std::string& path) {
+  std::ifstream in(path);
+  OOPP_CHECK_MSG(in.good(), "cannot open endpoints file " << path);
+  std::vector<Endpoint> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    Endpoint ep;
+    unsigned port = 0;
+    if (ls >> ep.host >> port) {
+      OOPP_CHECK_MSG(port > 0 && port < 65536, "bad port in " << path);
+      ep.port = static_cast<std::uint16_t>(port);
+      out.push_back(std::move(ep));
+    }
+  }
+  OOPP_CHECK_MSG(!out.empty(), "no endpoints in " << path);
+  return out;
+}
+
+}  // namespace oopp::net

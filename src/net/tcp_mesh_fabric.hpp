@@ -1,0 +1,80 @@
+// TcpMeshFabric: the interconnect for genuine multi-OS-process (or
+// multi-host) deployment.
+//
+// Every machine of the cluster is a separate process; each knows the full
+// endpoint table (host + port per machine id), binds its own configured
+// port, and dials peers lazily on first send.  The frame format is shared
+// with the single-process TcpFabric, so the two interoperate.
+//
+// Connections to peers that are not up yet are retried with backoff until
+// a configurable deadline — processes of one cluster may start in any
+// order.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace oopp::net {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+class TcpMeshFabric final : public Fabric {
+ public:
+  struct Options {
+    /// How long send() keeps redialing a peer that refuses connections.
+    std::chrono::milliseconds connect_deadline{10'000};
+  };
+
+  explicit TcpMeshFabric(std::vector<Endpoint> peers)
+      : TcpMeshFabric(std::move(peers), Options{}) {}
+  TcpMeshFabric(std::vector<Endpoint> peers, Options opts);
+  ~TcpMeshFabric() override;
+
+  /// Bind and listen on peers[id]'s port; only one machine per process
+  /// may attach.
+  void attach(MachineId id, Inbox* inbox) override;
+
+  void send(Message m) override;
+  void shutdown() override;
+
+  [[nodiscard]] MachineId local_machine() const { return local_; }
+  [[nodiscard]] const std::vector<Endpoint>& peers() const { return peers_; }
+
+ private:
+  struct Link;
+
+  Link& link_for(MachineId dst);
+
+  std::vector<Endpoint> peers_;
+  Options opts_;
+  MachineId local_ = 0;
+  bool attached_ = false;
+
+  int listen_fd_ = -1;
+  Inbox* inbox_ = nullptr;
+  std::thread acceptor_;
+  std::mutex readers_mu_;
+  std::vector<std::thread> readers_;
+  std::vector<int> reader_fds_;
+
+  std::mutex links_mu_;
+  std::unordered_map<MachineId, std::unique_ptr<Link>> links_;
+  bool down_ = false;
+};
+
+/// Parse an endpoints file: one "host port" pair per line, machine id =
+/// line number; '#' starts a comment.
+std::vector<Endpoint> load_endpoints(const std::string& path);
+
+}  // namespace oopp::net

@@ -1,0 +1,121 @@
+// Shared TCP framing and socket helpers for TcpFabric (single-process
+// loopback mesh) and TcpMeshFabric (multi-process deployment).  Internal
+// header.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#include "net/message.hpp"
+
+namespace oopp::net::wire {
+
+/// kind, status, src, dst, seq, object, method, crc, payload_len.
+inline constexpr std::size_t kFrameHeaderSize =
+    1 + 1 + 4 + 4 + 8 + 8 + 8 + 4 + 8;
+
+inline void encode_header(const MessageHeader& h, std::uint64_t payload_len,
+                          std::uint8_t* out) {
+  std::size_t o = 0;
+  auto put = [&](const void* p, std::size_t n) {
+    std::memcpy(out + o, p, n);
+    o += n;
+  };
+  const auto kind = static_cast<std::uint8_t>(h.kind);
+  const auto status = static_cast<std::uint8_t>(h.status);
+  put(&kind, 1);
+  put(&status, 1);
+  put(&h.src, 4);
+  put(&h.dst, 4);
+  put(&h.seq, 8);
+  put(&h.object, 8);
+  put(&h.method, 8);
+  put(&h.payload_crc, 4);
+  put(&payload_len, 8);
+}
+
+inline void decode_header(const std::uint8_t* in, MessageHeader& h,
+                          std::uint64_t& payload_len) {
+  std::size_t o = 0;
+  auto get = [&](void* p, std::size_t n) {
+    std::memcpy(p, in + o, n);
+    o += n;
+  };
+  std::uint8_t kind = 0, status = 0;
+  get(&kind, 1);
+  get(&status, 1);
+  h.kind = static_cast<MsgKind>(kind);
+  h.status = static_cast<CallStatus>(status);
+  get(&h.src, 4);
+  get(&h.dst, 4);
+  get(&h.seq, 8);
+  get(&h.object, 8);
+  get(&h.method, 8);
+  get(&h.payload_crc, 4);
+  get(&payload_len, 8);
+}
+
+inline bool write_all(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+inline bool read_all(int fd, void* data, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+inline void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Send one framed message; returns false on socket failure.
+inline bool send_frame(int fd, const Message& m) {
+  std::uint8_t hdr[kFrameHeaderSize];
+  encode_header(m.header, m.payload.size(), hdr);
+  if (!write_all(fd, hdr, sizeof(hdr))) return false;
+  if (!m.payload.empty() &&
+      !write_all(fd, m.payload.data(), m.payload.size()))
+    return false;
+  return true;
+}
+
+/// Receive one framed message; returns false on EOF/socket failure.
+inline bool recv_frame(int fd, Message& m) {
+  std::uint8_t hdr[kFrameHeaderSize];
+  if (!read_all(fd, hdr, sizeof(hdr))) return false;
+  std::uint64_t payload_len = 0;
+  decode_header(hdr, m.header, payload_len);
+  m.payload.resize(payload_len);
+  if (payload_len > 0 && !read_all(fd, m.payload.data(), payload_len))
+    return false;
+  return true;
+}
+
+}  // namespace oopp::net::wire

@@ -1,0 +1,249 @@
+// Class binding: how a C++ class becomes a remotable "process".
+//
+// The paper assumes a compiler that generates the client/server protocol
+// "from the class description".  Without a compiler, the class description
+// is given once, declaratively, by specializing oopp::rpc::class_def:
+//
+//   template <>
+//   struct oopp::rpc::class_def<PageDevice> {
+//     static std::string name() { return "oopp.PageDevice"; }
+//     using ctors = ctor_list<ctor<std::string, int, int>>;
+//     template <class Binder>
+//     static void bind(Binder& b) {
+//       b.template method<&PageDevice::write>("write");
+//       b.template method<&PageDevice::read>("read");
+//     }
+//   };
+//
+// Inheritance (paper §3) falls out naturally: a derived class's bind()
+// calls the base's bind() with its own binder, so the derived process
+// serves the base methods with zero new syntax:
+//
+//   static void bind(Binder& b) {
+//     class_def<PageDevice>::bind(b);     // inherit the protocol
+//     b.template method<&ArrayPageDevice::sum>("sum");
+//   }
+//
+// Registration happens lazily on first use (ensure_registered<T>()), or
+// eagerly via register_class<T>() at startup.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "net/message.hpp"
+#include "rpc/class_info.hpp"
+#include "rpc/class_registry.hpp"
+#include "rpc/traits.hpp"
+#include "util/assert.hpp"
+
+namespace oopp::rpc {
+
+/// Specialize for every remotable class (see file comment).
+template <class T>
+struct class_def;
+
+/// One constructor overload; parameter types as declared.
+template <class... Args>
+struct ctor {
+  using tuple = std::tuple<std::decay_t<Args>...>;
+};
+
+/// The set of constructor overloads a class exposes remotely.
+template <class... Cs>
+struct ctor_list {
+  static constexpr std::size_t size = sizeof...(Cs);
+  using as_tuple = std::tuple<Cs...>;
+};
+
+inline constexpr std::size_t kNoCtor = static_cast<std::size_t>(-1);
+
+/// First registered constructor whose argument tuple is constructible from
+/// the given call arguments — compile-time overload resolution.
+template <class List, class... CallArgs>
+struct ctor_match;
+
+template <class... Cs, class... CallArgs>
+struct ctor_match<ctor_list<Cs...>, CallArgs...> {
+  static constexpr std::size_t index = [] {
+    constexpr std::array<bool, sizeof...(Cs)> ok = {
+        std::is_constructible_v<typename Cs::tuple, CallArgs...>...};
+    for (std::size_t i = 0; i < ok.size(); ++i)
+      if (ok[i]) return i;
+    return kNoCtor;
+  }();
+
+  static_assert(sizeof...(Cs) > 0, "class_def registers no constructors");
+};
+
+template <class List, std::size_t I>
+struct ctor_at;
+
+template <class... Cs, std::size_t I>
+struct ctor_at<ctor_list<Cs...>, I> {
+  using type = std::tuple_element_t<I, std::tuple<Cs...>>;
+};
+
+/// Client-side record of each bound method's wire id.  Populated during
+/// registration; both sides run the same registration code, which is how
+/// the ids agree (the "compiled-in protocol").
+template <auto M>
+struct method_registry {
+  static inline net::MethodId id = 0;
+};
+
+/// Every class automatically serves this no-op method through its command
+/// queue; the group barrier of §4 is built on it.
+inline constexpr std::string_view kPingMethod = "oopp.ping";
+
+namespace detail {
+
+template <class T, auto M>
+MethodFn make_invoker() {
+  return [](void* instance, serial::IArchive& ia, serial::OArchive& oa) {
+    using tr = member_fn_traits<decltype(M)>;
+    static_assert(!std::is_reference_v<typename tr::result>,
+                  "remote methods must return by value (or void)");
+    typename tr::args_tuple args;
+    ia(args);
+    T& obj = *static_cast<T*>(instance);
+    if constexpr (std::is_void_v<typename tr::result>) {
+      std::apply([&](auto&&... a) { (obj.*M)(std::move(a)...); },
+                 std::move(args));
+    } else {
+      auto result = std::apply(
+          [&](auto&&... a) { return (obj.*M)(std::move(a)...); },
+          std::move(args));
+      oa(result);
+    }
+  };
+}
+
+template <class T, class Ctor>
+struct ctor_factory;
+
+template <class T, class... Args>
+struct ctor_factory<T, ctor<Args...>> {
+  static CtorInfo make() {
+    return CtorInfo{[](serial::IArchive& ia) -> std::unique_ptr<ServantBase> {
+      std::tuple<std::decay_t<Args>...> args;
+      ia(args);
+      auto obj = std::apply(
+          [](auto&&... a) {
+            return std::make_unique<T>(std::move(a)...);
+          },
+          std::move(args));
+      return std::make_unique<Servant<T>>(std::move(obj));
+    }};
+  }
+};
+
+template <class T, class List>
+struct ctor_registrar;
+
+template <class T, class... Cs>
+struct ctor_registrar<T, ctor_list<Cs...>> {
+  static void add_all(ClassInfo& info) {
+    (info.ctors.push_back(ctor_factory<T, Cs>::make()), ...);
+  }
+};
+
+}  // namespace detail
+
+/// Marker passed to Binder::method for methods that bypass the command
+/// queue (one-sided operations invoked while the target object is itself
+/// blocked inside a method).
+struct reentrant_t {
+  explicit reentrant_t() = default;
+};
+inline constexpr reentrant_t reentrant{};
+
+template <class T>
+class Binder {
+ public:
+  explicit Binder(ClassInfo& info) : info_(info) {}
+
+  /// Bind a method under a wire name.  The member pointer may belong to a
+  /// base class — that is how process inheritance works.
+  template <auto M>
+  Binder& method(std::string_view name) {
+    return add_method<M>(name, /*reentrant=*/false);
+  }
+
+  template <auto M>
+  Binder& method(std::string_view name, reentrant_t) {
+    return add_method<M>(name, /*reentrant=*/true);
+  }
+
+  /// Opt into persistence (§5).  Requires:
+  ///   void oopp_save(serial::OArchive&) const;   // capture state
+  ///   T(serial::IArchive&);                      // rebuild from state
+  Binder& persistent() {
+    info_.save = [](void* instance, serial::OArchive& oa) {
+      static_cast<const T*>(instance)->oopp_save(oa);
+    };
+    info_.restore =
+        [](serial::IArchive& ia) -> std::unique_ptr<ServantBase> {
+      return std::make_unique<Servant<T>>(std::make_unique<T>(ia));
+    };
+    return *this;
+  }
+
+ private:
+  template <auto M>
+  Binder& add_method(std::string_view name, bool is_reentrant) {
+    using tr = member_fn_traits<decltype(M)>;
+    static_assert(std::is_base_of_v<typename tr::clazz, T>,
+                  "method does not belong to this class or a base of it");
+    const net::MethodId id = net::method_id(name);
+    auto [it, inserted] = info_.methods.emplace(
+        id, MethodInfo{std::string(name), detail::make_invoker<T, M>(),
+                       is_reentrant});
+    OOPP_CHECK_MSG(inserted, "duplicate method name '"
+                                 << name << "' on class " << info_.name);
+    method_registry<M>::id = id;
+    return *this;
+  }
+
+  ClassInfo& info_;
+};
+
+/// Register class T's description into the process-wide registry exactly
+/// once.  Safe to call from any thread, any number of times.
+template <class T>
+const ClassInfo& ensure_registered() {
+  static const ClassInfo* info = [] {
+    auto [ci, created] = ClassRegistry::instance().add(class_def<T>::name());
+    OOPP_CHECK_MSG(created || *ci->cpp_type == typeid(T),
+                   "wire name '" << ci->name
+                                 << "' is already registered by a different "
+                                    "C++ class");
+    if (created) {
+      ci->cpp_type = &typeid(T);
+      detail::ctor_registrar<T, typename class_def<T>::ctors>::add_all(*ci);
+      Binder<T> binder(*ci);
+      class_def<T>::bind(binder);
+      // Built-in barrier ping.
+      ci->methods.emplace(
+          net::method_id(kPingMethod),
+          MethodInfo{std::string(kPingMethod),
+                     [](void*, serial::IArchive&, serial::OArchive&) {},
+                     /*reentrant=*/false});
+    }
+    return ci;
+  }();
+  return *info;
+}
+
+/// Eager registration for program startup (all processes of a real
+/// deployment must call this for every remotable class).
+template <class T>
+void register_class() {
+  ensure_registered<T>();
+}
+
+}  // namespace oopp::rpc

@@ -1,0 +1,85 @@
+// Runtime class descriptions: the dispatch tables that stand in for the
+// paper's compiler-generated client/server protocol.
+//
+// A ClassInfo owns, for one remotable class:
+//   * constructors — decode a serialized argument tuple, build the servant;
+//   * methods      — decode arguments, invoke, encode the result;
+//   * persistence  — optional save/restore hooks used by the persistent-
+//                    process machinery of §5.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <typeinfo>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.hpp"
+#include "serial/archive.hpp"
+
+namespace oopp::rpc {
+
+/// Type-erased holder for a live servant instance.
+class ServantBase {
+ public:
+  virtual ~ServantBase() = default;
+  /// Pointer to the instance, cast back to the concrete type by the
+  /// invoker generated for that same type.
+  virtual void* instance() = 0;
+};
+
+template <class T>
+class Servant final : public ServantBase {
+ public:
+  explicit Servant(std::unique_ptr<T> obj) : obj_(std::move(obj)) {}
+  void* instance() override { return obj_.get(); }
+  T& object() { return *obj_; }
+
+ private:
+  std::unique_ptr<T> obj_;
+};
+
+/// Deserialize arguments from `args`, run the method on `instance`, encode
+/// the result into `result`.
+using MethodFn =
+    std::function<void(void* instance, serial::IArchive& args,
+                       serial::OArchive& result)>;
+
+struct MethodInfo {
+  std::string name;
+  MethodFn fn;
+  /// Reentrant methods bypass the servant's command queue and may run
+  /// concurrently with queued methods.  Used for one-sided operations
+  /// (e.g. the FFT transpose's deposit_block) that peers invoke while the
+  /// target is itself blocked inside a method.
+  bool reentrant = false;
+};
+
+struct CtorInfo {
+  std::function<std::unique_ptr<ServantBase>(serial::IArchive&)> construct;
+};
+
+struct ClassInfo {
+  std::string name;
+  /// C++ type backing this wire name; guards against two classes
+  /// accidentally claiming one name.
+  const std::type_info* cpp_type = nullptr;
+  std::vector<CtorInfo> ctors;
+  std::unordered_map<net::MethodId, MethodInfo> methods;
+
+  /// Persistence hooks; null unless the class opted in via
+  /// Binder::persistent().
+  std::function<void(void* instance, serial::OArchive&)> save;
+  std::function<std::unique_ptr<ServantBase>(serial::IArchive&)> restore;
+
+  [[nodiscard]] const MethodInfo* find_method(net::MethodId id) const {
+    auto it = methods.find(id);
+    return it == methods.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] bool persistent() const {
+    return static_cast<bool>(save) && static_cast<bool>(restore);
+  }
+};
+
+}  // namespace oopp::rpc

@@ -1,0 +1,34 @@
+#include "rpc/class_registry.hpp"
+
+#include <mutex>
+
+namespace oopp::rpc {
+
+ClassRegistry& ClassRegistry::instance() {
+  static ClassRegistry reg;
+  return reg;
+}
+
+const ClassInfo* ClassRegistry::find(std::string_view name) const {
+  std::shared_lock lock(mu_);
+  auto it = classes_.find(std::string(name));
+  return it == classes_.end() ? nullptr : it->second.get();
+}
+
+std::pair<ClassInfo*, bool> ClassRegistry::add(std::string name) {
+  std::unique_lock lock(mu_);
+  auto it = classes_.find(name);
+  if (it != classes_.end()) return {it->second.get(), false};
+  auto info = std::make_unique<ClassInfo>();
+  info->name = name;
+  auto* raw = info.get();
+  classes_.emplace(std::move(name), std::move(info));
+  return {raw, true};
+}
+
+std::size_t ClassRegistry::size() const {
+  std::shared_lock lock(mu_);
+  return classes_.size();
+}
+
+}  // namespace oopp::rpc

@@ -1,0 +1,38 @@
+// Process-wide registry of remotable classes, keyed by class name.
+//
+// Every machine in the cluster shares this registry when machines live in
+// one OS process (both fabrics shipped here).  In a genuinely multi-process
+// deployment each process would run the same registration code at startup —
+// the registry is exactly the information the paper's compiler would have
+// baked into both sides of the protocol.
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "rpc/class_info.hpp"
+
+namespace oopp::rpc {
+
+class ClassRegistry {
+ public:
+  static ClassRegistry& instance();
+
+  /// Find a class by name; nullptr if unknown.
+  [[nodiscard]] const ClassInfo* find(std::string_view name) const;
+
+  /// Get-or-create the mutable record for `name`.  Returns {info, created};
+  /// when created == false the caller must not re-bind.
+  std::pair<ClassInfo*, bool> add(std::string name);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<ClassInfo>> classes_;
+};
+
+}  // namespace oopp::rpc

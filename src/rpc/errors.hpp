@@ -1,0 +1,98 @@
+// Exception types for the RPC layer.
+//
+// The framework's contract (paper §2): a remote method behaves like a
+// local call — including failure.  A servant exception is caught on the
+// hosting machine, serialized into the response, and re-thrown at the call
+// site as RemoteError.  Protocol-level failures (dangling remote pointer,
+// unknown method, corrupt frame) get their own types so callers can
+// distinguish application errors from framework misuse.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "net/message.hpp"
+
+namespace oopp::rpc {
+
+class rpc_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The servant method threw.  Carries the machine it ran on, the original
+/// exception's type name and its what() string.
+class RemoteError : public rpc_error {
+ public:
+  RemoteError(net::MachineId machine, std::string type, std::string what_arg)
+      : rpc_error("remote exception on machine " + std::to_string(machine) +
+                  " [" + type + "]: " + what_arg),
+        machine_(machine),
+        type_(std::move(type)),
+        original_what_(std::move(what_arg)) {}
+
+  [[nodiscard]] net::MachineId machine() const { return machine_; }
+  [[nodiscard]] const std::string& original_type() const { return type_; }
+  [[nodiscard]] const std::string& original_what() const {
+    return original_what_;
+  }
+
+ private:
+  net::MachineId machine_;
+  std::string type_;
+  std::string original_what_;
+};
+
+/// The remote pointer does not name a live object (never existed, or its
+/// process was already terminated by delete).
+class ObjectNotFound : public rpc_error {
+ public:
+  ObjectNotFound(net::MachineId machine, net::ObjectId object)
+      : rpc_error("no object " + std::to_string(object) + " on machine " +
+                  std::to_string(machine)),
+        machine_(machine),
+        object_(object) {}
+
+  [[nodiscard]] net::MachineId machine() const { return machine_; }
+  [[nodiscard]] net::ObjectId object() const { return object_; }
+
+ private:
+  net::MachineId machine_;
+  net::ObjectId object_;
+};
+
+/// The object exists but has no method with the requested id (protocol
+/// drift: the class description used by the client names a method the
+/// server never bound).
+class MethodNotFound : public rpc_error {
+ public:
+  using rpc_error::rpc_error;
+};
+
+/// Argument or result bytes failed to decode.
+class BadFrame : public rpc_error {
+ public:
+  using rpc_error::rpc_error;
+};
+
+/// The node is shutting down; outstanding calls cannot complete.
+class CallAborted : public rpc_error {
+ public:
+  using rpc_error::rpc_error;
+};
+
+/// A deadline given to Future::get_for expired before the response
+/// arrived.  The remote method keeps executing; only delete cancels.
+class CallTimeout : public rpc_error {
+ public:
+  using rpc_error::rpc_error;
+};
+
+/// A class name arrived in a spawn/restore request that the local registry
+/// does not know.
+class UnknownClass : public rpc_error {
+ public:
+  using rpc_error::rpc_error;
+};
+
+}  // namespace oopp::rpc

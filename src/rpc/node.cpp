@@ -1,0 +1,453 @@
+#include "rpc/node.hpp"
+
+#include <typeinfo>
+
+#include "serial/archive.hpp"
+#include "util/assert.hpp"
+#include "util/clock.hpp"
+
+namespace oopp::rpc {
+
+thread_local Node* Node::tls_current_ = nullptr;
+
+Node* Node::current() { return tls_current_; }
+
+Node::Node(net::MachineId id, net::Fabric& fabric, Options opts)
+    : id_(id),
+      opts_(opts),
+      fabric_(fabric),
+      pool_(ElasticPool::Options{.min_threads = opts.min_threads,
+                                 .max_threads = opts.max_threads}) {}
+
+bool Node::payload_intact(const net::Message& m) const {
+  if (!opts_.checksums || m.header.payload_crc == 0) return true;
+  return net::payload_checksum(m.payload) == m.header.payload_crc;
+}
+
+Node::~Node() { stop(); }
+
+void Node::start() {
+  OOPP_CHECK(!started_);
+  started_ = true;
+  fabric_.attach(id_, &inbox_);
+  receiver_ = std::thread([this] { receive_loop(); });
+}
+
+void Node::stop() {
+  stop_receiving();
+  fail_pending();
+  stop_pool();
+}
+
+void Node::stop_receiving() {
+  inbox_.close();
+  if (receiver_.joinable()) receiver_.join();
+}
+
+void Node::fail_pending() {
+  std::unordered_map<net::SeqNum, std::shared_ptr<std::promise<net::Message>>>
+      doomed;
+  {
+    std::lock_guard lock(pending_mu_);
+    aborting_ = true;
+    doomed.swap(pending_);
+  }
+  for (auto& [seq, prom] : doomed) {
+    prom->set_exception(
+        std::make_exception_ptr(CallAborted("node shutting down")));
+  }
+}
+
+void Node::stop_pool() { pool_.shutdown(); }
+
+void Node::wait_for_shutdown_request() {
+  std::unique_lock lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void Node::receive_loop() {
+  while (auto msg = inbox_.pop()) {
+    if (!payload_intact(*msg)) {
+      if (msg->header.kind == net::MsgKind::kRequest) {
+        respond_error(*msg, net::CallStatus::kBadFrame,
+                      serial::to_bytes(std::string(
+                          "payload checksum mismatch on request")));
+      } else {
+        // Surface the corruption at the call site as BadFrame.
+        msg->header.status = net::CallStatus::kBadFrame;
+        msg->payload = serial::to_bytes(
+            std::string("payload checksum mismatch on response"));
+        on_response(std::move(*msg));
+      }
+      continue;
+    }
+    if (msg->header.kind == net::MsgKind::kResponse) {
+      // Responses are completed inline — never queued behind servant work,
+      // so a servant blocked on a nested call always gets its reply.
+      on_response(std::move(*msg));
+    } else {
+      on_request(std::move(*msg));
+    }
+  }
+}
+
+void Node::on_response(net::Message resp) {
+  std::shared_ptr<std::promise<net::Message>> prom;
+  {
+    std::lock_guard lock(pending_mu_);
+    auto it = pending_.find(resp.header.seq);
+    if (it == pending_.end()) return;  // caller gave up (shutdown)
+    prom = std::move(it->second);
+    pending_.erase(it);
+  }
+  prom->set_value(std::move(resp));
+}
+
+void Node::on_request(net::Message req) {
+  if (req.header.object == net::kNodeObject) {
+    pool_.submit([this, req = std::move(req)]() mutable {
+      ContextGuard guard(this);
+      handle_control(req);
+    });
+    return;
+  }
+
+  auto entry = objects_.find(req.header.object);
+  if (!entry) {
+    respond_error(req, net::CallStatus::kObjectNotFound, {});
+    return;
+  }
+  const MethodInfo* mi = entry->info->find_method(req.header.method);
+  if (!mi) {
+    respond_error(req, net::CallStatus::kMethodNotFound,
+                  serial::to_bytes(std::string("unknown method id on class " +
+                                               entry->info->name)));
+    return;
+  }
+
+  if (mi->reentrant) {
+    // One-sided operation: runs immediately on its own pool task, even if
+    // the object is busy inside a queued method.
+    pool_.submit([this, entry, mi, req = std::move(req)]() mutable {
+      ContextGuard guard(this);
+      execute(entry, mi, req);
+    });
+    return;
+  }
+
+  enqueue_command(entry, [this, entry, mi, req = std::move(req)] {
+    execute(entry, mi, req);
+  });
+}
+
+void Node::enqueue_command(std::shared_ptr<ObjectTable::Entry> entry,
+                           std::function<void()> cmd) {
+  bool kick = false;
+  {
+    std::lock_guard lock(entry->queue_mu);
+    entry->queue.push_back(std::move(cmd));
+    if (!entry->draining) {
+      entry->draining = true;
+      kick = true;
+    }
+  }
+  if (!kick) return;
+  pool_.submit([this, entry] {
+    ContextGuard guard(this);
+    // Drain the command queue FIFO — the paper's "process accepts commands"
+    // loop.  One drain task exists per object at a time.
+    for (;;) {
+      std::function<void()> cmd;
+      {
+        std::lock_guard lock(entry->queue_mu);
+        if (entry->queue.empty()) {
+          entry->draining = false;
+          return;
+        }
+        cmd = std::move(entry->queue.front());
+        entry->queue.pop_front();
+      }
+      cmd();
+    }
+  });
+}
+
+void Node::execute(const std::shared_ptr<ObjectTable::Entry>& entry,
+                   const MethodInfo* mi, const net::Message& req) {
+  if (entry->destroyed || !entry->servant) {
+    respond_error(req, net::CallStatus::kObjectNotFound, {});
+    return;
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  CallTrace trace;
+  if (trace_) {
+    trace.caller = req.header.src;
+    trace.object = req.header.object;
+    trace.class_name = entry->info->name;
+    trace.method = mi->name;
+    trace.request_bytes = req.payload.size();
+  }
+  const std::int64_t t0 = trace_ ? now_ns() : 0;
+  try {
+    serial::IArchive ia(req.payload);
+    serial::OArchive oa;
+    mi->fn(entry->servant->instance(), ia, oa);
+    if (trace_) {
+      trace.status = net::CallStatus::kOk;
+      trace.response_bytes = oa.size();
+      trace.duration_ns = now_ns() - t0;
+      trace_(trace);
+    }
+    respond_ok(req, oa.take());
+  } catch (const serial::serial_error& e) {
+    if (trace_) {
+      trace.status = net::CallStatus::kBadFrame;
+      trace.duration_ns = now_ns() - t0;
+      trace_(trace);
+    }
+    respond_error(req, net::CallStatus::kBadFrame,
+                  serial::to_bytes(std::string(e.what())));
+  } catch (const std::exception& e) {
+    remote_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    if (trace_) {
+      trace.status = net::CallStatus::kRemoteException;
+      trace.duration_ns = now_ns() - t0;
+      trace_(trace);
+    }
+    serial::OArchive oa;
+    oa(std::string(typeid(e).name()), std::string(e.what()));
+    respond_error(req, net::CallStatus::kRemoteException, oa.take());
+  }
+}
+
+NodeStats Node::stats() const {
+  NodeStats s;
+  s.objects_live = objects_.size();
+  s.requests_served = requests_served_.load(std::memory_order_relaxed);
+  s.control_requests = control_requests_.load(std::memory_order_relaxed);
+  s.remote_exceptions = remote_exceptions_.load(std::memory_order_relaxed);
+  s.objects_spawned = objects_spawned_.load(std::memory_order_relaxed);
+  s.objects_destroyed = objects_destroyed_.load(std::memory_order_relaxed);
+  s.pool_threads = pool_.thread_count();
+  s.pool_tasks_run = pool_.tasks_run();
+  return s;
+}
+
+void Node::handle_control(const net::Message& req) {
+  static const net::MethodId kSpawn = net::method_id(kSpawnMethod);
+  static const net::MethodId kDestroy = net::method_id(kDestroyMethod);
+  static const net::MethodId kPassivate = net::method_id(kPassivateMethod);
+  static const net::MethodId kRestore = net::method_id(kRestoreMethod);
+  static const net::MethodId kStats = net::method_id(kStatsMethod);
+  static const net::MethodId kShutdown = net::method_id(kShutdownMethod);
+
+  control_requests_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    serial::IArchive ia(req.payload);
+
+    if (req.header.method == kSpawn) {
+      const auto class_name = ia.read<std::string>();
+      const auto ctor_index = ia.read<std::uint32_t>();
+      const ClassInfo* info = ClassRegistry::instance().find(class_name);
+      if (!info) throw UnknownClass("unknown class '" + class_name + "'");
+      OOPP_CHECK_MSG(ctor_index < info->ctors.size(),
+                     "constructor index " << ctor_index << " out of range for "
+                                          << class_name);
+      auto servant = info->ctors[ctor_index].construct(ia);
+      const auto id = objects_.insert(std::move(servant), info);
+      objects_spawned_.fetch_add(1, std::memory_order_relaxed);
+      respond_ok(req, serial::to_bytes(static_cast<std::uint64_t>(id)));
+      return;
+    }
+
+    if (req.header.method == kDestroy) {
+      const auto target = ia.read<std::uint64_t>();
+      auto entry = objects_.find(target);
+      if (!entry) {
+        respond_error(req, net::CallStatus::kObjectNotFound, {});
+        return;
+      }
+      // Destruction goes through the command queue: all previously issued
+      // commands complete first, then the process terminates (paper §2:
+      // the destructor "causes termination of the remote process and
+      // completion of the corresponding client-server communications").
+      enqueue_command(entry, [this, entry, target, req] {
+        entry->destroyed = true;
+        entry->servant.reset();  // run the destructor now
+        objects_.erase(target);
+        objects_destroyed_.fetch_add(1, std::memory_order_relaxed);
+        respond_ok(req, {});
+      });
+      return;
+    }
+
+    if (req.header.method == kPassivate) {
+      const auto target = ia.read<std::uint64_t>();
+      const bool destroy_after = ia.read<std::uint8_t>() != 0;
+      auto entry = objects_.find(target);
+      if (!entry) {
+        respond_error(req, net::CallStatus::kObjectNotFound, {});
+        return;
+      }
+      if (!entry->info->persistent())
+        throw rpc_error("class " + entry->info->name +
+                        " is not persistent (no save/restore binding)");
+      enqueue_command(entry, [this, entry, target, destroy_after, req] {
+        if (entry->destroyed || !entry->servant) {
+          respond_error(req, net::CallStatus::kObjectNotFound, {});
+          return;
+        }
+        try {
+          serial::OArchive state;
+          entry->info->save(entry->servant->instance(), state);
+          serial::OArchive oa;
+          oa(entry->info->name, state.bytes());
+          if (destroy_after) {
+            entry->destroyed = true;
+            entry->servant.reset();
+            objects_.erase(target);
+          }
+          respond_ok(req, oa.take());
+        } catch (const std::exception& e) {
+          serial::OArchive oa;
+          oa(std::string(typeid(e).name()), std::string(e.what()));
+          respond_error(req, net::CallStatus::kRemoteException, oa.take());
+        }
+      });
+      return;
+    }
+
+    if (req.header.method == kRestore) {
+      const auto class_name = ia.read<std::string>();
+      const auto state = ia.read<std::vector<std::byte>>();
+      const ClassInfo* info = ClassRegistry::instance().find(class_name);
+      if (!info) throw UnknownClass("unknown class '" + class_name + "'");
+      if (!info->persistent())
+        throw rpc_error("class " + class_name + " is not persistent");
+      serial::IArchive sa(state);
+      auto servant = info->restore(sa);
+      const auto id = objects_.insert(std::move(servant), info);
+      objects_spawned_.fetch_add(1, std::memory_order_relaxed);
+      respond_ok(req, serial::to_bytes(static_cast<std::uint64_t>(id)));
+      return;
+    }
+
+    if (req.header.method == kStats) {
+      respond_ok(req, serial::to_bytes(stats()));
+      return;
+    }
+
+    if (req.header.method == kShutdown) {
+      respond_ok(req, {});
+      {
+        std::lock_guard lock(shutdown_mu_);
+        shutdown_requested_ = true;
+      }
+      shutdown_cv_.notify_all();
+      return;
+    }
+
+    respond_error(req, net::CallStatus::kMethodNotFound,
+                  serial::to_bytes(std::string("unknown control method")));
+  } catch (const serial::serial_error& e) {
+    respond_error(req, net::CallStatus::kBadFrame,
+                  serial::to_bytes(std::string(e.what())));
+  } catch (const std::exception& e) {
+    serial::OArchive oa;
+    oa(std::string(typeid(e).name()), std::string(e.what()));
+    respond_error(req, net::CallStatus::kRemoteException, oa.take());
+  }
+}
+
+net::MessageHeader Node::response_header(const net::Message& req,
+                                         net::CallStatus status) {
+  net::MessageHeader h;
+  h.kind = net::MsgKind::kResponse;
+  h.status = status;
+  h.src = req.header.dst;
+  h.dst = req.header.src;
+  h.seq = req.header.seq;
+  h.object = req.header.object;
+  h.method = req.header.method;
+  return h;
+}
+
+void Node::respond_ok(const net::Message& req, std::vector<std::byte> payload) {
+  net::Message resp;
+  resp.header = response_header(req, net::CallStatus::kOk);
+  resp.payload = std::move(payload);
+  if (opts_.checksums)
+    resp.header.payload_crc = net::payload_checksum(resp.payload);
+  fabric_.send(std::move(resp));
+}
+
+void Node::respond_error(const net::Message& req, net::CallStatus status,
+                         std::vector<std::byte> payload) {
+  net::Message resp;
+  resp.header = response_header(req, status);
+  resp.payload = std::move(payload);
+  if (opts_.checksums)
+    resp.header.payload_crc = net::payload_checksum(resp.payload);
+  fabric_.send(std::move(resp));
+}
+
+std::future<net::Message> Node::async_raw(net::MachineId dst,
+                                          net::ObjectId object,
+                                          net::MethodId method,
+                                          std::vector<std::byte> payload) {
+  auto prom = std::make_shared<std::promise<net::Message>>();
+  auto fut = prom->get_future();
+  const net::SeqNum seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(pending_mu_);
+    if (aborting_) throw CallAborted("node shutting down");
+    pending_.emplace(seq, prom);
+  }
+  net::Message msg;
+  msg.header.kind = net::MsgKind::kRequest;
+  msg.header.src = id_;
+  msg.header.dst = dst;
+  msg.header.seq = seq;
+  msg.header.object = object;
+  msg.header.method = method;
+  msg.payload = std::move(payload);
+  if (opts_.checksums)
+    msg.header.payload_crc = net::payload_checksum(msg.payload);
+  fabric_.send(std::move(msg));
+  return fut;
+}
+
+net::Message Node::call_raw(net::MachineId dst, net::ObjectId object,
+                            net::MethodId method,
+                            std::vector<std::byte> payload) {
+  auto fut = async_raw(dst, object, method, std::move(payload));
+  net::Message resp = fut.get();
+  throw_on_error(resp);
+  return resp;
+}
+
+void Node::throw_on_error(const net::Message& resp) {
+  switch (resp.header.status) {
+    case net::CallStatus::kOk:
+      return;
+    case net::CallStatus::kRemoteException: {
+      serial::IArchive ia(resp.payload);
+      auto type = ia.read<std::string>();
+      auto what = ia.read<std::string>();
+      throw RemoteError(resp.header.src, std::move(type), std::move(what));
+    }
+    case net::CallStatus::kObjectNotFound:
+      throw ObjectNotFound(resp.header.src, resp.header.object);
+    case net::CallStatus::kMethodNotFound: {
+      serial::IArchive ia(resp.payload);
+      throw MethodNotFound(ia.read<std::string>());
+    }
+    case net::CallStatus::kBadFrame: {
+      serial::IArchive ia(resp.payload);
+      throw BadFrame(ia.read<std::string>());
+    }
+  }
+  throw rpc_error("unknown response status");
+}
+
+}  // namespace oopp::rpc

@@ -1,0 +1,217 @@
+// Node: one simulated machine's RPC endpoint.
+//
+// Serving side — a receiver thread drains the node's Inbox.  Requests are
+// dispatched through the target object's FIFO command queue onto an elastic
+// thread pool (so servants can make nested blocking remote calls, as the
+// paper's FFT group does).  Responses complete the matching pending call.
+//
+// Client side — call_raw/async_raw implement the synchronous semantics of
+// §2 ("each instruction, and all communications associated with it, is
+// completed before the following instruction") and the split-loop
+// parallelism of §4 (issue the sends, then collect).
+//
+// Control plane — requests addressed to kNodeObject create objects
+// (remote operator new), destroy them (remote delete), and
+// passivate/restore them for the persistent processes of §5.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string_view>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "net/fabric.hpp"
+#include "net/inbox.hpp"
+#include "net/message.hpp"
+#include "rpc/class_registry.hpp"
+#include "rpc/errors.hpp"
+#include "rpc/object_table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oopp::rpc {
+
+// Control-plane method names (object id kNodeObject).
+inline constexpr std::string_view kSpawnMethod = "oopp.node.spawn";
+inline constexpr std::string_view kDestroyMethod = "oopp.node.destroy";
+inline constexpr std::string_view kPassivateMethod = "oopp.node.passivate";
+inline constexpr std::string_view kRestoreMethod = "oopp.node.restore";
+inline constexpr std::string_view kStatsMethod = "oopp.node.stats";
+inline constexpr std::string_view kShutdownMethod = "oopp.node.shutdown";
+
+/// Per-node operation counters, readable locally via Node::stats() and
+/// remotely via the kStatsMethod control call.
+struct NodeStats {
+  std::uint64_t objects_live = 0;
+  std::uint64_t requests_served = 0;    // object method invocations
+  std::uint64_t control_requests = 0;   // spawn/destroy/passivate/...
+  std::uint64_t remote_exceptions = 0;  // servant methods that threw
+  std::uint64_t objects_spawned = 0;
+  std::uint64_t objects_destroyed = 0;
+  std::uint64_t pool_threads = 0;
+  std::uint64_t pool_tasks_run = 0;
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, NodeStats& s) {
+  ar(s.objects_live, s.requests_served, s.control_requests,
+     s.remote_exceptions, s.objects_spawned, s.objects_destroyed,
+     s.pool_threads, s.pool_tasks_run);
+}
+
+/// One record per served object-method invocation, delivered to the trace
+/// hook (if installed).  `method` points into the class's MethodInfo and
+/// stays valid for the program's lifetime.
+struct CallTrace {
+  net::MachineId caller = 0;
+  net::ObjectId object = 0;
+  std::string_view class_name;
+  std::string_view method;
+  net::CallStatus status = net::CallStatus::kOk;
+  std::int64_t duration_ns = 0;
+  std::size_t request_bytes = 0;
+  std::size_t response_bytes = 0;
+};
+
+class Node {
+ public:
+  struct Options {
+    std::size_t min_threads = 2;
+    std::size_t max_threads = 512;
+    /// Stamp every outgoing payload with a checksum and verify inbound
+    /// ones.  A corrupted request is answered with kBadFrame; a corrupted
+    /// response surfaces as rpc::BadFrame at the call site.  Costs one
+    /// pass over each payload; intended for untrusted fabrics.
+    bool checksums = false;
+  };
+
+  using TraceFn = std::function<void(const CallTrace&)>;
+
+  Node(net::MachineId id, net::Fabric& fabric) : Node(id, fabric, Options{}) {}
+  Node(net::MachineId id, net::Fabric& fabric, Options opts);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Attach to the fabric and start the receiver thread.
+  void start();
+
+  /// Full local shutdown (receiver, pending calls, pool).  For clusters,
+  /// prefer the staged stop_* sequence orchestrated across all nodes.
+  void stop();
+
+  // Staged shutdown (see Cluster::~Cluster for the ordering rationale).
+  void stop_receiving();
+  void fail_pending();
+  void stop_pool();
+
+  [[nodiscard]] net::MachineId id() const { return id_; }
+  [[nodiscard]] NodeStats stats() const;
+
+  /// Install a hook observing every object-method invocation this node
+  /// serves.  Install before traffic starts; the hook runs on dispatch
+  /// threads and must be thread-safe.
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+  /// Block until some client sends the kShutdownMethod control request —
+  /// how a standalone node process (oopp_noded) learns it is done.
+  void wait_for_shutdown_request();
+  [[nodiscard]] net::Inbox& inbox() { return inbox_; }
+  [[nodiscard]] ObjectTable& objects() { return objects_; }
+  [[nodiscard]] ElasticPool& pool() { return pool_; }
+  [[nodiscard]] net::Fabric& fabric() { return fabric_; }
+
+  // -- client side ----------------------------------------------------------
+
+  /// Fire a request and return a future for the raw response message.
+  std::future<net::Message> async_raw(net::MachineId dst, net::ObjectId object,
+                                      net::MethodId method,
+                                      std::vector<std::byte> payload);
+
+  /// Synchronous round trip; throws the decoded error on failure status.
+  net::Message call_raw(net::MachineId dst, net::ObjectId object,
+                        net::MethodId method, std::vector<std::byte> payload);
+
+  /// Decode a response's status, throwing the corresponding typed
+  /// exception for non-kOk.  Exposed for typed futures.
+  static void throw_on_error(const net::Message& response);
+
+  /// The node whose context the calling thread runs in: the driver node
+  /// for threads that entered via Cluster, the hosting node for servant
+  /// code.  Null if the thread has no context.
+  static Node* current();
+
+  /// RAII context setter.
+  class ContextGuard {
+   public:
+    explicit ContextGuard(Node* n) : prev_(tls_current_) { tls_current_ = n; }
+    ~ContextGuard() { tls_current_ = prev_; }
+    ContextGuard(const ContextGuard&) = delete;
+    ContextGuard& operator=(const ContextGuard&) = delete;
+
+   private:
+    Node* prev_;
+  };
+
+ private:
+  friend class ContextGuard;
+
+  void receive_loop();
+  void on_request(net::Message req);
+  void on_response(net::Message resp);
+
+  /// Run one request against a live entry and send the response.
+  void execute(const std::shared_ptr<ObjectTable::Entry>& entry,
+               const MethodInfo* mi, const net::Message& req);
+
+  /// Append to an entry's FIFO command queue, kicking a drain task if idle.
+  void enqueue_command(std::shared_ptr<ObjectTable::Entry> entry,
+                       std::function<void()> cmd);
+
+  void handle_control(const net::Message& req);
+
+  void respond_ok(const net::Message& req, std::vector<std::byte> payload);
+  void respond_error(const net::Message& req, net::CallStatus status,
+                     std::vector<std::byte> payload);
+  static net::MessageHeader response_header(const net::Message& req,
+                                            net::CallStatus status);
+
+  static thread_local Node* tls_current_;
+
+  /// Returns true if the inbound message passes verification (or
+  /// checksumming is off / the message is unstamped).
+  [[nodiscard]] bool payload_intact(const net::Message& m) const;
+
+  net::MachineId id_;
+  Options opts_;
+  net::Fabric& fabric_;
+  net::Inbox inbox_;
+  ElasticPool pool_;
+  ObjectTable objects_;
+  std::thread receiver_;
+  bool started_ = false;
+
+  std::mutex pending_mu_;
+  std::unordered_map<net::SeqNum, std::shared_ptr<std::promise<net::Message>>>
+      pending_;
+  std::atomic<net::SeqNum> next_seq_{1};
+  bool aborting_ = false;
+
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> control_requests_{0};
+  std::atomic<std::uint64_t> remote_exceptions_{0};
+  std::atomic<std::uint64_t> objects_spawned_{0};
+  std::atomic<std::uint64_t> objects_destroyed_{0};
+  TraceFn trace_;
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace oopp::rpc

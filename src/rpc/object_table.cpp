@@ -1,0 +1,41 @@
+#include "rpc/object_table.hpp"
+
+namespace oopp::rpc {
+
+net::ObjectId ObjectTable::insert(std::unique_ptr<ServantBase> servant,
+                                  const ClassInfo* info) {
+  auto entry = std::make_shared<Entry>();
+  entry->servant = std::move(servant);
+  entry->info = info;
+  std::lock_guard lock(mu_);
+  const net::ObjectId id = next_++;
+  map_.emplace(id, std::move(entry));
+  return id;
+}
+
+std::shared_ptr<ObjectTable::Entry> ObjectTable::find(
+    net::ObjectId id) const {
+  std::lock_guard lock(mu_);
+  auto it = map_.find(id);
+  return it == map_.end() ? nullptr : it->second;
+}
+
+bool ObjectTable::erase(net::ObjectId id) {
+  std::lock_guard lock(mu_);
+  return map_.erase(id) > 0;
+}
+
+std::size_t ObjectTable::size() const {
+  std::lock_guard lock(mu_);
+  return map_.size();
+}
+
+std::vector<net::ObjectId> ObjectTable::ids() const {
+  std::lock_guard lock(mu_);
+  std::vector<net::ObjectId> out;
+  out.reserve(map_.size());
+  for (const auto& [id, _] : map_) out.push_back(id);
+  return out;
+}
+
+}  // namespace oopp::rpc

@@ -1,0 +1,57 @@
+// Per-machine table of live servant objects.
+//
+// The paper equates one remote object with one server process that accepts
+// commands sequentially.  Each table entry therefore carries a FIFO command
+// queue: non-reentrant method invocations are appended and drained one at a
+// time, which gives every object the paper's process semantics (including
+// a well-defined point for the group barrier of §4), while different
+// objects on the same machine execute concurrently.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.hpp"
+#include "rpc/class_info.hpp"
+
+namespace oopp::rpc {
+
+class ObjectTable {
+ public:
+  struct Entry {
+    std::unique_ptr<ServantBase> servant;
+    const ClassInfo* info = nullptr;
+
+    // Command queue state (managed by Node).
+    std::mutex queue_mu;
+    std::deque<std::function<void()>> queue;
+    bool draining = false;
+    bool destroyed = false;
+  };
+
+  /// Register a servant; returns its fresh object id (ids are never
+  /// reused, so a stale remote pointer can only miss, never alias).
+  net::ObjectId insert(std::unique_ptr<ServantBase> servant,
+                       const ClassInfo* info);
+
+  /// Shared ownership so an in-flight call keeps the entry alive even if
+  /// the object is concurrently destroyed.
+  [[nodiscard]] std::shared_ptr<Entry> find(net::ObjectId id) const;
+
+  /// Remove from the table.  Returns false if absent.
+  bool erase(net::ObjectId id);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<net::ObjectId> ids() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<net::ObjectId, std::shared_ptr<Entry>> map_;
+  net::ObjectId next_ = 1;  // 0 is kNodeObject
+};
+
+}  // namespace oopp::rpc

@@ -1,0 +1,44 @@
+// Compile-time reflection over member function pointers.
+//
+// This is the piece the paper assigns to its (hypothetical) compiler: from
+// a class description, derive the marshaling code for each method.  Here a
+// method's signature is recovered from its member pointer; arguments are
+// encoded as a tuple of decayed parameter types, so a call site may pass
+// anything convertible to the declared parameters — the same conversions
+// an ordinary local call would perform.
+#pragma once
+
+#include <tuple>
+#include <type_traits>
+
+namespace oopp::rpc {
+
+template <class F>
+struct member_fn_traits;
+
+template <class R, class C, class... Args>
+struct member_fn_traits<R (C::*)(Args...)> {
+  using result = R;
+  using clazz = C;
+  using args_tuple = std::tuple<std::decay_t<Args>...>;
+  static constexpr bool is_const = false;
+};
+
+template <class R, class C, class... Args>
+struct member_fn_traits<R (C::*)(Args...) const> {
+  using result = R;
+  using clazz = C;
+  using args_tuple = std::tuple<std::decay_t<Args>...>;
+  static constexpr bool is_const = true;
+};
+
+template <auto M>
+using method_result_t = typename member_fn_traits<decltype(M)>::result;
+
+template <auto M>
+using method_class_t = typename member_fn_traits<decltype(M)>::clazz;
+
+template <auto M>
+using method_args_tuple_t = typename member_fn_traits<decltype(M)>::args_tuple;
+
+}  // namespace oopp::rpc

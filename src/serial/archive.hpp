@@ -1,0 +1,371 @@
+// Binary serialization archives.
+//
+// The paper relegates "assembly and parsing of messages" to the compiler;
+// in this library reproduction the archives below play that role.  Every
+// RPC argument list, return value, and persisted process image is encoded
+// with OArchive and decoded with IArchive.
+//
+// Encoding: little-endian fixed-width scalars, u64 length prefixes for
+// ranges.  User types participate by providing an ADL-visible symmetric
+// visitor:
+//
+//   template <class Ar> void oopp_serialize(Ar& ar, MyType& v) {
+//     ar(v.field1, v.field2);
+//   }
+//
+// The same function body serializes (Ar = OArchive) and deserializes
+// (Ar = IArchive), so the two directions can never drift apart.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <list>
+#include <map>
+#include <set>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace oopp::serial {
+
+static_assert(std::endian::native == std::endian::little,
+              "oopp::serial assumes a little-endian host");
+
+/// Thrown when an IArchive runs past the end of its buffer or decodes an
+/// impossible value.  At the RPC layer this indicates a corrupt frame.
+class serial_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+template <class T>
+struct is_complex : std::false_type {};
+template <class T>
+struct is_complex<std::complex<T>> : std::bool_constant<std::is_arithmetic_v<T>> {};
+
+/// Types encoded as their in-memory bytes (fixed-width, little-endian).
+/// std::complex<arithmetic> qualifies: the standard guarantees array-of-two
+/// layout, and bulk transfers of complex arrays are the FFT hot path.
+template <class T>
+concept Scalar = std::is_arithmetic_v<T> || std::is_enum_v<T> ||
+                 is_complex<T>::value;
+
+class OArchive;
+class IArchive;
+
+template <class T>
+concept HasOoppSerialize = requires(OArchive& oa, T& v) {
+  oopp_serialize(oa, v);
+};
+
+// ---------------------------------------------------------------------------
+// OArchive — append-only byte sink.
+// ---------------------------------------------------------------------------
+class OArchive {
+ public:
+  OArchive() = default;
+  explicit OArchive(std::size_t reserve) { buf_.reserve(reserve); }
+
+  /// Visit any number of values: ar(a, b, c).
+  template <class... Ts>
+  OArchive& operator()(const Ts&... vs) {
+    (write(vs), ...);
+    return *this;
+  }
+
+  template <Scalar T>
+  void write(const T& v) {
+    append(&v, sizeof(T));
+  }
+
+  void write(const std::string& s) { write_sized(s.data(), s.size()); }
+  void write(std::string_view s) { write_sized(s.data(), s.size()); }
+
+  template <class T>
+  void write(const std::vector<T>& v) {
+    write(static_cast<std::uint64_t>(v.size()));
+    if constexpr (Scalar<T>) {
+      append(v.data(), v.size() * sizeof(T));
+    } else {
+      for (const auto& e : v) write(e);
+    }
+  }
+
+  template <class T, std::size_t N>
+  void write(const std::array<T, N>& v) {
+    if constexpr (Scalar<T>) {
+      append(v.data(), N * sizeof(T));
+    } else {
+      for (const auto& e : v) write(e);
+    }
+  }
+
+  template <class A, class B>
+  void write(const std::pair<A, B>& v) {
+    write(v.first);
+    write(v.second);
+  }
+
+  template <class... Ts>
+  void write(const std::tuple<Ts...>& v) {
+    std::apply([this](const Ts&... es) { (write(es), ...); }, v);
+  }
+
+  template <class T>
+  void write(const std::optional<T>& v) {
+    write(static_cast<std::uint8_t>(v.has_value()));
+    if (v) write(*v);
+  }
+
+  template <class T, class A>
+  void write(const std::deque<T, A>& d) {
+    write(static_cast<std::uint64_t>(d.size()));
+    for (const auto& e : d) write(e);
+  }
+
+  template <class T, class A>
+  void write(const std::list<T, A>& l) {
+    write(static_cast<std::uint64_t>(l.size()));
+    for (const auto& e : l) write(e);
+  }
+
+  template <class K, class C, class A>
+  void write(const std::set<K, C, A>& s) {
+    write(static_cast<std::uint64_t>(s.size()));
+    for (const auto& e : s) write(e);
+  }
+
+  template <class K, class H, class E, class A>
+  void write(const std::unordered_set<K, H, E, A>& s) {
+    write(static_cast<std::uint64_t>(s.size()));
+    for (const auto& e : s) write(e);
+  }
+
+  template <class K, class V, class C, class A>
+  void write(const std::map<K, V, C, A>& m) {
+    write(static_cast<std::uint64_t>(m.size()));
+    for (const auto& [k, v] : m) {
+      write(k);
+      write(v);
+    }
+  }
+
+  template <class K, class V, class H, class E, class A>
+  void write(const std::unordered_map<K, V, H, E, A>& m) {
+    write(static_cast<std::uint64_t>(m.size()));
+    for (const auto& [k, v] : m) {
+      write(k);
+      write(v);
+    }
+  }
+
+  template <class T>
+    requires HasOoppSerialize<T>
+  void write(const T& v) {
+    // The symmetric visitor takes T&; serialization does not mutate.
+    oopp_serialize(*this, const_cast<T&>(v));
+  }
+
+  /// Raw bytes without a length prefix (caller encodes framing itself).
+  void write_raw(const void* p, std::size_t n) { append(p, n); }
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  void write_sized(const void* p, std::size_t n) {
+    write(static_cast<std::uint64_t>(n));
+    append(p, n);
+  }
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::byte> buf_;
+};
+
+// ---------------------------------------------------------------------------
+// IArchive — bounds-checked byte source over a non-owning span.
+// ---------------------------------------------------------------------------
+class IArchive {
+ public:
+  explicit IArchive(std::span<const std::byte> data) : data_(data) {}
+
+  template <class... Ts>
+  IArchive& operator()(Ts&... vs) {
+    (read_into(vs), ...);
+    return *this;
+  }
+
+  template <class T>
+  [[nodiscard]] T read() {
+    T v{};
+    read_into(v);
+    return v;
+  }
+
+  template <Scalar T>
+  void read_into(T& v) {
+    consume(&v, sizeof(T));
+  }
+
+  void read_into(std::string& s) {
+    const auto n = read_size();
+    s.resize(n);
+    consume(s.data(), n);
+  }
+
+  template <class T>
+  void read_into(std::vector<T>& v) {
+    const auto n = read_size();
+    if constexpr (Scalar<T>) {
+      require(n * sizeof(T));
+      v.resize(n);
+      consume(v.data(), n * sizeof(T));
+    } else {
+      v.clear();
+      v.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) v.push_back(read<T>());
+    }
+  }
+
+  template <class T, std::size_t N>
+  void read_into(std::array<T, N>& v) {
+    if constexpr (Scalar<T>) {
+      consume(v.data(), N * sizeof(T));
+    } else {
+      for (auto& e : v) read_into(e);
+    }
+  }
+
+  template <class A, class B>
+  void read_into(std::pair<A, B>& v) {
+    read_into(v.first);
+    read_into(v.second);
+  }
+
+  template <class... Ts>
+  void read_into(std::tuple<Ts...>& v) {
+    std::apply([this](Ts&... es) { (read_into(es), ...); }, v);
+  }
+
+  template <class T>
+  void read_into(std::optional<T>& v) {
+    if (read<std::uint8_t>() != 0)
+      v = read<T>();
+    else
+      v.reset();
+  }
+
+  template <class T, class A>
+  void read_into(std::deque<T, A>& d) {
+    const auto n = read_size();
+    d.clear();
+    for (std::size_t i = 0; i < n; ++i) d.push_back(read<T>());
+  }
+
+  template <class T, class A>
+  void read_into(std::list<T, A>& l) {
+    const auto n = read_size();
+    l.clear();
+    for (std::size_t i = 0; i < n; ++i) l.push_back(read<T>());
+  }
+
+  template <class K, class C, class A>
+  void read_into(std::set<K, C, A>& s) {
+    const auto n = read_size();
+    s.clear();
+    for (std::size_t i = 0; i < n; ++i) s.insert(read<K>());
+  }
+
+  template <class K, class H, class E, class A>
+  void read_into(std::unordered_set<K, H, E, A>& s) {
+    const auto n = read_size();
+    s.clear();
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) s.insert(read<K>());
+  }
+
+  template <class K, class V, class C, class A>
+  void read_into(std::map<K, V, C, A>& m) {
+    const auto n = read_size();
+    m.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      auto k = read<K>();
+      m.emplace(std::move(k), read<V>());
+    }
+  }
+
+  template <class K, class V, class H, class E, class A>
+  void read_into(std::unordered_map<K, V, H, E, A>& m) {
+    const auto n = read_size();
+    m.clear();
+    m.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto k = read<K>();
+      m.emplace(std::move(k), read<V>());
+    }
+  }
+
+  template <class T>
+    requires HasOoppSerialize<T>
+  void read_into(T& v) {
+    oopp_serialize(*this, v);
+  }
+
+  void read_raw(void* p, std::size_t n) { consume(p, n); }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  std::size_t read_size() {
+    const auto n = read<std::uint64_t>();
+    require(n);  // a length prefix can never exceed the bytes that remain
+    return static_cast<std::size_t>(n);
+  }
+  void require(std::size_t n) const {
+    if (n > remaining())
+      throw serial_error("IArchive: truncated input (need " +
+                         std::to_string(n) + " bytes, have " +
+                         std::to_string(remaining()) + ")");
+  }
+  void consume(void* out, std::size_t n) {
+    require(n);
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: serialize a single value to a byte vector.
+template <class T>
+std::vector<std::byte> to_bytes(const T& v) {
+  OArchive oa;
+  oa(v);
+  return oa.take();
+}
+
+/// Convenience: deserialize a single value from bytes.
+template <class T>
+T from_bytes(std::span<const std::byte> data) {
+  IArchive ia(data);
+  return ia.read<T>();
+}
+
+}  // namespace oopp::serial

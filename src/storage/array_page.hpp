@@ -1,0 +1,72 @@
+// ArrayPage: a Page holding an N1 x N2 x N3 block of doubles (paper §3).
+//
+// Derived from Page exactly as in the paper, adding structure-aware
+// operations (element access by 3-D index, sum).  This is the class the
+// paper uses to introduce process inheritance.
+#pragma once
+
+#include <cstring>
+
+#include "storage/page.hpp"
+#include "util/ndindex.hpp"
+
+namespace oopp::storage {
+
+class ArrayPage : public Page {
+ public:
+  ArrayPage() = default;
+
+  /// Zero-filled block.
+  ArrayPage(int n1, int n2, int n3)
+      : Page(static_cast<std::size_t>(n1) * n2 * n3 * sizeof(double)),
+        extents_{n1, n2, n3} {}
+
+  /// Copy of an existing buffer — the paper's ArrayPage(N1,N2,N3, double*).
+  ArrayPage(int n1, int n2, int n3, const double* values)
+      : ArrayPage(n1, n2, n3) {
+    std::memcpy(data_.data(), values, data_.size());
+  }
+
+  [[nodiscard]] const Extents3& extents() const { return extents_; }
+  [[nodiscard]] index_t elements() const { return extents_.volume(); }
+
+  [[nodiscard]] const double* values() const {
+    return reinterpret_cast<const double*>(data_.data());
+  }
+  [[nodiscard]] double* values() {
+    return reinterpret_cast<double*>(data_.data());
+  }
+
+  [[nodiscard]] double at(index_t i1, index_t i2, index_t i3) const {
+    OOPP_CHECK(extents_.contains(i1, i2, i3));
+    return values()[extents_.linear(i1, i2, i3)];
+  }
+  void set(index_t i1, index_t i2, index_t i3, double v) {
+    OOPP_CHECK(extents_.contains(i1, i2, i3));
+    values()[extents_.linear(i1, i2, i3)] = v;
+  }
+
+  /// The paper's example of a method using the array structure.
+  [[nodiscard]] double sum() const {
+    double acc = 0.0;
+    const double* v = values();
+    const index_t n = elements();
+    for (index_t i = 0; i < n; ++i) acc += v[i];
+    return acc;
+  }
+
+  bool operator==(const ArrayPage&) const = default;
+
+ private:
+  Extents3 extents_{};
+
+  template <class Ar>
+  friend void oopp_serialize(Ar& ar, ArrayPage& p);
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, ArrayPage& p) {
+  ar(static_cast<Page&>(p), p.extents_.n1, p.extents_.n2, p.extents_.n3);
+}
+
+}  // namespace oopp::storage

@@ -1,0 +1,118 @@
+// ArrayPageDevice: a PageDevice storing three-dimensional array blocks of
+// N1 x N2 x N3 doubles (paper §3).
+//
+// The derived process serves the base protocol (write/read of raw pages)
+// plus structure-aware methods — most importantly sum(page_address), the
+// paper's example of "moving the computation to the data": the reduction
+// runs on the machine holding the page and only the scalar result crosses
+// the network.
+//
+// The remote_ptr constructor is the paper's §5 example — a new process
+// created from a pointer to an existing process.  It adopts the existing
+// device's backing file (both processes co-exist over the same storage);
+// the caller may subsequently delete the original.
+#pragma once
+
+#include "core/remote_ptr.hpp"
+#include "storage/array_page.hpp"
+#include "storage/page_device.hpp"
+
+namespace oopp::storage {
+
+class ArrayPageDevice : public PageDevice {
+ public:
+  ArrayPageDevice(std::string filename, int number_of_pages, int n1, int n2,
+                  int n3);
+  ArrayPageDevice(std::string filename, int number_of_pages, int n1, int n2,
+                  int n3, DeviceOptions options);
+
+  /// Adopt the storage of an existing (possibly remote) PageDevice whose
+  /// page size equals n1 * n2 * n3 * sizeof(double).
+  ArrayPageDevice(remote_ptr<PageDevice> existing, int n1, int n2, int n3);
+
+  /// Restore from a passivated image.
+  explicit ArrayPageDevice(serial::IArchive& ia);
+  void oopp_save(serial::OArchive& oa) const;
+
+  /// Structure-aware page I/O.
+  [[nodiscard]] ArrayPage read_array(int page_index) const;
+  void write_array(const ArrayPage& p, int page_index);
+
+  /// "Move the computation to the data": sum of all elements of the page
+  /// at the given address, computed device-side (paper §3).
+  [[nodiscard]] double sum(int page_address) const;
+
+  /// Device-side partial reduction over an index range within a page —
+  /// used by Array::sum for pages only partially covered by a domain.
+  [[nodiscard]] double sum_region(int page_address, index_t lo1, index_t hi1,
+                                  index_t lo2, index_t hi2, index_t lo3,
+                                  index_t hi3) const;
+
+  /// Generalized device-side reduction kernel ("move the computation to
+  /// the data", §3, beyond sum).
+  enum class Reduce : std::uint8_t {
+    kSum = 0,
+    kMin = 1,
+    kMax = 2,
+    kSumSq = 3,  // sum of squares (for norms)
+  };
+  [[nodiscard]] double reduce_region(Reduce op, int page_address, index_t lo1,
+                                     index_t hi1, index_t lo2, index_t hi2,
+                                     index_t lo3, index_t hi3) const;
+
+  /// Third-party transfer: fetch a page directly from another (possibly
+  /// remote) device and store it locally.  The client that orders the
+  /// copy sends one tiny command; the page bytes travel device → device
+  /// and never pass through the client ("move the data movement to the
+  /// data", the §3 idea applied to transfers).
+  void pull_page(remote_ptr<ArrayPageDevice> source, int source_index,
+                 int dst_index);
+
+  /// Device-side in-place update kernel: the page never leaves the
+  /// device's machine.
+  enum class Update : std::uint8_t {
+    kFill = 0,   // x = s
+    kScale = 1,  // x *= s
+    kShift = 2,  // x += s
+  };
+  void update_region(Update op, double s, int page_address, index_t lo1,
+                     index_t hi1, index_t lo2, index_t hi2, index_t lo3,
+                     index_t hi3);
+
+  [[nodiscard]] int n1() const { return static_cast<int>(extents_.n1); }
+  [[nodiscard]] int n2() const { return static_cast<int>(extents_.n2); }
+  [[nodiscard]] int n3() const { return static_cast<int>(extents_.n3); }
+  [[nodiscard]] const Extents3& extents() const { return extents_; }
+
+ private:
+  Extents3 extents_{};
+};
+
+}  // namespace oopp::storage
+
+// Protocol: inherit PageDevice's description, add the structure-aware
+// methods — the paper's "no new syntax is needed" (§3).
+template <>
+struct oopp::rpc::class_def<oopp::storage::ArrayPageDevice> {
+  using D = oopp::storage::ArrayPageDevice;
+  using Base = oopp::storage::PageDevice;
+  static std::string name() { return "oopp.storage.ArrayPageDevice"; }
+  using ctors = ctor_list<
+      ctor<std::string, int, int, int, int>,
+      ctor<std::string, int, int, int, int, oopp::storage::DeviceOptions>,
+      ctor<oopp::remote_ptr<Base>, int, int, int>>;
+  template <class B>
+  static void bind(B& b) {
+    class_def<Base>::bind(b);  // process inheritance
+    b.template method<&D::read_array>("read_array");
+    b.template method<&D::write_array>("write_array");
+    b.template method<&D::sum>("sum");
+    b.template method<&D::sum_region>("sum_region");
+    b.template method<&D::reduce_region>("reduce_region");
+    b.template method<&D::update_region>("update_region");
+    b.template method<&D::pull_page>("pull_page");
+    b.template method<&D::n1>("n1");
+    b.template method<&D::n2>("n2");
+    b.template method<&D::n3>("n3");
+  }
+};

@@ -1,0 +1,60 @@
+// Page: a block of unstructured data (paper §2).
+//
+// In the paper a Page holds `n` bytes behind an `unsigned char*`.  Here it
+// is a value type — pages are the unit of data that moves between client
+// and device processes, so they serialize and copy by value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serial/archive.hpp"
+#include "util/assert.hpp"
+
+namespace oopp::storage {
+
+class Page {
+ public:
+  Page() = default;
+
+  /// n zero bytes.
+  explicit Page(std::size_t n) : data_(n) {}
+
+  /// Copy of an existing buffer — the paper's Page(int n, unsigned char*).
+  Page(std::size_t n, const unsigned char* data)
+      : data_(data, data + n) {}
+
+  explicit Page(std::vector<std::uint8_t> bytes) : data_(std::move(bytes)) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] const std::uint8_t* data() const { return data_.data(); }
+  [[nodiscard]] std::uint8_t* data() { return data_.data(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return data_;
+  }
+
+  std::uint8_t& operator[](std::size_t i) {
+    OOPP_CHECK(i < data_.size());
+    return data_[i];
+  }
+  std::uint8_t operator[](std::size_t i) const {
+    OOPP_CHECK(i < data_.size());
+    return data_[i];
+  }
+
+  bool operator==(const Page&) const = default;
+
+ protected:
+  std::vector<std::uint8_t> data_;
+
+  template <class Ar>
+  friend void oopp_serialize(Ar& ar, Page& p);
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, Page& p) {
+  ar(p.data_);
+}
+
+}  // namespace oopp::storage

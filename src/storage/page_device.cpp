@@ -1,0 +1,114 @@
+#include "storage/page_device.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace oopp::storage {
+
+PageDevice::PageDevice(std::string filename, int number_of_pages,
+                       int page_size)
+    : PageDevice(std::move(filename), number_of_pages, page_size,
+                 DeviceOptions{}) {}
+
+PageDevice::PageDevice(std::string filename, int number_of_pages,
+                       int page_size, DeviceOptions options)
+    : PageDevice(std::move(filename), number_of_pages, page_size, options,
+                 /*truncate=*/true) {}
+
+PageDevice::PageDevice(std::string filename, int number_of_pages,
+                       int page_size, DeviceOptions options, bool truncate)
+    : filename_(std::move(filename)),
+      number_of_pages_(number_of_pages),
+      page_size_(page_size),
+      options_(options) {
+  OOPP_CHECK_MSG(number_of_pages_ > 0 && page_size_ > 0,
+                 "PageDevice needs positive page count and size");
+  open_or_create(truncate);
+}
+
+PageDevice::PageDevice(serial::IArchive& ia) {
+  std::uint64_t ops = 0;
+  ia(filename_, number_of_pages_, page_size_, options_, ops);
+  operations_.store(ops, std::memory_order_relaxed);
+  // The backing file holds the pages; re-open without truncating.
+  open_or_create(/*truncate=*/false);
+}
+
+void PageDevice::oopp_save(serial::OArchive& oa) const {
+  // Push buffered writes to the file so the image + file pair is
+  // consistent at the checkpoint.
+  if (f_) std::fflush(f_);
+  oa(filename_, number_of_pages_, page_size_, options_, operations());
+}
+
+PageDevice::~PageDevice() {
+  if (f_) std::fclose(f_);
+}
+
+void PageDevice::open_or_create(bool truncate) {
+  const auto expected =
+      static_cast<long>(number_of_pages_) * static_cast<long>(page_size_);
+  if (!truncate) {
+    f_ = std::fopen(filename_.c_str(), "r+b");
+    OOPP_CHECK_MSG(f_ != nullptr,
+                   "PageDevice: backing file '" << filename_ << "' missing");
+    return;
+  }
+  f_ = std::fopen(filename_.c_str(), "w+b");
+  OOPP_CHECK_MSG(f_ != nullptr,
+                 "PageDevice: cannot create '" << filename_ << "'");
+  // Pre-size the file: NumberOfPages * PageSize bytes, as in the paper.
+  OOPP_CHECK(std::fseek(f_, expected - 1, SEEK_SET) == 0);
+  const unsigned char zero = 0;
+  OOPP_CHECK(std::fwrite(&zero, 1, 1, f_) == 1);
+  OOPP_CHECK(std::fflush(f_) == 0);
+}
+
+void PageDevice::check_index(int page_index) const {
+  OOPP_CHECK_MSG(page_index >= 0 && page_index < number_of_pages_,
+                 "page index " << page_index << " out of [0, "
+                               << number_of_pages_ << ")");
+}
+
+void PageDevice::simulate_service_time() const {
+  if (options_.service_us > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.service_us));
+}
+
+void PageDevice::write(const Page& p, int page_index) {
+  check_index(page_index);
+  OOPP_CHECK_MSG(p.size() == static_cast<std::size_t>(page_size_),
+                 "page size " << p.size() << " != device page size "
+                              << page_size_);
+  simulate_service_time();
+  const auto offset =
+      static_cast<long>(page_index) * static_cast<long>(page_size_);
+  {
+    std::lock_guard lock(io_mu_);
+    OOPP_CHECK(std::fseek(f_, offset, SEEK_SET) == 0);
+    OOPP_CHECK(std::fwrite(p.data(), 1, p.size(), f_) == p.size());
+    // Push through stdio so a co-existing process over the same backing
+    // file (paper §5's adopting constructor) observes the write.
+    OOPP_CHECK(std::fflush(f_) == 0);
+  }
+  operations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Page PageDevice::read(int page_index) const {
+  check_index(page_index);
+  simulate_service_time();
+  Page p(static_cast<std::size_t>(page_size_));
+  const auto offset =
+      static_cast<long>(page_index) * static_cast<long>(page_size_);
+  {
+    std::lock_guard lock(io_mu_);
+    OOPP_CHECK(std::fseek(f_, offset, SEEK_SET) == 0);
+    OOPP_CHECK(std::fread(p.data(), 1, p.size(), f_) == p.size());
+  }
+  operations_.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+}  // namespace oopp::storage

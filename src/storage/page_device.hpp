@@ -1,0 +1,133 @@
+// PageDevice: a file-backed block store for fixed-size pages (paper §2).
+//
+// The device keeps NumberOfPages slots of PageSize bytes in one file;
+// write() copies a page to offset PageIndex * PageSize, read() brings it
+// back.  Spawned remotely, a PageDevice is exactly the paper's first
+// process example: a server on machine i accepting read/write commands.
+//
+// DeviceOptions.service_us simulates the seek/transfer time of a dedicated
+// spindle, which is what makes "assign each device to a different hard
+// drive and the split loop does disk I/O in parallel" (§4) observable on a
+// single development machine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "rpc/binding.hpp"
+#include "serial/archive.hpp"
+#include "storage/page.hpp"
+
+namespace oopp::storage {
+
+struct DeviceOptions {
+  /// Simulated per-operation device service time, microseconds.
+  std::uint32_t service_us = 0;
+
+  bool operator==(const DeviceOptions&) const = default;
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, DeviceOptions& o) {
+  ar(o.service_us);
+}
+
+class PageDevice {
+ public:
+  /// Creates (or truncates) `filename` with NumberOfPages * PageSize bytes.
+  PageDevice(std::string filename, int number_of_pages, int page_size);
+  PageDevice(std::string filename, int number_of_pages, int page_size,
+             DeviceOptions options);
+
+  /// Restore from a passivated image: re-opens the backing file, which
+  /// holds the data, so only the metadata travels through the image.
+  explicit PageDevice(serial::IArchive& ia);
+
+  virtual ~PageDevice();
+
+  PageDevice(const PageDevice&) = delete;
+  PageDevice& operator=(const PageDevice&) = delete;
+
+  /// Store a page at the given address.  The page must be exactly
+  /// page_size() bytes and the address within range.
+  void write(const Page& p, int page_index);
+
+  /// Fetch the page stored at the given address.
+  [[nodiscard]] Page read(int page_index) const;
+
+  /// Same as read() but served *outside* the process's command queue
+  /// (bound reentrant).  Exists for third-party transfers: device A's
+  /// pull_page blocks inside its own queued method while device B serves
+  /// this read concurrently, so two devices pulling from each other
+  /// cannot deadlock.  Page-level atomicity is preserved (each page op
+  /// holds the file lock), but ordering against queued writes is not —
+  /// callers must quiesce mutations before ordering a copy.
+  [[nodiscard]] Page read_unordered(int page_index) const {
+    return read(page_index);
+  }
+
+  [[nodiscard]] int number_of_pages() const { return number_of_pages_; }
+  [[nodiscard]] int page_size() const { return page_size_; }
+  [[nodiscard]] const std::string& filename() const { return filename_; }
+
+  /// By-value accessor for the remote protocol (remote methods return by
+  /// value; references cannot cross machines).
+  [[nodiscard]] std::string backing_file() const { return filename_; }
+
+  /// Total read/write operations served (for tests and benches).
+  [[nodiscard]] std::uint64_t operations() const {
+    return operations_.load(std::memory_order_relaxed);
+  }
+
+  void oopp_save(serial::OArchive& oa) const;
+
+ protected:
+  /// For derived devices that adopt an existing backing file instead of
+  /// creating a fresh one (paper §5: a new process constructed from a
+  /// pointer to an existing process).
+  PageDevice(std::string filename, int number_of_pages, int page_size,
+             DeviceOptions options, bool truncate);
+
+  void check_index(int page_index) const;
+  void simulate_service_time() const;
+
+  std::string filename_;
+  int number_of_pages_ = 0;
+  int page_size_ = 0;
+  DeviceOptions options_{};
+  // Atomic: reentrant reads (read_unordered) bump it concurrently.
+  mutable std::atomic<std::uint64_t> operations_{0};
+
+ private:
+  void open_or_create(bool truncate);
+  std::FILE* f_ = nullptr;
+  /// Makes each page operation atomic at the FILE* level so reentrant
+  /// reads may run concurrently with queued operations.
+  mutable std::mutex io_mu_;
+};
+
+}  // namespace oopp::storage
+
+// Remote protocol (the paper's class description, §2).
+template <>
+struct oopp::rpc::class_def<oopp::storage::PageDevice> {
+  using D = oopp::storage::PageDevice;
+  static std::string name() { return "oopp.storage.PageDevice"; }
+  using ctors = ctor_list<
+      ctor<std::string, int, int>,
+      ctor<std::string, int, int, oopp::storage::DeviceOptions>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&D::write>("write");
+    b.template method<&D::read>("read");
+    b.template method<&D::read_unordered>("read_unordered", reentrant);
+    b.template method<&D::number_of_pages>("number_of_pages");
+    b.template method<&D::page_size>("page_size");
+    b.template method<&D::backing_file>("backing_file");
+    b.template method<&D::operations>("operations");
+    b.persistent();
+  }
+};

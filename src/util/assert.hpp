@@ -1,0 +1,48 @@
+// Lightweight runtime checking used across the OOPP libraries.
+//
+// OOPP_CHECK is for conditions that indicate a programming error in the
+// caller (bad argument, protocol misuse).  It throws instead of aborting so
+// errors can cross the RPC boundary and be re-raised at the remote call
+// site, as the framework requires.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace oopp {
+
+/// Thrown when an OOPP_CHECK precondition fails.
+class check_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "OOPP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw check_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace oopp
+
+#define OOPP_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::oopp::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define OOPP_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream oopp_os_;                                    \
+      oopp_os_ << msg;                                                \
+      ::oopp::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                   oopp_os_.str());                   \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,40 @@
+// Timing helpers shared by the runtime, the network cost model and the
+// benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace oopp {
+
+using steady_clock = std::chrono::steady_clock;
+using time_point = steady_clock::time_point;
+
+/// Nanoseconds since an arbitrary epoch; monotonic.
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Simple scope timer: construct, then read elapsed time in the unit you
+/// need.  Used by benches that report paper-style rows rather than going
+/// through google-benchmark.
+class Timer {
+ public:
+  Timer() : start_(steady_clock::now()) {}
+
+  void reset() { start_ = steady_clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(steady_clock::now() - start_)
+        .count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  time_point start_;
+};
+
+}  // namespace oopp

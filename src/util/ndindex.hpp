@@ -1,0 +1,50 @@
+// Small helpers for three-dimensional index arithmetic.  The paper's data
+// model is built around 3-D arrays broken into rectangular pages, so the
+// same (i1, i2, i3) <-> linear-offset conversions recur in the storage,
+// array and FFT layers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace oopp {
+
+using index_t = std::int64_t;
+
+/// Ceiling division for non-negative integers.
+constexpr index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
+
+/// Extents of a 3-D box.
+struct Extents3 {
+  index_t n1 = 0, n2 = 0, n3 = 0;
+
+  [[nodiscard]] constexpr index_t volume() const { return n1 * n2 * n3; }
+
+  /// Row-major linear offset of (i1, i2, i3); i3 is the fastest axis,
+  /// matching C array layout double[n1][n2][n3].
+  [[nodiscard]] constexpr index_t linear(index_t i1, index_t i2,
+                                         index_t i3) const {
+    return (i1 * n2 + i2) * n3 + i3;
+  }
+
+  [[nodiscard]] constexpr bool contains(index_t i1, index_t i2,
+                                        index_t i3) const {
+    return i1 >= 0 && i1 < n1 && i2 >= 0 && i2 < n2 && i3 >= 0 && i3 < n3;
+  }
+
+  constexpr bool operator==(const Extents3&) const = default;
+};
+
+/// Inverse of Extents3::linear.
+inline std::array<index_t, 3> delinearize(const Extents3& e, index_t lin) {
+  OOPP_CHECK(lin >= 0 && lin < e.volume());
+  const index_t i3 = lin % e.n3;
+  const index_t rest = lin / e.n3;
+  const index_t i2 = rest % e.n2;
+  const index_t i1 = rest / e.n2;
+  return {i1, i2, i3};
+}
+
+}  // namespace oopp

@@ -1,0 +1,112 @@
+#include "util/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace oopp {
+
+ElasticPool::ElasticPool(Options opts) : opts_(opts) {
+  if (opts_.min_threads == 0) opts_.min_threads = 1;
+  if (opts_.max_threads < opts_.min_threads)
+    opts_.max_threads = opts_.min_threads;
+  std::lock_guard lock(mu_);
+  for (std::size_t i = 0; i < opts_.min_threads; ++i) spawn_worker_locked();
+}
+
+ElasticPool::~ElasticPool() { shutdown(); }
+
+void ElasticPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) throw std::runtime_error("ElasticPool: submit after shutdown");
+    queue_.push_back(std::move(task));
+    // Grow when nobody is idle: a busy worker may be about to block on a
+    // nested remote call, and this task could be the one that unblocks it.
+    if (idle_ == 0 && live_.load(std::memory_order_relaxed) < opts_.max_threads) {
+      reap_finished_locked();
+      spawn_worker_locked();
+    }
+  }
+  cv_.notify_one();
+}
+
+void ElasticPool::shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    to_join.swap(workers_);
+  }
+  cv_.notify_all();
+  for (auto& t : to_join)
+    if (t.joinable()) t.join();
+}
+
+void ElasticPool::spawn_worker_locked() {
+  workers_.emplace_back([this] { worker_loop(); });
+  live_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ElasticPool::reap_finished_locked() {
+  // Join workers that retired on idle timeout so the workers_ vector does
+  // not grow without bound in long-running nodes.
+  if (finished_.empty()) return;
+  for (auto id : finished_) {
+    for (auto it = workers_.begin(); it != workers_.end(); ++it) {
+      if (it->get_id() == id) {
+        // The worker has already released mu_ and is returning from its
+        // thread function, so this join completes immediately.
+        it->join();
+        workers_.erase(it);
+        break;
+      }
+    }
+  }
+  finished_.clear();
+}
+
+void ElasticPool::worker_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    ++idle_;
+    const bool can_retire =
+        live_.load(std::memory_order_relaxed) > opts_.min_threads;
+    bool have_work;
+    if (can_retire) {
+      have_work = cv_.wait_for(lock, opts_.idle_timeout, [this] {
+        return shutdown_ || !queue_.empty();
+      });
+    } else {
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      have_work = true;
+    }
+    --idle_;
+
+    if (!queue_.empty()) {
+      auto task = std::move(queue_.front());
+      queue_.pop_front();
+      // Cascade growth: this worker may block inside its task, and no
+      // further submit() might arrive to trigger a spawn — make sure the
+      // remaining queue has someone to drain it.
+      if (!queue_.empty() && idle_ == 0 && !shutdown_ &&
+          live_.load(std::memory_order_relaxed) < opts_.max_threads) {
+        spawn_worker_locked();
+      }
+      lock.unlock();
+      task();
+      tasks_run_.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+      continue;
+    }
+    if (shutdown_) break;
+    if (!have_work && can_retire &&
+        live_.load(std::memory_order_relaxed) > opts_.min_threads) {
+      // Retire this surplus worker.
+      finished_.push_back(std::this_thread::get_id());
+      break;
+    }
+  }
+  live_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace oopp

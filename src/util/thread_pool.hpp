@@ -1,0 +1,74 @@
+// Elastic thread pool.
+//
+// Every incoming RPC request on a node is dispatched as a task on the
+// node's pool.  Servant methods are allowed to make *nested blocking*
+// remote calls (the paper's FFT group does exactly this during the
+// distributed transpose), so a fixed-size pool could deadlock: all workers
+// blocked waiting on replies that can only be produced by dispatching more
+// requests.  The pool therefore grows on demand — whenever a task is
+// submitted and no worker is idle, a new worker is spawned, up to
+// max_threads.  Workers above min_threads retire after an idle timeout.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace oopp {
+
+class ElasticPool {
+ public:
+  struct Options {
+    std::size_t min_threads = 2;
+    std::size_t max_threads = 512;
+    std::chrono::milliseconds idle_timeout{200};
+  };
+
+  ElasticPool() : ElasticPool(Options{}) {}
+  explicit ElasticPool(Options opts);
+  ~ElasticPool();
+
+  ElasticPool(const ElasticPool&) = delete;
+  ElasticPool& operator=(const ElasticPool&) = delete;
+
+  /// Enqueue a task.  Never blocks (beyond the internal lock).  Throws
+  /// std::runtime_error if the pool has been shut down.
+  void submit(std::function<void()> task);
+
+  /// Stop accepting tasks, drain the queue, join all workers.  Idempotent.
+  void shutdown();
+
+  /// Number of live worker threads (approximate; for tests/metrics).
+  [[nodiscard]] std::size_t thread_count() const {
+    return live_.load(std::memory_order_relaxed);
+  }
+
+  /// Total tasks executed (for tests/metrics).
+  [[nodiscard]] std::uint64_t tasks_run() const {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void spawn_worker_locked();
+  void worker_loop();
+  void reap_finished_locked();
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::vector<std::thread::id> finished_;  // retired workers awaiting join
+  std::size_t idle_ = 0;
+  std::atomic<std::size_t> live_{0};
+  std::atomic<std::uint64_t> tasks_run_{0};
+  bool shutdown_ = false;
+};
+
+}  // namespace oopp

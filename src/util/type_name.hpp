@@ -1,0 +1,44 @@
+// Short, stable names for types used to build remotable class names for
+// templates (e.g. RemoteVector<double> registers as "oopp.vec<f64>").
+// typeid().name() is compiler-specific, so the common scalar types get
+// fixed spellings; anything else must specialize.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace oopp {
+
+template <class T>
+struct type_name_of;  // specialize for your type
+
+#define OOPP_TYPE_NAME(T, NAME)                     \
+  template <>                                       \
+  struct type_name_of<T> {                          \
+    static constexpr std::string_view value = NAME; \
+  }
+
+OOPP_TYPE_NAME(bool, "bool");
+OOPP_TYPE_NAME(char, "char");
+OOPP_TYPE_NAME(signed char, "i8");
+OOPP_TYPE_NAME(unsigned char, "u8");
+OOPP_TYPE_NAME(short, "i16");
+OOPP_TYPE_NAME(unsigned short, "u16");
+OOPP_TYPE_NAME(int, "i32");
+OOPP_TYPE_NAME(unsigned int, "u32");
+OOPP_TYPE_NAME(long, "i64");
+OOPP_TYPE_NAME(unsigned long, "u64");
+OOPP_TYPE_NAME(long long, "i64l");
+OOPP_TYPE_NAME(unsigned long long, "u64l");
+OOPP_TYPE_NAME(float, "f32");
+OOPP_TYPE_NAME(double, "f64");
+OOPP_TYPE_NAME(long double, "f80");
+
+#undef OOPP_TYPE_NAME
+
+template <class T>
+constexpr std::string_view type_name() {
+  return type_name_of<T>::value;
+}
+
+}  // namespace oopp

@@ -1,0 +1,185 @@
+// Collectives tests: every operation, both topologies, checked against a
+// straightforward local model — including property sweeps over group
+// size, root, payload length and reduction kind, and a tree-vs-flat
+// equivalence property.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "coll/collectives.hpp"
+#include "core/oopp.hpp"
+#include "util/prng.hpp"
+
+using namespace oopp;
+namespace coll = oopp::coll;
+using coll::CollWorker;
+using coll::ReduceKind;
+using coll::Topology;
+
+namespace {
+
+struct CollFixture {
+  Cluster cluster{4};
+
+  ProcessGroup<CollWorker<double>> group(int n) {
+    return coll::make_group<double>(n, [&](int i) {
+      return static_cast<net::MachineId>(i % cluster.size());
+    });
+  }
+};
+
+std::vector<double> vec(std::initializer_list<double> v) { return v; }
+
+TEST(Collectives, CombineOne) {
+  EXPECT_EQ(coll::combine_one(ReduceKind::kSum, 2.0, 3.0), 5.0);
+  EXPECT_EQ(coll::combine_one(ReduceKind::kProd, 2.0, 3.0), 6.0);
+  EXPECT_EQ(coll::combine_one(ReduceKind::kMin, 2.0, 3.0), 2.0);
+  EXPECT_EQ(coll::combine_one(ReduceKind::kMax, 2.0, 3.0), 3.0);
+}
+
+TEST(Collectives, CombineIntoLengthMismatchRejected) {
+  std::vector<double> a{1.0, 2.0};
+  std::vector<double> b{1.0};
+  EXPECT_THROW(coll::combine_into(ReduceKind::kSum, a, b),
+               oopp::check_error);
+}
+
+TEST(Collectives, BroadcastBothTopologies) {
+  CollFixture fx;
+  for (auto topo : {Topology::kFlat, Topology::kTree}) {
+    auto g = fx.group(7);
+    coll::broadcast(g, 2, vec({1.5, -2.5, 3.0}), topo);
+    for (std::size_t i = 0; i < g.size(); ++i)
+      EXPECT_EQ(g[i].call<&CollWorker<double>::data>(),
+                vec({1.5, -2.5, 3.0}));
+    g.destroy_all();
+  }
+}
+
+TEST(Collectives, ReduceBothTopologies) {
+  CollFixture fx;
+  for (auto topo : {Topology::kFlat, Topology::kTree}) {
+    auto g = fx.group(6);
+    for (std::size_t i = 0; i < g.size(); ++i)
+      g[i].call<&CollWorker<double>::set_data>(
+          vec({double(i), double(i) * 10}));
+    auto total = coll::reduce(g, 0, ReduceKind::kSum, topo);
+    EXPECT_EQ(total, vec({15.0, 150.0}));
+    auto mx = coll::reduce(g, 3, ReduceKind::kMax, topo);
+    EXPECT_EQ(mx, vec({5.0, 50.0}));
+    g.destroy_all();
+  }
+}
+
+TEST(Collectives, AllReduce) {
+  CollFixture fx;
+  for (auto topo : {Topology::kFlat, Topology::kTree}) {
+    auto g = fx.group(5);
+    for (std::size_t i = 0; i < g.size(); ++i)
+      g[i].call<&CollWorker<double>::set_data>(vec({double(i + 1)}));
+    auto total = coll::all_reduce(g, ReduceKind::kProd, topo);
+    EXPECT_EQ(total, vec({120.0}));
+    // Every member now holds the result.
+    for (std::size_t i = 0; i < g.size(); ++i)
+      EXPECT_EQ(g[i].call<&CollWorker<double>::data>(), vec({120.0}));
+    g.destroy_all();
+  }
+}
+
+TEST(Collectives, GatherOrdersById) {
+  CollFixture fx;
+  for (auto topo : {Topology::kFlat, Topology::kTree}) {
+    auto g = fx.group(6);
+    for (std::size_t i = 0; i < g.size(); ++i)
+      g[i].call<&CollWorker<double>::set_data>(vec({double(i) * 2}));
+    auto all = coll::gather(g, 4, topo);
+    ASSERT_EQ(all.size(), 6u);
+    for (std::size_t i = 0; i < all.size(); ++i)
+      EXPECT_EQ(all[i], vec({double(i) * 2}));
+    g.destroy_all();
+  }
+}
+
+TEST(Collectives, ScatterDeliversChunks) {
+  CollFixture fx;
+  for (auto topo : {Topology::kFlat, Topology::kTree}) {
+    auto g = fx.group(5);
+    std::vector<std::vector<double>> chunks;
+    for (int i = 0; i < 5; ++i)
+      chunks.push_back(vec({double(i), double(i) + 0.5}));
+    coll::scatter(g, 3, chunks, topo);
+    for (std::size_t i = 0; i < g.size(); ++i)
+      EXPECT_EQ(g[i].call<&CollWorker<double>::data>(), chunks[i]);
+    g.destroy_all();
+  }
+}
+
+TEST(Collectives, SingleMemberGroup) {
+  CollFixture fx;
+  auto g = fx.group(1);
+  coll::broadcast(g, 0, vec({9.0}), Topology::kTree);
+  EXPECT_EQ(coll::reduce(g, 0, ReduceKind::kSum, Topology::kTree),
+            vec({9.0}));
+  EXPECT_EQ(coll::gather(g, 0, Topology::kTree).size(), 1u);
+  g.destroy_all();
+}
+
+TEST(Collectives, UnwiredWorkerRejectsTreeOps) {
+  CollFixture fx;
+  auto w = fx.cluster.make_remote<CollWorker<double>>(1, 0);
+  EXPECT_THROW(
+      w.call<&CollWorker<double>::tree_bcast>(0, std::int64_t{0},
+                                              std::int64_t{1}, vec({1.0})),
+      rpc::RemoteError);
+  w.destroy();
+}
+
+// Property sweep: tree results == flat results for random configurations.
+struct CollCase {
+  int n;
+  int root;
+  int len;
+  ReduceKind kind;
+};
+
+class CollectiveEquivalence : public ::testing::TestWithParam<CollCase> {};
+
+TEST_P(CollectiveEquivalence, TreeMatchesFlat) {
+  const auto& c = GetParam();
+  CollFixture fx;
+  Xoshiro256 rng(static_cast<std::uint64_t>(c.n * 1000 + c.root * 10 +
+                                            c.len));
+
+  auto g = fx.group(c.n);
+  std::vector<std::vector<double>> data(static_cast<std::size_t>(c.n));
+  for (auto& v : data) {
+    v.resize(static_cast<std::size_t>(c.len));
+    for (auto& x : v) x = rng.uniform(-4.0, 4.0);
+  }
+  for (int i = 0; i < c.n; ++i)
+    g[i].call<&CollWorker<double>::set_data>(data[i]);
+
+  const auto via_tree = coll::reduce(g, c.root, c.kind, Topology::kTree);
+  const auto via_flat = coll::reduce(g, c.root, c.kind, Topology::kFlat);
+  ASSERT_EQ(via_tree.size(), via_flat.size());
+  for (std::size_t i = 0; i < via_tree.size(); ++i)
+    EXPECT_NEAR(via_tree[i], via_flat[i], 1e-9) << "element " << i;
+
+  // Gather equivalence on the same group.
+  EXPECT_EQ(coll::gather(g, c.root, Topology::kTree),
+            coll::gather(g, c.root, Topology::kFlat));
+  g.destroy_all();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollectiveEquivalence,
+    ::testing::Values(CollCase{2, 0, 3, ReduceKind::kSum},
+                      CollCase{3, 2, 1, ReduceKind::kMax},
+                      CollCase{4, 1, 8, ReduceKind::kSum},
+                      CollCase{5, 4, 2, ReduceKind::kMin},
+                      CollCase{8, 3, 4, ReduceKind::kSum},
+                      CollCase{9, 0, 5, ReduceKind::kProd},
+                      CollCase{13, 7, 2, ReduceKind::kSum},
+                      CollCase{16, 15, 1, ReduceKind::kMax}));
+
+}  // namespace

@@ -1,0 +1,551 @@
+// End-to-end tests of the core framework through the Cluster facade:
+// remote construction, remote data blocks, process groups, persistence
+// with symbolic addresses, and both fabrics.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/oopp.hpp"
+
+using oopp::Cluster;
+using oopp::Future;
+using oopp::ProcessGroup;
+using oopp::remote_data;
+using oopp::remote_ptr;
+namespace rpc = oopp::rpc;
+
+namespace {
+
+class Accumulator {
+ public:
+  Accumulator() = default;
+  explicit Accumulator(double start) : total_(start) {}
+  explicit Accumulator(oopp::serial::IArchive& ia) { ia(total_); }
+  void oopp_save(oopp::serial::OArchive& oa) const { oa(total_); }
+
+  double add(double x) { return total_ += x; }
+  double total() const { return total_; }
+
+ private:
+  double total_ = 0.0;
+};
+
+/// Member of a process group that receives the whole group (the paper's
+/// SetGroup deep-copy idiom) and can interact with peers.
+class GroupMember {
+ public:
+  explicit GroupMember(int id) : id_(id) {}
+
+  void set_group(int n, const ProcessGroup<GroupMember>& group) {
+    n_ = n;
+    group_ = group;  // deep copy: a local array of remote pointers
+  }
+
+  int id() const { return id_; }
+  int group_size() const { return static_cast<int>(group_.size()); }
+
+  /// Ask the right-hand neighbour for its id (nested peer call).
+  int neighbour_id() const {
+    return group_[(id_ + 1) % n_].call<&GroupMember::id>();
+  }
+
+ private:
+  int id_ = 0;
+  int n_ = 0;
+  ProcessGroup<GroupMember> group_;
+};
+
+}  // namespace
+
+template <>
+struct oopp::rpc::class_def<Accumulator> {
+  static std::string name() { return "test.Accumulator"; }
+  using ctors = ctor_list<ctor<>, ctor<double>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&Accumulator::add>("add");
+    b.template method<&Accumulator::total>("total");
+    b.persistent();
+  }
+};
+
+template <>
+struct oopp::rpc::class_def<GroupMember> {
+  static std::string name() { return "test.GroupMember"; }
+  using ctors = ctor_list<ctor<int>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&GroupMember::set_group>("set_group");
+    b.template method<&GroupMember::id>("id");
+    b.template method<&GroupMember::group_size>("group_size");
+    b.template method<&GroupMember::neighbour_id>("neighbour_id");
+  }
+};
+
+namespace {
+
+TEST(Cluster, ConstructAndTearDown) {
+  Cluster cluster(4);
+  EXPECT_EQ(cluster.size(), 4u);
+}
+
+TEST(Cluster, MakeRemoteOnEveryMachine) {
+  Cluster cluster(4);
+  for (std::size_t m = 0; m < cluster.size(); ++m) {
+    auto a = cluster.make_remote<Accumulator>(m, 1.5);
+    EXPECT_DOUBLE_EQ(a.call<&Accumulator::add>(2.5), 4.0);
+  }
+}
+
+TEST(Cluster, RemoteDataElementSemantics) {
+  // Paper §2: data[7] = 3.1415; double x = data[2];
+  Cluster cluster(3);
+  auto data = cluster.make_remote_array<double>(2, 1024);
+  data[7] = 3.1415;
+  const double x = data[7];
+  EXPECT_DOUBLE_EQ(x, 3.1415);
+  EXPECT_DOUBLE_EQ(data[2], 0.0);
+  EXPECT_EQ(data.size(), 1024u);
+}
+
+TEST(Cluster, RemoteDataBulkOps) {
+  Cluster cluster(2);
+  std::vector<double> init(256);
+  std::iota(init.begin(), init.end(), 0.0);
+  auto data = cluster.make_remote_array<double>(1, init);
+  EXPECT_EQ(data.to_vector(), init);
+  EXPECT_DOUBLE_EQ(data.sum(), 255.0 * 256.0 / 2.0);
+  auto mid = data.slice(100, 5);
+  EXPECT_EQ(mid, (std::vector<double>{100, 101, 102, 103, 104}));
+  data.assign(0, {9.0, 9.0});
+  EXPECT_DOUBLE_EQ(data[0], 9.0);
+  EXPECT_DOUBLE_EQ(data[1], 9.0);
+  data.fill(1.0);
+  EXPECT_DOUBLE_EQ(data.sum(), 256.0);
+  data.destroy();
+  EXPECT_FALSE(data.valid());
+}
+
+TEST(Cluster, RemoteDataOutOfBoundsRaisesRemoteError) {
+  Cluster cluster(2);
+  auto data = cluster.make_remote_array<double>(1, 8);
+  EXPECT_THROW(data[8] = 1.0, rpc::RemoteError);
+}
+
+TEST(Cluster, ProcessGroupSetGroupDeepCopy) {
+  // The paper's §4 idiom: create N processes, hand each the whole group.
+  Cluster cluster(4);
+  ProcessGroup<GroupMember> group;
+  const int n = 8;
+  for (int i = 0; i < n; ++i)
+    group.push_back(
+        cluster.make_remote<GroupMember>(i % cluster.size(), i));
+  for (int i = 0; i < n; ++i)
+    group[i].call<&GroupMember::set_group>(n, group);
+
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(group[i].call<&GroupMember::group_size>(), n);
+    EXPECT_EQ(group[i].call<&GroupMember::neighbour_id>(), (i + 1) % n);
+  }
+  group.barrier();
+  group.destroy_all();
+  EXPECT_TRUE(group.empty());
+}
+
+TEST(Cluster, GroupCollectAndInvokeAll) {
+  Cluster cluster(3);
+  ProcessGroup<Accumulator> group;
+  for (int i = 0; i < 6; ++i)
+    group.push_back(cluster.make_remote<Accumulator>(i % 3, double(i)));
+  auto totals = group.collect<&Accumulator::total>();
+  EXPECT_EQ(totals, (std::vector<double>{0, 1, 2, 3, 4, 5}));
+  group.invoke_all<&Accumulator::add>(10.0);
+  totals = group.collect<&Accumulator::total>();
+  EXPECT_EQ(totals, (std::vector<double>{10, 11, 12, 13, 14, 15}));
+}
+
+TEST(Cluster, PersistLookupLive) {
+  Cluster cluster(3);
+  auto a = cluster.make_remote<Accumulator>(2, 5.0);
+  a.call<&Accumulator::add>(1.0);
+  cluster.persist(a, "oopp://test/acc/1");
+
+  // Live lookup returns the same process.
+  auto b = cluster.lookup<Accumulator>("oopp://test/acc/1");
+  EXPECT_EQ(b.machine(), a.machine());
+  EXPECT_EQ(b.id(), a.id());
+  b.call<&Accumulator::add>(1.0);
+  EXPECT_DOUBLE_EQ(a.call<&Accumulator::total>(), 7.0);
+}
+
+TEST(Cluster, PassivateThenActivate) {
+  Cluster cluster(3);
+  auto a = cluster.make_remote<Accumulator>(1, 2.0);
+  a.call<&Accumulator::add>(3.0);
+  cluster.passivate(a, "oopp://test/acc/sleepy");
+
+  // The live process is gone.
+  EXPECT_THROW(a.call<&Accumulator::total>(), rpc::ObjectNotFound);
+
+  // Lookup re-activates from the image, on the home machine by default.
+  auto b = cluster.lookup<Accumulator>("oopp://test/acc/sleepy");
+  EXPECT_EQ(b.machine(), 1u);
+  EXPECT_DOUBLE_EQ(b.call<&Accumulator::total>(), 5.0);
+
+  // Second lookup sees the (now live) process, not a second copy.
+  auto c = cluster.lookup<Accumulator>("oopp://test/acc/sleepy");
+  EXPECT_EQ(c.id(), b.id());
+}
+
+TEST(Cluster, ActivateOnDifferentMachine) {
+  Cluster cluster(4);
+  auto a = cluster.make_remote<Accumulator>(1, 9.0);
+  cluster.passivate(a, "oopp://test/acc/mover");
+  auto b = cluster.lookup<Accumulator>("oopp://test/acc/mover", 3);
+  EXPECT_EQ(b.machine(), 3u);
+  EXPECT_DOUBLE_EQ(b.call<&Accumulator::total>(), 9.0);
+}
+
+TEST(Cluster, MigrateMovesProcessBetweenMachines) {
+  Cluster cluster(4);
+  auto a = cluster.make_remote<Accumulator>(1, 5.0);
+  a.call<&Accumulator::add>(2.0);
+
+  auto b = cluster.migrate(a, 3);
+  EXPECT_EQ(b.machine(), 3u);
+  EXPECT_DOUBLE_EQ(b.call<&Accumulator::total>(), 7.0);
+  // The old identity is gone.
+  EXPECT_THROW(a.call<&Accumulator::total>(), rpc::ObjectNotFound);
+  // The migrated process is fully functional.
+  EXPECT_DOUBLE_EQ(b.call<&Accumulator::add>(1.0), 8.0);
+}
+
+TEST(Cluster, MigrateUpdatesSymbolicAddress) {
+  Cluster cluster(4);
+  auto a = cluster.make_remote<Accumulator>(1, 4.0);
+  cluster.persist(a, "oopp://migrate/acc");
+  auto b = cluster.migrate(a, 2);
+  // The registry follows the move: lookup resolves to the new identity.
+  auto via_uri = cluster.lookup<Accumulator>("oopp://migrate/acc");
+  EXPECT_EQ(via_uri.machine(), 2u);
+  EXPECT_EQ(via_uri.id(), b.id());
+  EXPECT_DOUBLE_EQ(via_uri.call<&Accumulator::total>(), 4.0);
+}
+
+TEST(Cluster, MigrateCompletesQueuedWorkFirst) {
+  Cluster cluster(3);
+  auto a = cluster.make_remote<Accumulator>(1, 0.0);
+  // Queue up additions, migrate immediately: FIFO semantics means the
+  // checkpoint happens after they all applied.
+  std::vector<Future<double>> futs;
+  for (int i = 0; i < 50; ++i) futs.push_back(a.async<&Accumulator::add>(1.0));
+  auto b = cluster.migrate(a, 2);
+  for (auto& f : futs) (void)f.get();
+  EXPECT_DOUBLE_EQ(b.call<&Accumulator::total>(), 50.0);
+}
+
+TEST(Cluster, LookupUnknownUriThrows) {
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.lookup<Accumulator>("oopp://nope"), rpc::rpc_error);
+}
+
+TEST(Cluster, LookupWrongTypeThrows) {
+  Cluster cluster(2);
+  auto a = cluster.make_remote<Accumulator>(1, 0.0);
+  cluster.persist(a, "oopp://test/acc/typed");
+  EXPECT_THROW(cluster.lookup<GroupMember>("oopp://test/acc/typed"),
+               rpc::rpc_error);
+}
+
+TEST(Cluster, ForgetRemovesRecord) {
+  Cluster cluster(2);
+  auto a = cluster.make_remote<Accumulator>(1, 0.0);
+  cluster.persist(a, "oopp://test/acc/gone");
+  EXPECT_EQ(cluster.persisted_uris().size(), 1u);
+  EXPECT_TRUE(cluster.forget("oopp://test/acc/gone"));
+  EXPECT_FALSE(cluster.forget("oopp://test/acc/gone"));
+  EXPECT_TRUE(cluster.persisted_uris().empty());
+}
+
+TEST(Cluster, PersistedUrisLists) {
+  Cluster cluster(2);
+  auto a = cluster.make_remote<Accumulator>(0, 0.0);
+  auto b = cluster.make_remote<Accumulator>(1, 0.0);
+  cluster.persist(a, "oopp://x");
+  cluster.persist(b, "oopp://y");
+  auto uris = cluster.persisted_uris();
+  EXPECT_EQ(uris.size(), 2u);
+}
+
+TEST(Cluster, RemoteVectorPersistence) {
+  Cluster cluster(2);
+  auto data = cluster.make_remote_array<double>(1, 16);
+  data[3] = 42.0;
+  cluster.passivate(data.ptr(), "oopp://test/vec");
+  auto restored = cluster.lookup<oopp::RemoteVector<double>>("oopp://test/vec");
+  EXPECT_DOUBLE_EQ(restored.call<&oopp::RemoteVector<double>::get>(3), 42.0);
+}
+
+TEST(Cluster, RegistrySurvivesClusterRestart) {
+  // The full §5 story: persistent processes must outlive not just their
+  // creator but the whole runtime incarnation.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("oopp-registry-restart-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  {
+    Cluster::Options opts;
+    opts.machines = 3;
+    opts.state_dir = dir;
+    opts.persistent_registry = true;
+    Cluster first(opts);
+    auto a = first.make_remote<Accumulator>(1, 10.0);
+    a.call<&Accumulator::add>(5.0);
+    first.passivate(a, "oopp://restart/passive");
+    auto b = first.make_remote<Accumulator>(2, 77.0);
+    first.persist(b, "oopp://restart/was-live");
+    // first is destroyed here; the registry checkpoints itself.
+  }
+
+  {
+    Cluster::Options opts;
+    opts.machines = 3;
+    opts.state_dir = dir;
+    opts.persistent_registry = true;
+    Cluster second(opts);
+    // Both records survive; the was-live one re-activates from its last
+    // checkpoint (its process died with the first cluster).
+    auto uris = second.persisted_uris();
+    EXPECT_EQ(uris.size(), 2u);
+    auto a = second.lookup<Accumulator>("oopp://restart/passive");
+    EXPECT_DOUBLE_EQ(a.call<&Accumulator::total>(), 15.0);
+    auto b = second.lookup<Accumulator>("oopp://restart/was-live");
+    EXPECT_DOUBLE_EQ(b.call<&Accumulator::total>(), 77.0);
+  }
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cluster, CheckpointAllThenRestartResumesLatestState) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("oopp-ckpt-all-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    Cluster::Options opts;
+    opts.machines = 2;
+    opts.state_dir = dir;
+    opts.persistent_registry = true;
+    Cluster first(opts);
+    auto a = first.make_remote<Accumulator>(0, 1.0);
+    auto b = first.make_remote<Accumulator>(1, 2.0);
+    first.persist(a, "oopp://all/a");  // image holds 1.0
+    first.persist(b, "oopp://all/b");  // image holds 2.0
+    a.call<&Accumulator::add>(10.0);
+    b.call<&Accumulator::add>(20.0);
+    // Without checkpoint_all a restart would resume the stale images.
+    EXPECT_EQ(first.checkpoint_all(), 2u);
+  }
+  {
+    Cluster::Options opts;
+    opts.machines = 2;
+    opts.state_dir = dir;
+    opts.persistent_registry = true;
+    Cluster second(opts);
+    EXPECT_DOUBLE_EQ(
+        second.lookup<Accumulator>("oopp://all/a").call<&Accumulator::total>(),
+        11.0);
+    EXPECT_DOUBLE_EQ(
+        second.lookup<Accumulator>("oopp://all/b").call<&Accumulator::total>(),
+        22.0);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cluster, PersistentRegistryRequiresStateDir) {
+  Cluster::Options opts;
+  opts.machines = 1;
+  opts.persistent_registry = true;
+  EXPECT_THROW(Cluster cluster(opts), oopp::check_error);
+}
+
+TEST(Cluster, SaveRegistryExplicitly) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("oopp-registry-save-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  Cluster::Options opts;
+  opts.machines = 2;
+  opts.state_dir = dir;
+  opts.persistent_registry = true;
+  Cluster cluster(opts);
+  auto a = cluster.make_remote<Accumulator>(1, 1.0);
+  cluster.persist(a, "oopp://save/x");
+  cluster.save_registry();
+  EXPECT_TRUE(std::filesystem::exists(dir / "registry.img"));
+  // The registry keeps working after its own checkpoint.
+  EXPECT_EQ(cluster.persisted_uris().size(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cluster, TcpFabricEndToEnd) {
+  Cluster::Options opts;
+  opts.machines = 3;
+  opts.fabric = Cluster::FabricKind::kTcp;
+  Cluster cluster(opts);
+  auto a = cluster.make_remote<Accumulator>(1, 1.0);
+  auto b = cluster.make_remote<Accumulator>(2, 2.0);
+  EXPECT_DOUBLE_EQ(a.call<&Accumulator::add>(10.0), 11.0);
+  EXPECT_DOUBLE_EQ(b.call<&Accumulator::add>(10.0), 12.0);
+  std::vector<Future<double>> futs;
+  for (int i = 0; i < 20; ++i) futs.push_back(a.async<&Accumulator::add>(1.0));
+  for (auto& f : futs) f.get();
+  EXPECT_DOUBLE_EQ(a.call<&Accumulator::total>(), 31.0);
+}
+
+TEST(Cluster, CostModelClusterStillCorrect) {
+  Cluster::Options opts;
+  opts.machines = 2;
+  opts.cost = oopp::net::CostModel{.latency_ns = 200'000,
+                                   .bytes_per_us = 5000.0,
+                                   .per_message_ns = 0};
+  Cluster cluster(opts);
+  auto a = cluster.make_remote<Accumulator>(1, 0.0);
+  for (int i = 0; i < 5; ++i) a.call<&Accumulator::add>(1.0);
+  EXPECT_DOUBLE_EQ(a.call<&Accumulator::total>(), 5.0);
+}
+
+TEST(Cluster, SingleMachineClusterWorks) {
+  Cluster cluster(1);
+  auto a = cluster.make_remote<Accumulator>(0, 3.0);
+  EXPECT_DOUBLE_EQ(a.call<&Accumulator::total>(), 3.0);
+}
+
+TEST(Cluster, UseGuardGivesOtherThreadsAContext) {
+  Cluster cluster(2);
+  std::thread worker([&] {
+    auto guard = cluster.use(1);
+    auto a = oopp::make_remote<Accumulator>(0, 4.0);
+    EXPECT_DOUBLE_EQ(a.call<&Accumulator::total>(), 4.0);
+  });
+  worker.join();
+}
+
+// §5: "The runtime system is responsible for storing process
+// representation, and activating and de-activating processes, as needed."
+TEST(Cluster, ActiveLimitPassivatesLeastRecentlyUsed) {
+  Cluster cluster(3);
+  cluster.set_active_limit(2);
+
+  auto a = cluster.make_remote<Accumulator>(0, 1.0);
+  auto b = cluster.make_remote<Accumulator>(1, 2.0);
+  auto c = cluster.make_remote<Accumulator>(2, 3.0);
+  cluster.persist(a, "oopp://lru/a");
+  cluster.persist(b, "oopp://lru/b");
+  EXPECT_EQ(cluster.active_registered(), 2u);
+
+  // Registering c evicts a (the LRU): a's process is gone, its state
+  // saved.
+  cluster.persist(c, "oopp://lru/c");
+  EXPECT_EQ(cluster.active_registered(), 2u);
+  EXPECT_THROW(a.call<&Accumulator::total>(), rpc::ObjectNotFound);
+  EXPECT_DOUBLE_EQ(b.call<&Accumulator::total>(), 2.0);
+
+  // Symbolic access re-activates a transparently — and now evicts b.
+  auto a2 = cluster.lookup<Accumulator>("oopp://lru/a");
+  EXPECT_DOUBLE_EQ(a2.call<&Accumulator::total>(), 1.0);
+  EXPECT_THROW(b.call<&Accumulator::total>(), rpc::ObjectNotFound);
+
+  // c was touched less recently than a2 now; looking b up evicts c.
+  auto b2 = cluster.lookup<Accumulator>("oopp://lru/b");
+  EXPECT_DOUBLE_EQ(b2.call<&Accumulator::total>(), 2.0);
+  EXPECT_THROW(c.call<&Accumulator::total>(), rpc::ObjectNotFound);
+  EXPECT_EQ(cluster.active_registered(), 2u);
+}
+
+TEST(Cluster, LoweringActiveLimitEvictsImmediately) {
+  Cluster cluster(2);
+  auto a = cluster.make_remote<Accumulator>(0, 1.0);
+  auto b = cluster.make_remote<Accumulator>(1, 2.0);
+  cluster.persist(a, "oopp://lru2/a");
+  cluster.persist(b, "oopp://lru2/b");
+  EXPECT_EQ(cluster.active_registered(), 2u);
+  cluster.set_active_limit(1);
+  EXPECT_EQ(cluster.active_registered(), 1u);
+  EXPECT_THROW(a.call<&Accumulator::total>(), rpc::ObjectNotFound);
+  EXPECT_DOUBLE_EQ(b.call<&Accumulator::total>(), 2.0);
+}
+
+TEST(Cluster, ExplicitPassivateLeavesLruConsistent) {
+  Cluster cluster(2);
+  cluster.set_active_limit(4);
+  auto a = cluster.make_remote<Accumulator>(0, 1.0);
+  cluster.persist(a, "oopp://lru3/a");
+  EXPECT_EQ(cluster.active_registered(), 1u);
+  cluster.passivate(a, "oopp://lru3/a");
+  EXPECT_EQ(cluster.active_registered(), 0u);
+  auto back = cluster.lookup<Accumulator>("oopp://lru3/a");
+  EXPECT_DOUBLE_EQ(back.call<&Accumulator::total>(), 1.0);
+  EXPECT_EQ(cluster.active_registered(), 1u);
+}
+
+// §2's "shared memory implementation": one data block shared among N
+// computing processes.
+TEST(Cluster, SharedDataBlockAmongComputingProcesses) {
+  Cluster cluster(4);
+  auto data = cluster.make_remote_array<double>(0, 64);
+
+  // N "ComputingProcess" stand-ins: driver threads on different machines,
+  // each updating a disjoint range of the shared block.
+  constexpr int kN = 4;
+  std::vector<std::thread> procs;
+  for (int p = 0; p < kN; ++p) {
+    procs.emplace_back([&, p] {
+      auto guard = cluster.use(static_cast<oopp::net::MachineId>(p));
+      for (std::uint64_t i = p * 16; i < (p + 1) * 16u; ++i)
+        data[i] = double(p + 1);
+    });
+  }
+  for (auto& t : procs) t.join();
+
+  double expect = 0.0;
+  for (int p = 0; p < kN; ++p) expect += 16.0 * (p + 1);
+  EXPECT_DOUBLE_EQ(data.sum(), expect);
+}
+
+TEST(Cluster, TraceHookObservesCalls) {
+  Cluster cluster(2);
+  std::mutex mu;
+  std::vector<std::string> seen;
+  cluster.node(1).set_trace([&](const oopp::rpc::CallTrace& t) {
+    std::lock_guard lock(mu);
+    seen.push_back(std::string(t.class_name) + "::" + std::string(t.method) +
+                   (t.status == oopp::net::CallStatus::kOk ? "" : "!"));
+    EXPECT_EQ(t.caller, 0u);
+    EXPECT_GE(t.duration_ns, 0);
+  });
+
+  auto a = cluster.make_remote<Accumulator>(1, 0.0);
+  a.call<&Accumulator::add>(1.0);
+  a.call<&Accumulator::total>();
+
+  std::lock_guard lock(mu);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "test.Accumulator::add");
+  EXPECT_EQ(seen[1], "test.Accumulator::total");
+}
+
+TEST(Cluster, FabricAccounting) {
+  Cluster cluster(2);
+  const auto msgs0 = cluster.fabric().messages_sent();
+  auto a = cluster.make_remote<Accumulator>(1, 0.0);
+  a.call<&Accumulator::add>(1.0);
+  // spawn req+resp, add req+resp = 4 messages minimum.
+  EXPECT_GE(cluster.fabric().messages_sent(), msgs0 + 4);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Whole-stack integration scenarios, each run on BOTH fabrics (simulated
+// in-process interconnect and real TCP loopback sockets).  The framework's
+// promise is that programs are fabric-agnostic; these tests hold it to
+// that across storage, arrays, FFT, groups, persistence and metrics.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <numeric>
+
+#include "array/array.hpp"
+#include "array/block_storage.hpp"
+#include "core/oopp.hpp"
+#include "fft/fft3d.hpp"
+#include "fft/fft_worker.hpp"
+#include "storage/array_page_device.hpp"
+#include "util/prng.hpp"
+
+using namespace oopp;
+namespace arr = oopp::array;
+namespace fs = std::filesystem;
+
+namespace {
+
+class Integration : public ::testing::TestWithParam<Cluster::FabricKind> {
+ protected:
+  Integration() {
+    dir_ = fs::temp_directory_path() /
+           ("oopp-integ-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+    Cluster::Options opts;
+    opts.machines = 4;
+    opts.fabric = GetParam();
+    cluster_ = std::make_unique<Cluster>(opts);
+  }
+  ~Integration() override {
+    cluster_.reset();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static inline int counter_ = 0;
+  fs::path dir_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_P(Integration, StoragePipeline) {
+  // Devices on three machines; write pages through one, adopt through a
+  // derived process, reduce device-side.
+  auto dev = cluster_->make_remote<storage::ArrayPageDevice>(
+      1, file("blocks"), 6, 4, 4, 4);
+  storage::ArrayPage page(4, 4, 4);
+  for (index_t i = 0; i < page.elements(); ++i)
+    page.values()[i] = double(i % 17);
+  for (int p = 0; p < 6; ++p)
+    dev.call<&storage::ArrayPageDevice::write_array>(page, p);
+  double total = 0.0;
+  for (int p = 0; p < 6; ++p)
+    total += dev.call<&storage::ArrayPageDevice::sum>(p);
+  EXPECT_DOUBLE_EQ(total, 6.0 * page.sum());
+
+  remote_ptr<storage::PageDevice> base = dev;
+  EXPECT_EQ(base.call<&storage::PageDevice::number_of_pages>(), 6);
+  dev.destroy();
+}
+
+TEST_P(Integration, DistributedArrayRoundTrip) {
+  const Extents3 N{12, 10, 8};
+  const Extents3 n{4, 4, 4};
+  const Extents3 grid{3, 3, 2};
+  const arr::PageMapSpec spec{arr::PageMapKind::kRoundRobin};
+
+  arr::BlockStorageConfig cfg;
+  cfg.file_prefix = file("dev");
+  cfg.devices = 4;
+  cfg.pages_per_device =
+      static_cast<std::int32_t>(spec.pages_per_device(grid, 4));
+  cfg.n1 = 4;
+  cfg.n2 = 4;
+  cfg.n3 = 4;
+  auto storage = arr::create_block_storage(cfg, [&](std::int32_t i) {
+    return static_cast<net::MachineId>(i % cluster_->size());
+  });
+
+  arr::Array a(N.n1, N.n2, N.n3, n.n1, n.n2, n.n3, storage, spec);
+  const arr::Domain d(1, 11, 2, 9, 0, 8);
+  std::vector<double> buf(static_cast<std::size_t>(d.volume()));
+  std::iota(buf.begin(), buf.end(), 0.5);
+  a.write(buf, d);
+  EXPECT_EQ(a.read(d), buf);
+  EXPECT_NEAR(a.sum(d), std::accumulate(buf.begin(), buf.end(), 0.0), 1e-9);
+  arr::destroy_block_storage(storage);
+}
+
+TEST_P(Integration, DistributedFftGroup) {
+  const Extents3 e{8, 8, 8};
+  fft::DistributedFFT3D dfft(e, 4, [&](int w) {
+    return static_cast<net::MachineId>(w % cluster_->size());
+  });
+  Xoshiro256 rng(31);
+  std::vector<fft::cplx> x(static_cast<std::size_t>(e.volume()));
+  for (auto& v : x) v = fft::cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  auto expect = x;
+  fft::fft3d_inplace(expect, e, -1);
+
+  dfft.scatter(x);
+  dfft.forward();
+  auto got = dfft.gather();
+  double err = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    err = std::max(err, std::abs(got[i] - expect[i]));
+  EXPECT_LT(err, 1e-9);
+  dfft.shutdown();
+}
+
+TEST_P(Integration, PersistenceLifecycle) {
+  auto data = cluster_->make_remote_array<double>(2, 64);
+  data[5] = 2.5;
+  cluster_->passivate(data.ptr(), "oopp://integ/vec");
+  auto revived = cluster_->lookup<RemoteVector<double>>("oopp://integ/vec", 1);
+  EXPECT_EQ(revived.machine(), 1u);
+  EXPECT_DOUBLE_EQ(revived.call<&RemoteVector<double>::get>(5), 2.5);
+  cluster_->forget("oopp://integ/vec");
+}
+
+TEST_P(Integration, GroupBarrierAndStats) {
+  ProcessGroup<RemoteVector<double>> group;
+  for (int i = 0; i < 8; ++i)
+    group.push_back(cluster_->make_remote<RemoteVector<double>>(
+        static_cast<net::MachineId>(i % cluster_->size()),
+        std::uint64_t{32}));
+  group.invoke_all<&RemoteVector<double>::fill>(1.0);
+  group.barrier();
+  for (auto total : group.collect<&RemoteVector<double>::sum>())
+    EXPECT_DOUBLE_EQ(total, 32.0);
+
+  const auto stats = cluster_->stats();
+  EXPECT_EQ(stats.per_node.size(), cluster_->size());
+  const auto t = stats.totals();
+  EXPECT_GE(t.objects_spawned, 8u);
+  EXPECT_GT(t.requests_served, 0u);
+  EXPECT_GT(stats.messages_sent, 0u);
+  EXPECT_GT(stats.bytes_sent, 0u);
+  group.destroy_all();
+}
+
+TEST_P(Integration, ExceptionPropagationAcrossStack) {
+  auto dev = cluster_->make_remote<storage::ArrayPageDevice>(
+      3, file("errs"), 2, 2, 2, 2);
+  try {
+    dev.call<&storage::ArrayPageDevice::sum>(42);
+    FAIL() << "expected RemoteError";
+  } catch (const rpc::RemoteError& e) {
+    EXPECT_EQ(e.machine(), 3u);
+    EXPECT_NE(std::string(e.what()).find("out of"), std::string::npos);
+  }
+  dev.destroy();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fabrics, Integration,
+    ::testing::Values(Cluster::FabricKind::kInProc,
+                      Cluster::FabricKind::kTcp),
+    [](const ::testing::TestParamInfo<Cluster::FabricKind>& info) {
+      return info.param == Cluster::FabricKind::kInProc ? "InProc" : "Tcp";
+    });
+
+}  // namespace

@@ -1,0 +1,211 @@
+// Key-value store tests: shard semantics, the client facade (hashing,
+// split-loop multi ops, scans), chain replication consistency, failover
+// (promote + re-backup), persistence of shards, serializable store
+// handles, and a randomized consistency property against std::map.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/oopp.hpp"
+#include "kv/kv_store.hpp"
+#include "util/prng.hpp"
+
+using namespace oopp;
+using kv::KvShard;
+using kv::KvStore;
+
+namespace {
+
+KvStore make_store(Cluster& cluster, int shards, bool replicate) {
+  return KvStore::create(
+      KvStore::Config{.shards = shards, .replicate = replicate},
+      [&](int s) { return static_cast<net::MachineId>(s % cluster.size()); },
+      [&](int s) {
+        return static_cast<net::MachineId>((s + 1) % cluster.size());
+      });
+}
+
+TEST(KvShard, BasicOpsThroughRemoteProtocol) {
+  Cluster cluster(2);
+  auto shard = cluster.make_remote<KvShard>(1);
+  EXPECT_EQ(shard.call<&KvShard::get>("a"), std::nullopt);
+  EXPECT_EQ(shard.call<&KvShard::put>("a", "1"), 1u);
+  EXPECT_EQ(shard.call<&KvShard::put>("b", "2"), 2u);
+  EXPECT_EQ(shard.call<&KvShard::get>("a"), std::optional<std::string>("1"));
+  EXPECT_EQ(shard.call<&KvShard::size>(), 2u);
+  EXPECT_TRUE(shard.call<&KvShard::erase>("a"));
+  EXPECT_FALSE(shard.call<&KvShard::erase>("a"));
+  EXPECT_EQ(shard.call<&KvShard::size>(), 1u);
+  EXPECT_EQ(shard.call<&KvShard::version>(), 3u);
+}
+
+TEST(KvShard, ScanIsPrefixBoundedAndOrdered) {
+  Cluster cluster(2);
+  auto shard = cluster.make_remote<KvShard>(1);
+  for (const char* k : {"user:3", "user:1", "admin:1", "user:2", "zeta"})
+    shard.call<&KvShard::put>(k, "x");
+  auto hits = shard.call<&KvShard::scan>("user:", std::uint64_t{10});
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].first, "user:1");
+  EXPECT_EQ(hits[2].first, "user:3");
+  auto limited = shard.call<&KvShard::scan>("user:", std::uint64_t{2});
+  EXPECT_EQ(limited.size(), 2u);
+}
+
+TEST(KvStore, PutGetEraseAcrossShards) {
+  Cluster cluster(4);
+  auto store = make_store(cluster, 4, false);
+  for (int i = 0; i < 100; ++i)
+    store.put("key" + std::to_string(i), "value" + std::to_string(i));
+  EXPECT_EQ(store.size(), 100u);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(store.get("key" + std::to_string(i)),
+              std::optional<std::string>("value" + std::to_string(i)));
+  EXPECT_EQ(store.get("missing"), std::nullopt);
+  EXPECT_TRUE(store.erase("key42"));
+  EXPECT_EQ(store.get("key42"), std::nullopt);
+  EXPECT_EQ(store.size(), 99u);
+  store.destroy();
+}
+
+TEST(KvStore, MultiOpsSplitLoop) {
+  Cluster cluster(3);
+  auto store = make_store(cluster, 6, false);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (int i = 0; i < 200; ++i)
+    pairs.emplace_back("k" + std::to_string(i), std::to_string(i * i));
+  store.multi_put(pairs);
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back("k" + std::to_string(i));
+  keys.push_back("absent");
+  auto got = store.multi_get(keys);
+  ASSERT_EQ(got.size(), 201u);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(got[i], std::optional<std::string>(std::to_string(i * i)));
+  EXPECT_EQ(got[200], std::nullopt);
+  store.destroy();
+}
+
+TEST(KvStore, ScanMergesShards) {
+  Cluster cluster(3);
+  auto store = make_store(cluster, 5, false);
+  for (int i = 0; i < 30; ++i)
+    store.put("p:" + std::to_string(100 + i), "v");
+  store.put("other", "v");
+  auto hits = store.scan("p:");
+  ASSERT_EQ(hits.size(), 30u);
+  EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end()));
+  store.destroy();
+}
+
+TEST(KvStore, ReplicationKeepsBackupIdentical) {
+  Cluster cluster(4);
+  auto store = make_store(cluster, 3, true);
+  for (int i = 0; i < 60; ++i)
+    store.put("r" + std::to_string(i), std::to_string(i));
+  for (int i = 0; i < 60; i += 3) store.erase("r" + std::to_string(i));
+
+  for (int s = 0; s < store.shards(); ++s) {
+    ASSERT_TRUE(store.backup(s).valid());
+    auto primary_state = store.primary(s).call<&KvShard::dump>();
+    auto backup_state = store.backup(s).call<&KvShard::dump>();
+    EXPECT_EQ(primary_state, backup_state) << "shard " << s;
+  }
+  store.destroy();
+}
+
+TEST(KvStore, FailoverPromotesBackupWithoutDataLoss) {
+  Cluster cluster(4);
+  auto store = make_store(cluster, 2, true);
+  for (int i = 0; i < 40; ++i)
+    store.put("f" + std::to_string(i), std::to_string(i));
+
+  // Machine failure: shard 0's primary process dies.
+  store.primary(0).destroy();
+  store.promote_backup(0);
+
+  // Every key is still readable, and writes keep working.
+  for (int i = 0; i < 40; ++i)
+    EXPECT_EQ(store.get("f" + std::to_string(i)),
+              std::optional<std::string>(std::to_string(i)));
+  store.put("after-failover", "yes");
+  EXPECT_EQ(store.get("after-failover"),
+            std::optional<std::string>("yes"));
+
+  // Restore redundancy with a fresh, bootstrapped backup.
+  store.add_backup(0, 3);
+  store.put("post-rebackup", "ok");
+  auto p = store.primary(0).call<&KvShard::dump>();
+  auto b = store.backup(0).call<&KvShard::dump>();
+  EXPECT_EQ(p, b);
+  store.destroy();
+}
+
+TEST(KvStore, ShardsPersistAndReactivate) {
+  Cluster cluster(3);
+  auto store = make_store(cluster, 1, false);
+  store.put("deep", "thought");
+  cluster.passivate(store.primary(0), "oopp://kv/shard0");
+  auto revived = cluster.lookup<KvShard>("oopp://kv/shard0", 2);
+  EXPECT_EQ(revived.call<&KvShard::get>("deep"),
+            std::optional<std::string>("thought"));
+  EXPECT_EQ(revived.call<&KvShard::version>(), 1u);
+}
+
+TEST(KvStore, HandleIsSerializable) {
+  Cluster cluster(3);
+  auto store = make_store(cluster, 3, false);
+  store.put("shared", "state");
+  // A serialized + deserialized handle reaches the same shards.
+  auto bytes = serial::to_bytes(store);
+  auto copy = serial::from_bytes<KvStore>(bytes);
+  EXPECT_EQ(copy.get("shared"), std::optional<std::string>("state"));
+  copy.put("via-copy", "x");
+  EXPECT_EQ(store.get("via-copy"), std::optional<std::string>("x"));
+  store.destroy();
+}
+
+class KvRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KvRandomOps, MatchesReferenceMap) {
+  Cluster cluster(4);
+  auto store = make_store(cluster, 4, GetParam() % 2 == 0);
+  Xoshiro256 rng(GetParam());
+  std::map<std::string, std::string> model;
+
+  for (int op = 0; op < 400; ++op) {
+    const std::string key = "k" + std::to_string(rng.below(50));
+    switch (rng.below(3)) {
+      case 0: {
+        const std::string value = "v" + std::to_string(rng());
+        store.put(key, value);
+        model[key] = value;
+        break;
+      }
+      case 1: {
+        const bool expect_there = model.erase(key) > 0;
+        EXPECT_EQ(store.erase(key), expect_there);
+        break;
+      }
+      default: {
+        auto it = model.find(key);
+        auto expect = it == model.end()
+                          ? std::nullopt
+                          : std::optional<std::string>(it->second);
+        EXPECT_EQ(store.get(key), expect);
+      }
+    }
+  }
+  EXPECT_EQ(store.size(), model.size());
+  auto all = store.scan("");
+  EXPECT_EQ(all.size(), model.size());
+  for (const auto& [k, v] : all) EXPECT_EQ(model.at(k), v);
+  store.destroy();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvRandomOps,
+                         ::testing::Values(7, 8, 9, 10, 11, 12));
+
+}  // namespace

@@ -1,0 +1,426 @@
+// RPC-layer tests against bare Nodes on an in-process fabric: spawn,
+// dispatch, error propagation, process (FIFO) semantics, reentrant
+// methods, nested calls, and the control plane.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/future.hpp"
+#include "core/remote_ptr.hpp"
+#include "net/inproc_fabric.hpp"
+#include "rpc/binding.hpp"
+#include "rpc/errors.hpp"
+#include "rpc/node.hpp"
+
+namespace rpc = oopp::rpc;
+namespace net = oopp::net;
+using oopp::Future;
+using oopp::make_remote;
+using oopp::remote_ptr;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Test servants
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  explicit Counter(int start) : value_(start) {}
+  Counter(int start, std::string tag) : value_(start), tag_(std::move(tag)) {}
+
+  int increment(int by) { return value_ += by; }
+  int value() const { return value_; }
+  std::string tag() const { return tag_; }
+  void boom(const std::string& msg) { throw std::runtime_error(msg); }
+
+  /// Sleeps, then records completion order — used to verify FIFO process
+  /// semantics.
+  int slow_mark(int mark, int sleep_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    order_.push_back(mark);
+    return mark;
+  }
+  std::vector<int> order() const { return order_; }
+
+  /// Reentrant probe: returns even while the object is busy in slow_mark.
+  int probe() const { return 123; }
+
+ private:
+  int value_ = 0;
+  std::string tag_;
+  std::vector<int> order_;
+};
+
+struct DtorFlag {
+  static std::atomic<int> destroyed;
+  DtorFlag() = default;
+  ~DtorFlag() { destroyed.fetch_add(1); }
+  int poke() { return 1; }
+};
+std::atomic<int> DtorFlag::destroyed{0};
+
+/// A different class that (wrongly) claims Counter's wire name.
+class CounterImposter {
+ public:
+  CounterImposter() = default;
+  int zero() const { return 0; }
+};
+
+/// Forwards calls to another Counter — exercises nested servant→servant
+/// remote calls (a servant blocked awaiting a second machine).
+class Forwarder {
+ public:
+  explicit Forwarder(remote_ptr<Counter> target) : target_(target) {}
+  int add_via(int by) { return target_.call<&Counter::increment>(by); }
+
+ private:
+  remote_ptr<Counter> target_;
+};
+
+}  // namespace
+
+template <>
+struct oopp::rpc::class_def<Counter> {
+  static std::string name() { return "test.Counter"; }
+  using ctors = ctor_list<ctor<int>, ctor<int, std::string>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&Counter::increment>("increment");
+    b.template method<&Counter::value>("value");
+    b.template method<&Counter::tag>("tag");
+    b.template method<&Counter::boom>("boom");
+    b.template method<&Counter::slow_mark>("slow_mark");
+    b.template method<&Counter::order>("order");
+    b.template method<&Counter::probe>("probe", reentrant);
+  }
+};
+
+template <>
+struct oopp::rpc::class_def<DtorFlag> {
+  static std::string name() { return "test.DtorFlag"; }
+  using ctors = ctor_list<ctor<>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&DtorFlag::poke>("poke");
+  }
+};
+
+template <>
+struct oopp::rpc::class_def<CounterImposter> {
+  static std::string name() { return "test.Counter"; }  // deliberate clash
+  using ctors = ctor_list<ctor<>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&CounterImposter::zero>("zero");
+  }
+};
+
+template <>
+struct oopp::rpc::class_def<Forwarder> {
+  static std::string name() { return "test.Forwarder"; }
+  using ctors = ctor_list<ctor<remote_ptr<Counter>>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&Forwarder::add_via>("add_via");
+  }
+};
+
+namespace {
+
+/// Two bare nodes on an in-process fabric; the test thread runs in node
+/// 0's context (the driver machine).
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest()
+      : fabric_(3),
+        n0_(0, fabric_),
+        n1_(1, fabric_),
+        n2_(2, fabric_),
+        guard_(&n0_) {
+    n0_.start();
+    n1_.start();
+    n2_.start();
+  }
+  ~RpcTest() override {
+    // Staged shutdown mirroring Cluster.
+    for (auto* n : {&n0_, &n1_, &n2_}) n->stop_receiving();
+    for (auto* n : {&n0_, &n1_, &n2_}) n->fail_pending();
+    for (auto* n : {&n0_, &n1_, &n2_}) n->stop_pool();
+  }
+
+  net::InProcFabric fabric_;
+  rpc::Node n0_, n1_, n2_;
+  rpc::Node::ContextGuard guard_;
+};
+
+TEST_F(RpcTest, SpawnAndCall) {
+  auto c = make_remote<Counter>(1, 10);
+  EXPECT_EQ(c.machine(), 1u);
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.call<&Counter::value>(), 10);
+  EXPECT_EQ(c.call<&Counter::increment>(5), 15);
+  EXPECT_EQ(c.call<&Counter::value>(), 15);
+}
+
+TEST_F(RpcTest, SecondConstructorSelectedByOverloadResolution) {
+  auto c = make_remote<Counter>(1, 3, std::string("hello"));
+  EXPECT_EQ(c.call<&Counter::value>(), 3);
+  EXPECT_EQ(c.call<&Counter::tag>(), "hello");
+}
+
+TEST_F(RpcTest, ArgumentConversionLikeLocalCall) {
+  // const char* converts to std::string, short to int.
+  auto c = make_remote<Counter>(1, short{2}, "tag");
+  EXPECT_EQ(c.call<&Counter::tag>(), "tag");
+}
+
+TEST_F(RpcTest, SelfMachineSpawn) {
+  auto c = make_remote<Counter>(0, 7);  // same machine as driver context
+  EXPECT_EQ(c.call<&Counter::value>(), 7);
+}
+
+TEST_F(RpcTest, AsyncSplitLoop) {
+  std::vector<remote_ptr<Counter>> cs;
+  for (int i = 0; i < 8; ++i)
+    cs.push_back(make_remote<Counter>(i % 3, i));
+  std::vector<Future<int>> futs;
+  futs.reserve(cs.size());
+  for (auto& c : cs) futs.push_back(c.async<&Counter::increment>(100));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(futs[i].get(), i + 100);
+}
+
+TEST_F(RpcTest, RemoteExceptionPropagates) {
+  auto c = make_remote<Counter>(2, 0);
+  try {
+    c.call<&Counter::boom>("kaboom");
+    FAIL() << "expected RemoteError";
+  } catch (const rpc::RemoteError& e) {
+    EXPECT_EQ(e.machine(), 2u);
+    EXPECT_EQ(e.original_what(), "kaboom");
+    EXPECT_NE(std::string(e.what()).find("kaboom"), std::string::npos);
+  }
+  // The object survives its exception — still callable.
+  EXPECT_EQ(c.call<&Counter::value>(), 0);
+}
+
+TEST_F(RpcTest, DestroyTerminatesProcess) {
+  DtorFlag::destroyed = 0;
+  auto d = make_remote<DtorFlag>(1);
+  EXPECT_EQ(d.call<&DtorFlag::poke>(), 1);
+  d.destroy();
+  EXPECT_EQ(DtorFlag::destroyed.load(), 1);
+  EXPECT_THROW(d.call<&DtorFlag::poke>(), rpc::ObjectNotFound);
+  EXPECT_THROW(d.destroy(), rpc::ObjectNotFound);
+}
+
+TEST_F(RpcTest, DestroyCompletesOutstandingCommandsFirst) {
+  auto c = make_remote<Counter>(1, 0);
+  auto slow = c.async<&Counter::slow_mark>(1, 50);
+  auto destroyed = c.async_destroy();
+  destroyed.get();
+  EXPECT_EQ(slow.get(), 1);  // completed, not aborted
+}
+
+TEST_F(RpcTest, FifoProcessSemantics) {
+  auto c = make_remote<Counter>(1, 0);
+  // Issue a slow command then fast ones; FIFO means completion order is
+  // issue order even though the fast ones would finish first if parallel.
+  auto f1 = c.async<&Counter::slow_mark>(1, 40);
+  auto f2 = c.async<&Counter::slow_mark>(2, 0);
+  auto f3 = c.async<&Counter::slow_mark>(3, 0);
+  f1.get();
+  f2.get();
+  f3.get();
+  EXPECT_EQ(c.call<&Counter::order>(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(RpcTest, ReentrantMethodRunsWhileObjectBusy) {
+  auto c = make_remote<Counter>(1, 0);
+  auto slow = c.async<&Counter::slow_mark>(1, 200);
+  // probe() is reentrant: it must answer long before slow_mark finishes.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(c.call<&Counter::probe>(), 123);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(150));
+  slow.get();
+}
+
+TEST_F(RpcTest, PingDrainsQueue) {
+  auto c = make_remote<Counter>(1, 0);
+  auto slow = c.async<&Counter::slow_mark>(7, 60);
+  c.ping();  // must wait for slow_mark
+  EXPECT_EQ(c.call<&Counter::order>(), std::vector<int>{7});
+  slow.get();
+}
+
+TEST_F(RpcTest, NestedServantToServantCall) {
+  auto target = make_remote<Counter>(2, 100);
+  auto fwd = make_remote<Forwarder>(1, target);
+  EXPECT_EQ(fwd.call<&Forwarder::add_via>(11), 111);
+  EXPECT_EQ(target.call<&Counter::value>(), 111);
+}
+
+TEST_F(RpcTest, DeepNestedForwardingChain) {
+  // Chain of forwarders across machines; each hop is a servant blocked on
+  // the next — exercises the elastic pools hard.
+  auto target = make_remote<Counter>(0, 0);
+  auto hop1 = make_remote<Forwarder>(1, target);
+  EXPECT_EQ(hop1.call<&Forwarder::add_via>(1), 1);
+  EXPECT_EQ(hop1.call<&Forwarder::add_via>(2), 3);
+}
+
+TEST_F(RpcTest, UnknownMethodIdRejected) {
+  auto c = make_remote<Counter>(1, 0);
+  // Craft a raw call with a method id the class never bound.
+  EXPECT_THROW(n0_.call_raw(1, c.id(), net::method_id("no.such.method"), {}),
+               rpc::MethodNotFound);
+}
+
+TEST_F(RpcTest, CorruptArgumentsRejected) {
+  auto c = make_remote<Counter>(1, 0);
+  // increment(int) expects 4 bytes; send none.
+  EXPECT_THROW(n0_.call_raw(1, c.id(),
+                            rpc::method_registry<&Counter::increment>::id, {}),
+               rpc::BadFrame);
+}
+
+TEST_F(RpcTest, UnknownClassInSpawnRejected) {
+  oopp::serial::OArchive oa;
+  oa(std::string("no.such.Class"), std::uint32_t{0});
+  EXPECT_THROW(n0_.call_raw(1, net::kNodeObject,
+                            net::method_id(rpc::kSpawnMethod), oa.take()),
+               rpc::RemoteError);
+}
+
+TEST_F(RpcTest, OutOfRangeCtorIndexRejected) {
+  rpc::ensure_registered<Counter>();
+  oopp::serial::OArchive oa;
+  oa(std::string("test.Counter"), std::uint32_t{99}, 7);
+  EXPECT_THROW(n0_.call_raw(1, net::kNodeObject,
+                            net::method_id(rpc::kSpawnMethod), oa.take()),
+               rpc::RemoteError);
+}
+
+TEST_F(RpcTest, TruncatedSpawnPayloadIsBadFrame) {
+  rpc::ensure_registered<Counter>();
+  oopp::serial::OArchive oa;
+  oa(std::string("test.Counter"), std::uint32_t{0});  // missing int arg
+  EXPECT_THROW(n0_.call_raw(1, net::kNodeObject,
+                            net::method_id(rpc::kSpawnMethod), oa.take()),
+               rpc::BadFrame);
+}
+
+TEST_F(RpcTest, PassivateNonPersistentClassRejected) {
+  auto c = make_remote<Counter>(1, 0);  // Counter has no persistence hooks
+  oopp::serial::OArchive oa;
+  oa(static_cast<std::uint64_t>(c.id()), std::uint8_t{0});
+  try {
+    n0_.call_raw(1, net::kNodeObject, net::method_id(rpc::kPassivateMethod),
+                 oa.take());
+    FAIL() << "expected RemoteError";
+  } catch (const rpc::RemoteError& e) {
+    EXPECT_NE(std::string(e.what()).find("not persistent"),
+              std::string::npos);
+  }
+  // Still alive and serving.
+  EXPECT_EQ(c.call<&Counter::value>(), 0);
+}
+
+TEST_F(RpcTest, RestoreUnknownClassRejected) {
+  oopp::serial::OArchive oa;
+  oa(std::string("no.such.Class"), std::vector<std::byte>{});
+  EXPECT_THROW(n0_.call_raw(1, net::kNodeObject,
+                            net::method_id(rpc::kRestoreMethod), oa.take()),
+               rpc::RemoteError);
+}
+
+TEST_F(RpcTest, UnknownControlMethodRejected) {
+  EXPECT_THROW(n0_.call_raw(1, net::kNodeObject,
+                            net::method_id("oopp.node.nonsense"), {}),
+               rpc::MethodNotFound);
+}
+
+TEST_F(RpcTest, DestroyUnknownObjectIsObjectNotFound) {
+  oopp::serial::OArchive oa;
+  oa(std::uint64_t{999999});
+  EXPECT_THROW(n0_.call_raw(1, net::kNodeObject,
+                            net::method_id(rpc::kDestroyMethod), oa.take()),
+               rpc::ObjectNotFound);
+}
+
+TEST_F(RpcTest, StatsControlCountsObjects) {
+  auto fetch = [&] {
+    auto resp = n0_.call_raw(1, net::kNodeObject,
+                             net::method_id(rpc::kStatsMethod), {});
+    return oopp::serial::IArchive(resp.payload).read<rpc::NodeStats>();
+  };
+  const auto before = fetch();
+  auto c1 = make_remote<Counter>(1, 0);
+  auto c2 = make_remote<Counter>(1, 0);
+  c1.call<&Counter::increment>(1);
+  try {
+    c1.call<&Counter::boom>("x");
+  } catch (const rpc::RemoteError&) {
+  }
+  const auto after = fetch();
+  EXPECT_EQ(after.objects_live, before.objects_live + 2);
+  EXPECT_EQ(after.objects_spawned, before.objects_spawned + 2);
+  EXPECT_GE(after.requests_served, before.requests_served + 2);
+  EXPECT_EQ(after.remote_exceptions, before.remote_exceptions + 1);
+  c1.destroy();
+  c2.destroy();
+  const auto final_stats = fetch();
+  EXPECT_EQ(final_stats.objects_destroyed, before.objects_destroyed + 2);
+  EXPECT_EQ(final_stats.objects_live, before.objects_live);
+  EXPECT_GT(final_stats.pool_threads, 0u);
+}
+
+TEST_F(RpcTest, ManyObjectsManyCalls) {
+  std::vector<remote_ptr<Counter>> cs;
+  for (int i = 0; i < 50; ++i)
+    cs.push_back(make_remote<Counter>(i % 3, 0));
+  std::vector<Future<int>> futs;
+  for (int round = 0; round < 10; ++round)
+    for (auto& c : cs) futs.push_back(c.async<&Counter::increment>(1));
+  for (auto& f : futs) f.get();
+  for (auto& c : cs) EXPECT_EQ(c.call<&Counter::value>(), 10);
+}
+
+TEST_F(RpcTest, FutureTimeoutDoesNotCancel) {
+  auto c = make_remote<Counter>(1, 0);
+  auto fut = c.async<&Counter::slow_mark>(9, 80);
+  // Too-short deadline: timeout, but the method keeps running.
+  EXPECT_THROW((void)fut.get_for(std::chrono::milliseconds(5)),
+               rpc::CallTimeout);
+  // Patience pays: the same future later yields the result.
+  EXPECT_EQ(fut.get_for(std::chrono::seconds(10)), 9);
+  EXPECT_EQ(c.call<&Counter::order>(), std::vector<int>{9});
+}
+
+TEST_F(RpcTest, FutureWaitFor) {
+  auto c = make_remote<Counter>(1, 0);
+  auto fut = c.async<&Counter::slow_mark>(1, 50);
+  EXPECT_FALSE(fut.wait_for(std::chrono::milliseconds(1)));
+  EXPECT_TRUE(fut.wait_for(std::chrono::seconds(10)));
+  EXPECT_EQ(fut.get(), 1);
+}
+
+TEST_F(RpcTest, WireNameCollisionDetected) {
+  rpc::ensure_registered<Counter>();           // claims "test.Counter"
+  EXPECT_THROW(rpc::ensure_registered<CounterImposter>(), oopp::check_error);
+}
+
+TEST_F(RpcTest, NullRemotePtrChecks) {
+  remote_ptr<Counter> null;
+  EXPECT_FALSE(null.valid());
+  EXPECT_THROW(null.call<&Counter::value>(), oopp::check_error);
+}
+
+}  // namespace

@@ -1,0 +1,228 @@
+// Concurrency stress tests: the runtime under load from many driver
+// threads, deep async pipelines, interleaved create/destroy, mixed
+// reentrant and queued traffic, and command-queue FIFO under contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/oopp.hpp"
+
+using namespace oopp;
+
+namespace {
+
+class Cell {
+ public:
+  Cell() = default;
+  explicit Cell(std::int64_t v) : value_(v) {}
+
+  std::int64_t add(std::int64_t d) { return value_ += d; }
+  std::int64_t value() const { return value_; }
+
+  /// Appends through the command queue — used to check FIFO under load.
+  std::uint64_t append(std::uint64_t x) {
+    log_.push_back(x);
+    return log_.size();
+  }
+  std::vector<std::uint64_t> log() const { return log_; }
+
+  /// Reentrant read: runs concurrently with queued commands.
+  std::int64_t peek() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::vector<std::uint64_t> log_;
+};
+
+}  // namespace
+
+template <>
+struct oopp::rpc::class_def<Cell> {
+  static std::string name() { return "stress.Cell"; }
+  using ctors = ctor_list<ctor<>, ctor<std::int64_t>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&Cell::add>("add");
+    b.template method<&Cell::value>("value");
+    b.template method<&Cell::append>("append");
+    b.template method<&Cell::log>("log");
+    b.template method<&Cell::peek>("peek", reentrant);
+  }
+};
+
+namespace {
+
+TEST(Stress, ManyDriverThreadsSharedObject) {
+  Cluster cluster(4);
+  auto cell = cluster.make_remote<Cell>(2, 0);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto guard = cluster.use(static_cast<net::MachineId>(t % 4));
+      for (int i = 0; i < kOpsPerThread; ++i)
+        cell.call<&Cell::add>(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cell.call<&Cell::value>(), kThreads * kOpsPerThread);
+}
+
+TEST(Stress, FifoHoldsPerClientUnderConcurrency) {
+  // Each client appends its own tagged sequence to a private object; the
+  // per-object command queue must keep each client's order intact.
+  Cluster cluster(4);
+  constexpr int kClients = 4;
+  constexpr std::uint64_t kOps = 300;
+
+  std::vector<remote_ptr<Cell>> cells;
+  for (int c = 0; c < kClients; ++c)
+    cells.push_back(cluster.make_remote<Cell>(
+        static_cast<net::MachineId>((c + 1) % 4)));
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto guard = cluster.use(static_cast<net::MachineId>(c % 4));
+      std::vector<Future<std::uint64_t>> futs;
+      futs.reserve(kOps);
+      for (std::uint64_t i = 0; i < kOps; ++i)
+        futs.push_back(cells[c].async<&Cell::append>(i));
+      for (auto& f : futs) (void)f.get();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    const auto log = cells[c].call<&Cell::log>();
+    ASSERT_EQ(log.size(), kOps);
+    for (std::uint64_t i = 0; i < kOps; ++i)
+      ASSERT_EQ(log[i], i) << "client " << c << " position " << i;
+  }
+}
+
+TEST(Stress, DeepAsyncPipeline) {
+  Cluster cluster(3);
+  auto cell = cluster.make_remote<Cell>(1, 0);
+  constexpr int kDepth = 2000;
+  std::vector<Future<std::int64_t>> futs;
+  futs.reserve(kDepth);
+  for (int i = 0; i < kDepth; ++i)
+    futs.push_back(cell.async<&Cell::add>(1));
+  // Results arrive FIFO: future i must read i+1.
+  for (int i = 0; i < kDepth; ++i)
+    ASSERT_EQ(futs[i].get(), i + 1);
+}
+
+TEST(Stress, CreateDestroyChurn) {
+  Cluster cluster(4);
+  constexpr int kRounds = 50;
+  for (int r = 0; r < kRounds; ++r) {
+    std::vector<remote_ptr<Cell>> cells;
+    for (int i = 0; i < 8; ++i)
+      cells.push_back(cluster.make_remote<Cell>(
+          static_cast<net::MachineId>(i % 4), r));
+    std::vector<Future<std::int64_t>> futs;
+    for (auto& c : cells) futs.push_back(c.async<&Cell::add>(1));
+    for (auto& f : futs) (void)f.get();
+    std::vector<Future<void>> dels;
+    for (auto& c : cells) dels.push_back(c.async_destroy());
+    for (auto& d : dels) d.get();
+  }
+  // Everything cleaned up.
+  const auto totals = cluster.stats().totals();
+  EXPECT_EQ(totals.objects_spawned, totals.objects_destroyed + 0u);
+  EXPECT_EQ(totals.objects_live, 0u);
+}
+
+TEST(Stress, ReentrantReadsDuringQueuedWrites) {
+  Cluster cluster(2);
+  auto cell = cluster.make_remote<Cell>(1, 0);
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    auto guard = cluster.use(0);
+    while (!stop.load()) {
+      const auto v = cell.call<&Cell::peek>();
+      ASSERT_GE(v, 0);
+    }
+  });
+
+  std::vector<Future<std::int64_t>> futs;
+  for (int i = 0; i < 500; ++i) futs.push_back(cell.async<&Cell::add>(1));
+  for (auto& f : futs) (void)f.get();
+  stop = true;
+  reader.join();
+  EXPECT_EQ(cell.call<&Cell::value>(), 500);
+}
+
+TEST(Stress, BarrierStorm) {
+  Cluster cluster(4);
+  ProcessGroup<Cell> group;
+  for (int i = 0; i < 16; ++i)
+    group.push_back(
+        cluster.make_remote<Cell>(static_cast<net::MachineId>(i % 4)));
+  for (int round = 0; round < 100; ++round) {
+    auto futs = group.async_all<&Cell::add>(1);
+    group.barrier();
+    for (auto& f : futs) (void)f.get();
+  }
+  for (auto total : group.collect<&Cell::value>()) EXPECT_EQ(total, 100);
+}
+
+TEST(Stress, MixedWorkloadAcrossFabricTcp) {
+  Cluster::Options opts;
+  opts.machines = 3;
+  opts.fabric = Cluster::FabricKind::kTcp;
+  Cluster cluster(opts);
+
+  std::vector<std::thread> threads;
+  std::atomic<std::int64_t> grand_total{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      auto guard = cluster.use(static_cast<net::MachineId>(t % 3));
+      auto cell = oopp::make_remote<Cell>(
+          static_cast<net::MachineId>((t + 1) % 3), 0);
+      std::int64_t last = 0;
+      for (int i = 0; i < 100; ++i) last = cell.call<&Cell::add>(1);
+      grand_total.fetch_add(last);
+      cell.destroy();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(grand_total.load(), 400);
+}
+
+TEST(Stress, LargePayloadsConcurrently) {
+  Cluster cluster(3);
+  std::vector<remote_data<double>> arrays;
+  for (int i = 0; i < 3; ++i)
+    arrays.push_back(cluster.make_remote_array<double>(
+        static_cast<net::MachineId>(i), 1 << 16));  // 512 KiB each
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      auto guard = cluster.use(static_cast<net::MachineId>((t + 1) % 3));
+      std::vector<double> buf(1 << 16, double(t + 1));
+      for (int round = 0; round < 5; ++round) {
+        arrays[t].assign(0, buf);
+        auto back = arrays[t].to_vector();
+        ASSERT_EQ(back.size(), buf.size());
+        ASSERT_EQ(back[12345], double(t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < 3; ++t)
+    EXPECT_DOUBLE_EQ(arrays[t].sum(), double(t + 1) * (1 << 16));
+}
+
+}  // namespace

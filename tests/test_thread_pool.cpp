@@ -1,0 +1,138 @@
+// Unit tests for the elastic pool, including the property that matters for
+// the runtime: tasks that block on other tasks' results never deadlock,
+// because the pool grows while its workers are blocked.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+using oopp::ElasticPool;
+
+namespace {
+
+TEST(ElasticPool, RunsSubmittedTasks) {
+  ElasticPool pool;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&] { count.fetch_add(1); });
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ElasticPool, ShutdownIsIdempotent) {
+  ElasticPool pool;
+  pool.submit([] {});
+  pool.shutdown();
+  pool.shutdown();
+}
+
+TEST(ElasticPool, SubmitAfterShutdownThrows) {
+  ElasticPool pool;
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ElasticPool, StartsWithMinThreads) {
+  ElasticPool pool(ElasticPool::Options{.min_threads = 3, .max_threads = 8});
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ElasticPool, GrowsWhenWorkersBlock) {
+  // Chain of dependent tasks: task i waits for promise i+1, which is only
+  // fulfilled by a later task.  A fixed pool of 2 would deadlock at depth
+  // 2; the elastic pool must complete the whole chain.
+  constexpr int kDepth = 16;
+  ElasticPool pool(
+      ElasticPool::Options{.min_threads = 2, .max_threads = 64});
+  std::vector<std::promise<void>> gates(kDepth + 1);
+  gates[kDepth].set_value();
+  std::atomic<int> completed{0};
+  for (int i = 0; i < kDepth; ++i) {
+    pool.submit([&, i] {
+      gates[i + 1].get_future().wait();  // blocks until successor runs
+      completed.fetch_add(1);
+      gates[i].set_value();
+    });
+  }
+  gates[0].get_future().wait();
+  EXPECT_EQ(completed.load(), kDepth);
+  EXPECT_GT(pool.thread_count(), 2u);
+  pool.shutdown();
+}
+
+TEST(ElasticPool, SurplusWorkersRetire) {
+  ElasticPool pool(ElasticPool::Options{
+      .min_threads = 1,
+      .max_threads = 32,
+      .idle_timeout = std::chrono::milliseconds(20)});
+  // Force growth with blocking tasks.
+  std::promise<void> gate;
+  auto fut = gate.get_future().share();
+  for (int i = 0; i < 8; ++i)
+    pool.submit([fut] { fut.wait(); });
+  // Let the pool grow, then release.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto grown = pool.thread_count();
+  EXPECT_GE(grown, 8u);
+  gate.set_value();
+  // Idle workers above min retire after the timeout.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (pool.thread_count() > 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_LE(pool.thread_count(), 2u);
+  pool.shutdown();
+}
+
+TEST(ElasticPool, DrainsQueueOnShutdown) {
+  std::atomic<int> count{0};
+  {
+    ElasticPool pool(ElasticPool::Options{.min_threads = 1, .max_threads = 1});
+    for (int i = 0; i < 500; ++i)
+      pool.submit([&] { count.fetch_add(1); });
+  }  // destructor shuts down
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ElasticPool, TasksRunCounter) {
+  ElasticPool pool;
+  for (int i = 0; i < 42; ++i) pool.submit([] {});
+  pool.shutdown();
+  EXPECT_EQ(pool.tasks_run(), 42u);
+}
+
+TEST(ElasticPool, RespectsMaxThreads) {
+  ElasticPool pool(ElasticPool::Options{.min_threads = 1, .max_threads = 4});
+  std::promise<void> gate;
+  auto fut = gate.get_future().share();
+  for (int i = 0; i < 32; ++i)
+    pool.submit([fut] { fut.wait(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(pool.thread_count(), 4u);
+  gate.set_value();
+  pool.shutdown();
+}
+
+TEST(ElasticPool, ParallelismAcrossManySubmitters) {
+  ElasticPool pool(ElasticPool::Options{.min_threads = 2, .max_threads = 64});
+  std::atomic<int> done{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 100; ++i)
+        pool.submit([&] { done.fetch_add(1); });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.shutdown();
+  EXPECT_EQ(done.load(), 800);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Unit tests for the support layer: index math, PRNG determinism and
+// distribution bounds, timing, and type names.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "util/clock.hpp"
+#include "util/ndindex.hpp"
+#include "util/prng.hpp"
+#include "util/type_name.hpp"
+
+using namespace oopp;
+
+namespace {
+
+TEST(NdIndex, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(8, 4), 2);
+  EXPECT_EQ(ceil_div(9, 1), 9);
+}
+
+TEST(NdIndex, LinearIsRowMajor) {
+  const Extents3 e{2, 3, 4};
+  EXPECT_EQ(e.volume(), 24);
+  EXPECT_EQ(e.linear(0, 0, 0), 0);
+  EXPECT_EQ(e.linear(0, 0, 1), 1);   // axis 3 fastest
+  EXPECT_EQ(e.linear(0, 1, 0), 4);
+  EXPECT_EQ(e.linear(1, 0, 0), 12);
+  EXPECT_EQ(e.linear(1, 2, 3), 23);
+}
+
+TEST(NdIndex, DelinearizeInvertsLinear) {
+  const Extents3 e{3, 5, 7};
+  for (index_t lin = 0; lin < e.volume(); ++lin) {
+    const auto [i1, i2, i3] = delinearize(e, lin);
+    EXPECT_TRUE(e.contains(i1, i2, i3));
+    EXPECT_EQ(e.linear(i1, i2, i3), lin);
+  }
+  EXPECT_THROW(delinearize(e, e.volume()), check_error);
+  EXPECT_THROW(delinearize(e, -1), check_error);
+}
+
+TEST(NdIndex, Contains) {
+  const Extents3 e{2, 2, 2};
+  EXPECT_TRUE(e.contains(0, 0, 0));
+  EXPECT_TRUE(e.contains(1, 1, 1));
+  EXPECT_FALSE(e.contains(2, 0, 0));
+  EXPECT_FALSE(e.contains(0, -1, 0));
+}
+
+TEST(Prng, DeterministicPerSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  // Different seed, different stream (overwhelmingly likely).
+  Xoshiro256 a2(42);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a2() == c()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Prng, UniformStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double r = rng.uniform(-2.5, 4.5);
+    EXPECT_GE(r, -2.5);
+    EXPECT_LT(r, 4.5);
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Prng, BelowCoversRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Clock, TimerMeasuresElapsed) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = t.millis();
+  EXPECT_GE(ms, 18.0);
+  EXPECT_LT(ms, 500.0);
+  t.reset();
+  EXPECT_LT(t.millis(), 10.0);
+  EXPECT_GT(now_ns(), 0);
+}
+
+TEST(TypeName, CommonSpellingsStable) {
+  EXPECT_EQ(type_name<double>(), "f64");
+  EXPECT_EQ(type_name<float>(), "f32");
+  EXPECT_EQ(type_name<int>(), "i32");
+  EXPECT_EQ(type_name<unsigned long>(), "u64");
+  EXPECT_EQ(type_name<bool>(), "bool");
+}
+
+TEST(Check, MacrosThrowWithContext) {
+  try {
+    OOPP_CHECK_MSG(1 == 2, "custom detail " << 42);
+    FAIL();
+  } catch (const check_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+  }
+}
+
+}  // namespace
