@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_collectives.dir/bench_e11_collectives.cpp.o"
+  "CMakeFiles/bench_e11_collectives.dir/bench_e11_collectives.cpp.o.d"
+  "bench_e11_collectives"
+  "bench_e11_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_out_of_core_fft.dir/bench_e12_out_of_core_fft.cpp.o"
+  "CMakeFiles/bench_e12_out_of_core_fft.dir/bench_e12_out_of_core_fft.cpp.o.d"
+  "bench_e12_out_of_core_fft"
+  "bench_e12_out_of_core_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_out_of_core_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

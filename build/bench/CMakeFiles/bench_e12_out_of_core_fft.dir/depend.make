@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e12_out_of_core_fft.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_kv_store.dir/bench_e13_kv_store.cpp.o"
+  "CMakeFiles/bench_e13_kv_store.dir/bench_e13_kv_store.cpp.o.d"
+  "bench_e13_kv_store"
+  "bench_e13_kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e14_page_cache.cpp" "bench/CMakeFiles/bench_e14_page_cache.dir/bench_e14_page_cache.cpp.o" "gcc" "bench/CMakeFiles/bench_e14_page_cache.dir/bench_e14_page_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fft/CMakeFiles/oopp_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/oopp_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/oopp_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/oopp_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/oopp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/oopp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/oopp_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oopp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oopp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

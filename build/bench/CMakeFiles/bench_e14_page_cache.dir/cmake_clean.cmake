@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_page_cache.dir/bench_e14_page_cache.cpp.o"
+  "CMakeFiles/bench_e14_page_cache.dir/bench_e14_page_cache.cpp.o.d"
+  "bench_e14_page_cache"
+  "bench_e14_page_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_page_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

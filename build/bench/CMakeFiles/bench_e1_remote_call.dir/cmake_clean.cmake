@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_remote_call.dir/bench_e1_remote_call.cpp.o"
+  "CMakeFiles/bench_e1_remote_call.dir/bench_e1_remote_call.cpp.o.d"
+  "bench_e1_remote_call"
+  "bench_e1_remote_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_remote_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_remote_data.dir/bench_e2_remote_data.cpp.o"
+  "CMakeFiles/bench_e2_remote_data.dir/bench_e2_remote_data.cpp.o.d"
+  "bench_e2_remote_data"
+  "bench_e2_remote_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_remote_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_compute_vs_data.dir/bench_e3_compute_vs_data.cpp.o"
+  "CMakeFiles/bench_e3_compute_vs_data.dir/bench_e3_compute_vs_data.cpp.o.d"
+  "bench_e3_compute_vs_data"
+  "bench_e3_compute_vs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_compute_vs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_split_loop.dir/bench_e4_split_loop.cpp.o"
+  "CMakeFiles/bench_e4_split_loop.dir/bench_e4_split_loop.cpp.o.d"
+  "bench_e4_split_loop"
+  "bench_e4_split_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_split_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

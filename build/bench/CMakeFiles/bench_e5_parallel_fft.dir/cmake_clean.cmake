@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_parallel_fft.dir/bench_e5_parallel_fft.cpp.o"
+  "CMakeFiles/bench_e5_parallel_fft.dir/bench_e5_parallel_fft.cpp.o.d"
+  "bench_e5_parallel_fft"
+  "bench_e5_parallel_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_parallel_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

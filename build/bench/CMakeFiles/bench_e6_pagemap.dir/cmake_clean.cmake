@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_pagemap.dir/bench_e6_pagemap.cpp.o"
+  "CMakeFiles/bench_e6_pagemap.dir/bench_e6_pagemap.cpp.o.d"
+  "bench_e6_pagemap"
+  "bench_e6_pagemap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_pagemap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_parallel_clients.dir/bench_e7_parallel_clients.cpp.o"
+  "CMakeFiles/bench_e7_parallel_clients.dir/bench_e7_parallel_clients.cpp.o.d"
+  "bench_e7_parallel_clients"
+  "bench_e7_parallel_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_parallel_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

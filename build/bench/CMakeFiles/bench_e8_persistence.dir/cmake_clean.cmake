@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_persistence.dir/bench_e8_persistence.cpp.o"
+  "CMakeFiles/bench_e8_persistence.dir/bench_e8_persistence.cpp.o.d"
+  "bench_e8_persistence"
+  "bench_e8_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

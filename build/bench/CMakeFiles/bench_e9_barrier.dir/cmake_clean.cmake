@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_barrier.dir/bench_e9_barrier.cpp.o"
+  "CMakeFiles/bench_e9_barrier.dir/bench_e9_barrier.cpp.o.d"
+  "bench_e9_barrier"
+  "bench_e9_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

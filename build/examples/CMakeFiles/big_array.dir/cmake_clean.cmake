@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/big_array.dir/big_array.cpp.o"
+  "CMakeFiles/big_array.dir/big_array.cpp.o.d"
+  "big_array"
+  "big_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/big_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_session_store.dir/kv_session_store.cpp.o"
+  "CMakeFiles/kv_session_store.dir/kv_session_store.cpp.o.d"
+  "kv_session_store"
+  "kv_session_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_session_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

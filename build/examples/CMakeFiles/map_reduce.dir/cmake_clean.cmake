@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_reduce.dir/map_reduce.cpp.o"
+  "CMakeFiles/map_reduce.dir/map_reduce.cpp.o.d"
+  "map_reduce"
+  "map_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

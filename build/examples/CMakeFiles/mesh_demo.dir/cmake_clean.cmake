@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_demo.dir/mesh_demo.cpp.o"
+  "CMakeFiles/mesh_demo.dir/mesh_demo.cpp.o.d"
+  "mesh_demo"
+  "mesh_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

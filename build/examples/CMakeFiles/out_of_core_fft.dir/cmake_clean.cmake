@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_fft.dir/out_of_core_fft.cpp.o"
+  "CMakeFiles/out_of_core_fft.dir/out_of_core_fft.cpp.o.d"
+  "out_of_core_fft"
+  "out_of_core_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

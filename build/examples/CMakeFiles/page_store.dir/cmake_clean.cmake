@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_store.dir/page_store.cpp.o"
+  "CMakeFiles/page_store.dir/page_store.cpp.o.d"
+  "page_store"
+  "page_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_fft.dir/parallel_fft.cpp.o"
+  "CMakeFiles/parallel_fft.dir/parallel_fft.cpp.o.d"
+  "parallel_fft"
+  "parallel_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_objects.dir/persistent_objects.cpp.o"
+  "CMakeFiles/persistent_objects.dir/persistent_objects.cpp.o.d"
+  "persistent_objects"
+  "persistent_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/array.cpp" "src/array/CMakeFiles/oopp_array.dir/array.cpp.o" "gcc" "src/array/CMakeFiles/oopp_array.dir/array.cpp.o.d"
+  "/root/repo/src/array/block_storage.cpp" "src/array/CMakeFiles/oopp_array.dir/block_storage.cpp.o" "gcc" "src/array/CMakeFiles/oopp_array.dir/block_storage.cpp.o.d"
+  "/root/repo/src/array/copy.cpp" "src/array/CMakeFiles/oopp_array.dir/copy.cpp.o" "gcc" "src/array/CMakeFiles/oopp_array.dir/copy.cpp.o.d"
+  "/root/repo/src/array/domain.cpp" "src/array/CMakeFiles/oopp_array.dir/domain.cpp.o" "gcc" "src/array/CMakeFiles/oopp_array.dir/domain.cpp.o.d"
+  "/root/repo/src/array/page_map.cpp" "src/array/CMakeFiles/oopp_array.dir/page_map.cpp.o" "gcc" "src/array/CMakeFiles/oopp_array.dir/page_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/oopp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/oopp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/oopp_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oopp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oopp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

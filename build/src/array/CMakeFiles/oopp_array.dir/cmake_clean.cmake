@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oopp_array.dir/array.cpp.o"
+  "CMakeFiles/oopp_array.dir/array.cpp.o.d"
+  "CMakeFiles/oopp_array.dir/block_storage.cpp.o"
+  "CMakeFiles/oopp_array.dir/block_storage.cpp.o.d"
+  "CMakeFiles/oopp_array.dir/copy.cpp.o"
+  "CMakeFiles/oopp_array.dir/copy.cpp.o.d"
+  "CMakeFiles/oopp_array.dir/domain.cpp.o"
+  "CMakeFiles/oopp_array.dir/domain.cpp.o.d"
+  "CMakeFiles/oopp_array.dir/page_map.cpp.o"
+  "CMakeFiles/oopp_array.dir/page_map.cpp.o.d"
+  "liboopp_array.a"
+  "liboopp_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oopp_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oopp_core.dir/cluster.cpp.o"
+  "CMakeFiles/oopp_core.dir/cluster.cpp.o.d"
+  "liboopp_core.a"
+  "liboopp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oopp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

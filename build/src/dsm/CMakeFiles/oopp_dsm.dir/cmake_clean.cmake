@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oopp_dsm.dir/page_cache.cpp.o"
+  "CMakeFiles/oopp_dsm.dir/page_cache.cpp.o.d"
+  "liboopp_dsm.a"
+  "liboopp_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oopp_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

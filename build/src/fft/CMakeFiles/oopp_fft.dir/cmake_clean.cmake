@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oopp_fft.dir/fft.cpp.o"
+  "CMakeFiles/oopp_fft.dir/fft.cpp.o.d"
+  "CMakeFiles/oopp_fft.dir/fft3d.cpp.o"
+  "CMakeFiles/oopp_fft.dir/fft3d.cpp.o.d"
+  "CMakeFiles/oopp_fft.dir/fft_worker.cpp.o"
+  "CMakeFiles/oopp_fft.dir/fft_worker.cpp.o.d"
+  "CMakeFiles/oopp_fft.dir/out_of_core.cpp.o"
+  "CMakeFiles/oopp_fft.dir/out_of_core.cpp.o.d"
+  "CMakeFiles/oopp_fft.dir/plan.cpp.o"
+  "CMakeFiles/oopp_fft.dir/plan.cpp.o.d"
+  "liboopp_fft.a"
+  "liboopp_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oopp_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

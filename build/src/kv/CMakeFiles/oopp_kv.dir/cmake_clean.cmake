@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oopp_kv.dir/kv_store.cpp.o"
+  "CMakeFiles/oopp_kv.dir/kv_store.cpp.o.d"
+  "liboopp_kv.a"
+  "liboopp_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oopp_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

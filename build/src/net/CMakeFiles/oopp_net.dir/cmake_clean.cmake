@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oopp_net.dir/tcp_fabric.cpp.o"
+  "CMakeFiles/oopp_net.dir/tcp_fabric.cpp.o.d"
+  "CMakeFiles/oopp_net.dir/tcp_mesh_fabric.cpp.o"
+  "CMakeFiles/oopp_net.dir/tcp_mesh_fabric.cpp.o.d"
+  "liboopp_net.a"
+  "liboopp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oopp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboopp_net.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oopp_rpc.dir/class_registry.cpp.o"
+  "CMakeFiles/oopp_rpc.dir/class_registry.cpp.o.d"
+  "CMakeFiles/oopp_rpc.dir/node.cpp.o"
+  "CMakeFiles/oopp_rpc.dir/node.cpp.o.d"
+  "CMakeFiles/oopp_rpc.dir/object_table.cpp.o"
+  "CMakeFiles/oopp_rpc.dir/object_table.cpp.o.d"
+  "liboopp_rpc.a"
+  "liboopp_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oopp_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oopp_storage.dir/array_page_device.cpp.o"
+  "CMakeFiles/oopp_storage.dir/array_page_device.cpp.o.d"
+  "CMakeFiles/oopp_storage.dir/page_device.cpp.o"
+  "CMakeFiles/oopp_storage.dir/page_device.cpp.o.d"
+  "liboopp_storage.a"
+  "liboopp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oopp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

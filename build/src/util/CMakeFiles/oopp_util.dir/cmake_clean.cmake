@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oopp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/oopp_util.dir/thread_pool.cpp.o.d"
+  "liboopp_util.a"
+  "liboopp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oopp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

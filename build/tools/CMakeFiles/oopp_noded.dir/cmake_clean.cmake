@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oopp_noded.dir/oopp_noded.cpp.o"
+  "CMakeFiles/oopp_noded.dir/oopp_noded.cpp.o.d"
+  "oopp_noded"
+  "oopp_noded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oopp_noded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
