@@ -165,29 +165,51 @@ void Cluster::request_shutdown(net::MachineId m) {
 }
 
 remote_ptr<NameService> Cluster::name_service() {
-  std::lock_guard lock(ns_mu_);
+  // Creation takes blocking remote calls, so it must not run under
+  // ns_mu_: the first caller becomes the initializer and works unlocked;
+  // concurrent callers wait on ns_cv_ for the published pointer.
+  std::unique_lock lock(ns_mu_);
+  ns_cv_.wait(lock, [this] { return !ns_initializing_; });
   if (ns_.valid()) return ns_;
+  ns_initializing_ = true;
+  lock.unlock();
 
-  const auto registry_img = state_dir_ / "registry.img";
-  if (persistent_registry_ && std::filesystem::exists(registry_img)) {
-    // Re-activate the registry of a previous cluster incarnation.  Its
-    // live records refer to processes that died with that cluster, but
-    // their checkpoints survive — mark them passive so lookup()
-    // re-activates from the images.
-    const auto state = read_file(registry_img);
-    rpc::ensure_registered<NameService>();
-    serial::OArchive req;
-    req(rpc::class_def<NameService>::name(), state);
-    net::Message resp = rpc::Node::current()->call_raw(
-        0, net::kNodeObject, net::method_id(rpc::kRestoreMethod),
-        req.take());
-    serial::IArchive ia(resp.payload);
-    ns_ = remote_ptr<NameService>(0, ia.read<std::uint64_t>());
-    ns_.call<&NameService::mark_all_passive>();
-  } else {
-    ns_ = oopp::make_remote<NameService>(0);
+  remote_ptr<NameService> fresh;
+  try {
+    const auto registry_img = state_dir_ / "registry.img";
+    if (persistent_registry_ && std::filesystem::exists(registry_img)) {
+      // Re-activate the registry of a previous cluster incarnation.  Its
+      // live records refer to processes that died with that cluster, but
+      // their checkpoints survive — mark them passive so lookup()
+      // re-activates from the images.
+      const auto state = read_file(registry_img);
+      rpc::ensure_registered<NameService>();
+      serial::OArchive req;
+      req(rpc::class_def<NameService>::name(), state);
+      net::Message resp = rpc::Node::current()->call_raw(
+          0, net::kNodeObject, net::method_id(rpc::kRestoreMethod),
+          req.take());
+      serial::IArchive ia(resp.payload);
+      fresh = remote_ptr<NameService>(0, ia.read<std::uint64_t>());
+      fresh.call<&NameService::mark_all_passive>();
+    } else {
+      fresh = oopp::make_remote<NameService>(0);
+    }
+  } catch (...) {
+    {
+      std::lock_guard relock(ns_mu_);
+      ns_initializing_ = false;
+    }
+    ns_cv_.notify_all();
+    throw;
   }
-  return ns_;
+
+  lock.lock();
+  ns_ = fresh;
+  ns_initializing_ = false;
+  lock.unlock();
+  ns_cv_.notify_all();
+  return fresh;
 }
 
 void Cluster::save_registry() {

@@ -29,6 +29,7 @@
 #include "net/fabric.hpp"
 #include "net/tcp_mesh_fabric.hpp"
 #include "rpc/node.hpp"
+#include "util/checked_mutex.hpp"
 
 namespace oopp {
 
@@ -225,11 +226,13 @@ class Cluster {
 
  private:
   struct MaybeContext {
-    std::optional<rpc::Node::ContextGuard> guard;
-    explicit MaybeContext(Cluster* c) {
-      if (rpc::Node::current() == nullptr)
-        guard.emplace(&c->node(c->local_));
-    }
+    // Re-entering the current context is a no-op restore, so the guard
+    // can be unconditional (and GCC's maybe-uninitialized analysis stays
+    // happy, unlike with an optional<ContextGuard>).
+    rpc::Node::ContextGuard guard;
+    explicit MaybeContext(Cluster* c)
+        : guard(rpc::Node::current() != nullptr ? rpc::Node::current()
+                                                : &c->node(c->local_)) {}
   };
 
   remote_ptr<NameService> name_service();
@@ -257,11 +260,17 @@ class Cluster {
   bool own_state_dir_ = false;
   bool persistent_registry_ = false;
 
-  std::mutex ns_mu_;
+  // Creating the name service takes blocking remote calls, which must not
+  // run under ns_mu_ (the lock checker enforces this): the first caller
+  // flips ns_initializing_ and creates outside the lock while later
+  // callers wait on ns_cv_.
+  util::CheckedMutex ns_mu_{"core.Cluster.ns"};
+  util::CondVar ns_cv_;
+  bool ns_initializing_ = false;
   remote_ptr<NameService> ns_;
 
   // LRU of live registered processes (front = most recently used).
-  std::mutex lru_mu_;
+  util::CheckedMutex lru_mu_{"core.Cluster.lru"};
   std::size_t active_limit_ = 0;
   std::list<std::string> lru_;
   std::unordered_map<std::string, std::list<std::string>::iterator> lru_pos_;

@@ -12,6 +12,7 @@
 #include <type_traits>
 
 #include "net/message.hpp"
+#include "rpc/binding.hpp"
 #include "rpc/node.hpp"
 #include "serial/archive.hpp"
 
@@ -24,7 +25,10 @@ class Future {
   explicit Future(std::future<net::Message> f) : f_(std::move(f)) {}
 
   [[nodiscard]] bool valid() const { return f_.valid(); }
-  void wait() { f_.wait(); }
+  void wait() {
+    rpc::note_blocking_remote_call("Future::wait");
+    f_.wait();
+  }
 
   /// Wait up to `timeout`; true if the response is ready.  A false return
   /// does not cancel anything — the remote method keeps executing and a
@@ -32,6 +36,7 @@ class Future {
   /// cancellation: only delete terminates a process).
   template <class Rep, class Period>
   [[nodiscard]] bool wait_for(std::chrono::duration<Rep, Period> timeout) {
+    rpc::note_blocking_remote_call("Future::wait_for");
     return f_.wait_for(timeout) == std::future_status::ready;
   }
 
@@ -47,6 +52,7 @@ class Future {
   /// Block for the response; decode the result.  Throws RemoteError /
   /// ObjectNotFound / ... exactly like the synchronous call would.
   R get() {
+    rpc::note_blocking_remote_call("Future::get");
     net::Message resp = f_.get();
     rpc::Node::throw_on_error(resp);
     if constexpr (std::is_void_v<R>) {

@@ -15,7 +15,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -26,6 +25,7 @@
 #include "core/remote_ptr.hpp"
 #include "rpc/binding.hpp"
 #include "rpc/errors.hpp"
+#include "util/checked_mutex.hpp"
 
 namespace oopp {
 
@@ -57,6 +57,7 @@ class Watchdog {
     OOPP_CHECK(period_ms_ > 0);
     OOPP_CHECK_MSG(home_ != nullptr,
                    "Watchdog must be constructed on a machine");
+    // oopp-lint: allow(raw-thread-primitive) — joined in the destructor.
     prober_ = std::thread([this] { probe_loop(); });
   }
 
@@ -129,12 +130,12 @@ class Watchdog {
 
   std::uint32_t period_ms_;
   rpc::Node* home_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable util::CheckedMutex mu_{"core.Watchdog"};
+  util::CondVar cv_;
   std::map<RemoteRef, WatchReport> reports_;
   std::atomic<std::uint64_t> rounds_{0};
   bool stopping_ = false;
-  std::thread prober_;
+  std::thread prober_;  // oopp-lint: allow(raw-thread-primitive)
 };
 
 }  // namespace oopp

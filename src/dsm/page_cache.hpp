@@ -31,6 +31,7 @@
 
 #include "core/remote_ptr.hpp"
 #include "storage/array_page_device.hpp"
+#include "util/checked_mutex.hpp"
 
 namespace oopp::dsm {
 
@@ -123,7 +124,9 @@ class PageCache {
   std::uint32_t capacity_;
   remote_ptr<PageCache> self_;
 
-  mutable std::mutex mu_;  // guards everything below (invalidate is reentrant)
+  // Guards everything below (invalidate is reentrant).  Never held across
+  // the device fetch — see read_array.
+  mutable util::CheckedMutex mu_{"dsm.PageCache"};
   std::map<PageKey, storage::ArrayPage> pages_;
   std::list<PageKey> lru_;  // front = most recent
   std::map<PageKey, std::list<PageKey>::iterator> lru_pos_;

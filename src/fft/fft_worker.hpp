@@ -21,7 +21,6 @@
 // can measure the difference.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -32,6 +31,7 @@
 #include "core/group.hpp"
 #include "core/remote_ptr.hpp"
 #include "fft/fft3d.hpp"
+#include "util/checked_mutex.hpp"
 #include "util/ndindex.hpp"
 
 namespace oopp::fft {
@@ -127,8 +127,8 @@ class FFTWorker {
   bool transposed_ = false;
 
   // Transpose staging: blocks deposited by peers, keyed by (epoch, from).
-  std::mutex staging_mu_;
-  std::condition_variable staging_cv_;
+  util::CheckedMutex staging_mu_{"fft.FFTWorker.staging"};
+  util::CondVar staging_cv_;
   std::map<std::pair<std::uint64_t, int>, std::vector<cplx>> staging_;
   std::uint64_t epoch_ = 0;
 };

@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "util/assert.hpp"
+#include "util/checked_mutex.hpp"
 
 namespace oopp::fft {
 
@@ -108,7 +109,7 @@ void Plan1D::execute_bluestein(std::span<cplx> data) const {
 }
 
 namespace {
-std::mutex g_plans_mu;
+util::CheckedMutex g_plans_mu{"fft.plan_cache"};
 std::map<std::pair<index_t, int>, std::shared_ptr<const Plan1D>> g_plans;
 }  // namespace
 

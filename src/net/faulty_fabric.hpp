@@ -18,6 +18,7 @@
 #include <mutex>
 
 #include "net/fabric.hpp"
+#include "util/checked_mutex.hpp"
 #include "util/prng.hpp"
 
 namespace oopp::net {
@@ -81,7 +82,7 @@ class FaultyFabric final : public Fabric {
  private:
   std::unique_ptr<Fabric> inner_;
   Faults faults_;
-  std::mutex mu_;
+  util::CheckedMutex mu_{"net.FaultyFabric"};
   Xoshiro256 rng_;
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> corrupted_{0};

@@ -5,15 +5,22 @@
 // time computed from the CostModel; pop() holds messages back until their
 // delivery time, which is how simulated network delay is realized without
 // blocking the *sender*.
+//
+// Close semantics (deterministic drain): close() marks the inbox closed
+// and makes every already-queued message immediately deliverable — the
+// simulated network delay collapses, consumers drain the backlog in FIFO
+// order and then observe nullopt.  Messages pushed *after* close() are
+// dropped (models a dead node).  So: everything accepted before close()
+// is delivered exactly once; nothing accepted after close() is delivered.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 
 #include "net/message.hpp"
+#include "util/checked_mutex.hpp"
 #include "util/clock.hpp"
 
 namespace oopp::net {
@@ -34,15 +41,18 @@ class Inbox {
 
   void push_now(Message m) { push(std::move(m), steady_clock::now()); }
 
-  /// Block until a message is deliverable (its timestamp has passed) or
-  /// the inbox is closed.  Returns nullopt on close.
+  /// Block until a message is deliverable (its timestamp has passed, or
+  /// the inbox was closed — see the close semantics above) or the inbox
+  /// is closed and drained.  Returns nullopt only when closed and empty.
   std::optional<Message> pop() {
     std::unique_lock lock(mu_);
     for (;;) {
       if (!queue_.empty()) {
         const auto due = queue_.front().deliver_at;
-        const auto now = steady_clock::now();
-        if (due <= now) {
+        // closed_ is re-checked on every iteration: a close() that lands
+        // during the timed wait below releases the message immediately
+        // instead of holding it until its simulated delivery time.
+        if (closed_ || due <= steady_clock::now()) {
           Message m = std::move(queue_.front().msg);
           queue_.pop_front();
           return m;
@@ -55,7 +65,8 @@ class Inbox {
     }
   }
 
-  /// Unblock all consumers; subsequent pushes are dropped.
+  /// Make all queued messages immediately deliverable, unblock all
+  /// consumers, drop subsequent pushes.  Idempotent.
   void close() {
     {
       std::lock_guard lock(mu_);
@@ -74,8 +85,8 @@ class Inbox {
     Message msg;
     time_point deliver_at;
   };
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable util::CheckedMutex mu_{"net.Inbox"};
+  util::CondVar cv_;
   std::deque<Entry> queue_;
   bool closed_ = false;
 };

@@ -19,6 +19,7 @@
 #include "net/cost_model.hpp"
 #include "net/fabric.hpp"
 #include "util/assert.hpp"
+#include "util/checked_mutex.hpp"
 
 namespace oopp::net {
 
@@ -93,11 +94,11 @@ class InProcFabric final : public Fabric {
 
  private:
   struct Link {
-    std::mutex mu;
+    util::CheckedMutex mu{"net.InProcFabric.link"};
     time_point last{};
   };
   struct Egress {
-    std::mutex mu;
+    util::CheckedMutex mu{"net.InProcFabric.port"};
     time_point busy_until{};
   };
   CostModel cost_;

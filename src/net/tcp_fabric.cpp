@@ -9,7 +9,7 @@
 namespace oopp::net {
 
 struct TcpFabric::Link {
-  std::mutex mu;
+  util::CheckedMutex mu{"net.TcpFabric.link"};
   int fd = -1;
   ~Link() {
     if (fd >= 0) ::close(fd);
@@ -20,9 +20,10 @@ struct TcpFabric::Endpoint {
   int listen_fd = -1;
   std::uint16_t port = 0;
   Inbox* inbox = nullptr;
-  std::thread acceptor;
-  std::mutex readers_mu;
-  std::vector<std::thread> readers;
+  // This endpoint owns and joins its acceptor/reader threads in close().
+  std::thread acceptor;  // oopp-lint: allow(raw-thread-primitive)
+  util::CheckedMutex readers_mu{"net.TcpFabric.readers"};
+  std::vector<std::thread> readers;  // oopp-lint: allow(raw-thread-primitive)
   std::vector<int> reader_fds;
 
   ~Endpoint() { stop(); }
@@ -38,7 +39,7 @@ struct TcpFabric::Endpoint {
       std::lock_guard lock(readers_mu);
       for (int fd : reader_fds) ::shutdown(fd, SHUT_RDWR);
     }
-    std::vector<std::thread> rs;
+    std::vector<std::thread> rs;  // oopp-lint: allow(raw-thread-primitive)
     {
       std::lock_guard lock(readers_mu);
       rs.swap(readers);
@@ -72,9 +73,14 @@ struct TcpFabric::Endpoint {
   }
 
   void start_accepting() {
-    acceptor = std::thread([this] {
+    // The acceptor works on a by-value copy of the listen fd: stop()
+    // writes listen_fd = -1 concurrently, and the thread never needs to
+    // observe that (closing the fd is what unblocks accept()).
+    const int lfd = listen_fd;
+    // oopp-lint: allow(raw-thread-primitive) — joined via close().
+    acceptor = std::thread([this, lfd] {
       for (;;) {
-        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        const int fd = ::accept(lfd, nullptr, nullptr);
         if (fd < 0) return;  // listener closed: shut down
         wire::set_nodelay(fd);
         std::lock_guard lock(readers_mu);

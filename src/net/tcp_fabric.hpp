@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/fabric.hpp"
+#include "util/checked_mutex.hpp"
 
 namespace oopp::net {
 
@@ -42,7 +43,7 @@ class TcpFabric final : public Fabric {
   Link& link_for(MachineId src, MachineId dst);
 
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
-  std::mutex links_mu_;
+  util::CheckedMutex links_mu_{"net.TcpFabric.links"};
   std::unordered_map<std::uint64_t, std::unique_ptr<Link>> links_;
   bool down_ = false;
 };

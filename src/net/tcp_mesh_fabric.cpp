@@ -13,7 +13,7 @@
 namespace oopp::net {
 
 struct TcpMeshFabric::Link {
-  std::mutex mu;
+  util::CheckedMutex mu{"net.TcpMeshFabric.link"};
   int fd = -1;
   ~Link() {
     if (fd >= 0) ::close(fd);
@@ -49,9 +49,14 @@ void TcpMeshFabric::attach(MachineId id, Inbox* inbox) {
                                  << " failed: " << std::strerror(errno));
   OOPP_CHECK(::listen(listen_fd_, 64) == 0);
 
-  acceptor_ = std::thread([this] {
+  // The acceptor works on a by-value copy of the listen fd: shutdown()
+  // writes listen_fd_ = -1 concurrently, and the thread never needs to
+  // observe that (closing the fd is what unblocks accept()).
+  const int lfd = listen_fd_;
+  // oopp-lint: allow(raw-thread-primitive) — joined in shutdown().
+  acceptor_ = std::thread([this, lfd] {
     for (;;) {
-      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      const int fd = ::accept(lfd, nullptr, nullptr);
       if (fd < 0) return;
       wire::set_nodelay(fd);
       std::lock_guard lock(readers_mu_);
@@ -149,7 +154,7 @@ void TcpMeshFabric::shutdown() {
     std::lock_guard lock(readers_mu_);
     for (int fd : reader_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  std::vector<std::thread> rs;
+  std::vector<std::thread> rs;  // oopp-lint: allow(raw-thread-primitive)
   {
     std::lock_guard lock(readers_mu_);
     rs.swap(readers_);

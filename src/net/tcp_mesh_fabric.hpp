@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/fabric.hpp"
+#include "util/checked_mutex.hpp"
 
 namespace oopp::net {
 
@@ -63,12 +64,13 @@ class TcpMeshFabric final : public Fabric {
 
   int listen_fd_ = -1;
   Inbox* inbox_ = nullptr;
-  std::thread acceptor_;
-  std::mutex readers_mu_;
-  std::vector<std::thread> readers_;
+  // The fabric owns and joins its acceptor/reader threads in shutdown().
+  std::thread acceptor_;  // oopp-lint: allow(raw-thread-primitive)
+  util::CheckedMutex readers_mu_{"net.TcpMeshFabric.readers"};
+  std::vector<std::thread> readers_;  // oopp-lint: allow(raw-thread-primitive)
   std::vector<int> reader_fds_;
 
-  std::mutex links_mu_;
+  util::CheckedMutex links_mu_{"net.TcpMeshFabric.links"};
   std::unordered_map<MachineId, std::unique_ptr<Link>> links_;
   bool down_ = false;
 };

@@ -40,8 +40,19 @@
 #include "rpc/class_registry.hpp"
 #include "rpc/traits.hpp"
 #include "util/assert.hpp"
+#include "util/checked_mutex.hpp"
 
 namespace oopp::rpc {
+
+/// Concurrency-correctness hook: every client-side wait for a remote
+/// response (Node::call_raw, Future::get/wait) funnels through here.  In
+/// OOPP_LOCK_CHECK builds it fails the process if the calling thread
+/// holds any CheckedMutex — a lock held across a network round trip
+/// deadlocks the moment the remote side (or the code serving its reply)
+/// needs that lock.  `where` names the call site for the report.
+inline void note_blocking_remote_call(const char* where) {
+  util::lockcheck::on_blocking_call(where);
+}
 
 /// Specialize for every remotable class (see file comment).
 template <class T>

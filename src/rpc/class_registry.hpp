@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "rpc/class_info.hpp"
+#include "util/checked_mutex.hpp"
 
 namespace oopp::rpc {
 
@@ -31,7 +32,7 @@ class ClassRegistry {
   [[nodiscard]] std::size_t size() const;
 
  private:
-  mutable std::shared_mutex mu_;
+  mutable util::CheckedSharedMutex mu_{"rpc.ClassRegistry"};
   std::unordered_map<std::string, std::unique_ptr<ClassInfo>> classes_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <typeinfo>
 
+#include "rpc/binding.hpp"
 #include "serial/archive.hpp"
 #include "util/assert.hpp"
 #include "util/clock.hpp"
@@ -30,6 +31,7 @@ void Node::start() {
   OOPP_CHECK(!started_);
   started_ = true;
   fabric_.attach(id_, &inbox_);
+  // oopp-lint: allow(raw-thread-primitive) — joined in stop().
   receiver_ = std::thread([this] { receive_loop(); });
 }
 
@@ -157,17 +159,17 @@ void Node::enqueue_command(std::shared_ptr<ObjectTable::Entry> entry,
     // Drain the command queue FIFO — the paper's "process accepts commands"
     // loop.  One drain task exists per object at a time.
     for (;;) {
-      std::function<void()> cmd;
+      std::function<void()> next;
       {
         std::lock_guard lock(entry->queue_mu);
         if (entry->queue.empty()) {
           entry->draining = false;
           return;
         }
-        cmd = std::move(entry->queue.front());
+        next = std::move(entry->queue.front());
         entry->queue.pop_front();
       }
-      cmd();
+      next();
     }
   });
 }
@@ -420,6 +422,7 @@ std::future<net::Message> Node::async_raw(net::MachineId dst,
 net::Message Node::call_raw(net::MachineId dst, net::ObjectId object,
                             net::MethodId method,
                             std::vector<std::byte> payload) {
+  note_blocking_remote_call("rpc::Node::call_raw");
   auto fut = async_raw(dst, object, method, std::move(payload));
   net::Message resp = fut.get();
   throw_on_error(resp);

@@ -16,7 +16,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
@@ -31,6 +30,7 @@
 #include "rpc/class_registry.hpp"
 #include "rpc/errors.hpp"
 #include "rpc/object_table.hpp"
+#include "util/checked_mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace oopp::rpc {
@@ -193,10 +193,10 @@ class Node {
   net::Inbox inbox_;
   ElasticPool pool_;
   ObjectTable objects_;
-  std::thread receiver_;
+  std::thread receiver_;  // oopp-lint: allow(raw-thread-primitive)
   bool started_ = false;
 
-  std::mutex pending_mu_;
+  util::CheckedMutex pending_mu_{"rpc.Node.pending"};
   std::unordered_map<net::SeqNum, std::shared_ptr<std::promise<net::Message>>>
       pending_;
   std::atomic<net::SeqNum> next_seq_{1};
@@ -209,8 +209,8 @@ class Node {
   std::atomic<std::uint64_t> objects_destroyed_{0};
   TraceFn trace_;
 
-  std::mutex shutdown_mu_;
-  std::condition_variable shutdown_cv_;
+  util::CheckedMutex shutdown_mu_{"rpc.Node.shutdown"};
+  util::CondVar shutdown_cv_;
   bool shutdown_requested_ = false;
 };
 

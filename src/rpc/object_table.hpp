@@ -17,6 +17,7 @@
 
 #include "net/message.hpp"
 #include "rpc/class_info.hpp"
+#include "util/checked_mutex.hpp"
 
 namespace oopp::rpc {
 
@@ -27,7 +28,7 @@ class ObjectTable {
     const ClassInfo* info = nullptr;
 
     // Command queue state (managed by Node).
-    std::mutex queue_mu;
+    util::CheckedMutex queue_mu{"rpc.ObjectTable.Entry.queue"};
     std::deque<std::function<void()>> queue;
     bool draining = false;
     bool destroyed = false;
@@ -49,7 +50,7 @@ class ObjectTable {
   [[nodiscard]] std::vector<net::ObjectId> ids() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable util::CheckedMutex mu_{"rpc.ObjectTable.map"};
   std::unordered_map<net::ObjectId, std::shared_ptr<Entry>> map_;
   net::ObjectId next_ = 1;  // 0 is kNodeObject
 };

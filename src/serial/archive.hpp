@@ -346,7 +346,9 @@ class IArchive {
   }
   void consume(void* out, std::size_t n) {
     require(n);
-    std::memcpy(out, data_.data() + pos_, n);
+    // n == 0 must skip the memcpy: `out` is null when the destination is
+    // an empty container's data(), and memcpy(null, _, 0) is still UB.
+    if (n != 0) std::memcpy(out, data_.data() + pos_, n);
     pos_ += n;
   }
   std::span<const std::byte> data_;

@@ -20,6 +20,7 @@
 #include "rpc/binding.hpp"
 #include "serial/archive.hpp"
 #include "storage/page.hpp"
+#include "util/checked_mutex.hpp"
 
 namespace oopp::storage {
 
@@ -106,7 +107,7 @@ class PageDevice {
   std::FILE* f_ = nullptr;
   /// Makes each page operation atomic at the FILE* level so reentrant
   /// reads may run concurrently with queued operations.
-  mutable std::mutex io_mu_;
+  mutable util::CheckedMutex io_mu_{"storage.PageDevice.io"};
 };
 
 }  // namespace oopp::storage

@@ -1,0 +1,239 @@
+#include "util/checked_mutex.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace oopp::util::lockcheck {
+
+namespace {
+
+struct HeldLock {
+  const void* instance;
+  const char* cls;
+};
+
+// What the thread acquiring the far side of a conflicting edge held at the
+// time — the "other stack" of a cycle report.
+struct EdgeInfo {
+  std::vector<std::string> holder_stack;
+  std::string thread_id;
+};
+
+struct Graph {
+  std::mutex mu;
+  // Interned lock-class names; node-based so string_views stay stable.
+  std::unordered_set<std::string> names;
+  // cls -> classes ever acquired while cls was held.
+  std::unordered_map<std::string_view, std::set<std::string_view>> adj;
+  std::map<std::pair<std::string_view, std::string_view>, EdgeInfo> edges;
+
+  std::string_view intern(const char* s) { return *names.emplace(s).first; }
+};
+
+Graph& graph() {
+  static Graph* g = new Graph();  // leaked: usable during static teardown
+  return *g;
+}
+
+FailureHandler g_handler = nullptr;
+std::mutex g_handler_mu;
+
+thread_local std::vector<HeldLock> t_held;
+// Per-thread set of (held-name-ptr, new-name-ptr) pairs already vetted
+// against the global graph — the steady-state fast path takes no global
+// lock.  Keyed on raw name pointers; duplicate string literals across
+// translation units only cost a redundant (correct) global re-check.
+thread_local std::set<std::pair<const void*, const void*>> t_seen;
+
+std::string this_thread_id() {
+  std::ostringstream os;
+  os << std::this_thread::get_id();
+  return os.str();
+}
+
+void fail(const std::string& report) {
+  FailureHandler h;
+  {
+    std::lock_guard lock(g_handler_mu);
+    h = g_handler;
+  }
+  if (h != nullptr) {
+    h(report);
+    return;
+  }
+  std::fputs(report.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void append_held_stack(std::ostringstream& os) {
+  for (std::size_t i = 0; i < t_held.size(); ++i) {
+    os << "  [" << i << "] " << t_held[i].cls << " (instance "
+       << t_held[i].instance << ")\n";
+  }
+}
+
+// Is `to` reachable from `from` following recorded edges?  Fills `path`
+// with the chain from `from` to `to` when it is.
+bool reachable(Graph& g, std::string_view from, std::string_view to,
+               std::set<std::string_view>& visited,
+               std::vector<std::string_view>& path) {
+  if (from == to) {
+    path.push_back(from);
+    return true;
+  }
+  if (!visited.insert(from).second) return false;
+  auto it = g.adj.find(from);
+  if (it == g.adj.end()) return false;
+  for (const auto& next : it->second) {
+    if (reachable(g, next, to, visited, path)) {
+      path.insert(path.begin(), from);
+      return true;
+    }
+  }
+  return false;
+}
+
+// Must be called with g.mu held and the cycle path from `acquiring` back
+// to `held` already computed.
+std::string cycle_report(Graph& g, const char* held_cls,
+                         const char* acquiring_cls,
+                         const std::vector<std::string_view>& path) {
+  std::ostringstream os;
+  os << "== OOPP lock-order violation ==========================================\n"
+     << "acquiring '" << acquiring_cls << "' while holding '" << held_cls
+     << "' creates a lock-order cycle:\n  ";
+  os << held_cls;
+  for (const auto& n : path) os << " -> " << n;
+  os << "\n\nthis thread (" << this_thread_id() << ") holds:\n";
+  append_held_stack(os);
+  os << "\nconflicting acquisition order previously recorded:\n";
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    auto it = g.edges.find({path[i], path[i + 1]});
+    if (it == g.edges.end()) continue;
+    os << "  '" << path[i] << "' -> '" << path[i + 1] << "' by thread "
+       << it->second.thread_id << " holding:\n";
+    for (std::size_t j = 0; j < it->second.holder_stack.size(); ++j)
+      os << "    [" << j << "] " << it->second.holder_stack[j] << "\n";
+  }
+  os << "=======================================================================\n";
+  return os.str();
+}
+
+}  // namespace
+
+FailureHandler set_failure_handler(FailureHandler h) {
+  std::lock_guard lock(g_handler_mu);
+  FailureHandler prev = g_handler;
+  g_handler = h;
+  return prev;
+}
+
+bool enabled() {
+#ifdef OOPP_LOCK_CHECK
+  static const bool on = [] {
+    const char* env = std::getenv("OOPP_LOCK_CHECK");
+    return env == nullptr || std::string_view(env) != "0";
+  }();
+  return on;
+#else
+  return false;
+#endif
+}
+
+std::size_t held_count() { return t_held.size(); }
+
+void on_acquire(const void* instance, const char* cls) {
+  if (!enabled()) return;
+
+  for (const auto& h : t_held) {
+    if (h.instance == instance) {
+      std::ostringstream os;
+      os << "== OOPP lock-order violation ==========================================\n"
+         << "recursive acquisition of mutex '" << cls << "' (instance "
+         << instance << ") — self-deadlock.\nthis thread ("
+         << this_thread_id() << ") holds:\n";
+      append_held_stack(os);
+      os << "=======================================================================\n";
+      t_held.push_back({instance, cls});  // keep stack balanced for unlock
+      fail(os.str());
+      return;
+    }
+  }
+
+  for (const auto& h : t_held) {
+    // Same-class nesting (distinct instances) carries no between-class
+    // ordering information; a self-edge would poison every cycle query.
+    if (h.cls == cls ||
+        std::string_view(h.cls) == std::string_view(cls))
+      continue;
+    if (!t_seen.emplace(h.cls, cls).second) continue;  // vetted earlier
+
+    Graph& g = graph();
+    std::lock_guard lock(g.mu);
+    const auto from = g.intern(h.cls);
+    const auto to = g.intern(cls);
+    if (g.adj[from].insert(to).second) {
+      // New edge: does the reverse direction already exist transitively?
+      std::set<std::string_view> visited;
+      std::vector<std::string_view> path;
+      if (reachable(g, to, from, visited, path)) {
+        std::string report = cycle_report(g, h.cls, cls, path);
+        t_held.push_back({instance, cls});
+        fail(report);
+        return;
+      }
+      EdgeInfo info;
+      info.thread_id = this_thread_id();
+      info.holder_stack.reserve(t_held.size() + 1);
+      for (const auto& held : t_held) info.holder_stack.emplace_back(held.cls);
+      info.holder_stack.emplace_back(cls);
+      g.edges.emplace(std::pair{from, to}, std::move(info));
+    }
+  }
+
+  t_held.push_back({instance, cls});
+}
+
+void on_release(const void* instance) {
+  if (!enabled()) return;
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->instance == instance) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Unmatched release: lock taken before checking was enabled — ignore.
+}
+
+void on_blocking_call(const char* where) {
+  if (!enabled() || t_held.empty()) return;
+  std::ostringstream os;
+  os << "== OOPP lock-order violation ==========================================\n"
+     << "blocking remote call (" << where
+     << ") while holding checked mutexes — a network round trip under a\n"
+     << "lock deadlocks as soon as the remote side needs that lock.\n"
+     << "this thread (" << this_thread_id() << ") holds:\n";
+  append_held_stack(os);
+  os << "=======================================================================\n";
+  fail(os.str());
+}
+
+void reset_for_testing() {
+  Graph& g = graph();
+  std::lock_guard lock(g.mu);
+  g.adj.clear();
+  g.edges.clear();
+}
+
+}  // namespace oopp::util::lockcheck

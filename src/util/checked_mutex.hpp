@@ -1,0 +1,246 @@
+// Lock-order-checked mutex — the concurrency-correctness substrate.
+//
+// Every mutex in the framework is a CheckedMutex carrying a *lock class*
+// name (e.g. "net.Inbox").  In OOPP_LOCK_CHECK builds (the default; see
+// the top-level CMakeLists) each acquisition is recorded in a per-thread
+// held-lock stack and a process-wide lock-class order graph:
+//
+//   * acquiring B while holding A records the edge A -> B; if B -> ... -> A
+//     is already in the graph the program has two call paths that take the
+//     same locks in opposite orders — a latent deadlock — and the checker
+//     fails *immediately*, printing both threads' lock sequences, even
+//     though this particular run did not hang.  (Same idea as the kernel's
+//     lockdep: one interleaving proves the hazard for all interleavings.)
+//   * re-acquiring a mutex the thread already holds fails (self-deadlock;
+//     none of the framework's mutexes are recursive).
+//   * blocking on a remote call while holding any checked mutex fails
+//     (lockcheck::on_blocking_call, fed by the hook in rpc/binding.hpp):
+//     a held lock would then be held for a full network round trip, and
+//     if the remote side ever needs that lock the system deadlocks.
+//
+// Violations go to the failure handler: by default an explanatory report
+// on stderr followed by abort(); tests install a capturing handler.
+// Ordering edges between *instances of the same class* are not tracked
+// (two net.TcpFabric.link mutexes, say) — keep same-class nesting out of
+// the code, the linter's job hierarchy is documented in
+// docs/CONCURRENCY.md.
+//
+// Without OOPP_LOCK_CHECK the wrappers compile down to the underlying
+// std::mutex / std::shared_mutex operations (the name pointer is the only
+// overhead).  The runtime kill switch OOPP_LOCK_CHECK=0 in the
+// environment disables checking without a rebuild.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+namespace oopp::util::lockcheck {
+
+/// Receives the violation report.  Returning (instead of aborting) is
+/// allowed — used by tests; the faulty edge stays recorded so the same
+/// violation is reported once.
+using FailureHandler = void (*)(const std::string& report);
+
+/// Install a handler; returns the previous one.  nullptr restores the
+/// default print-and-abort behaviour.
+FailureHandler set_failure_handler(FailureHandler h);
+
+/// Compile-time support AND runtime switch (env OOPP_LOCK_CHECK != "0").
+[[nodiscard]] bool enabled();
+
+/// Number of checked locks the calling thread currently holds.
+[[nodiscard]] std::size_t held_count();
+
+/// Record an acquisition attempt of `instance` (lock class `cls`) by this
+/// thread.  Called *before* blocking on the underlying mutex so the
+/// hazard is reported even if this run would deadlock.
+void on_acquire(const void* instance, const char* cls);
+
+/// Undo the held-stack entry (release, or failed try_lock).
+void on_release(const void* instance);
+
+/// The calling thread is about to block waiting for a remote response
+/// (`where` names the call site).  Fails if any checked lock is held.
+void on_blocking_call(const char* where);
+
+/// Test-only: drop all recorded ordering edges (per-thread caches survive,
+/// so tests must use fresh lock-class names per scenario).
+void reset_for_testing();
+
+}  // namespace oopp::util::lockcheck
+
+namespace oopp::util {
+
+/// Drop-in std::mutex with lock-order checking.  Works with
+/// std::lock_guard / std::unique_lock; pair with util::CondVar instead of
+/// std::condition_variable.
+class CheckedMutex {
+ public:
+  CheckedMutex() = default;
+  explicit CheckedMutex(const char* name) : name_(name) {}
+  CheckedMutex(const CheckedMutex&) = delete;
+  CheckedMutex& operator=(const CheckedMutex&) = delete;
+
+  void lock() {
+#ifdef OOPP_LOCK_CHECK
+    lockcheck::on_acquire(this, name_);
+#endif
+    mu_.lock();
+  }
+
+  bool try_lock() {
+#ifdef OOPP_LOCK_CHECK
+    lockcheck::on_acquire(this, name_);
+    if (mu_.try_lock()) return true;
+    lockcheck::on_release(this);
+    return false;
+#else
+    return mu_.try_lock();
+#endif
+  }
+
+  void unlock() {
+#ifdef OOPP_LOCK_CHECK
+    lockcheck::on_release(this);
+#endif
+    mu_.unlock();
+  }
+
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  const char* name_ = "anon";
+};
+
+/// Drop-in std::shared_mutex with lock-order checking.  Shared
+/// acquisitions participate in the order graph exactly like exclusive
+/// ones (a reader holding S while taking X elsewhere orders S before X).
+class CheckedSharedMutex {
+ public:
+  CheckedSharedMutex() = default;
+  explicit CheckedSharedMutex(const char* name) : name_(name) {}
+  CheckedSharedMutex(const CheckedSharedMutex&) = delete;
+  CheckedSharedMutex& operator=(const CheckedSharedMutex&) = delete;
+
+  void lock() {
+#ifdef OOPP_LOCK_CHECK
+    lockcheck::on_acquire(this, name_);
+#endif
+    mu_.lock();
+  }
+  bool try_lock() {
+#ifdef OOPP_LOCK_CHECK
+    lockcheck::on_acquire(this, name_);
+    if (mu_.try_lock()) return true;
+    lockcheck::on_release(this);
+    return false;
+#else
+    return mu_.try_lock();
+#endif
+  }
+  void unlock() {
+#ifdef OOPP_LOCK_CHECK
+    lockcheck::on_release(this);
+#endif
+    mu_.unlock();
+  }
+
+  void lock_shared() {
+#ifdef OOPP_LOCK_CHECK
+    lockcheck::on_acquire(this, name_);
+#endif
+    mu_.lock_shared();
+  }
+  bool try_lock_shared() {
+#ifdef OOPP_LOCK_CHECK
+    lockcheck::on_acquire(this, name_);
+    if (mu_.try_lock_shared()) return true;
+    lockcheck::on_release(this);
+    return false;
+#else
+    return mu_.try_lock_shared();
+#endif
+  }
+  void unlock_shared() {
+#ifdef OOPP_LOCK_CHECK
+    lockcheck::on_release(this);
+#endif
+    mu_.unlock_shared();
+  }
+
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const char* name_ = "anon";
+};
+
+/// Condition variable for CheckedMutex.  Waits adopt the underlying
+/// std::mutex so the native (futex-based) std::condition_variable is used
+/// — no condition_variable_any overhead.  The lock checker keeps treating
+/// the mutex as held across the wait, which is the correct caller-visible
+/// view (the wait re-acquires before returning).
+class CondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(std::unique_lock<CheckedMutex>& lk) {
+    Adopted inner(lk);
+    cv_.wait(inner.lk);
+  }
+
+  template <class Pred>
+  void wait(std::unique_lock<CheckedMutex>& lk, Pred pred) {
+    while (!pred()) wait(lk);
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      std::unique_lock<CheckedMutex>& lk,
+      const std::chrono::time_point<Clock, Duration>& tp) {
+    Adopted inner(lk);
+    return cv_.wait_until(inner.lk, tp);
+  }
+
+  template <class Clock, class Duration, class Pred>
+  bool wait_until(std::unique_lock<CheckedMutex>& lk,
+                  const std::chrono::time_point<Clock, Duration>& tp,
+                  Pred pred) {
+    while (!pred()) {
+      if (wait_until(lk, tp) == std::cv_status::timeout) return pred();
+    }
+    return true;
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(std::unique_lock<CheckedMutex>& lk,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return wait_until(lk, std::chrono::steady_clock::now() + d);
+  }
+
+  template <class Rep, class Period, class Pred>
+  bool wait_for(std::unique_lock<CheckedMutex>& lk,
+                const std::chrono::duration<Rep, Period>& d, Pred pred) {
+    return wait_until(lk, std::chrono::steady_clock::now() + d,
+                      std::move(pred));
+  }
+
+ private:
+  /// Borrow the native mutex for the duration of one wait; the borrow is
+  /// returned even if the wait throws.
+  struct Adopted {
+    std::unique_lock<std::mutex> lk;
+    explicit Adopted(std::unique_lock<CheckedMutex>& outer)
+        : lk(outer.mutex()->mu_, std::adopt_lock) {}
+    ~Adopted() { lk.release(); }
+  };
+  std::condition_variable cv_;
+};
+
+}  // namespace oopp::util

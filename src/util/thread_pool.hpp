@@ -12,13 +12,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/checked_mutex.hpp"
 
 namespace oopp {
 
@@ -60,8 +61,8 @@ class ElasticPool {
   void reap_finished_locked();
 
   Options opts_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable util::CheckedMutex mu_{"util.ElasticPool"};
+  util::CondVar cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   std::vector<std::thread::id> finished_;  // retired workers awaiting join

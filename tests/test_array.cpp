@@ -151,11 +151,13 @@ TEST_P(PageMapBijection, NoCollisionsAndInRange) {
     auto [i1, i2, i3] = oopp::delinearize(grid, p);
     const auto a = map->physical_page_address(i1, i2, i3);
     EXPECT_GE(a.device_id, 0);
-    if (kind != arr::PageMapKind::kSingleDevice)
+    if (kind != arr::PageMapKind::kSingleDevice) {
       EXPECT_LT(a.device_id, devices);
+    }
     EXPECT_GE(a.index, 0);
-    if (kind != arr::PageMapKind::kSingleDevice)
+    if (kind != arr::PageMapKind::kSingleDevice) {
       EXPECT_LE(a.index, per_device);
+    }
     EXPECT_TRUE(seen.insert({a.device_id, a.index}).second)
         << "collision at logical page " << p;
   }
@@ -389,7 +391,7 @@ TEST(Array, DeviceSideUpdates) {
 TEST(Array, ReduceOverEmptyDomainRejected) {
   ArrayFixture fx;
   auto a = fx.make({4, 4, 4}, {2, 2, 2}, 2);
-  EXPECT_THROW(a.min(arr::Domain(1, 1, 0, 4, 0, 4)), oopp::check_error);
+  EXPECT_THROW((void)a.min(arr::Domain(1, 1, 0, 4, 0, 4)), oopp::check_error);
 }
 
 // §5: "An application may deploy multiple coordinating Array client

@@ -1,0 +1,242 @@
+// The lock-order checker must catch the hazards it exists for — a seeded
+// lock-order inversion, a self-relock, a blocking remote call under a lock
+// — from a single benign interleaving, and must stay silent for correct
+// nesting.
+//
+// The checker's per-thread edge caches survive reset_for_testing(), so
+// every scenario uses fresh lock-class names (never reused across tests).
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/oopp.hpp"
+#include "util/checked_mutex.hpp"
+
+using oopp::util::CheckedMutex;
+using oopp::util::CheckedSharedMutex;
+using oopp::util::CondVar;
+namespace lockcheck = oopp::util::lockcheck;
+
+namespace {
+
+// Captures violation reports instead of aborting.  Installed per test;
+// the destructor restores the default handler.
+class CaptureFailures {
+ public:
+  CaptureFailures() {
+    reports().clear();
+    prev_ = lockcheck::set_failure_handler(&record);
+  }
+  ~CaptureFailures() { lockcheck::set_failure_handler(prev_); }
+
+  static std::vector<std::string>& reports() {
+    static std::vector<std::string> r;
+    return r;
+  }
+
+ private:
+  static void record(const std::string& report) {
+    reports().push_back(report);
+  }
+  lockcheck::FailureHandler prev_ = nullptr;
+};
+
+bool any_report_contains(const std::string& needle) {
+  for (const auto& r : CaptureFailures::reports())
+    if (r.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+TEST(LockCheck, EnabledInThisBuild) {
+  ASSERT_TRUE(lockcheck::enabled())
+      << "tests must run with OOPP_LOCK_CHECK on (and env != 0)";
+}
+
+TEST(LockCheck, CleanNestingIsSilent) {
+  CaptureFailures capture;
+  CheckedMutex outer("test.clean.outer");
+  CheckedMutex inner("test.clean.inner");
+  // Consistent outer -> inner nesting from two threads: no violation.
+  auto nest = [&] {
+    for (int i = 0; i < 100; ++i) {
+      std::lock_guard a(outer);
+      std::lock_guard b(inner);
+    }
+  };
+  std::thread t(nest);
+  nest();
+  t.join();
+  EXPECT_TRUE(CaptureFailures::reports().empty());
+}
+
+// The tentpole scenario: thread 1 takes A then B, thread 2 takes B then A.
+// Neither run deadlocks (the acquisitions are serialized), but the order
+// graph has the cycle A -> B -> A and the checker must report it.
+TEST(LockCheck, SeededLockOrderInversionIsCaught) {
+  CaptureFailures capture;
+  CheckedMutex a("test.inversion.A");
+  CheckedMutex b("test.inversion.B");
+
+  {
+    std::lock_guard la(a);
+    std::lock_guard lb(b);  // records A -> B
+  }
+  std::thread t([&] {
+    std::lock_guard lb(b);
+    std::lock_guard la(a);  // B -> A: closes the cycle
+  });
+  t.join();
+
+  ASSERT_FALSE(CaptureFailures::reports().empty())
+      << "inverted lock order went undetected";
+  EXPECT_TRUE(any_report_contains("test.inversion.A"));
+  EXPECT_TRUE(any_report_contains("test.inversion.B"));
+  EXPECT_TRUE(any_report_contains("cycle"));
+}
+
+// A three-lock cycle assembled by three different threads, none of which
+// ever holds more than two locks: A -> B, B -> C, then C -> A must fail.
+TEST(LockCheck, TransitiveCycleAcrossThreeThreads) {
+  CaptureFailures capture;
+  CheckedMutex a("test.tri.A");
+  CheckedMutex b("test.tri.B");
+  CheckedMutex c("test.tri.C");
+
+  std::thread([&] {
+    std::lock_guard l1(a);
+    std::lock_guard l2(b);
+  }).join();
+  std::thread([&] {
+    std::lock_guard l1(b);
+    std::lock_guard l2(c);
+  }).join();
+  EXPECT_TRUE(CaptureFailures::reports().empty());
+  std::thread([&] {
+    std::lock_guard l1(c);
+    std::lock_guard l2(a);  // C -> A completes A -> B -> C -> A
+  }).join();
+
+  ASSERT_FALSE(CaptureFailures::reports().empty());
+  EXPECT_TRUE(any_report_contains("test.tri.A"));
+  EXPECT_TRUE(any_report_contains("test.tri.C"));
+}
+
+TEST(LockCheck, SelfRelockIsCaught) {
+  CaptureFailures capture;
+  CheckedMutex m("test.relock.M");
+  m.lock();
+  lockcheck::on_acquire(&m, m.name());  // what a second m.lock() would do
+  ASSERT_FALSE(CaptureFailures::reports().empty());
+  EXPECT_TRUE(any_report_contains("recursive acquisition"));
+  lockcheck::on_release(&m);
+  m.unlock();
+}
+
+TEST(LockCheck, BlockingRemoteCallUnderLockIsCaught) {
+  CaptureFailures capture;
+  CheckedMutex m("test.blocking.M");
+  {
+    std::lock_guard l(m);
+    lockcheck::on_blocking_call("test_site");
+  }
+  ASSERT_FALSE(CaptureFailures::reports().empty());
+  EXPECT_TRUE(any_report_contains("test.blocking.M"));
+  EXPECT_TRUE(any_report_contains("test_site"));
+
+  // With the lock released the same call site is clean.
+  CaptureFailures::reports().clear();
+  lockcheck::on_blocking_call("test_site");
+  EXPECT_TRUE(CaptureFailures::reports().empty());
+}
+
+// A real remote call while holding a checked lock must trip the hook in
+// rpc/binding.hpp end-to-end (not just the lockcheck API).
+TEST(LockCheck, RealRemoteCallUnderLockIsCaught) {
+  oopp::Cluster cluster(2);
+  CaptureFailures capture;
+  CheckedMutex m("test.rpc_hook.M");
+  auto vec = cluster.make_remote<oopp::RemoteVector<double>>(
+      1, std::uint64_t{4});
+  {
+    std::lock_guard l(m);
+    (void)vec.call<&oopp::RemoteVector<double>::sum>();
+  }
+  ASSERT_FALSE(CaptureFailures::reports().empty());
+  EXPECT_TRUE(any_report_contains("test.rpc_hook.M"));
+  vec.destroy();
+}
+
+TEST(LockCheck, SharedMutexParticipatesInOrdering) {
+  CaptureFailures capture;
+  CheckedSharedMutex s("test.shared.S");
+  CheckedMutex x("test.shared.X");
+
+  {
+    std::shared_lock ls(s);
+    std::lock_guard lx(x);  // S -> X
+  }
+  std::thread([&] {
+    std::lock_guard lx(x);
+    std::shared_lock ls(s);  // X -> S: inversion through a shared lock
+  }).join();
+
+  ASSERT_FALSE(CaptureFailures::reports().empty());
+  EXPECT_TRUE(any_report_contains("test.shared.S"));
+}
+
+// CondVar waits release and re-acquire the underlying mutex without
+// corrupting the held-lock stack.
+TEST(LockCheck, CondVarKeepsHeldStackConsistent) {
+  CaptureFailures capture;
+  CheckedMutex m("test.condvar.M");
+  CondVar cv;
+  bool ready = false;
+
+  std::thread producer([&] {
+    std::lock_guard l(m);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    std::unique_lock l(m);
+    cv.wait(l, [&] { return ready; });
+    EXPECT_EQ(lockcheck::held_count(), 1u);
+  }
+  producer.join();
+  EXPECT_EQ(lockcheck::held_count(), 0u);
+  EXPECT_TRUE(CaptureFailures::reports().empty());
+}
+
+TEST(LockCheck, TryLockFailureRollsBackHeldStack) {
+  CaptureFailures capture;
+  CheckedMutex m("test.trylock.M");
+  m.lock();
+  std::thread([&] {
+    EXPECT_FALSE(m.try_lock());
+    EXPECT_EQ(lockcheck::held_count(), 0u);
+  }).join();
+  m.unlock();
+  EXPECT_TRUE(CaptureFailures::reports().empty());
+}
+
+// Two instances of the same lock class may nest (per-object mutexes taken
+// in address or container order) — excluded from the order graph.
+TEST(LockCheck, SameClassInstancesDoNotFalsePositive) {
+  CaptureFailures capture;
+  CheckedMutex m1("test.sameclass.M");
+  CheckedMutex m2("test.sameclass.M");
+  {
+    std::lock_guard l1(m1);
+    std::lock_guard l2(m2);
+  }
+  {
+    std::lock_guard l2(m2);
+    std::lock_guard l1(m1);
+  }
+  EXPECT_TRUE(CaptureFailures::reports().empty());
+}
+
+}  // namespace

@@ -164,8 +164,9 @@ INSTANTIATE_TEST_SUITE_P(
     Fabrics, Integration,
     ::testing::Values(Cluster::FabricKind::kInProc,
                       Cluster::FabricKind::kTcp),
-    [](const ::testing::TestParamInfo<Cluster::FabricKind>& info) {
-      return info.param == Cluster::FabricKind::kInProc ? "InProc" : "Tcp";
+    [](const ::testing::TestParamInfo<Cluster::FabricKind>& param_info) {
+      return param_info.param == Cluster::FabricKind::kInProc ? "InProc"
+                                                             : "Tcp";
     });
 
 }  // namespace

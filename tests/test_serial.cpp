@@ -169,7 +169,7 @@ TEST(Serial, HugeLengthPrefixRejectedBeforeAllocation) {
 
 TEST(Serial, EmptyArchiveReadThrows) {
   serial::IArchive ia(std::span<const std::byte>{});
-  EXPECT_THROW(ia.read<int>(), serial::serial_error);
+  EXPECT_THROW((void)ia.read<int>(), serial::serial_error);
   EXPECT_TRUE(ia.exhausted());
 }
 
@@ -177,7 +177,7 @@ TEST(Serial, WrongShapeDetectedByBoundsNotUB) {
   serial::OArchive oa;
   oa(std::uint32_t{7});
   serial::IArchive ia(oa.bytes());
-  EXPECT_THROW(ia.read<std::uint64_t>(), serial::serial_error);
+  EXPECT_THROW((void)ia.read<std::uint64_t>(), serial::serial_error);
 }
 
 TEST(Serial, RawBytes) {

@@ -147,7 +147,7 @@ TEST(ArrayPage, StructuredAccessAndSum) {
       for (oopp::index_t i3 = 0; i3 < 4; ++i3) p.set(i1, i2, i3, v += 1.0);
   EXPECT_DOUBLE_EQ(p.sum(), 24.0 * 25.0 / 2.0);
   EXPECT_DOUBLE_EQ(p.at(1, 2, 3), 24.0);
-  EXPECT_THROW(p.at(2, 0, 0), oopp::check_error);
+  EXPECT_THROW((void)p.at(2, 0, 0), oopp::check_error);
 }
 
 TEST(ArrayPage, FromBuffer) {

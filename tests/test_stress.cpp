@@ -30,11 +30,13 @@ class Cell {
   }
   std::vector<std::uint64_t> log() const { return log_; }
 
-  /// Reentrant read: runs concurrently with queued commands.
+  /// Reentrant read: runs concurrently with queued commands, so the state
+  /// it touches must be synchronized — the framework contract for
+  /// `reentrant` methods (hence the atomic value_).
   std::int64_t peek() const { return value_; }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
   std::vector<std::uint64_t> log_;
 };
 

@@ -1,0 +1,37 @@
+// Fixture: blocking Inbox::pop() outside the node receiver loop.
+#include <optional>
+
+namespace fixture {
+
+struct FakeMessage {};
+
+struct FakeInbox {
+  std::optional<FakeMessage> pop() { return std::nullopt; }
+};
+
+class Servant {
+ public:
+  void handle() {
+    // Blocking pop on a dispatch thread stalls the whole machine.
+    auto m = inbox_.pop();       // LINT-EXPECT: inbox-pop-dispatch
+    (void)m;
+    auto n = inbox().pop();      // LINT-EXPECT: inbox-pop-dispatch
+    (void)n;
+  }
+
+  FakeInbox& inbox() { return inbox_; }
+
+ private:
+  FakeInbox inbox_;
+};
+
+// pop() on a non-inbox container must NOT be flagged.
+struct Stack {
+  int pop() { return 0; }
+};
+inline int clean_pop() {
+  Stack pending;
+  return pending.pop();
+}
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// Fixture: oopp_serialize that silently drops members.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct ProbeReport {
+  std::uint64_t target = 0;
+  int probes = 0;
+  int failures = 0;  // LINT-EXPECT: serialize-coverage
+  std::string note;  // LINT-EXPECT: serialize-coverage
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, ProbeReport& r) {
+  ar | r.target | r.probes;  // forgot failures and note
+}
+
+// A fully-covered struct right next to it must NOT be flagged.
+struct GoodRecord {
+  std::vector<double> values;
+  double checksum = 0.0;
+
+  [[nodiscard]] bool empty() const { return values.empty(); }
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, GoodRecord& g) {
+  ar | g.values | g.checksum;
+}
+
+// Covered via a temporary (enum-as-int idiom) — also clean.
+struct StateRecord {
+  int state = 0;
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, StateRecord& s) {
+  int state = s.state;
+  ar | state;
+  s.state = state;
+}
+
+}  // namespace fixture

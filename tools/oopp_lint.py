@@ -1,0 +1,362 @@
+#!/usr/bin/env python3
+"""OOPP framework lint — rules the C++ compiler cannot enforce.
+
+Rules
+-----
+serialize-coverage      Every ``oopp_serialize(Ar&, T&)`` overload must
+                        mention every data member of the struct T it
+                        serializes (a member that never appears in the
+                        body is silently dropped on the wire).  Checked
+                        for structs whose serialize function lives in the
+                        same file — the framework convention.
+raw-thread-primitive    ``std::mutex`` / ``std::shared_mutex`` /
+                        ``std::condition_variable`` / ``std::thread`` are
+                        banned outside ``src/util/``: locking must go
+                        through util::CheckedMutex (lock-order checking),
+                        threads through ElasticPool or a named owner in
+                        util/.
+thread-detach           ``.detach()`` is banned everywhere: a detached
+                        thread outlives shutdown and races static
+                        destruction.
+inbox-pop-dispatch      Blocking ``Inbox::pop()`` belongs to the node's
+                        receiver loop (src/rpc/node.cpp) alone.  A pop()
+                        on a dispatch/servant thread stalls the whole
+                        machine's message delivery.
+
+Usage
+-----
+  oopp_lint.py PATH...          lint the tree; exit 1 on any violation
+  oopp_lint.py --self-test DIR  run against seeded fixtures; every
+                                expected violation is marked in-line with
+                                ``LINT-EXPECT: <rule>`` and must be
+                                reported (and nothing else); exit 1 on
+                                mismatch
+
+Suppression: put ``// oopp-lint: allow(<rule>)`` on the offending line or
+the line directly above it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+# Files allowed to use raw thread primitives (the checked wrappers and the
+# thread owners live here).
+RAW_PRIMITIVE_ALLOWED = ("src/util/",)
+
+# The one place a blocking Inbox::pop() is legitimate.
+INBOX_POP_ALLOWED = ("src/rpc/node.cpp",)
+
+VIOLATION_FMT = "{file}:{line}: [{rule}] {msg}"
+
+
+class Violation:
+    def __init__(self, file: Path, line: int, rule: str, msg: str):
+        self.file = file
+        self.line = line
+        self.rule = rule
+        self.msg = msg
+
+    def __str__(self) -> str:
+        return VIOLATION_FMT.format(
+            file=self.file, line=self.line, rule=self.rule, msg=self.msg
+        )
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line numbers
+    and byte offsets (replaced with spaces)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c == "'" and i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+            out.append(c)  # digit separator (10'000), not a char literal
+            i += 1
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def suppressed(raw_lines: list[str], line: int, rule: str) -> bool:
+    """A violation is suppressed by `oopp-lint: allow(<rule>)` on the
+    offending line or the line directly above it."""
+    needle = f"oopp-lint: allow({rule})"
+    for ln in (line, line - 1):
+        if 1 <= ln <= len(raw_lines) and needle in raw_lines[ln - 1]:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# serialize-coverage
+# --------------------------------------------------------------------------
+
+STRUCT_RE = re.compile(r"\bstruct\s+(\w+)\s*(?::[^({]*?)?\{")
+SERIALIZE_RE = re.compile(
+    r"\boopp_serialize\s*\(\s*[\w:]+\s*&\s*\w+\s*,\s*(?:[\w:]+::)?(\w+)\s*&\s*(\w+)\s*\)"
+)
+MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?"
+    r"(?!using\b|typedef\b|static\b|friend\b|template\b|return\b|struct\b|class\b|enum\b|public\b|private\b|protected\b|if\b|for\b|while\b|else\b|case\b)"
+    r"[\w:<>,\s.*&]+?[\s&*>]"
+    r"(\w+)\s*(?:=[^;]*|\{[^;{}]*\})?;\s*$"
+)
+
+
+def find_matching_brace(text: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+def struct_members(body: str) -> list[tuple[str, int]]:
+    """Data members of a struct body (heuristic), with line offsets
+    relative to the body start.  Only top-level declarations count."""
+    # Blank out nested braces (methods, nested types, initializers) so only
+    # top-level `type name;` declarations survive.
+    flat = []
+    depth = 0
+    for ch in body:
+        if ch == "{":
+            depth += 1
+            flat.append(" ")
+        elif ch == "}":
+            depth -= 1
+            flat.append(" ")
+        elif depth > 0 and ch != "\n":
+            flat.append(" ")
+        else:
+            flat.append(ch)
+    members = []
+    for i, line in enumerate("".join(flat).split("\n")):
+        if "(" in line or ")" in line:
+            continue  # function declarations / pointers-to-member
+        m = MEMBER_RE.match(line)
+        if m:
+            members.append((m.group(1), i))
+    return members
+
+
+def check_serialize_coverage(path: Path, text: str, raw_lines: list[str]):
+    violations = []
+    structs = {}
+    for m in STRUCT_RE.finditer(text):
+        name = m.group(1)
+        open_idx = m.end() - 1
+        close_idx = find_matching_brace(text, open_idx)
+        structs[name] = (open_idx, close_idx)
+
+    for sm in SERIALIZE_RE.finditer(text):
+        struct_name = sm.group(1)
+        if struct_name not in structs:
+            continue  # serialize for a type defined elsewhere
+        open_idx, close_idx = structs[struct_name]
+        body = text[open_idx + 1 : close_idx]
+        body_line = line_of(text, open_idx)
+
+        # The serialize function body: from the match to its closing brace.
+        fn_open = text.find("{", sm.end())
+        if fn_open < 0:
+            continue
+        fn_body = text[fn_open : find_matching_brace(text, fn_open) + 1]
+
+        for member, rel_line in struct_members(body):
+            if not re.search(rf"\b{re.escape(member)}\b", fn_body):
+                line = body_line + rel_line
+                if suppressed(raw_lines, line, "serialize-coverage"):
+                    continue
+                violations.append(
+                    Violation(
+                        path,
+                        line,
+                        "serialize-coverage",
+                        f"member '{member}' of struct '{struct_name}' is "
+                        f"never mentioned by its oopp_serialize — it will "
+                        f"be dropped on the wire",
+                    )
+                )
+    return violations
+
+
+# --------------------------------------------------------------------------
+# raw-thread-primitive / thread-detach / inbox-pop-dispatch
+# --------------------------------------------------------------------------
+
+RAW_PRIMITIVE_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"condition_variable|condition_variable_any|thread|jthread)\b"
+)
+DETACH_RE = re.compile(r"[.\->]\s*detach\s*\(\s*\)")
+INBOX_POP_RE = re.compile(r"\b(\w*[Ii]nbox\w*(?:\(\s*\))?)\s*(?:\.|->)\s*pop\s*\(")
+
+
+def check_token_rules(path: Path, text: str, raw_lines: list[str], rel: str):
+    violations = []
+
+    if not any(rel.startswith(p) or f"/{p}" in rel for p in RAW_PRIMITIVE_ALLOWED):
+        for m in RAW_PRIMITIVE_RE.finditer(text):
+            line = line_of(text, m.start())
+            if suppressed(raw_lines, line, "raw-thread-primitive"):
+                continue
+            violations.append(
+                Violation(
+                    path,
+                    line,
+                    "raw-thread-primitive",
+                    f"std::{m.group(1)} outside src/util/ — use "
+                    f"util::CheckedMutex / util::CondVar (lock-order "
+                    f"checked) or a thread owner in util/",
+                )
+            )
+
+    for m in DETACH_RE.finditer(text):
+        line = line_of(text, m.start())
+        if suppressed(raw_lines, line, "thread-detach"):
+            continue
+        violations.append(
+            Violation(
+                path,
+                line,
+                "thread-detach",
+                "detach() — a detached thread outlives shutdown and races "
+                "static destruction; join it from an owner instead",
+            )
+        )
+
+    if not any(rel.endswith(p) or rel == p for p in INBOX_POP_ALLOWED):
+        for m in INBOX_POP_RE.finditer(text):
+            line = line_of(text, m.start())
+            if suppressed(raw_lines, line, "inbox-pop-dispatch"):
+                continue
+            violations.append(
+                Violation(
+                    path,
+                    line,
+                    "inbox-pop-dispatch",
+                    f"blocking pop() on '{m.group(1)}' outside the node "
+                    f"receiver loop — this stalls message delivery for "
+                    f"the whole machine",
+                )
+            )
+    return violations
+
+
+# --------------------------------------------------------------------------
+# driver
+# --------------------------------------------------------------------------
+
+
+def lint_file(path: Path, root: Path) -> list[Violation]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.split("\n")
+    text = strip_comments_and_strings(raw)
+    try:
+        rel = str(path.resolve().relative_to(root.resolve()))
+    except ValueError:
+        rel = str(path)
+    rel = rel.replace("\\", "/")
+    violations = []
+    violations += check_serialize_coverage(path, text, raw_lines)
+    violations += check_token_rules(path, text, raw_lines, rel)
+    return violations
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    files = []
+    for p in paths:
+        if p.is_dir():
+            files += [
+                f for f in sorted(p.rglob("*")) if f.suffix in CPP_SUFFIXES
+            ]
+        elif p.is_file():
+            if p.suffix in CPP_SUFFIXES:
+                files.append(p)
+        else:
+            # A typo'd path in CI must fail loudly, not lint zero files.
+            raise SystemExit(f"oopp_lint: error: no such file or directory: {p}")
+    return files
+
+
+def self_test(fixtures: Path, root: Path) -> int:
+    """Every `LINT-EXPECT: rule` comment must produce exactly one matching
+    violation on that line; any other violation is a failure."""
+    ok = True
+    for f in collect_files([fixtures]):
+        raw_lines = f.read_text(encoding="utf-8").split("\n")
+        expected = set()
+        for i, line in enumerate(raw_lines, start=1):
+            for m in re.finditer(r"LINT-EXPECT:\s*([\w-]+)", line):
+                expected.add((i, m.group(1)))
+        got = {(v.line, v.rule) for v in lint_file(f, root)}
+        for miss in sorted(expected - got):
+            print(f"SELF-TEST FAIL {f}:{miss[0]}: expected [{miss[1]}] not reported")
+            ok = False
+        for extra in sorted(got - expected):
+            print(f"SELF-TEST FAIL {f}:{extra[0]}: unexpected [{extra[1]}]")
+            ok = False
+    print("oopp_lint self-test:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("paths", nargs="+", type=Path)
+    ap.add_argument("--root", type=Path, default=Path.cwd(),
+                    help="repo root for allow-list matching")
+    ap.add_argument("--self-test", action="store_true",
+                    help="treat paths as fixture dirs with LINT-EXPECT marks")
+    args = ap.parse_args()
+
+    if args.self_test:
+        rc = 0
+        for p in args.paths:
+            rc |= self_test(p, args.root)
+        return rc
+
+    violations = []
+    files = collect_files(args.paths)
+    for f in files:
+        violations += lint_file(f, args.root)
+    for v in violations:
+        print(v)
+    print(f"oopp_lint: {len(files)} files, {len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
