@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -56,6 +57,49 @@ double median_seconds(int reps, Fn&& fn) {
   }
   std::sort(times.begin(), times.end());
   return times[times.size() / 2];
+}
+
+/// Per-iteration latency samples of `iters` runs of fn(), in nanoseconds,
+/// sorted ascending — ready for percentile slicing.
+template <class Fn>
+std::vector<std::int64_t> timed_samples(int iters, Fn&& fn) {
+  std::vector<std::int64_t> ns;
+  ns.reserve(iters);
+  for (int i = 0; i < iters; ++i) {
+    const std::int64_t t0 = now_ns();
+    fn();
+    ns.push_back(now_ns() - t0);
+  }
+  std::sort(ns.begin(), ns.end());
+  return ns;
+}
+
+inline std::int64_t percentile_ns(const std::vector<std::int64_t>& sorted,
+                                  double p) {
+  if (sorted.empty()) return 0;
+  auto rank = static_cast<std::size_t>(p * static_cast<double>(sorted.size()));
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+/// Emit one benchmark result as a single JSON line and mirror it into
+/// BENCH_<name>.json in the current directory, so CI can collect the file
+/// as an artifact without scraping stdout.
+inline void emit_json(const std::string& name, int iters,
+                      const std::vector<std::int64_t>& sorted_ns) {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "{\"bench\":\"%s\",\"iters\":%d,\"p50_ns\":%lld,"
+                "\"p95_ns\":%lld,\"p99_ns\":%lld}",
+                name.c_str(), iters,
+                static_cast<long long>(percentile_ns(sorted_ns, 0.50)),
+                static_cast<long long>(percentile_ns(sorted_ns, 0.95)),
+                static_cast<long long>(percentile_ns(sorted_ns, 0.99)));
+  std::printf("BENCH_JSON %s\n", line);
+  if (std::FILE* f = std::fopen(("BENCH_" + name + ".json").c_str(), "w")) {
+    std::fprintf(f, "%s\n", line);
+    std::fclose(f);
+  }
 }
 
 /// Scratch directory for device backing files; removed on destruction.

@@ -10,12 +10,18 @@
 //   inproc/hpc — simulated HPC fabric (2 us, 10 GB/s);
 //   inproc/eth — simulated commodity cluster (25 us, 1.2 GB/s);
 //   tcp        — real loopback sockets.
+//
+// `--smoke` runs a seconds-long variant for CI: one TCP cluster, a small
+// page, tracing forced on, and it leaves BENCH_e1.json, e1_metrics.json
+// and e1_trace/trace_node*.json behind as artifacts.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "bench_common.hpp"
 #include "core/oopp.hpp"
 #include "storage/page_device.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace oopp;
 using bench::ScratchDir;
@@ -54,9 +60,46 @@ double time_cluster(Cluster& cluster, const ScratchDir& dir,
   return s;
 }
 
+// CI smoke: a short traced run that leaves machine-readable artifacts.
+int run_smoke() {
+  bench::headline("E1  remote method call cost (smoke)",
+                  "short traced run; emits BENCH_e1.json + trace/metrics");
+  telemetry::set_enabled(true);
+  ScratchDir dir("e1s");
+
+  Cluster::Options tcp;
+  tcp.machines = 2;
+  tcp.fabric = Cluster::FabricKind::kTcp;
+  Cluster cluster(tcp);
+
+  auto dev = cluster.make_remote<storage::PageDevice>(1, dir.file("smoke"),
+                                                      4, 4096);
+  const auto page = make_page(4096);
+  dev.call<&storage::PageDevice::write>(page, 1);  // warm-up
+
+  const int iters = 200;
+  const auto samples = bench::timed_samples(iters, [&] {
+    dev.call<&storage::PageDevice::write>(page, 1);
+    (void)dev.call<&storage::PageDevice::read>(1);
+  });
+  bench::emit_json("e1", iters, samples);
+
+  dev.destroy();
+
+  const auto traces = cluster.dump_trace("e1_trace");
+  std::printf("  wrote %zu trace files under e1_trace/\n", traces);
+  if (std::FILE* f = std::fopen("e1_metrics.json", "w")) {
+    std::fprintf(f, "%s\n", cluster.metrics_report().c_str());
+    std::fclose(f);
+    bench::note("wrote e1_metrics.json");
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
   bench::headline("E1  remote method call cost (paper §2)",
                   "remote execution = overhead + alpha + bytes/beta; "
                   "sequential semantics preserved");
@@ -110,6 +153,22 @@ int main() {
 
     std::printf("%9dB | %12.1f %12.1f %12.1f %12.1f %12.1f\n", page_size,
                 local, in0, inh, ine, intcp);
+  }
+
+  // Machine-readable summary for CI: remote 4 KiB round trip on the
+  // zero-cost fabric.
+  {
+    auto dev = c_zero.make_remote<storage::PageDevice>(1, dir.file("json"),
+                                                       4, 4096);
+    const auto page = make_page(4096);
+    dev.call<&storage::PageDevice::write>(page, 1);  // warm-up
+    const int iters = 300;
+    const auto samples = bench::timed_samples(iters, [&] {
+      dev.call<&storage::PageDevice::write>(page, 1);
+      (void)dev.call<&storage::PageDevice::read>(1);
+    });
+    bench::emit_json("e1", iters, samples);
+    dev.destroy();
   }
 
   std::printf("\nshape checks:\n");

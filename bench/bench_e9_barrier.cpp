@@ -72,7 +72,7 @@ int main() {
     // Barrier must wait for in-flight commands: each member gets a 10 ms
     // nap; the barrier should cost ~10 ms (overlapped), not n x 10 ms.
     const double busy_ms = bench::median_seconds(3, [&] {
-      auto futs = group.async_all<&Sleeper::nap>(10);
+      auto futs = group.async<&Sleeper::nap>(10);
       group.barrier();
       for (auto& f : futs) (void)f.get();
     }) * 1e3;

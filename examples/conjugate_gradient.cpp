@@ -218,7 +218,7 @@ int main() {
     return acc;
   };
 
-  double rs = global_sum(workers.async_all<&CgWorker::r_dot_r>());
+  double rs = global_sum(workers.async<&CgWorker::r_dot_r>());
   const double rs0 = rs;
   std::printf("CG on %lld^3 Poisson, %d worker processes, |r0|^2 = %.3e\n",
               static_cast<long long>(N), W, rs0);
@@ -227,11 +227,11 @@ int main() {
   int it = 0;
   for (; it < 500 && rs > 1e-16 * rs0; ++it) {
     const double pap =
-        global_sum(workers.async_all<&CgWorker::apply_operator>());
+        global_sum(workers.async<&CgWorker::apply_operator>());
     const double alpha = rs / pap;
     const double rs_new =
-        global_sum(workers.async_all<&CgWorker::update_solution>(alpha));
-    workers.invoke_all<&CgWorker::update_direction>(rs_new / rs);
+        global_sum(workers.async<&CgWorker::update_solution>(alpha));
+    workers.gather<&CgWorker::update_direction>(rs_new / rs);
     rs = rs_new;
     if (it % 20 == 0)
       std::printf("  iter %3d  |r|^2 = %.3e\n", it, rs);

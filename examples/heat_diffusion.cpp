@@ -205,7 +205,7 @@ int main() {
 
   auto heat = [&] {
     double total = 0.0;
-    for (auto h : workers.collect<&HeatWorker::total_heat>()) total += h;
+    for (auto h : workers.gather<&HeatWorker::total_heat>()) total += h;
     return total;
   };
   const double heat0 = heat();
@@ -217,7 +217,7 @@ int main() {
   Timer t;
   constexpr int kRounds = 5, kStepsPerRound = 10;
   for (int round = 0; round < kRounds; ++round) {
-    workers.invoke_all<&HeatWorker::step_many>(kStepsPerRound, alpha);
+    workers.gather<&HeatWorker::step_many>(kStepsPerRound, alpha);
     std::printf("after %3d steps: total heat %10.2f  (%.0f ms)\n",
                 (round + 1) * kStepsPerRound, heat(), t.millis());
   }

@@ -103,7 +103,7 @@ int main() {
               cluster.size());
 
   // --- map phase: a split loop; histograms come back in parallel ----------
-  auto partials = shards.collect<&TextShard::word_count>();
+  auto partials = shards.gather<&TextShard::word_count>();
 
   // --- shuffle + reduce via remote reducer processes -----------------------
   const int R = 2;
@@ -126,7 +126,7 @@ int main() {
 
   // --- gather results ------------------------------------------------------
   Histogram result;
-  for (auto& totals : reducers.collect<&Reducer::totals>())
+  for (auto& totals : reducers.gather<&Reducer::totals>())
     result.merge(totals);
 
   std::uint64_t total_words = 0;

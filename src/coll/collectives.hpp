@@ -229,7 +229,7 @@ void broadcast(const ProcessGroup<CollWorker<T>>& group, int root,
   const auto n = static_cast<std::int64_t>(group.size());
   OOPP_CHECK(root >= 0 && root < n);
   if (topo == Topology::kFlat) {
-    group.template invoke_all<&CollWorker<T>::set_data>(value);
+    group.template gather<&CollWorker<T>::set_data>(value);
   } else {
     group[root].template call<&CollWorker<T>::tree_bcast>(root, 0, n, value);
   }
@@ -241,7 +241,7 @@ std::vector<T> reduce(const ProcessGroup<CollWorker<T>>& group, int root,
   const auto n = static_cast<std::int64_t>(group.size());
   OOPP_CHECK(root >= 0 && root < n);
   if (topo == Topology::kFlat) {
-    auto parts = group.template collect<&CollWorker<T>::data>();
+    auto parts = group.template gather<&CollWorker<T>::data>();
     std::vector<T> acc = parts[root];
     for (std::int64_t i = 0; i < n; ++i) {
       if (i == root) continue;
@@ -269,7 +269,7 @@ std::vector<std::vector<T>> gather(const ProcessGroup<CollWorker<T>>& group,
   OOPP_CHECK(root >= 0 && root < n);
   std::vector<std::vector<T>> out(static_cast<std::size_t>(n));
   if (topo == Topology::kFlat) {
-    auto parts = group.template collect<&CollWorker<T>::data>();
+    auto parts = group.template gather<&CollWorker<T>::data>();
     for (std::int64_t i = 0; i < n; ++i) out[i] = std::move(parts[i]);
     return out;
   }

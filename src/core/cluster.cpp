@@ -149,6 +149,22 @@ ClusterStats Cluster::stats() const {
   return s;
 }
 
+std::string Cluster::metrics_report() const {
+  return telemetry::Metrics::instance().json();
+}
+
+std::size_t Cluster::dump_trace(const std::filesystem::path& dir) const {
+  std::filesystem::create_directories(dir);
+  std::size_t written = 0;
+  for (net::MachineId m = 0; m < nodes_.size(); ++m) {
+    if (!nodes_[m]) continue;  // hosted by another process
+    std::ofstream out(dir / ("trace_node" + std::to_string(m) + ".json"));
+    out << nodes_[m]->span_sink().json(m) << '\n';
+    if (out.good()) ++written;
+  }
+  return written;
+}
+
 rpc::Node& Cluster::node(net::MachineId m) {
   OOPP_CHECK_MSG(m < nodes_.size(),
                  "machine " << m << " out of range (cluster has "
@@ -246,7 +262,7 @@ void Cluster::checkpoint_impl(RemoteRef ref, const std::string& uri,
   auto class_name = ia.read<std::string>();
   auto state = ia.read<std::vector<std::byte>>();
   if (class_name != expected_class)
-    throw rpc::rpc_error("persist type mismatch: object is a '" + class_name +
+    throw Error("persist type mismatch: object is a '" + class_name +
                          "', caller expected '" + expected_class + "'");
 
   const auto path = image_path(uri);
@@ -273,9 +289,9 @@ RemoteRef Cluster::lookup_impl(const std::string& uri,
   auto ns = name_service();
   auto rec = ns.call<&NameService::get>(uri);
   if (!rec)
-    throw rpc::rpc_error("unknown symbolic address '" + uri + "'");
+    throw Error("unknown symbolic address '" + uri + "'");
   if (rec->class_name != expected_class)
-    throw rpc::rpc_error("lookup type mismatch at '" + uri + "': record is '" +
+    throw Error("lookup type mismatch at '" + uri + "': record is '" +
                          rec->class_name + "', caller expected '" +
                          expected_class + "'");
 
@@ -392,7 +408,7 @@ RemoteRef Cluster::migrate_impl(RemoteRef ref, net::MachineId target,
   auto class_name = ia.read<std::string>();
   auto state = ia.read<std::vector<std::byte>>();
   if (class_name != expected_class)
-    throw rpc::rpc_error("migrate type mismatch: object is a '" + class_name +
+    throw Error("migrate type mismatch: object is a '" + class_name +
                          "', caller expected '" + expected_class + "'");
 
   // Re-activate on the target machine.

@@ -100,6 +100,15 @@ class Cluster {
   [[nodiscard]] rpc::Node& node(net::MachineId m);
   [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] ClusterStats stats() const;
+
+  /// One JSON document with every telemetry scope's counters and
+  /// latency-histogram percentiles (see docs/TELEMETRY.md for the schema).
+  [[nodiscard]] std::string metrics_report() const;
+
+  /// Write one trace dump per locally hosted node into `dir` as
+  /// trace_node<N>.json; tools/oopp_trace.py merges them into a single
+  /// causally ordered timeline.  Returns the number of files written.
+  std::size_t dump_trace(const std::filesystem::path& dir) const;
   [[nodiscard]] const std::filesystem::path& state_dir() const {
     return state_dir_;
   }
@@ -168,7 +177,7 @@ class Cluster {
 
   /// Resolve a symbolic address.  A live process is returned as-is; a
   /// passive one is re-activated from its image on `activate_on`
-  /// (defaulting to its home machine).  Throws rpc::rpc_error for unknown
+  /// (defaulting to its home machine).  Throws oopp::Error for unknown
   /// addresses and class mismatches.
   template <class T>
   remote_ptr<T> lookup(const std::string& uri,

@@ -15,6 +15,8 @@
 #include "rpc/binding.hpp"
 #include "rpc/node.hpp"
 #include "serial/archive.hpp"
+#include "telemetry/trace.hpp"
+#include "util/clock.hpp"
 
 namespace oopp {
 
@@ -23,6 +25,10 @@ class Future {
  public:
   Future() = default;
   explicit Future(std::future<net::Message> f) : f_(std::move(f)) {}
+  /// `issued` is the client span the call opened (from Node::async_raw),
+  /// so deadline expiry can be recorded against the right trace.
+  Future(std::future<net::Message> f, telemetry::TraceContext issued)
+      : f_(std::move(f)), issued_(issued) {}
 
   [[nodiscard]] bool valid() const { return f_.valid(); }
   void wait() {
@@ -44,8 +50,10 @@ class Future {
   /// time.  The call itself is NOT cancelled.
   template <class Rep, class Period>
   R get_for(std::chrono::duration<Rep, Period> timeout) {
-    if (!wait_for(timeout))
+    if (!wait_for(timeout)) {
+      record_timeout_span();
       throw rpc::CallTimeout("remote call did not complete within deadline");
+    }
     return get();
   }
 
@@ -64,7 +72,27 @@ class Future {
   }
 
  private:
+  /// Deadline expiry is an event the response-side tracing never sees (the
+  /// client span stays open until the response or abort), so record it as
+  /// an instantaneous child of the issuing call's span.
+  void record_timeout_span() {
+    if (!telemetry::enabled() || !issued_.active()) return;
+    telemetry::SpanSink* sink = telemetry::thread_sink();
+    if (sink == nullptr) return;
+    telemetry::Span s{};
+    s.trace_id = issued_.trace_id;
+    s.parent_id = issued_.span_id;
+    s.span_id = telemetry::next_id();
+    s.node = telemetry::thread_node();
+    s.kind = telemetry::SpanKind::kClient;
+    s.status = static_cast<std::uint8_t>(net::CallStatus::kTimeout);
+    s.set_name("rpc.timeout");
+    s.start_ns = s.end_ns = now_ns();
+    sink->record(s);
+  }
+
   std::future<net::Message> f_;
+  telemetry::TraceContext issued_{};
 };
 
 }  // namespace oopp

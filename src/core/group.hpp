@@ -6,9 +6,15 @@
 // compiler-supported barrier (`fft->barrier()`).  ProcessGroup packages
 // those idioms:
 //
-//   call_all  — the sequential loop of §2 (one member at a time);
-//   async_all — the compiler-split loop of §4 (all members in flight);
+//   call<M>   — the sequential loop of §2 (one member at a time);
+//   async<M>  — the compiler-split loop of §4 (all members in flight);
+//   gather<M> — async + collect every member's result (or just wait,
+//               for void methods);
 //   barrier() — completes when every member has drained its command queue.
+//
+// The old names (call_all / async_all / collect / invoke_all /
+// invoke_all_indexed) remain as deprecated aliases; see docs/TELEMETRY.md
+// for the migration table.
 //
 // A ProcessGroup serializes as a vector of remote pointers, so passing a
 // group to a remote method performs exactly the deep copy the paper calls
@@ -45,16 +51,16 @@ class ProcessGroup {
   }
 
   /// Sequential semantics (§2): each member's call completes before the
-  /// next is issued.  Results are discarded; use collect() to keep them.
+  /// next is issued.  Results are discarded; use gather() to keep them.
   template <auto M, class... A>
-  void call_all(const A&... args) const {
+  void call(const A&... args) const {
     for (const auto& p : members_) p.template call<M>(args...);
   }
 
   /// Split-loop semantics (§4): issue every send, then it is up to the
   /// caller when to collect.  Wall-clock is the slowest member, not the sum.
   template <auto M, class... A>
-  [[nodiscard]] std::vector<Future<rpc::method_result_t<M>>> async_all(
+  [[nodiscard]] std::vector<Future<rpc::method_result_t<M>>> async(
       const A&... args) const {
     std::vector<Future<rpc::method_result_t<M>>> futs;
     futs.reserve(members_.size());
@@ -62,27 +68,25 @@ class ProcessGroup {
     return futs;
   }
 
-  /// async_all + gather of all results (non-void methods).
+  /// async + receive from every member: returns the vector of results, or
+  /// (for void methods) just waits for all members to complete.
   template <auto M, class... A>
-  [[nodiscard]] std::vector<rpc::method_result_t<M>> collect(
-      const A&... args) const {
-    auto futs = async_all<M>(args...);
-    std::vector<rpc::method_result_t<M>> out;
-    out.reserve(futs.size());
-    for (auto& f : futs) out.push_back(f.get());
-    return out;
+  auto gather(const A&... args) const {
+    auto futs = async<M>(args...);
+    if constexpr (std::is_void_v<rpc::method_result_t<M>>) {
+      for (auto& f : futs) f.get();
+    } else {
+      std::vector<rpc::method_result_t<M>> out;
+      out.reserve(futs.size());
+      for (auto& f : futs) out.push_back(f.get());
+      return out;
+    }
   }
 
-  /// async_all + wait for void methods.
-  template <auto M, class... A>
-  void invoke_all(const A&... args) const {
-    auto futs = async_all<M>(args...);
-    for (auto& f : futs) f.get();
-  }
-
-  /// Per-member arguments: fn(i) produces the argument tuple for member i.
+  /// gather with per-member arguments: fn(i) produces member i's argument
+  /// tuple.  Results are discarded (the §4 loops it serves are void).
   template <auto M, class ArgFn>
-  void invoke_all_indexed(ArgFn&& fn) const {
+  void gather_indexed(ArgFn&& fn) const {
     std::vector<Future<rpc::method_result_t<M>>> futs;
     futs.reserve(members_.size());
     for (std::size_t i = 0; i < members_.size(); ++i) {
@@ -91,6 +95,38 @@ class ProcessGroup {
           fn(i)));
     }
     for (auto& f : futs) f.get();
+  }
+
+  // -- deprecated pre-unification spellings ---------------------------------
+
+  template <auto M, class... A>
+  [[deprecated("use call<M>(...)")]] void call_all(const A&... args) const {
+    call<M>(args...);
+  }
+
+  template <auto M, class... A>
+  [[deprecated("use async<M>(...)")]] [[nodiscard]] std::vector<
+      Future<rpc::method_result_t<M>>>
+  async_all(const A&... args) const {
+    return async<M>(args...);
+  }
+
+  template <auto M, class... A>
+  [[deprecated("use gather<M>(...)")]] [[nodiscard]] std::vector<
+      rpc::method_result_t<M>>
+  collect(const A&... args) const {
+    return gather<M>(args...);
+  }
+
+  template <auto M, class... A>
+  [[deprecated("use gather<M>(...)")]] void invoke_all(const A&... args) const {
+    gather<M>(args...);
+  }
+
+  template <auto M, class ArgFn>
+  [[deprecated("use gather_indexed<M>(...)")]] void invoke_all_indexed(
+      ArgFn&& fn) const {
+    gather_indexed<M>(std::forward<ArgFn>(fn));
   }
 
   /// The paper's `fft->barrier()`: completes once every member has drained

@@ -120,6 +120,23 @@ class remote_data {
     return p_.template call<&RemoteVector<T>::sum>();
   }
 
+  // Asynchronous bulk variants — the same unified call/async surface the
+  // other remote handles expose; pair with Future::get_for for deadlines.
+  [[nodiscard]] Future<std::vector<T>> async_slice(std::uint64_t lo,
+                                                   std::uint64_t n) const {
+    return p_.template async<&RemoteVector<T>::slice>(lo, n);
+  }
+  [[nodiscard]] Future<void> async_assign(std::uint64_t lo,
+                                          const std::vector<T>& xs) {
+    return p_.template async<&RemoteVector<T>::assign>(lo, xs);
+  }
+  [[nodiscard]] Future<void> async_fill(T x) {
+    return p_.template async<&RemoteVector<T>::fill>(std::move(x));
+  }
+  [[nodiscard]] Future<T> async_sum() const {
+    return p_.template async<&RemoteVector<T>::sum>();
+  }
+
   /// delete[] — terminate the block's process.
   void destroy() {
     p_.destroy();

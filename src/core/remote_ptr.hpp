@@ -72,7 +72,8 @@ class remote_ptr {
   template <auto M, class... A>
   rpc::method_result_t<M> call(A&&... args) const {
     using R = rpc::method_result_t<M>;
-    Future<R> f = async<M>(std::forward<A>(args)...);
+    Future<R> f =
+        async_impl<M>(telemetry::Verb::kCall, std::forward<A>(args)...);
     return f.get();
   }
 
@@ -80,6 +81,43 @@ class remote_ptr {
   /// loop.  The returned Future's get() is the "receive" half.
   template <auto M, class... A>
   Future<rpc::method_result_t<M>> async(A&&... args) const {
+    return async_impl<M>(telemetry::Verb::kAsync, std::forward<A>(args)...);
+  }
+
+  /// No-op round trip through the object's command queue: completes after
+  /// every previously issued command on this object has completed.
+  void ping() const { async_ping().get(); }
+
+  [[nodiscard]] Future<void> async_ping() const {
+    OOPP_CHECK(valid());
+    rpc::ensure_registered<T>();
+    serial::OArchive oa;
+    telemetry::TraceContext issued;
+    auto fut = detail::context_node().async_raw(
+        ref_.machine, ref_.object, net::method_id(rpc::kPingMethod), oa.take(),
+        telemetry::Verb::kBarrier, &issued);
+    return Future<void>(std::move(fut), issued);
+  }
+
+  /// The paper's `delete p`: terminate the remote process.  Completes
+  /// after all previously issued commands on the object have finished.
+  void destroy() const { async_destroy().get(); }
+
+  [[nodiscard]] Future<void> async_destroy() const {
+    OOPP_CHECK(valid());
+    serial::OArchive oa;
+    oa(static_cast<std::uint64_t>(ref_.object));
+    telemetry::TraceContext issued;
+    auto fut = detail::context_node().async_raw(
+        ref_.machine, net::kNodeObject, net::method_id(rpc::kDestroyMethod),
+        oa.take(), telemetry::Verb::kControl, &issued);
+    return Future<void>(std::move(fut), issued);
+  }
+
+ private:
+  template <auto M, class... A>
+  Future<rpc::method_result_t<M>> async_impl(telemetry::Verb verb,
+                                             A&&... args) const {
     static_assert(std::is_base_of_v<rpc::method_class_t<M>, T>,
                   "method does not belong to T or a base of T");
     OOPP_CHECK_MSG(valid(), "call through null remote pointer");
@@ -91,37 +129,12 @@ class remote_ptr {
         std::forward<A>(args)...);
     serial::OArchive oa;
     oa(tup);
-    return Future<rpc::method_result_t<M>>(detail::context_node().async_raw(
-        ref_.machine, ref_.object, mid, oa.take()));
+    telemetry::TraceContext issued;
+    auto fut = detail::context_node().async_raw(ref_.machine, ref_.object, mid,
+                                                oa.take(), verb, &issued);
+    return Future<rpc::method_result_t<M>>(std::move(fut), issued);
   }
 
-  /// No-op round trip through the object's command queue: completes after
-  /// every previously issued command on this object has completed.
-  void ping() const { async_ping().get(); }
-
-  [[nodiscard]] Future<void> async_ping() const {
-    OOPP_CHECK(valid());
-    rpc::ensure_registered<T>();
-    serial::OArchive oa;
-    return Future<void>(detail::context_node().async_raw(
-        ref_.machine, ref_.object, net::method_id(rpc::kPingMethod),
-        oa.take()));
-  }
-
-  /// The paper's `delete p`: terminate the remote process.  Completes
-  /// after all previously issued commands on the object have finished.
-  void destroy() const { async_destroy().get(); }
-
-  [[nodiscard]] Future<void> async_destroy() const {
-    OOPP_CHECK(valid());
-    serial::OArchive oa;
-    oa(static_cast<std::uint64_t>(ref_.object));
-    return Future<void>(detail::context_node().async_raw(
-        ref_.machine, net::kNodeObject, net::method_id(rpc::kDestroyMethod),
-        oa.take()));
-  }
-
- private:
   RemoteRef ref_;
 };
 
@@ -141,7 +154,8 @@ inline void ping_ref(RemoteRef ref) {
   OOPP_CHECK_MSG(ref.valid(), "ping of null reference");
   serial::OArchive oa;
   (void)detail::context_node().call_raw(
-      ref.machine, ref.object, net::method_id(rpc::kPingMethod), oa.take());
+      ref.machine, ref.object, net::method_id(rpc::kPingMethod), oa.take(),
+      telemetry::Verb::kBarrier);
 }
 
 /// Construct an object of class T on `machine` — the paper's
@@ -160,8 +174,8 @@ remote_ptr<T> make_remote(net::MachineId machine, A&&... args) {
   serial::OArchive oa;
   oa(def::name(), static_cast<std::uint32_t>(idx), tup);
   net::Message resp = detail::context_node().call_raw(
-      machine, net::kNodeObject, net::method_id(rpc::kSpawnMethod),
-      oa.take());
+      machine, net::kNodeObject, net::method_id(rpc::kSpawnMethod), oa.take(),
+      telemetry::Verb::kControl);
   serial::IArchive ia(resp.payload);
   return remote_ptr<T>(machine, ia.read<std::uint64_t>());
 }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "net/message.hpp"
 #include "serial/archive.hpp"
@@ -21,6 +22,12 @@ struct RemoteRef {
   net::ObjectId object = 0;  // 0 = null
 
   [[nodiscard]] bool valid() const { return object != 0; }
+
+  /// "machine/object" — the spelling used in error messages and telemetry
+  /// span labels.
+  [[nodiscard]] std::string str() const {
+    return std::to_string(machine) + "/" + std::to_string(object);
+  }
 
   constexpr bool operator==(const RemoteRef&) const = default;
   constexpr auto operator<=>(const RemoteRef&) const = default;

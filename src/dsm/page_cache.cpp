@@ -1,6 +1,7 @@
 #include "dsm/page_cache.hpp"
 
 #include "core/future.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace oopp::dsm {
 
@@ -64,6 +65,9 @@ storage::ArrayPage PageCache::read_array(remote_ptr<CoherentDevice> device,
     auto it = pages_.find(key);
     if (it != pages_.end()) {
       ++hits_;
+      static auto& hit_ctr =
+          telemetry::Metrics::scope_for("dsm").counter("cache_hits");
+      hit_ctr.add(1);
       // Touch LRU.
       lru_.erase(lru_pos_[key]);
       lru_.push_front(key);
@@ -71,6 +75,9 @@ storage::ArrayPage PageCache::read_array(remote_ptr<CoherentDevice> device,
       return it->second;
     }
     ++misses_;
+    static auto& miss_ctr =
+        telemetry::Metrics::scope_for("dsm").counter("cache_misses");
+    miss_ctr.add(1);
     pending_ = key;
     pending_poisoned_ = false;
     drop.swap(to_unsubscribe_);

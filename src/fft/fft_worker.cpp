@@ -1,6 +1,7 @@
 #include "fft/fft_worker.hpp"
 
 #include "core/future.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace oopp::fft {
@@ -225,6 +226,9 @@ void FFTWorker::exchange(bool to_transposed) {
 }
 
 void FFTWorker::transform(int sign, bool restore_layout) {
+  static auto& transforms =
+      telemetry::Metrics::scope_for("fft").counter("transforms");
+  transforms.add(1);
   OOPP_CHECK_MSG(loaded_, "no slab loaded");
   OOPP_CHECK_MSG(!transposed_,
                  "slab is axis-transposed; restore layout before another "
@@ -271,13 +275,13 @@ DistributedFFT3D::DistributedFFT3D(
 
   if (options_.use_directory) {
     directory_ = make_remote<GroupDirectory>(placement(0), group_);
-    group_.invoke_all_indexed<&FFTWorker::set_group_directory>(
+    group_.gather_indexed<&FFTWorker::set_group_directory>(
         [&](std::size_t) { return std::make_tuple(p_, directory_); });
   } else {
-    group_.invoke_all_indexed<&FFTWorker::set_group>(
+    group_.gather_indexed<&FFTWorker::set_group>(
         [&](std::size_t) { return std::make_tuple(p_, std::cref(group_)); });
   }
-  group_.invoke_all<&FFTWorker::set_extents>(extents_.n1, extents_.n2,
+  group_.gather<&FFTWorker::set_extents>(extents_.n1, extents_.n2,
                                              extents_.n3);
 }
 
@@ -316,7 +320,7 @@ void DistributedFFT3D::scatter_from(const array::Array& re,
                                     const array::Array& im) {
   OOPP_CHECK_MSG(re.extents() == extents_ && im.extents() == extents_,
                  "array extents do not match the transform extents");
-  group_.invoke_all<&FFTWorker::load_slab_from>(re, im);
+  group_.gather<&FFTWorker::load_slab_from>(re, im);
 }
 
 void DistributedFFT3D::gather_to(const array::Array& re,
@@ -336,27 +340,27 @@ void DistributedFFT3D::gather_to(const array::Array& re,
     }
   }
   if (page_aligned) {
-    group_.invoke_all<&FFTWorker::store_slab_to>(re, im);
+    group_.gather<&FFTWorker::store_slab_to>(re, im);
   } else {
-    group_.call_all<&FFTWorker::store_slab_to>(re, im);
+    group_.call<&FFTWorker::store_slab_to>(re, im);
   }
 }
 
 void DistributedFFT3D::transform(int sign) {
-  group_.invoke_all<&FFTWorker::transform>(sign, options_.restore_layout);
+  group_.gather<&FFTWorker::transform>(sign, options_.restore_layout);
 }
 
 void DistributedFFT3D::inverse(bool normalize) {
   transform(+1);
   if (normalize)
-    group_.invoke_all<&FFTWorker::scale_slab>(
+    group_.gather<&FFTWorker::scale_slab>(
         1.0 / static_cast<double>(extents_.volume()));
 }
 
 std::vector<cplx> DistributedFFT3D::gather() const {
   const index_t plane = extents_.n2 * extents_.n3;
   std::vector<cplx> out(static_cast<std::size_t>(extents_.volume()));
-  auto futs = group_.async_all<&FFTWorker::get_slab>();
+  auto futs = group_.async<&FFTWorker::get_slab>();
   for (int w = 0; w < p_; ++w) {
     const RowSplit rows = split_rows(extents_.n1, p_, w);
     auto slab = futs[w].get();

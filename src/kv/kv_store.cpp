@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/future.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace oopp::kv {
@@ -19,6 +20,8 @@ void KvShard::simulate_service_time() const {
 }
 
 std::uint64_t KvShard::put(const std::string& key, const std::string& value) {
+  static auto& puts = telemetry::Metrics::scope_for("kv").counter("puts");
+  puts.add(1);
   simulate_service_time();
   map_[key] = value;
   ++version_;
@@ -27,6 +30,8 @@ std::uint64_t KvShard::put(const std::string& key, const std::string& value) {
 }
 
 std::optional<std::string> KvShard::get(const std::string& key) const {
+  static auto& gets = telemetry::Metrics::scope_for("kv").counter("gets");
+  gets.add(1);
   simulate_service_time();
   auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
@@ -34,6 +39,9 @@ std::optional<std::string> KvShard::get(const std::string& key) const {
 }
 
 bool KvShard::erase(const std::string& key) {
+  static auto& erases =
+      telemetry::Metrics::scope_for("kv").counter("erases");
+  erases.add(1);
   const bool existed = map_.erase(key) > 0;
   if (existed) {
     ++version_;

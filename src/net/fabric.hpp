@@ -17,6 +17,7 @@
 
 #include "net/inbox.hpp"
 #include "net/message.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace oopp::net {
 
@@ -47,6 +48,13 @@ class Fabric {
   void account(const Message& m) {
     messages_sent_.fetch_add(1, std::memory_order_relaxed);
     bytes_sent_.fetch_add(m.wire_size(), std::memory_order_relaxed);
+    // Process-wide mirror of the per-fabric counters so a metrics report
+    // covers traffic even after a fabric is destroyed.
+    static auto& scope = telemetry::Metrics::scope_for("net");
+    static auto& msgs = scope.counter("messages_sent");
+    static auto& bytes = scope.counter("bytes_sent");
+    msgs.add(1);
+    bytes.add(m.wire_size());
   }
 
  private:

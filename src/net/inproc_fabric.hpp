@@ -87,6 +87,14 @@ class InProcFabric final : public Fabric {
         deliver_at = link.last + std::chrono::nanoseconds(1);
       link.last = deliver_at;
     }
+    if (telemetry::enabled()) {
+      static auto& delay_hist =
+          telemetry::Metrics::scope_for("net").histogram("inproc_delay_ns");
+      delay_hist.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(deliver_at -
+                                                               now)
+              .count()));
+    }
     inboxes_[dst]->push(std::move(m), deliver_at);
   }
 

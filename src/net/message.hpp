@@ -29,13 +29,36 @@ enum class MsgKind : std::uint8_t {
   kResponse = 1,
 };
 
+/// Numeric error codes carried in the Message status field.  These are
+/// the single source of truth for remote-call failure classification: the
+/// oopp::Error hierarchy (rpc/errors.hpp) maps 1:1 onto the non-ok codes,
+/// and telemetry spans record the raw byte.
 enum class CallStatus : std::uint8_t {
   kOk = 0,
   kRemoteException = 1,   // servant method threw; payload carries details
   kObjectNotFound = 2,    // no such object on the destination machine
   kMethodNotFound = 3,    // object exists but method id is unknown
-  kBadFrame = 4,          // argument deserialization failed
+  kBadFrame = 4,          // argument/payload integrity failure
+  kAborted = 5,           // call abandoned (peer died, node shut down)
+  kTimeout = 6,           // caller-side deadline expired (Future::get_for)
+  kUnknownClass = 7,      // spawn requested for an unregistered class
+  kInternal = 8,          // invariant violation inside the runtime
 };
+
+inline const char* call_status_name(CallStatus s) {
+  switch (s) {
+    case CallStatus::kOk: return "ok";
+    case CallStatus::kRemoteException: return "remote_exception";
+    case CallStatus::kObjectNotFound: return "object_not_found";
+    case CallStatus::kMethodNotFound: return "method_not_found";
+    case CallStatus::kBadFrame: return "bad_frame";
+    case CallStatus::kAborted: return "aborted";
+    case CallStatus::kTimeout: return "timeout";
+    case CallStatus::kUnknownClass: return "unknown_class";
+    case CallStatus::kInternal: return "internal";
+  }
+  return "unknown";
+}
 
 struct MessageHeader {
   MsgKind kind = MsgKind::kRequest;
@@ -47,6 +70,11 @@ struct MessageHeader {
   MethodId method = 0;
   /// FNV-1a-32 of the payload; 0 when checksumming is disabled.
   std::uint32_t payload_crc = 0;
+  /// Distributed-tracing extension: the trace this message belongs to and
+  /// the client span that issued it.  0/0 = untraced.  Carried on the
+  /// wire by every fabric; see src/telemetry/trace.hpp for the model.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 
 /// FNV-1a over arbitrary bytes, folded to 32 bits, never returning 0 (so
@@ -71,6 +99,49 @@ struct Message {
     return sizeof(MessageHeader) + payload.size();
   }
 };
+
+/// Build a request frame.  This and make_response are the only sanctioned
+/// ways to assemble a Message header outside src/net/ (enforced by the
+/// raw-message-header lint rule) — they keep the checksum policy and the
+/// trace extension in one place.
+inline Message make_request(MachineId src, MachineId dst, SeqNum seq,
+                            ObjectId object, MethodId method,
+                            std::vector<std::byte> payload, bool checksum,
+                            std::uint64_t trace_id = 0,
+                            std::uint64_t span_id = 0) {
+  Message m;
+  m.header.kind = MsgKind::kRequest;
+  m.header.status = CallStatus::kOk;
+  m.header.src = src;
+  m.header.dst = dst;
+  m.header.seq = seq;
+  m.header.object = object;
+  m.header.method = method;
+  m.header.trace_id = trace_id;
+  m.header.span_id = span_id;
+  m.payload = std::move(payload);
+  if (checksum) m.header.payload_crc = payload_checksum(m.payload);
+  return m;
+}
+
+/// Build the response to `request`: src/dst swapped, seq/object/method and
+/// the trace extension echoed so the caller can match and attribute it.
+inline Message make_response(const MessageHeader& request, CallStatus status,
+                             std::vector<std::byte> payload, bool checksum) {
+  Message m;
+  m.header.kind = MsgKind::kResponse;
+  m.header.status = status;
+  m.header.src = request.dst;
+  m.header.dst = request.src;
+  m.header.seq = request.seq;
+  m.header.object = request.object;
+  m.header.method = request.method;
+  m.header.trace_id = request.trace_id;
+  m.header.span_id = request.span_id;
+  m.payload = std::move(payload);
+  if (checksum) m.header.payload_crc = payload_checksum(m.payload);
+  return m;
+}
 
 /// FNV-1a hash used to derive stable MethodIds from method names.  Both
 /// sides of the protocol register methods by name, so the hash only has to

@@ -91,8 +91,13 @@ struct TcpFabric::Endpoint {
   }
 
   void read_loop(int fd) {
+    static auto& frames =
+        telemetry::Metrics::scope_for("net").counter("tcp_frames_received");
     Message m;
-    while (wire::recv_frame(fd, m)) inbox->push_now(std::move(m));
+    while (wire::recv_frame(fd, m)) {
+      frames.add(1);
+      inbox->push_now(std::move(m));
+    }
   }
 };
 

@@ -62,8 +62,13 @@ void TcpMeshFabric::attach(MachineId id, Inbox* inbox) {
       std::lock_guard lock(readers_mu_);
       reader_fds_.push_back(fd);
       readers_.emplace_back([this, fd] {
+        static auto& frames = telemetry::Metrics::scope_for("net").counter(
+            "tcp_frames_received");
         Message m;
-        while (wire::recv_frame(fd, m)) inbox_->push_now(std::move(m));
+        while (wire::recv_frame(fd, m)) {
+          frames.add(1);
+          inbox_->push_now(std::move(m));
+        }
       });
     }
   });

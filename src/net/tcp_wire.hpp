@@ -17,9 +17,10 @@
 
 namespace oopp::net::wire {
 
-/// kind, status, src, dst, seq, object, method, crc, payload_len.
+/// kind, status, src, dst, seq, object, method, crc, trace_id, span_id,
+/// payload_len.
 inline constexpr std::size_t kFrameHeaderSize =
-    1 + 1 + 4 + 4 + 8 + 8 + 8 + 4 + 8;
+    1 + 1 + 4 + 4 + 8 + 8 + 8 + 4 + 8 + 8 + 8;
 
 inline void encode_header(const MessageHeader& h, std::uint64_t payload_len,
                           std::uint8_t* out) {
@@ -38,6 +39,8 @@ inline void encode_header(const MessageHeader& h, std::uint64_t payload_len,
   put(&h.object, 8);
   put(&h.method, 8);
   put(&h.payload_crc, 4);
+  put(&h.trace_id, 8);
+  put(&h.span_id, 8);
   put(&payload_len, 8);
 }
 
@@ -59,6 +62,8 @@ inline void decode_header(const std::uint8_t* in, MessageHeader& h,
   get(&h.object, 8);
   get(&h.method, 8);
   get(&h.payload_crc, 4);
+  get(&h.trace_id, 8);
+  get(&h.span_id, 8);
   get(&payload_len, 8);
 }
 

@@ -39,6 +39,7 @@
 #include "rpc/class_info.hpp"
 #include "rpc/class_registry.hpp"
 #include "rpc/traits.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/checked_mutex.hpp"
 
@@ -51,6 +52,9 @@ namespace oopp::rpc {
 /// deadlocks the moment the remote side (or the code serving its reply)
 /// needs that lock.  `where` names the call site for the report.
 inline void note_blocking_remote_call(const char* where) {
+  static auto& waits =
+      telemetry::Metrics::scope_for("rpc").counter("blocking_waits");
+  waits.add(1);
   util::lockcheck::on_blocking_call(where);
 }
 

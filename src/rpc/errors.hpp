@@ -1,11 +1,17 @@
-// Exception types for the RPC layer.
+// The unified oopp::Error hierarchy.
 //
 // The framework's contract (paper §2): a remote method behaves like a
 // local call — including failure.  A servant exception is caught on the
 // hosting machine, serialized into the response, and re-thrown at the call
 // site as RemoteError.  Protocol-level failures (dangling remote pointer,
-// unknown method, corrupt frame) get their own types so callers can
-// distinguish application errors from framework misuse.
+// unknown method, corrupt frame, abandoned or timed-out call) get their
+// own subclasses so callers can distinguish application errors from
+// framework misuse.
+//
+// Every Error carries a numeric net::CallStatus code — the same byte the
+// Message status field and telemetry spans use — so `catch (const
+// oopp::Error& e)` plus `e.code()` classifies any remote-call failure
+// without RTTI chains.
 #pragma once
 
 #include <stdexcept>
@@ -13,20 +19,38 @@
 
 #include "net/message.hpp"
 
-namespace oopp::rpc {
+namespace oopp {
 
-class rpc_error : public std::runtime_error {
+/// Root of every framework-raised exception.  code() is the wire-level
+/// status byte (net::CallStatus) the failure maps onto.
+class Error : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit Error(const std::string& what_arg,
+                 net::CallStatus code = net::CallStatus::kInternal)
+      : std::runtime_error(what_arg), code_(code) {}
+
+  [[nodiscard]] net::CallStatus code() const { return code_; }
+  [[nodiscard]] const char* code_name() const {
+    return net::call_status_name(code_);
+  }
+
+ private:
+  net::CallStatus code_;
 };
+
+namespace rpc {
+
+/// Deprecated spelling of oopp::Error; catch sites keep working.
+using rpc_error [[deprecated("use oopp::Error")]] = oopp::Error;
 
 /// The servant method threw.  Carries the machine it ran on, the original
 /// exception's type name and its what() string.
-class RemoteError : public rpc_error {
+class RemoteError : public Error {
  public:
   RemoteError(net::MachineId machine, std::string type, std::string what_arg)
-      : rpc_error("remote exception on machine " + std::to_string(machine) +
-                  " [" + type + "]: " + what_arg),
+      : Error("remote exception on machine " + std::to_string(machine) + " [" +
+                  type + "]: " + what_arg,
+              net::CallStatus::kRemoteException),
         machine_(machine),
         type_(std::move(type)),
         original_what_(std::move(what_arg)) {}
@@ -45,11 +69,12 @@ class RemoteError : public rpc_error {
 
 /// The remote pointer does not name a live object (never existed, or its
 /// process was already terminated by delete).
-class ObjectNotFound : public rpc_error {
+class ObjectNotFound : public Error {
  public:
   ObjectNotFound(net::MachineId machine, net::ObjectId object)
-      : rpc_error("no object " + std::to_string(object) + " on machine " +
-                  std::to_string(machine)),
+      : Error("no object " + std::to_string(object) + " on machine " +
+                  std::to_string(machine),
+              net::CallStatus::kObjectNotFound),
         machine_(machine),
         object_(object) {}
 
@@ -64,35 +89,41 @@ class ObjectNotFound : public rpc_error {
 /// The object exists but has no method with the requested id (protocol
 /// drift: the class description used by the client names a method the
 /// server never bound).
-class MethodNotFound : public rpc_error {
+class MethodNotFound : public Error {
  public:
-  using rpc_error::rpc_error;
+  explicit MethodNotFound(const std::string& what_arg)
+      : Error(what_arg, net::CallStatus::kMethodNotFound) {}
 };
 
 /// Argument or result bytes failed to decode.
-class BadFrame : public rpc_error {
+class BadFrame : public Error {
  public:
-  using rpc_error::rpc_error;
+  explicit BadFrame(const std::string& what_arg)
+      : Error(what_arg, net::CallStatus::kBadFrame) {}
 };
 
 /// The node is shutting down; outstanding calls cannot complete.
-class CallAborted : public rpc_error {
+class CallAborted : public Error {
  public:
-  using rpc_error::rpc_error;
+  explicit CallAborted(const std::string& what_arg)
+      : Error(what_arg, net::CallStatus::kAborted) {}
 };
 
 /// A deadline given to Future::get_for expired before the response
 /// arrived.  The remote method keeps executing; only delete cancels.
-class CallTimeout : public rpc_error {
+class CallTimeout : public Error {
  public:
-  using rpc_error::rpc_error;
+  explicit CallTimeout(const std::string& what_arg)
+      : Error(what_arg, net::CallStatus::kTimeout) {}
 };
 
 /// A class name arrived in a spawn/restore request that the local registry
 /// does not know.
-class UnknownClass : public rpc_error {
+class UnknownClass : public Error {
  public:
-  using rpc_error::rpc_error;
+  explicit UnknownClass(const std::string& what_arg)
+      : Error(what_arg, net::CallStatus::kUnknownClass) {}
 };
 
-}  // namespace oopp::rpc
+}  // namespace rpc
+}  // namespace oopp

@@ -1,5 +1,8 @@
 #include "rpc/node.hpp"
 
+#include <array>
+#include <cstdio>
+#include <optional>
 #include <typeinfo>
 
 #include "rpc/binding.hpp"
@@ -8,6 +11,37 @@
 #include "util/clock.hpp"
 
 namespace oopp::rpc {
+
+namespace {
+
+/// Per-verb instruments, resolved once — async_raw is the hot path.
+/// Counters are always on; latency histograms only fill when tracing is
+/// enabled (see telemetry::enabled() gating at the call sites).
+telemetry::Counter& verb_counter(telemetry::Verb v) {
+  static std::array<telemetry::Counter*, 6> counters = [] {
+    auto& scope = telemetry::Metrics::scope_for("rpc");
+    return std::array<telemetry::Counter*, 6>{
+        &scope.counter("call_issued"),      &scope.counter("async_issued"),
+        &scope.counter("barrier_issued"),   &scope.counter("control_issued"),
+        &scope.counter("page_read_issued"), &scope.counter("page_write_issued"),
+    };
+  }();
+  return *counters[static_cast<std::size_t>(v)];
+}
+
+telemetry::Histogram& verb_histogram(telemetry::Verb v) {
+  static std::array<telemetry::Histogram*, 6> hists = [] {
+    auto& scope = telemetry::Metrics::scope_for("rpc");
+    return std::array<telemetry::Histogram*, 6>{
+        &scope.histogram("call_ns"),      &scope.histogram("async_ns"),
+        &scope.histogram("barrier_ns"),   &scope.histogram("control_ns"),
+        &scope.histogram("page_read_ns"), &scope.histogram("page_write_ns"),
+    };
+  }();
+  return *hists[static_cast<std::size_t>(v)];
+}
+
+}  // namespace
 
 thread_local Node* Node::tls_current_ = nullptr;
 
@@ -47,15 +81,19 @@ void Node::stop_receiving() {
 }
 
 void Node::fail_pending() {
-  std::unordered_map<net::SeqNum, std::shared_ptr<std::promise<net::Message>>>
-      doomed;
+  std::unordered_map<net::SeqNum, PendingCall> doomed;
   {
     std::lock_guard lock(pending_mu_);
     aborting_ = true;
     doomed.swap(pending_);
   }
-  for (auto& [seq, prom] : doomed) {
-    prom->set_exception(
+  for (auto& [seq, call] : doomed) {
+    if (call.traced) {
+      call.span.status = static_cast<std::uint8_t>(net::CallStatus::kAborted);
+      call.span.end_ns = now_ns();
+      span_sink_.record(call.span);
+    }
+    call.prom->set_exception(
         std::make_exception_ptr(CallAborted("node shutting down")));
   }
 }
@@ -75,7 +113,9 @@ void Node::receive_loop() {
                       serial::to_bytes(std::string(
                           "payload checksum mismatch on request")));
       } else {
-        // Surface the corruption at the call site as BadFrame.
+        // Surface the corruption at the call site as BadFrame: this is an
+        // in-place rewrite of an inbound frame, not construction of one.
+        // oopp-lint: allow(raw-message-header)
         msg->header.status = net::CallStatus::kBadFrame;
         msg->payload = serial::to_bytes(
             std::string("payload checksum mismatch on response"));
@@ -94,15 +134,23 @@ void Node::receive_loop() {
 }
 
 void Node::on_response(net::Message resp) {
-  std::shared_ptr<std::promise<net::Message>> prom;
+  PendingCall call;
   {
     std::lock_guard lock(pending_mu_);
     auto it = pending_.find(resp.header.seq);
     if (it == pending_.end()) return;  // caller gave up (shutdown)
-    prom = std::move(it->second);
+    call = std::move(it->second);
     pending_.erase(it);
   }
-  prom->set_value(std::move(resp));
+  if (call.traced) {
+    call.span.status = static_cast<std::uint8_t>(resp.header.status);
+    call.span.end_ns = now_ns();
+    span_sink_.record(call.span);
+    verb_histogram(call.verb)
+        .record(static_cast<std::uint64_t>(call.span.end_ns -
+                                           call.span.start_ns));
+  }
+  call.prom->set_value(std::move(resp));
 }
 
 void Node::on_request(net::Message req) {
@@ -189,6 +237,34 @@ void Node::execute(const std::shared_ptr<ObjectTable::Entry>& entry,
     trace.method = mi->name;
     trace.request_bytes = req.payload.size();
   }
+
+  // Server span: the execution of this method, child of the client span
+  // stamped in the request header.  Entering its ContextScope is what
+  // makes the servant's own outbound calls (and LocalSpans) children of
+  // this span — causality propagates without user code.
+  const bool traced = telemetry::enabled() && req.header.trace_id != 0;
+  telemetry::Span sspan{};
+  std::optional<telemetry::ContextScope> span_ctx;
+  if (traced) {
+    sspan.trace_id = req.header.trace_id;
+    sspan.parent_id = req.header.span_id;
+    sspan.span_id = telemetry::next_id();
+    sspan.node = id_;
+    sspan.kind = telemetry::SpanKind::kServer;
+    std::snprintf(sspan.name, sizeof(sspan.name), "%s.%s",
+                  entry->info->name.c_str(), mi->name.c_str());
+    sspan.start_ns = now_ns();
+    span_ctx.emplace(
+        telemetry::TraceContext{sspan.trace_id, sspan.span_id});
+  }
+  auto finish_span = [&](net::CallStatus status) {
+    if (!traced) return;
+    span_ctx.reset();
+    sspan.status = static_cast<std::uint8_t>(status);
+    sspan.end_ns = now_ns();
+    span_sink_.record(sspan);
+  };
+
   const std::int64_t t0 = trace_ ? now_ns() : 0;
   try {
     serial::IArchive ia(req.payload);
@@ -200,6 +276,7 @@ void Node::execute(const std::shared_ptr<ObjectTable::Entry>& entry,
       trace.duration_ns = now_ns() - t0;
       trace_(trace);
     }
+    finish_span(net::CallStatus::kOk);
     respond_ok(req, oa.take());
   } catch (const serial::serial_error& e) {
     if (trace_) {
@@ -207,6 +284,7 @@ void Node::execute(const std::shared_ptr<ObjectTable::Entry>& entry,
       trace.duration_ns = now_ns() - t0;
       trace_(trace);
     }
+    finish_span(net::CallStatus::kBadFrame);
     respond_error(req, net::CallStatus::kBadFrame,
                   serial::to_bytes(std::string(e.what())));
   } catch (const std::exception& e) {
@@ -216,6 +294,7 @@ void Node::execute(const std::shared_ptr<ObjectTable::Entry>& entry,
       trace.duration_ns = now_ns() - t0;
       trace_(trace);
     }
+    finish_span(net::CallStatus::kRemoteException);
     serial::OArchive oa;
     oa(std::string(typeid(e).name()), std::string(e.what()));
     respond_error(req, net::CallStatus::kRemoteException, oa.take());
@@ -244,6 +323,38 @@ void Node::handle_control(const net::Message& req) {
   static const net::MethodId kShutdown = net::method_id(kShutdownMethod);
 
   control_requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Control requests get a server span too (name "node.control"), so
+  // spawn/destroy traffic shows up in traces as children of the caller.
+  // The span closes when dispatch returns; work deferred through a
+  // command queue (destroy, passivate) is covered by the caller's span.
+  const bool traced = telemetry::enabled() && req.header.trace_id != 0;
+  std::optional<telemetry::ContextScope> span_ctx;
+  telemetry::Span sspan{};
+  if (traced) {
+    sspan.trace_id = req.header.trace_id;
+    sspan.parent_id = req.header.span_id;
+    sspan.span_id = telemetry::next_id();
+    sspan.node = id_;
+    sspan.kind = telemetry::SpanKind::kServer;
+    sspan.set_name("node.control");
+    sspan.start_ns = now_ns();
+    span_ctx.emplace(
+        telemetry::TraceContext{sspan.trace_id, sspan.span_id});
+  }
+  struct SpanFinisher {
+    Node* node;
+    bool traced;
+    telemetry::Span* span;
+    net::CallStatus status = net::CallStatus::kOk;
+    ~SpanFinisher() {
+      if (!traced) return;
+      span->status = static_cast<std::uint8_t>(status);
+      span->end_ns = now_ns();
+      node->span_sink_.record(*span);
+    }
+  } finisher{this, traced, &sspan};
+
   try {
     serial::IArchive ia(req.payload);
 
@@ -292,8 +403,8 @@ void Node::handle_control(const net::Message& req) {
         return;
       }
       if (!entry->info->persistent())
-        throw rpc_error("class " + entry->info->name +
-                        " is not persistent (no save/restore binding)");
+        throw Error("class " + entry->info->name +
+                    " is not persistent (no save/restore binding)");
       enqueue_command(entry, [this, entry, target, destroy_after, req] {
         if (entry->destroyed || !entry->servant) {
           respond_error(req, net::CallStatus::kObjectNotFound, {});
@@ -325,7 +436,7 @@ void Node::handle_control(const net::Message& req) {
       const ClassInfo* info = ClassRegistry::instance().find(class_name);
       if (!info) throw UnknownClass("unknown class '" + class_name + "'");
       if (!info->persistent())
-        throw rpc_error("class " + class_name + " is not persistent");
+        throw Error("class " + class_name + " is not persistent");
       serial::IArchive sa(state);
       auto servant = info->restore(sa);
       const auto id = objects_.insert(std::move(servant), info);
@@ -349,87 +460,98 @@ void Node::handle_control(const net::Message& req) {
       return;
     }
 
+    finisher.status = net::CallStatus::kMethodNotFound;
     respond_error(req, net::CallStatus::kMethodNotFound,
                   serial::to_bytes(std::string("unknown control method")));
   } catch (const serial::serial_error& e) {
+    finisher.status = net::CallStatus::kBadFrame;
     respond_error(req, net::CallStatus::kBadFrame,
                   serial::to_bytes(std::string(e.what())));
+  } catch (const Error& e) {
+    // Framework errors (UnknownClass, non-persistent class, ...) travel
+    // with their own status byte so the caller rethrows the exact type.
+    finisher.status = e.code();
+    serial::OArchive oa;
+    oa(std::string(typeid(e).name()), std::string(e.what()));
+    respond_error(req, e.code(), oa.take());
   } catch (const std::exception& e) {
+    finisher.status = net::CallStatus::kRemoteException;
     serial::OArchive oa;
     oa(std::string(typeid(e).name()), std::string(e.what()));
     respond_error(req, net::CallStatus::kRemoteException, oa.take());
   }
 }
 
-net::MessageHeader Node::response_header(const net::Message& req,
-                                         net::CallStatus status) {
-  net::MessageHeader h;
-  h.kind = net::MsgKind::kResponse;
-  h.status = status;
-  h.src = req.header.dst;
-  h.dst = req.header.src;
-  h.seq = req.header.seq;
-  h.object = req.header.object;
-  h.method = req.header.method;
-  return h;
-}
-
 void Node::respond_ok(const net::Message& req, std::vector<std::byte> payload) {
-  net::Message resp;
-  resp.header = response_header(req, net::CallStatus::kOk);
-  resp.payload = std::move(payload);
-  if (opts_.checksums)
-    resp.header.payload_crc = net::payload_checksum(resp.payload);
-  fabric_.send(std::move(resp));
+  fabric_.send(net::make_response(req.header, net::CallStatus::kOk,
+                                  std::move(payload), opts_.checksums));
 }
 
 void Node::respond_error(const net::Message& req, net::CallStatus status,
                          std::vector<std::byte> payload) {
-  net::Message resp;
-  resp.header = response_header(req, status);
-  resp.payload = std::move(payload);
-  if (opts_.checksums)
-    resp.header.payload_crc = net::payload_checksum(resp.payload);
-  fabric_.send(std::move(resp));
+  fabric_.send(net::make_response(req.header, status, std::move(payload),
+                                  opts_.checksums));
 }
 
 std::future<net::Message> Node::async_raw(net::MachineId dst,
                                           net::ObjectId object,
                                           net::MethodId method,
-                                          std::vector<std::byte> payload) {
-  auto prom = std::make_shared<std::promise<net::Message>>();
-  auto fut = prom->get_future();
+                                          std::vector<std::byte> payload,
+                                          telemetry::Verb verb,
+                                          telemetry::TraceContext* issued) {
+  verb_counter(verb).add(1);
+
+  PendingCall call;
+  call.prom = std::make_shared<std::promise<net::Message>>();
+  call.verb = verb;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  if (telemetry::enabled()) {
+    // Open the client span: child of whatever span this thread is inside,
+    // or the root of a brand-new trace.  It completes in on_response (or
+    // fail_pending), not here — the span covers the full round trip.
+    const telemetry::TraceContext parent = telemetry::thread_context();
+    trace_id = parent.active() ? parent.trace_id : telemetry::next_id();
+    span_id = telemetry::next_id();
+    call.traced = true;
+    call.span.trace_id = trace_id;
+    call.span.span_id = span_id;
+    call.span.parent_id = parent.active() ? parent.span_id : 0;
+    call.span.node = id_;
+    call.span.kind = telemetry::SpanKind::kClient;
+    std::snprintf(call.span.name, sizeof(call.span.name), "rpc.%s",
+                  telemetry::verb_name(verb));
+    call.span.start_ns = now_ns();
+  }
+  if (issued != nullptr) *issued = {trace_id, span_id};
+
+  auto fut = call.prom->get_future();
   const net::SeqNum seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lock(pending_mu_);
     if (aborting_) throw CallAborted("node shutting down");
-    pending_.emplace(seq, prom);
+    pending_.emplace(seq, std::move(call));
   }
-  net::Message msg;
-  msg.header.kind = net::MsgKind::kRequest;
-  msg.header.src = id_;
-  msg.header.dst = dst;
-  msg.header.seq = seq;
-  msg.header.object = object;
-  msg.header.method = method;
-  msg.payload = std::move(payload);
-  if (opts_.checksums)
-    msg.header.payload_crc = net::payload_checksum(msg.payload);
-  fabric_.send(std::move(msg));
+  fabric_.send(net::make_request(id_, dst, seq, object, method,
+                                 std::move(payload), opts_.checksums, trace_id,
+                                 span_id));
   return fut;
 }
 
 net::Message Node::call_raw(net::MachineId dst, net::ObjectId object,
                             net::MethodId method,
-                            std::vector<std::byte> payload) {
+                            std::vector<std::byte> payload,
+                            telemetry::Verb verb) {
   note_blocking_remote_call("rpc::Node::call_raw");
-  auto fut = async_raw(dst, object, method, std::move(payload));
+  auto fut = async_raw(dst, object, method, std::move(payload), verb);
   net::Message resp = fut.get();
   throw_on_error(resp);
   return resp;
 }
 
 void Node::throw_on_error(const net::Message& resp) {
+  // Decodes the unified status byte back into the oopp::Error subclass the
+  // server-side failure mapped onto (rpc/errors.hpp).
   switch (resp.header.status) {
     case net::CallStatus::kOk:
       return;
@@ -449,8 +571,23 @@ void Node::throw_on_error(const net::Message& resp) {
       serial::IArchive ia(resp.payload);
       throw BadFrame(ia.read<std::string>());
     }
+    case net::CallStatus::kAborted:
+      throw CallAborted("call aborted on machine " +
+                        std::to_string(resp.header.src));
+    case net::CallStatus::kTimeout:
+      throw CallTimeout("remote call timed out");
+    case net::CallStatus::kUnknownClass: {
+      serial::IArchive ia(resp.payload);
+      [[maybe_unused]] auto type = ia.read<std::string>();
+      throw UnknownClass(ia.read<std::string>());
+    }
+    case net::CallStatus::kInternal: {
+      serial::IArchive ia(resp.payload);
+      [[maybe_unused]] auto type = ia.read<std::string>();
+      throw Error(ia.read<std::string>(), net::CallStatus::kInternal);
+    }
   }
-  throw rpc_error("unknown response status");
+  throw Error("unknown response status");
 }
 
 }  // namespace oopp::rpc

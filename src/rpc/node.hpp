@@ -30,6 +30,8 @@
 #include "rpc/class_registry.hpp"
 #include "rpc/errors.hpp"
 #include "rpc/object_table.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/checked_mutex.hpp"
 #include "util/thread_pool.hpp"
 
@@ -126,16 +128,27 @@ class Node {
   [[nodiscard]] ElasticPool& pool() { return pool_; }
   [[nodiscard]] net::Fabric& fabric() { return fabric_; }
 
+  /// This node's span ring (tracing); dumped by Cluster::dump_trace().
+  [[nodiscard]] telemetry::SpanSink& span_sink() { return span_sink_; }
+
   // -- client side ----------------------------------------------------------
 
   /// Fire a request and return a future for the raw response message.
-  std::future<net::Message> async_raw(net::MachineId dst, net::ObjectId object,
-                                      net::MethodId method,
-                                      std::vector<std::byte> payload);
+  /// `verb` classifies the round trip for per-verb metrics and span names.
+  /// When tracing is on, a client span is opened (child of the calling
+  /// thread's trace context) and completed when the response arrives; if
+  /// `issued` is non-null it receives that span's context so callers (e.g.
+  /// Future::get_for) can attribute later events to this call.
+  std::future<net::Message> async_raw(
+      net::MachineId dst, net::ObjectId object, net::MethodId method,
+      std::vector<std::byte> payload,
+      telemetry::Verb verb = telemetry::Verb::kCall,
+      telemetry::TraceContext* issued = nullptr);
 
   /// Synchronous round trip; throws the decoded error on failure status.
   net::Message call_raw(net::MachineId dst, net::ObjectId object,
-                        net::MethodId method, std::vector<std::byte> payload);
+                        net::MethodId method, std::vector<std::byte> payload,
+                        telemetry::Verb verb = telemetry::Verb::kCall);
 
   /// Decode a response's status, throwing the corresponding typed
   /// exception for non-kOk.  Exposed for typed futures.
@@ -146,16 +159,24 @@ class Node {
   /// code.  Null if the thread has no context.
   static Node* current();
 
-  /// RAII context setter.
+  /// RAII context setter.  Also binds the thread to the node's span sink
+  /// so LocalSpans recorded by servant/subsystem code land in the right
+  /// node's trace dump.
   class ContextGuard {
    public:
-    explicit ContextGuard(Node* n) : prev_(tls_current_) { tls_current_ = n; }
+    explicit ContextGuard(Node* n)
+        : prev_(tls_current_),
+          sink_(n != nullptr ? &n->span_sink_ : telemetry::thread_sink(),
+                n != nullptr ? n->id_ : telemetry::thread_node()) {
+      tls_current_ = n;
+    }
     ~ContextGuard() { tls_current_ = prev_; }
     ContextGuard(const ContextGuard&) = delete;
     ContextGuard& operator=(const ContextGuard&) = delete;
 
    private:
     Node* prev_;
+    telemetry::SinkScope sink_;
   };
 
  private:
@@ -178,8 +199,6 @@ class Node {
   void respond_ok(const net::Message& req, std::vector<std::byte> payload);
   void respond_error(const net::Message& req, net::CallStatus status,
                      std::vector<std::byte> payload);
-  static net::MessageHeader response_header(const net::Message& req,
-                                            net::CallStatus status);
 
   static thread_local Node* tls_current_;
 
@@ -196,11 +215,22 @@ class Node {
   std::thread receiver_;  // oopp-lint: allow(raw-thread-primitive)
   bool started_ = false;
 
+  /// One in-flight client call: the promise the response completes, plus
+  /// the open client span (recorded into span_sink_ when the call
+  /// resolves — response, abort, whichever happens).
+  struct PendingCall {
+    std::shared_ptr<std::promise<net::Message>> prom;
+    telemetry::Verb verb = telemetry::Verb::kCall;
+    bool traced = false;
+    telemetry::Span span{};
+  };
+
   util::CheckedMutex pending_mu_{"rpc.Node.pending"};
-  std::unordered_map<net::SeqNum, std::shared_ptr<std::promise<net::Message>>>
-      pending_;
+  std::unordered_map<net::SeqNum, PendingCall> pending_;
   std::atomic<net::SeqNum> next_seq_{1};
   bool aborting_ = false;
+
+  telemetry::SpanSink span_sink_;
 
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> control_requests_{0};

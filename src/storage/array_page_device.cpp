@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace oopp::storage {
 
 namespace {
@@ -85,6 +88,10 @@ double ArrayPageDevice::reduce_region(Reduce op, int page_address,
                                       index_t lo1, index_t hi1, index_t lo2,
                                       index_t hi2, index_t lo3,
                                       index_t hi3) const {
+  telemetry::LocalSpan span("storage.reduce_region");
+  static auto& reductions =
+      telemetry::Metrics::scope_for("storage").counter("reductions");
+  reductions.add(1);
   const ArrayPage p = read_array(page_address);
   OOPP_CHECK(lo1 >= 0 && hi1 <= extents_.n1 && lo2 >= 0 &&
              hi2 <= extents_.n2 && lo3 >= 0 && hi3 <= extents_.n3);

@@ -3,7 +3,10 @@
 #include <chrono>
 #include <thread>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/assert.hpp"
+#include "util/clock.hpp"
 
 namespace oopp::storage {
 
@@ -82,6 +85,14 @@ void PageDevice::write(const Page& p, int page_index) {
   OOPP_CHECK_MSG(p.size() == static_cast<std::size_t>(page_size_),
                  "page size " << p.size() << " != device page size "
                               << page_size_);
+  // Local span + latency histogram: page I/O is the storage data plane's
+  // unit of work, and nesting it under the serving span is what makes the
+  // "client → sum → page reads" chain visible in merged traces.
+  telemetry::LocalSpan span("storage.page_write");
+  static auto& page_writes =
+      telemetry::Metrics::scope_for("storage").counter("page_writes");
+  page_writes.add(1);
+  const std::int64_t t0 = telemetry::enabled() ? now_ns() : 0;
   simulate_service_time();
   const auto offset =
       static_cast<long>(page_index) * static_cast<long>(page_size_);
@@ -94,10 +105,20 @@ void PageDevice::write(const Page& p, int page_index) {
     OOPP_CHECK(std::fflush(f_) == 0);
   }
   operations_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    static auto& h =
+        telemetry::Metrics::scope_for("storage").histogram("page_write_ns");
+    h.record(static_cast<std::uint64_t>(now_ns() - t0));
+  }
 }
 
 Page PageDevice::read(int page_index) const {
   check_index(page_index);
+  telemetry::LocalSpan span("storage.page_read");
+  static auto& page_reads =
+      telemetry::Metrics::scope_for("storage").counter("page_reads");
+  page_reads.add(1);
+  const std::int64_t t0 = telemetry::enabled() ? now_ns() : 0;
   simulate_service_time();
   Page p(static_cast<std::size_t>(page_size_));
   const auto offset =
@@ -108,6 +129,11 @@ Page PageDevice::read(int page_index) const {
     OOPP_CHECK(std::fread(p.data(), 1, p.size(), f_) == p.size());
   }
   operations_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    static auto& h =
+        telemetry::Metrics::scope_for("storage").histogram("page_read_ns");
+    h.record(static_cast<std::uint64_t>(now_ns() - t0));
+  }
   return p;
 }
 

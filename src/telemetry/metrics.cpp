@@ -1,0 +1,126 @@
+#include "telemetry/metrics.hpp"
+
+#include <mutex>
+
+namespace oopp::telemetry {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+std::uint64_t Histogram::percentile(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Ceiling rank so p=1.0 lands on the last populated bucket.
+  const auto rank = static_cast<std::uint64_t>(p * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen > rank || (seen == total && seen >= rank)) {
+      return i >= 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << (i + 1)) - 1;
+    }
+  }
+  return ~std::uint64_t{0};
+}
+
+Counter& MetricScope::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricScope::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricScope::append_json(std::string& out) const {
+  std::lock_guard lock(mu_);
+  out += '"';
+  append_escaped(out, name_);
+  out += "\":{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":" + std::to_string(c->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":{\"count\":" + std::to_string(h->count()) +
+           ",\"sum\":" + std::to_string(h->sum()) +
+           ",\"p50_ns\":" + std::to_string(h->percentile(0.50)) +
+           ",\"p95_ns\":" + std::to_string(h->percentile(0.95)) +
+           ",\"p99_ns\":" + std::to_string(h->percentile(0.99)) + "}";
+  }
+  out += "}}";
+}
+
+void MetricScope::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Metrics& Metrics::instance() {
+  static Metrics* m = new Metrics();  // never destroyed: usable at exit
+  return *m;
+}
+
+MetricScope& Metrics::scope(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = scopes_.find(name);
+  if (it == scopes_.end()) {
+    it = scopes_
+             .emplace(std::string(name),
+                      std::make_unique<MetricScope>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Metrics::json() const {
+  std::string out = "{";
+  std::lock_guard lock(mu_);
+  bool first = true;
+  for (const auto& [name, scope] : scopes_) {
+    if (!first) out += ',';
+    first = false;
+    scope->append_json(out);
+  }
+  out += '}';
+  return out;
+}
+
+void Metrics::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, scope] : scopes_) scope->reset();
+}
+
+}  // namespace oopp::telemetry

@@ -1,0 +1,135 @@
+// Lock-light metrics: counters and log2-bucket latency histograms,
+// registered per subsystem and dumped as one JSON document.
+//
+// Shape: Metrics::instance() holds named scopes ("rpc", "storage", ...);
+// a scope holds named counters and histograms.  Lookup takes a mutex, so
+// hot paths cache the returned reference once:
+//
+//     static auto& h = telemetry::Metrics::scope("storage")
+//                          .histogram("page_read_ns");
+//     h.record(ns);
+//
+// Counter::add and Histogram::record are single relaxed atomic RMWs —
+// safe from any thread, never blocking, cheap enough to leave always on.
+// Latency histograms are additionally gated behind telemetry::enabled()
+// at their call sites (they sit on RPC hot paths).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "telemetry/telemetry.hpp"
+#include "util/checked_mutex.hpp"
+
+namespace oopp::telemetry {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Log2-bucket histogram of non-negative values (nanoseconds by
+/// convention).  Bucket i covers [2^(i-1), 2^i); values 0 and 1 land in
+/// bucket 0.  64 buckets span the full uint64 range, so record() is a
+/// bit_width + one relaxed fetch_add — no clamping branch mispredicts.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t v) {
+    const std::size_t b = v <= 1 ? 0 : static_cast<std::size_t>(
+                                           std::bit_width(v) - 1);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound (2^i) of the bucket where the cumulative count crosses
+  /// p in [0, 1].  A bucket estimate, not an exact order statistic.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// One subsystem's named metrics.  Instruments are created on first use
+/// and live for the process lifetime (references stay valid forever).
+class MetricScope {
+ public:
+  explicit MetricScope(std::string name) : name_(std::move(name)) {}
+
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Append this scope as a JSON object member ("scope": {...}).
+  void append_json(std::string& out) const;
+  void reset();
+
+ private:
+  std::string name_;
+  mutable util::CheckedMutex mu_{"telemetry.MetricScope"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Process-wide registry of subsystem scopes.
+class Metrics {
+ public:
+  static Metrics& instance();
+
+  MetricScope& scope(std::string_view name);
+
+  /// Convenience: Metrics::instance().scope(name).
+  static MetricScope& scope_for(std::string_view name) {
+    return instance().scope(name);
+  }
+
+  /// The whole registry as one JSON document:
+  /// {"scope":{"counters":{"n":v},"histograms":{"n":{count,sum,p50_ns,
+  /// p95_ns,p99_ns}}}}.
+  [[nodiscard]] std::string json() const;
+
+  /// Zero every instrument (tests, bench phases).  Instruments are not
+  /// destroyed — cached references stay valid.
+  void reset();
+
+ private:
+  Metrics() = default;
+  mutable util::CheckedMutex mu_{"telemetry.Metrics"};
+  std::map<std::string, std::unique_ptr<MetricScope>, std::less<>> scopes_;
+};
+
+}  // namespace oopp::telemetry

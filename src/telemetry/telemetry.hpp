@@ -1,0 +1,121 @@
+// oopp::telemetry — runtime toggle, trace identifiers and the thread-local
+// trace context the whole tracing layer hangs off.
+//
+// The paper's premise is that every method call is a network round trip;
+// this layer makes those round trips observable.  Two cooperating pieces:
+//
+//  * metrics.hpp — lock-light counters and log2-bucket latency histograms,
+//    registered per subsystem ("rpc", "storage", "dsm", ...) and dumpable
+//    as JSON via Cluster::metrics_report().
+//  * trace.hpp   — distributed spans: a 64-bit {trace id, span id} pair is
+//    carried in the net::Message header, propagated automatically through
+//    rpc::Node dispatch, and recorded into a per-node ring-buffer sink.
+//    tools/oopp_trace.py stitches per-node dumps into one timeline.
+//
+// Everything is compiled in but runtime-toggled: enabled() is a branch on
+// a relaxed atomic, initialized once from the OOPP_TRACE environment
+// variable (OOPP_TRACE=1 turns tracing + latency histograms on).  Plain
+// counters are always live — one relaxed fetch_add is cheaper than making
+// it conditional.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace oopp::telemetry {
+
+/// The RPC verbs instrumented at the unified remote-call surface.  Client
+/// round trips are classified by how the caller spelled the operation;
+/// page read/write are the storage subsystem's data-plane verbs.
+enum class Verb : std::uint8_t {
+  kCall = 0,     // remote_ptr::call — synchronous §2 semantics
+  kAsync = 1,    // remote_ptr::async — §4 split-loop send
+  kBarrier = 2,  // ping / group barrier round trips
+  kControl = 3,  // spawn / destroy / passivate / restore / stats
+  kPageRead = 4,
+  kPageWrite = 5,
+};
+
+inline const char* verb_name(Verb v) {
+  switch (v) {
+    case Verb::kCall: return "call";
+    case Verb::kAsync: return "async";
+    case Verb::kBarrier: return "barrier";
+    case Verb::kControl: return "control";
+    case Verb::kPageRead: return "page_read";
+    case Verb::kPageWrite: return "page_write";
+  }
+  return "unknown";
+}
+
+namespace detail {
+inline std::atomic<int>& enabled_flag() {
+  static std::atomic<int> flag{-1};  // -1 = not yet read from environment
+  return flag;
+}
+}  // namespace detail
+
+/// Tracing + histogram toggle.  The disabled hot path is exactly one
+/// relaxed atomic load and a compare.
+inline bool enabled() {
+  int v = detail::enabled_flag().load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* e = std::getenv("OOPP_TRACE");
+    v = (e != nullptr && e[0] != '\0' && std::strcmp(e, "0") != 0) ? 1 : 0;
+    detail::enabled_flag().store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+/// Programmatic override (tests, benches).  Wins over the environment.
+inline void set_enabled(bool on) {
+  detail::enabled_flag().store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+/// Fresh non-zero id.  Seeded with the pid so ids from the separate OS
+/// processes of a mesh deployment do not collide in a merged trace.
+inline std::uint64_t next_id() {
+  static std::atomic<std::uint64_t> counter{
+      (static_cast<std::uint64_t>(::getpid()) << 32) | 1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// The trace position of the current thread: which span any remote call
+/// issued right now becomes a child of.  {0, 0} = not inside a trace.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool active() const { return trace_id != 0; }
+};
+
+namespace detail {
+inline TraceContext& thread_context_slot() {
+  thread_local TraceContext ctx;
+  return ctx;
+}
+}  // namespace detail
+
+[[nodiscard]] inline TraceContext thread_context() {
+  return detail::thread_context_slot();
+}
+
+/// RAII: enter a span's context (servant dispatch, local sub-spans).
+class ContextScope {
+ public:
+  explicit ContextScope(TraceContext ctx) : prev_(detail::thread_context_slot()) {
+    detail::thread_context_slot() = ctx;
+  }
+  ~ContextScope() { detail::thread_context_slot() = prev_; }
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+}  // namespace oopp::telemetry

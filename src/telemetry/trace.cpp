@@ -1,0 +1,37 @@
+#include "telemetry/trace.hpp"
+
+#include <mutex>
+
+namespace oopp::telemetry {
+
+std::string SpanSink::json(std::uint32_t node_id) const {
+  const std::vector<Span> spans = snapshot();
+  std::uint64_t dropped_count = dropped();
+  std::string out = "{\"node\":" + std::to_string(node_id) +
+                    ",\"dropped\":" + std::to_string(dropped_count) +
+                    ",\"spans\":[";
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"trace_id\":" + std::to_string(s.trace_id) +
+           ",\"span_id\":" + std::to_string(s.span_id) +
+           ",\"parent_id\":" + std::to_string(s.parent_id) +
+           ",\"node\":" + std::to_string(s.node) + ",\"kind\":\"" +
+           span_kind_name(s.kind) +
+           "\",\"status\":" + std::to_string(s.status) +
+           ",\"start_ns\":" + std::to_string(s.start_ns) +
+           ",\"end_ns\":" + std::to_string(s.end_ns) + ",\"name\":\"";
+    // Span names are method/subsystem identifiers; escape defensively
+    // anyway so a hostile name cannot corrupt the document.
+    for (const char* p = s.name; *p != '\0'; ++p) {
+      if (*p == '"' || *p == '\\') out.push_back('\\');
+      out.push_back(*p);
+    }
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace oopp::telemetry

@@ -1,0 +1,190 @@
+// Distributed call tracing: spans, the per-node ring-buffer sink, and the
+// thread-local sink binding that lets servant code record local sub-spans
+// without knowing which node it runs on.
+//
+// Span model (see docs/TELEMETRY.md):
+//
+//  * A client-side remote call allocates a span id S (child of whatever
+//    span the calling thread is inside) and stamps {trace id, S} into the
+//    request's Message header.
+//  * The serving node executes the method inside a fresh server span S'
+//    with parent S, so the servant's own outbound calls become children
+//    of S' — causality propagates with zero user code.
+//  * Subsystems may record purely local spans (e.g. storage.page_read)
+//    under the current context with LocalSpan.
+//
+// Every node owns one SpanSink: a fixed-capacity ring that keeps the most
+// recent spans (old ones are overwritten, never blocking the hot path on
+// memory growth).  Cluster::dump_trace() writes one JSON file per node;
+// tools/oopp_trace.py merges them into a causally ordered timeline.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+#include "util/checked_mutex.hpp"
+#include "util/clock.hpp"
+
+namespace oopp::telemetry {
+
+enum class SpanKind : std::uint8_t {
+  kClient = 0,  // a remote call observed from the calling node
+  kServer = 1,  // a method execution observed on the serving node
+  kLocal = 2,   // an in-process operation inside some span
+};
+
+inline const char* span_kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kClient: return "client";
+    case SpanKind::kServer: return "server";
+    case SpanKind::kLocal: return "local";
+  }
+  return "unknown";
+}
+
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root of its trace
+  std::uint32_t node = 0;       // machine id that recorded the span
+  SpanKind kind = SpanKind::kLocal;
+  std::uint8_t status = 0;  // numeric net::CallStatus / oopp::Error code
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  /// Fixed-size, truncating — recording never allocates.
+  char name[48] = {};
+
+  void set_name(const char* s) {
+    std::snprintf(name, sizeof(name), "%s", s);
+  }
+};
+
+/// Fixed-capacity most-recent-spans ring.  record() is a short critical
+/// section (one copy into a preallocated slot); snapshot() is for dumps
+/// and tests.
+class SpanSink {
+ public:
+  explicit SpanSink(std::size_t capacity = 65536) : capacity_(capacity) {}
+
+  void record(const Span& s) {
+    std::lock_guard lock(mu_);
+    if (ring_.size() == capacity_) {
+      ++dropped_;
+      ring_.pop_front();
+    }
+    ring_.push_back(s);
+  }
+
+  [[nodiscard]] std::vector<Span> snapshot() const {
+    std::lock_guard lock(mu_);
+    return std::vector<Span>(ring_.begin(), ring_.end());
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return ring_.size();
+  }
+
+  /// Spans overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const {
+    std::lock_guard lock(mu_);
+    return dropped_;
+  }
+
+  void clear() {
+    std::lock_guard lock(mu_);
+    ring_.clear();
+    dropped_ = 0;
+  }
+
+  /// One node's dump: {"node":N,"dropped":D,"spans":[...]}.
+  [[nodiscard]] std::string json(std::uint32_t node_id) const;
+
+ private:
+  std::size_t capacity_;
+  mutable util::CheckedMutex mu_{"telemetry.SpanSink"};
+  std::deque<Span> ring_;
+  std::uint64_t dropped_ = 0;
+};
+
+namespace detail {
+struct ThreadSink {
+  SpanSink* sink = nullptr;
+  std::uint32_t node = 0;
+};
+inline ThreadSink& thread_sink_slot() {
+  thread_local ThreadSink ts;
+  return ts;
+}
+}  // namespace detail
+
+[[nodiscard]] inline SpanSink* thread_sink() {
+  return detail::thread_sink_slot().sink;
+}
+[[nodiscard]] inline std::uint32_t thread_node() {
+  return detail::thread_sink_slot().node;
+}
+
+/// RAII: bind the calling thread to a node's sink (installed by
+/// rpc::Node::ContextGuard alongside the machine context).
+class SinkScope {
+ public:
+  SinkScope(SpanSink* sink, std::uint32_t node)
+      : prev_(detail::thread_sink_slot()) {
+    detail::thread_sink_slot() = {sink, node};
+  }
+  ~SinkScope() { detail::thread_sink_slot() = prev_; }
+  SinkScope(const SinkScope&) = delete;
+  SinkScope& operator=(const SinkScope&) = delete;
+
+ private:
+  detail::ThreadSink prev_;
+};
+
+/// RAII local span: records an in-process operation (a page read, a cache
+/// fill) as a child of the current trace context, and makes itself the
+/// context so nested work chains correctly.  No-op unless tracing is
+/// enabled AND the thread is already inside a trace — local spans only
+/// decorate distributed call trees, they never start one.
+class LocalSpan {
+ public:
+  explicit LocalSpan(const char* name) {
+    if (!enabled()) return;
+    const TraceContext parent = thread_context();
+    if (!parent.active() || thread_sink() == nullptr) return;
+    active_ = true;
+    span_.trace_id = parent.trace_id;
+    span_.parent_id = parent.span_id;
+    span_.span_id = next_id();
+    span_.node = thread_node();
+    span_.kind = SpanKind::kLocal;
+    span_.set_name(name);
+    span_.start_ns = now_ns();
+    prev_ = detail::thread_context_slot();
+    detail::thread_context_slot() = {span_.trace_id, span_.span_id};
+  }
+
+  ~LocalSpan() {
+    if (!active_) return;
+    detail::thread_context_slot() = prev_;
+    span_.end_ns = now_ns();
+    if (SpanSink* s = thread_sink()) s->record(span_);
+  }
+
+  LocalSpan(const LocalSpan&) = delete;
+  LocalSpan& operator=(const LocalSpan&) = delete;
+
+  void set_status(std::uint8_t status) { span_.status = status; }
+
+ private:
+  bool active_ = false;
+  Span span_{};
+  TraceContext prev_{};
+};
+
+}  // namespace oopp::telemetry

@@ -163,10 +163,10 @@ TEST(Cluster, GroupCollectAndInvokeAll) {
   ProcessGroup<Accumulator> group;
   for (int i = 0; i < 6; ++i)
     group.push_back(cluster.make_remote<Accumulator>(i % 3, double(i)));
-  auto totals = group.collect<&Accumulator::total>();
+  auto totals = group.gather<&Accumulator::total>();
   EXPECT_EQ(totals, (std::vector<double>{0, 1, 2, 3, 4, 5}));
-  group.invoke_all<&Accumulator::add>(10.0);
-  totals = group.collect<&Accumulator::total>();
+  group.gather<&Accumulator::add>(10.0);
+  totals = group.gather<&Accumulator::total>();
   EXPECT_EQ(totals, (std::vector<double>{10, 11, 12, 13, 14, 15}));
 }
 
@@ -252,7 +252,7 @@ TEST(Cluster, MigrateCompletesQueuedWorkFirst) {
 
 TEST(Cluster, LookupUnknownUriThrows) {
   Cluster cluster(2);
-  EXPECT_THROW(cluster.lookup<Accumulator>("oopp://nope"), rpc::rpc_error);
+  EXPECT_THROW(cluster.lookup<Accumulator>("oopp://nope"), oopp::Error);
 }
 
 TEST(Cluster, LookupWrongTypeThrows) {
@@ -260,7 +260,7 @@ TEST(Cluster, LookupWrongTypeThrows) {
   auto a = cluster.make_remote<Accumulator>(1, 0.0);
   cluster.persist(a, "oopp://test/acc/typed");
   EXPECT_THROW(cluster.lookup<GroupMember>("oopp://test/acc/typed"),
-               rpc::rpc_error);
+               oopp::Error);
 }
 
 TEST(Cluster, ForgetRemovesRecord) {

@@ -132,9 +132,9 @@ TEST_P(Integration, GroupBarrierAndStats) {
     group.push_back(cluster_->make_remote<RemoteVector<double>>(
         static_cast<net::MachineId>(i % cluster_->size()),
         std::uint64_t{32}));
-  group.invoke_all<&RemoteVector<double>::fill>(1.0);
+  group.gather<&RemoteVector<double>::fill>(1.0);
   group.barrier();
-  for (auto total : group.collect<&RemoteVector<double>::sum>())
+  for (auto total : group.gather<&RemoteVector<double>::sum>())
     EXPECT_DOUBLE_EQ(total, 32.0);
 
   const auto stats = cluster_->stats();

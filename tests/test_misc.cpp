@@ -160,7 +160,7 @@ TEST(Group, EmptyGroupOperationsAreNoOps) {
   ProcessGroup<Napper> group;
   group.barrier();
   group.destroy_all();
-  auto futs = group.async_all<&Napper::nap>(1);
+  auto futs = group.async<&Napper::nap>(1);
   EXPECT_TRUE(futs.empty());
 }
 

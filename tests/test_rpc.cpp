@@ -296,7 +296,7 @@ TEST_F(RpcTest, UnknownClassInSpawnRejected) {
   oa(std::string("no.such.Class"), std::uint32_t{0});
   EXPECT_THROW(n0_.call_raw(1, net::kNodeObject,
                             net::method_id(rpc::kSpawnMethod), oa.take()),
-               rpc::RemoteError);
+               rpc::UnknownClass);
 }
 
 TEST_F(RpcTest, OutOfRangeCtorIndexRejected) {
@@ -324,8 +324,9 @@ TEST_F(RpcTest, PassivateNonPersistentClassRejected) {
   try {
     n0_.call_raw(1, net::kNodeObject, net::method_id(rpc::kPassivateMethod),
                  oa.take());
-    FAIL() << "expected RemoteError";
-  } catch (const rpc::RemoteError& e) {
+    FAIL() << "expected oopp::Error";
+  } catch (const oopp::Error& e) {
+    EXPECT_EQ(e.code(), net::CallStatus::kInternal);
     EXPECT_NE(std::string(e.what()).find("not persistent"),
               std::string::npos);
   }
@@ -338,7 +339,7 @@ TEST_F(RpcTest, RestoreUnknownClassRejected) {
   oa(std::string("no.such.Class"), std::vector<std::byte>{});
   EXPECT_THROW(n0_.call_raw(1, net::kNodeObject,
                             net::method_id(rpc::kRestoreMethod), oa.take()),
-               rpc::RemoteError);
+               rpc::UnknownClass);
 }
 
 TEST_F(RpcTest, UnknownControlMethodRejected) {

@@ -23,12 +23,10 @@ using oopp::net::Message;
 namespace {
 
 Message make_msg(std::uint64_t seq) {
-  Message m;
-  m.header.src = 0;
-  m.header.dst = 1;
-  m.header.seq = seq;
-  m.payload.assign(8, static_cast<std::byte>(seq & 0xff));
-  return m;
+  return oopp::net::make_request(
+      0, 1, seq, /*object=*/0, /*method=*/0,
+      std::vector<std::byte>(8, static_cast<std::byte>(seq & 0xff)),
+      /*checksum=*/false);
 }
 
 // Producers and consumers hammer one inbox; close() lands mid-stream.

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/oopp.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace oopp;
 
@@ -172,11 +173,11 @@ TEST(Stress, BarrierStorm) {
     group.push_back(
         cluster.make_remote<Cell>(static_cast<net::MachineId>(i % 4)));
   for (int round = 0; round < 100; ++round) {
-    auto futs = group.async_all<&Cell::add>(1);
+    auto futs = group.async<&Cell::add>(1);
     group.barrier();
     for (auto& f : futs) (void)f.get();
   }
-  for (auto total : group.collect<&Cell::value>()) EXPECT_EQ(total, 100);
+  for (auto total : group.gather<&Cell::value>()) EXPECT_EQ(total, 100);
 }
 
 TEST(Stress, MixedWorkloadAcrossFabricTcp) {
@@ -225,6 +226,49 @@ TEST(Stress, LargePayloadsConcurrently) {
   for (auto& t : threads) t.join();
   for (int t = 0; t < 3; ++t)
     EXPECT_DOUBLE_EQ(arrays[t].sum(), double(t + 1) * (1 << 16));
+}
+
+TEST(Stress, MetricsCountersExactUnderConcurrency) {
+  // Counters are relaxed atomics bumped from servant pools, receiver
+  // threads, and driver threads at once — totals must still be exact.
+  auto& scope = telemetry::Metrics::scope_for("stress_test");
+  auto& ctr = scope.counter("adds");
+  auto& hist = scope.histogram("add_ns");
+  const auto ctr0 = ctr.value();
+  const auto hist0 = hist.count();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ctr.add(1);
+        hist.record(static_cast<std::uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(ctr.value() - ctr0, kThreads * kPerThread);
+  EXPECT_EQ(hist.count() - hist0, kThreads * kPerThread);
+
+  // RPC traffic from concurrent drivers lands in the verb counters too.
+  auto& calls = telemetry::Metrics::scope_for("rpc").counter("call_issued");
+  const auto calls0 = calls.value();
+  Cluster cluster(2);
+  auto cell = cluster.make_remote<Cell>(1, 0);
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < 4; ++t) {
+    drivers.emplace_back([&] {
+      auto guard = cluster.use(0);
+      for (int i = 0; i < 50; ++i) (void)cell.call<&Cell::add>(1);
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(cell.call<&Cell::value>(), 200);
+  EXPECT_GE(calls.value() - calls0, 200u);
 }
 
 }  // namespace

@@ -1,0 +1,225 @@
+// Tests for the oopp::telemetry layer: trace ids crossing the TCP wire,
+// client/server/local span linkage, the merged cross-node timeline
+// (tools/oopp_trace.py), timeout spans, metrics counters and histograms,
+// the runtime-disabled fast path, and the collapsed error hierarchy.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/oopp.hpp"
+#include "storage/array_page_device.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
+
+using oopp::Cluster;
+using oopp::remote_ptr;
+namespace net = oopp::net;
+namespace rpc = oopp::rpc;
+namespace telemetry = oopp::telemetry;
+namespace storage = oopp::storage;
+
+namespace {
+
+/// Servant that sleeps — lets a Future::get_for deadline expire.
+class Sleepy {
+ public:
+  Sleepy() = default;
+  int nap(int ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return ms;
+  }
+};
+
+}  // namespace
+
+template <>
+struct oopp::rpc::class_def<Sleepy> {
+  static std::string name() { return "test.Sleepy"; }
+  using ctors = ctor_list<ctor<>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&Sleepy::nap>("nap");
+  }
+};
+
+namespace {
+
+/// Scoped OOPP_TRACE override; restores the previous state on exit.
+class TracingOn {
+ public:
+  TracingOn() { telemetry::set_enabled(true); }
+  ~TracingOn() { telemetry::set_enabled(false); }
+};
+
+std::vector<telemetry::Span> spans_of(Cluster& c, net::MachineId m) {
+  return c.node(m).span_sink().snapshot();
+}
+
+const telemetry::Span* find_span(const std::vector<telemetry::Span>& spans,
+                                 const std::string& name) {
+  for (const auto& s : spans)
+    if (name == s.name) return &s;
+  return nullptr;
+}
+
+TEST(Telemetry, TraceIdsPropagateAcrossTcpFabric) {
+  TracingOn on;
+  Cluster::Options opts;
+  opts.machines = 2;
+  opts.fabric = Cluster::FabricKind::kTcp;
+  Cluster cluster(opts);
+
+  auto dev = cluster.make_remote<storage::ArrayPageDevice>(
+      1, "/tmp/oopp-telemetry-tcp-" + std::to_string(::getpid()), 2, 2, 2,
+      2);
+  (void)dev.call<&storage::ArrayPageDevice::sum>(0);
+
+  // Client span lives on the caller's node, server span on the callee's;
+  // the pair is linked by (trace_id, parent span id) carried in the frame.
+  const auto client_spans = spans_of(cluster, 0);
+  const auto server_spans = spans_of(cluster, 1);
+  const auto* server =
+      find_span(server_spans, "oopp.storage.ArrayPageDevice.sum");
+  ASSERT_NE(server, nullptr);
+  ASSERT_EQ(server->kind, telemetry::SpanKind::kServer);
+
+  const telemetry::Span* client = nullptr;
+  for (const auto& s : client_spans)
+    if (s.span_id == server->parent_id) client = &s;
+  ASSERT_NE(client, nullptr) << "server span's parent not on the client";
+  EXPECT_EQ(client->trace_id, server->trace_id);
+  EXPECT_EQ(client->kind, telemetry::SpanKind::kClient);
+  EXPECT_STREQ(client->name, "rpc.call");
+  EXPECT_GE(client->end_ns, client->start_ns);
+
+  // The page read inside sum() is a local span parented under the server
+  // span — the nested level of the acceptance chain.
+  const auto* page_read = find_span(server_spans, "storage.page_read");
+  ASSERT_NE(page_read, nullptr);
+  EXPECT_EQ(page_read->trace_id, server->trace_id);
+  EXPECT_EQ(page_read->parent_id, server->span_id);
+
+  dev.destroy();
+}
+
+TEST(Telemetry, MergedTimelineShowsCrossNodeChain) {
+  TracingOn on;
+  Cluster::Options opts;
+  opts.machines = 2;
+  opts.fabric = Cluster::FabricKind::kTcp;
+  Cluster cluster(opts);
+
+  auto dev = cluster.make_remote<storage::ArrayPageDevice>(
+      1, "/tmp/oopp-telemetry-merge-" + std::to_string(::getpid()), 2, 2, 2,
+      2);
+  (void)dev.call<&storage::ArrayPageDevice::sum>(1);
+  dev.destroy();
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("oopp-trace-test-" + std::to_string(::getpid()));
+  ASSERT_EQ(cluster.dump_trace(dir), 2u);
+
+  // The merger must stitch the per-node dumps into one causal chain:
+  // client call -> remote sum -> nested page read.
+  const std::string cmd =
+      "python3 " OOPP_TRACE_TOOL
+      " --check-chain rpc.call,oopp.storage.ArrayPageDevice.sum,"
+      "storage.page_read " +
+      dir.string();
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Telemetry, GetForTimeoutRecordsTimeoutSpan) {
+  TracingOn on;
+  Cluster cluster(2);
+  auto s = cluster.make_remote<Sleepy>(1);
+
+  auto f = s.async<&Sleepy::nap>(200);
+  EXPECT_THROW(f.get_for(std::chrono::milliseconds(5)), rpc::CallTimeout);
+
+  const auto spans = spans_of(cluster, 0);
+  const auto* timeout = find_span(spans, "rpc.timeout");
+  ASSERT_NE(timeout, nullptr);
+  EXPECT_EQ(timeout->status,
+            static_cast<std::uint32_t>(net::CallStatus::kTimeout));
+  EXPECT_NE(timeout->parent_id, 0u)
+      << "timeout span must link to the call's client span";
+
+  EXPECT_EQ(f.get(), 200);  // the call itself still completes
+  s.destroy();
+}
+
+TEST(Telemetry, MetricsCountCallsAndPageIO) {
+  auto& rpc_scope = telemetry::Metrics::scope_for("rpc");
+  auto& storage_scope = telemetry::Metrics::scope_for("storage");
+  const auto calls_before = rpc_scope.counter("call_issued").value();
+  const auto reads_before = storage_scope.counter("page_reads").value();
+
+  Cluster cluster(2);
+  auto dev = cluster.make_remote<storage::ArrayPageDevice>(
+      1, "/tmp/oopp-telemetry-metrics-" + std::to_string(::getpid()), 2, 2,
+      2, 2);
+  for (int i = 0; i < 5; ++i)
+    (void)dev.call<&storage::ArrayPageDevice::sum>(0);
+  dev.destroy();
+
+  // Plain counters run even with tracing disabled (the default here).
+  EXPECT_GE(rpc_scope.counter("call_issued").value(), calls_before + 5);
+  EXPECT_GE(storage_scope.counter("page_reads").value(), reads_before + 5);
+
+  const std::string report = cluster.metrics_report();
+  EXPECT_NE(report.find("\"rpc\""), std::string::npos);
+  EXPECT_NE(report.find("\"call_issued\""), std::string::npos);
+  EXPECT_NE(report.find("\"storage\""), std::string::npos);
+}
+
+TEST(Telemetry, DisabledPathEmitsNoSpans) {
+  telemetry::set_enabled(false);
+  Cluster cluster(2);
+  auto s = cluster.make_remote<Sleepy>(1);
+  (void)s.call<&Sleepy::nap>(0);
+  s.destroy();
+  EXPECT_TRUE(spans_of(cluster, 0).empty());
+  EXPECT_TRUE(spans_of(cluster, 1).empty());
+}
+
+TEST(Telemetry, HistogramPercentilesAreMonotone) {
+  telemetry::Histogram h;
+  for (std::uint64_t v : {100, 200, 400, 800, 1600, 3200, 6400, 12800})
+    h.record(v);
+  EXPECT_EQ(h.count(), 8u);
+  const auto p50 = h.percentile(0.50);
+  const auto p95 = h.percentile(0.95);
+  const auto p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p99, 12800u) << "p99 upper bound must cover the max sample";
+}
+
+TEST(Telemetry, ErrorHierarchyCarriesNumericCodes) {
+  EXPECT_EQ(oopp::Error("x").code(), net::CallStatus::kInternal);
+  EXPECT_EQ(rpc::CallTimeout("t").code(), net::CallStatus::kTimeout);
+  EXPECT_EQ(rpc::BadFrame("b").code(), net::CallStatus::kBadFrame);
+  EXPECT_EQ(rpc::MethodNotFound("m").code(),
+            net::CallStatus::kMethodNotFound);
+  EXPECT_EQ(rpc::UnknownClass("u").code(), net::CallStatus::kUnknownClass);
+
+  // Every subclass is catchable as the one base type.
+  try {
+    throw rpc::CallAborted("node shut down");
+  } catch (const oopp::Error& e) {
+    EXPECT_EQ(e.code(), net::CallStatus::kAborted);
+    EXPECT_STREQ(e.code_name(), "aborted");
+  }
+}
+
+}  // namespace

@@ -1,0 +1,40 @@
+// Fixture: hand-assembled net::Message headers outside src/net/.
+#include <cstdint>
+
+namespace fixture {
+
+struct FakeHeader {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t trace_id = 0;
+};
+
+struct FakeMessage {
+  FakeHeader header;
+};
+
+// Naming the header type outside src/net/ is itself a violation: the only
+// sanctioned constructors are net::make_request / net::make_response.
+using Header = MessageHeader;  // LINT-EXPECT: raw-message-header
+
+inline FakeMessage hand_built() {
+  FakeMessage m;
+  m.header.src = 0;       // LINT-EXPECT: raw-message-header
+  m.header.dst = 1;       // LINT-EXPECT: raw-message-header
+  m.header.trace_id = 7;  // LINT-EXPECT: raw-message-header
+  return m;
+}
+
+// Reads and comparisons of header fields are fine — only writes are banned.
+inline bool clean_reads(const FakeMessage& m) {
+  return m.header.src == 0 && m.header.dst == m.header.src;
+}
+
+// The suppression comment works here like everywhere else.
+inline FakeMessage suppressed_build() {
+  FakeMessage m;
+  m.header.src = 2;  // oopp-lint: allow(raw-message-header)
+  return m;
+}
+
+}  // namespace fixture

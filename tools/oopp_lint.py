@@ -22,6 +22,12 @@ inbox-pop-dispatch      Blocking ``Inbox::pop()`` belongs to the node's
                         receiver loop (src/rpc/node.cpp) alone.  A pop()
                         on a dispatch/servant thread stalls the whole
                         machine's message delivery.
+raw-message-header      Hand-assembled ``net::Message`` headers (naming
+                        ``MessageHeader`` or assigning ``.header.<field>``)
+                        are banned outside ``src/net/``: go through
+                        ``net::make_request`` / ``net::make_response`` so
+                        the checksum policy and the trace-id extension
+                        cannot be forgotten at any call site.
 
 Usage
 -----
@@ -51,6 +57,9 @@ RAW_PRIMITIVE_ALLOWED = ("src/util/",)
 
 # The one place a blocking Inbox::pop() is legitimate.
 INBOX_POP_ALLOWED = ("src/rpc/node.cpp",)
+
+# Message headers are assembled by make_request/make_response here only.
+MESSAGE_HEADER_ALLOWED = ("src/net/",)
 
 VIOLATION_FMT = "{file}:{line}: [{rule}] {msg}"
 
@@ -223,6 +232,11 @@ RAW_PRIMITIVE_RE = re.compile(
 )
 DETACH_RE = re.compile(r"[.\->]\s*detach\s*\(\s*\)")
 INBOX_POP_RE = re.compile(r"\b(\w*[Ii]nbox\w*(?:\(\s*\))?)\s*(?:\.|->)\s*pop\s*\(")
+# Naming the header type, or writing through `.header.<field> =` (a lone
+# `=` — `==` comparisons are reads and stay legal).
+MESSAGE_HEADER_RE = re.compile(
+    r"\bMessageHeader\b|[.\->]\s*header\s*\.\s*\w+\s*=(?!=)"
+)
 
 
 def check_token_rules(path: Path, text: str, raw_lines: list[str], rel: str):
@@ -257,6 +271,23 @@ def check_token_rules(path: Path, text: str, raw_lines: list[str], rel: str):
                 "static destruction; join it from an owner instead",
             )
         )
+
+    if not any(rel.startswith(p) or f"/{p}" in rel
+               for p in MESSAGE_HEADER_ALLOWED):
+        for m in MESSAGE_HEADER_RE.finditer(text):
+            line = line_of(text, m.start())
+            if suppressed(raw_lines, line, "raw-message-header"):
+                continue
+            violations.append(
+                Violation(
+                    path,
+                    line,
+                    "raw-message-header",
+                    "hand-built net::Message header outside src/net/ — "
+                    "use net::make_request / net::make_response so the "
+                    "checksum and trace extension are always stamped",
+                )
+            )
 
     if not any(rel.endswith(p) or rel == p for p in INBOX_POP_ALLOWED):
         for m in INBOX_POP_RE.finditer(text):

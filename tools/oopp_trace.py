@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Merge per-node oopp trace dumps into one causally ordered timeline.
+
+Each node's SpanSink dumps `trace_node<N>.json` (see Cluster::dump_trace).
+This tool stitches those files together: spans are grouped by trace id,
+linked parent -> child across nodes, and printed as an indented tree in
+start-time order, so a cross-machine call chain reads top to bottom.
+
+Usage:
+    oopp_trace.py DIR|FILE...              human-readable timeline
+    oopp_trace.py --json DIR|FILE...       merged span list as JSON
+    oopp_trace.py --check-chain a,b,c DIR  exit 0 iff a span named `a` has a
+                                           descendant `b` which has a
+                                           descendant `c` (names in order,
+                                           intermediate spans allowed)
+
+No third-party dependencies; stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import signal
+import sys
+from pathlib import Path
+
+# Die quietly when the reader of our stdout goes away (e.g. `| head`).
+with contextlib.suppress(AttributeError, ValueError):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def expand(args: list[str]) -> list[Path]:
+    """Directories expand to their trace_node*.json files."""
+    out: list[Path] = []
+    for a in args:
+        p = Path(a)
+        if p.is_dir():
+            out.extend(sorted(p.glob("trace_node*.json")))
+        else:
+            out.append(p)
+    return out
+
+
+def load_spans(paths: list[Path]) -> tuple[list[dict], int]:
+    spans: list[dict] = []
+    dropped = 0
+    for p in paths:
+        doc = json.loads(p.read_text())
+        dropped += int(doc.get("dropped", 0))
+        spans.extend(doc.get("spans", []))
+    return spans, dropped
+
+
+def build_forest(spans: list[dict]) -> tuple[list[dict], dict[int, list[dict]]]:
+    """Return (roots, children-by-span-id), both in start_ns order.
+
+    A span whose parent is unknown (parent_id == 0, or the parent's sink
+    ring overflowed) becomes a root rather than being dropped.
+    """
+    by_id = {s["span_id"]: s for s in spans}
+    children: dict[int, list[dict]] = {}
+    roots: list[dict] = []
+    for s in sorted(spans, key=lambda s: s["start_ns"]):
+        pid = s.get("parent_id", 0)
+        if pid and pid in by_id:
+            children.setdefault(pid, []).append(s)
+        else:
+            roots.append(s)
+    return roots, children
+
+
+def has_chain(spans: list[dict], children: dict[int, list[dict]],
+              names: list[str]) -> bool:
+    def descend(span: dict, rest: list[str]) -> bool:
+        if not rest:
+            return True
+        for c in children.get(span["span_id"], []):
+            if c["name"] == rest[0] and descend(c, rest[1:]):
+                return True
+            if descend(c, rest):  # skip intermediate spans
+                return True
+        return False
+
+    return any(s["name"] == names[0] and descend(s, names[1:])
+               for s in spans)
+
+
+def print_timeline(spans: list[dict], children: dict[int, list[dict]],
+                   roots: list[dict]) -> None:
+    traces: dict[int, list[dict]] = {}
+    for r in roots:
+        traces.setdefault(r["trace_id"], []).append(r)
+
+    def emit(span: dict, depth: int, t0: int) -> None:
+        dur_us = (span["end_ns"] - span["start_ns"]) / 1e3
+        rel_us = (span["start_ns"] - t0) / 1e3
+        status = "" if span.get("status", 0) == 0 else \
+            f"  status={span['status']}"
+        print(f"  {'  ' * depth}[n{span['node']} {span['kind']:<6}] "
+              f"{span['name']:<40} +{rel_us:10.1f}us {dur_us:10.1f}us"
+              f"  span={span['span_id']:x} parent={span['parent_id']:x}"
+              f"{status}")
+        for c in children.get(span["span_id"], []):
+            emit(c, depth + 1, t0)
+
+    for tid in sorted(traces, key=lambda t: traces[t][0]["start_ns"]):
+        count = sum(1 for s in spans if s["trace_id"] == tid)
+        nodes = sorted({s["node"] for s in spans if s["trace_id"] == tid})
+        print(f"trace {tid:x} ({count} spans, nodes {nodes})")
+        t0 = traces[tid][0]["start_ns"]
+        for r in traces[tid]:
+            emit(r, 0, t0)
+        print()
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("inputs", nargs="+",
+                    help="trace_node*.json files or directories of them")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the merged span list as JSON instead of text")
+    ap.add_argument("--check-chain", metavar="A,B,C",
+                    help="exit 0 iff the named ancestor chain exists")
+    args = ap.parse_args()
+
+    paths = expand(args.inputs)
+    if not paths:
+        print("oopp_trace: no trace files found", file=sys.stderr)
+        return 2
+    spans, dropped = load_spans(paths)
+    roots, children = build_forest(spans)
+
+    if args.check_chain:
+        names = args.check_chain.split(",")
+        ok = has_chain(spans, children, names)
+        print(f"chain {' -> '.join(names)}: {'FOUND' if ok else 'MISSING'}")
+        return 0 if ok else 1
+
+    if args.json:
+        json.dump({"dropped": dropped,
+                   "spans": sorted(spans, key=lambda s: s["start_ns"])},
+                  sys.stdout, indent=1)
+        print()
+        return 0
+
+    print(f"{len(spans)} spans from {len(paths)} node(s), "
+          f"{dropped} dropped")
+    print_timeline(spans, children, roots)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
