@@ -109,6 +109,8 @@ class CollWorker {
       }
       s = half;
     }
+    // Collective completion is all-or-nothing; the caller bounds the
+    // whole operation.  oopp-lint: allow(future-bare-get)
     for (auto& f : kids) f.get();
   }
 
@@ -132,6 +134,7 @@ class CollWorker {
       s = half;
     }
     std::vector<T> acc = data_;
+    // oopp-lint: allow(future-bare-get) — see tree_bcast.
     for (auto& f : kids) combine_into(kind, acc, f.get());
     return acc;
   }
@@ -158,7 +161,7 @@ class CollWorker {
     std::vector<std::pair<std::int32_t, std::vector<T>>> out;
     out.emplace_back(id_, data_);
     for (auto& f : kids) {
-      auto part = f.get();
+      auto part = f.get();  // oopp-lint: allow(future-bare-get) — see tree_bcast.
       out.insert(out.end(), part.begin(), part.end());
     }
     return out;
@@ -188,6 +191,7 @@ class CollWorker {
       s = half;
     }
     data_ = mine[0];
+    // oopp-lint: allow(future-bare-get) — see tree_bcast.
     for (auto& f : kids) f.get();
   }
 
@@ -293,6 +297,7 @@ void scatter(const ProcessGroup<CollWorker<T>>& group, int root,
     for (std::int64_t i = 0; i < n; ++i)
       futs.push_back(group[i].template async<&CollWorker<T>::set_data>(
           chunks[static_cast<std::size_t>(i)]));
+    // oopp-lint: allow(future-bare-get) — see tree_bcast.
     for (auto& f : futs) f.get();
     return;
   }

@@ -1,0 +1,93 @@
+// Expected<R>: one member's outcome in a partial-failure group operation.
+//
+// ProcessGroup::gather<M> has all-or-nothing semantics: the first member
+// failure throws and the surviving members' results are lost.  The
+// partial variants (gather_partial, gather_indexed_partial,
+// barrier_partial) instead contain each member's failure in an
+// Expected<R>: either the decoded result, or the exception the call
+// raised plus its wire-level CallStatus code — so a caller can keep the
+// N-1 good answers, classify the bad one, and decide (retry the member,
+// drop it from the group, rebuild it elsewhere).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace oopp {
+
+template <class R>
+class Expected {
+ public:
+  /// Success.
+  explicit Expected(R value) : value_(std::move(value)) {}
+
+  /// Failure: the exception the call raised and its status code.
+  Expected(std::exception_ptr error, net::CallStatus code)
+      : error_(std::move(error)), code_(code) {}
+
+  [[nodiscard]] bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  /// The result; rethrows the member's failure if there is none.
+  [[nodiscard]] R& value() {
+    if (!value_) std::rethrow_exception(error_);
+    return *value_;
+  }
+  [[nodiscard]] const R& value() const {
+    if (!value_) std::rethrow_exception(error_);
+    return *value_;
+  }
+
+  /// The member's failure (null on success).
+  [[nodiscard]] std::exception_ptr error() const { return error_; }
+
+  /// Wire-level classification of the failure (kOk on success); spares
+  /// callers a rethrow-and-catch just to switch on the kind of failure.
+  [[nodiscard]] net::CallStatus error_code() const { return code_; }
+
+ private:
+  std::optional<R> value_;
+  std::exception_ptr error_;
+  net::CallStatus code_ = net::CallStatus::kOk;
+};
+
+template <>
+class Expected<void> {
+ public:
+  Expected() = default;  // success
+  Expected(std::exception_ptr error, net::CallStatus code)
+      : error_(std::move(error)), code_(code) {}
+
+  [[nodiscard]] bool has_value() const { return error_ == nullptr; }
+  explicit operator bool() const { return has_value(); }
+
+  /// Rethrows the member's failure, if any.
+  void value() const {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+  [[nodiscard]] std::exception_ptr error() const { return error_; }
+  [[nodiscard]] net::CallStatus error_code() const { return code_; }
+
+ private:
+  std::exception_ptr error_;
+  net::CallStatus code_ = net::CallStatus::kOk;
+};
+
+/// Indices of the members that failed — the usual first question asked of
+/// a partial result ("who do I need to rebuild?").
+template <class R>
+[[nodiscard]] std::vector<std::size_t> failed_indices(
+    const std::vector<Expected<R>>& results) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < results.size(); ++i)
+    if (!results[i].has_value()) out.push_back(i);
+  return out;
+}
+
+}  // namespace oopp

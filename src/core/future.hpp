@@ -11,6 +11,7 @@
 #include <future>
 #include <type_traits>
 
+#include "core/expected.hpp"
 #include "net/message.hpp"
 #include "rpc/binding.hpp"
 #include "rpc/node.hpp"
@@ -68,6 +69,23 @@ class Future {
     } else {
       serial::IArchive ia(resp.payload);
       return ia.read<R>();
+    }
+  }
+
+  /// get() with the failure contained instead of thrown: the building
+  /// block of ProcessGroup's partial-failure operations.
+  Expected<R> get_expected() {
+    try {
+      if constexpr (std::is_void_v<R>) {
+        get();
+        return Expected<void>{};
+      } else {
+        return Expected<R>(get());
+      }
+    } catch (const Error& e) {
+      return Expected<R>(std::current_exception(), e.code());
+    } catch (...) {
+      return Expected<R>(std::current_exception(), net::CallStatus::kInternal);
     }
   }
 

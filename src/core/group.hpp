@@ -22,8 +22,13 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
+#include <optional>
+#include <tuple>
+#include <utility>
 #include <vector>
 
+#include "core/expected.hpp"
 #include "core/future.hpp"
 #include "core/remote_ptr.hpp"
 
@@ -74,10 +79,13 @@ class ProcessGroup {
   auto gather(const A&... args) const {
     auto futs = async<M>(args...);
     if constexpr (std::is_void_v<rpc::method_result_t<M>>) {
+      // gather is all-or-nothing by contract; gather_partial is the
+      // bounded, typed spelling.  oopp-lint: allow(future-bare-get)
       for (auto& f : futs) f.get();
     } else {
       std::vector<rpc::method_result_t<M>> out;
       out.reserve(futs.size());
+      // oopp-lint: allow(future-bare-get) — see above.
       for (auto& f : futs) out.push_back(f.get());
       return out;
     }
@@ -94,7 +102,46 @@ class ProcessGroup {
           [&](const auto&... a) { return members_[i].template async<M>(a...); },
           fn(i)));
     }
+    // gather_indexed_partial is the bounded, typed spelling.
+    // oopp-lint: allow(future-bare-get)
     for (auto& f : futs) f.get();
+  }
+
+  // -- partial-failure operations (see docs/FAULTS.md) ----------------------
+  //
+  // gather<M> is all-or-nothing: the first failing member throws and the
+  // surviving members' results are lost.  The _partial variants contain
+  // each member's failure in an Expected, so one dead member costs one
+  // typed error, not the whole operation.  Failures contained include
+  // those raised at issue time (e.g. rpc::PeerUnavailable from an open
+  // circuit breaker) — position i of the result always describes member i.
+
+  /// gather, degraded gracefully: every member's result or failure.
+  template <auto M, class... A>
+  [[nodiscard]] std::vector<Expected<rpc::method_result_t<M>>> gather_partial(
+      const A&... args) const {
+    return collect_partial_impl<rpc::method_result_t<M>>(
+        [&](std::size_t i) { return members_[i].template async<M>(args...); });
+  }
+
+  /// gather_indexed, degraded gracefully.  Unlike gather_indexed, results
+  /// are kept — the caller deciding what to do about a partial failure
+  /// usually wants the surviving values too.
+  template <auto M, class ArgFn>
+  [[nodiscard]] std::vector<Expected<rpc::method_result_t<M>>>
+  gather_indexed_partial(ArgFn&& fn) const {
+    return collect_partial_impl<rpc::method_result_t<M>>([&](std::size_t i) {
+      return std::apply(
+          [&](const auto&... a) { return members_[i].template async<M>(a...); },
+          fn(i));
+    });
+  }
+
+  /// barrier, degraded gracefully: waits for every member it can reach and
+  /// reports which members failed instead of throwing on the first.
+  [[nodiscard]] std::vector<Expected<void>> barrier_partial() const {
+    return collect_partial_impl<void>(
+        [&](std::size_t i) { return members_[i].async_ping(); });
   }
 
   // -- deprecated pre-unification spellings ---------------------------------
@@ -135,6 +182,8 @@ class ProcessGroup {
     std::vector<Future<void>> futs;
     futs.reserve(members_.size());
     for (const auto& p : members_) futs.push_back(p.async_ping());
+    // barrier_partial is the bounded, typed spelling.
+    // oopp-lint: allow(future-bare-get)
     for (auto& f : futs) f.get();
   }
 
@@ -143,11 +192,45 @@ class ProcessGroup {
     std::vector<Future<void>> futs;
     futs.reserve(members_.size());
     for (const auto& p : members_) futs.push_back(p.async_destroy());
+    // oopp-lint: allow(future-bare-get) — teardown waits for completion.
     for (auto& f : futs) f.get();
     members_.clear();
   }
 
  private:
+  /// Issue one future per member via `issue(i)`, then collect each into an
+  /// Expected.  Issue-time throws (breaker fast-fail, dead node) are
+  /// contained too, so position i always describes member i.
+  template <class R, class IssueFn>
+  [[nodiscard]] std::vector<Expected<R>> collect_partial_impl(
+      IssueFn&& issue) const {
+    struct IssueError {
+      std::exception_ptr ex;
+      net::CallStatus code = net::CallStatus::kInternal;
+    };
+    std::vector<std::optional<Future<R>>> futs(members_.size());
+    std::vector<IssueError> errs(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      try {
+        futs[i].emplace(issue(i));
+      } catch (const Error& e) {
+        errs[i] = {std::current_exception(), e.code()};
+      } catch (...) {
+        errs[i] = {std::current_exception(), net::CallStatus::kInternal};
+      }
+    }
+    std::vector<Expected<R>> out;
+    out.reserve(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (futs[i]) {
+        out.push_back(futs[i]->get_expected());
+      } else {
+        out.push_back(Expected<R>(std::move(errs[i].ex), errs[i].code));
+      }
+    }
+    return out;
+  }
+
   std::vector<remote_ptr<T>> members_;
 
   template <class Ar, class U>

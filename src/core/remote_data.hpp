@@ -105,6 +105,12 @@ class remote_data {
   [[nodiscard]] bool valid() const { return p_.valid(); }
   [[nodiscard]] remote_ptr<RemoteVector<T>> ptr() const { return p_; }
 
+  /// A copy of this handle whose element and bulk accesses use `p`
+  /// (forwarded to the underlying remote pointer's with_policy).
+  [[nodiscard]] remote_data with_policy(const rpc::CallPolicy& p) const {
+    return remote_data(p_.with_policy(p), n_);
+  }
+
   // Bulk transfers.
   [[nodiscard]] std::vector<T> to_vector() const {
     return p_.template call<&RemoteVector<T>::slice>(std::uint64_t{0}, n_);

@@ -18,12 +18,14 @@
 // previously issued commands complete.
 #pragma once
 
+#include <optional>
 #include <type_traits>
 #include <utility>
 
 #include "core/future.hpp"
 #include "core/remote_ref.hpp"
 #include "rpc/binding.hpp"
+#include "rpc/call_policy.hpp"
 #include "rpc/node.hpp"
 #include "rpc/traits.hpp"
 #include "util/assert.hpp"
@@ -66,7 +68,24 @@ class remote_ptr {
   [[nodiscard]] net::ObjectId id() const { return ref_.object; }
   [[nodiscard]] RemoteRef ref() const { return ref_; }
 
-  bool operator==(const remote_ptr&) const = default;
+  /// Pointers compare by identity (which remote object), not by calling
+  /// convention — two handles to one object are equal even if only one
+  /// carries a retry policy.
+  bool operator==(const remote_ptr& o) const { return ref_ == o.ref_; }
+
+  /// A copy of this handle whose calls use `p` instead of the node-level
+  /// default policy.  The policy is a property of the handle, not the
+  /// object: it does not serialize and does not affect equality.
+  [[nodiscard]] remote_ptr with_policy(const rpc::CallPolicy& p) const {
+    remote_ptr out(*this);
+    out.policy_ = p;
+    return out;
+  }
+
+  /// The handle's own policy, if with_policy installed one.
+  [[nodiscard]] const std::optional<rpc::CallPolicy>& policy() const {
+    return policy_;
+  }
 
   /// Synchronous remote method execution.
   template <auto M, class... A>
@@ -74,6 +93,8 @@ class remote_ptr {
     using R = rpc::method_result_t<M>;
     Future<R> f =
         async_impl<M>(telemetry::Verb::kCall, std::forward<A>(args)...);
+    // call<M> is the blocking spelling; a with_policy() deadline bounds
+    // it.  oopp-lint: allow(future-bare-get)
     return f.get();
   }
 
@@ -86,6 +107,7 @@ class remote_ptr {
 
   /// No-op round trip through the object's command queue: completes after
   /// every previously issued command on this object has completed.
+  // oopp-lint: allow(future-bare-get) — blocking spelling; see call<M>.
   void ping() const { async_ping().get(); }
 
   [[nodiscard]] Future<void> async_ping() const {
@@ -95,12 +117,13 @@ class remote_ptr {
     telemetry::TraceContext issued;
     auto fut = detail::context_node().async_raw(
         ref_.machine, ref_.object, net::method_id(rpc::kPingMethod), oa.take(),
-        telemetry::Verb::kBarrier, &issued);
+        telemetry::Verb::kBarrier, &issued, policy_ ? &*policy_ : nullptr);
     return Future<void>(std::move(fut), issued);
   }
 
   /// The paper's `delete p`: terminate the remote process.  Completes
   /// after all previously issued commands on the object have finished.
+  // oopp-lint: allow(future-bare-get) — blocking spelling; see call<M>.
   void destroy() const { async_destroy().get(); }
 
   [[nodiscard]] Future<void> async_destroy() const {
@@ -110,7 +133,8 @@ class remote_ptr {
     telemetry::TraceContext issued;
     auto fut = detail::context_node().async_raw(
         ref_.machine, net::kNodeObject, net::method_id(rpc::kDestroyMethod),
-        oa.take(), telemetry::Verb::kControl, &issued);
+        oa.take(), telemetry::Verb::kControl, &issued,
+        policy_ ? &*policy_ : nullptr);
     return Future<void>(std::move(fut), issued);
   }
 
@@ -131,20 +155,26 @@ class remote_ptr {
     oa(tup);
     telemetry::TraceContext issued;
     auto fut = detail::context_node().async_raw(ref_.machine, ref_.object, mid,
-                                                oa.take(), verb, &issued);
+                                                oa.take(), verb, &issued,
+                                                policy_ ? &*policy_ : nullptr);
     return Future<rpc::method_result_t<M>>(std::move(fut), issued);
   }
 
   RemoteRef ref_;
+  std::optional<rpc::CallPolicy> policy_;
 };
 
 template <class Ar, class T>
 void oopp_serialize(Ar& ar, remote_ptr<T>& p) {
   // One symmetric body: writing reads r from p; reading overwrites r and
-  // stores it back.  The redundant store on the write path is free.
+  // stores it back.  The redundant store on the write path is free.  A
+  // call policy is part of the local handle, not the wire identity — it
+  // is neither sent nor received, but must survive the write-path store.
   RemoteRef r = p.ref();
   ar(r);
+  auto policy = p.policy();
   p = remote_ptr<T>(r);
+  if (policy) p = p.with_policy(*policy);
 }
 
 /// Untyped ping: round trip through the command queue of ANY object,

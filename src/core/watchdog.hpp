@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -106,23 +107,38 @@ class Watchdog {
       auto targets = reports_;
       lock.unlock();
 
-      for (auto& [ref, report] : targets) {
-        ++report.probes;
+      // Each probe's outcome for this round only.  `state` is set on a
+      // definitive verdict (alive / dead); a transient failure leaves it
+      // empty so the live entry keeps whatever state it has.
+      struct RoundResult {
+        std::optional<WatchState> state;
+        bool failed = false;
+      };
+      std::map<RemoteRef, RoundResult> results;
+      for (const auto& [ref, report] : targets) {
+        RoundResult res;
         try {
           ping_ref(ref);
-          report.state = WatchState::kAlive;
+          res.state = WatchState::kAlive;
         } catch (const rpc::ObjectNotFound&) {
-          report.state = WatchState::kDead;
-          ++report.failures;
+          res.state = WatchState::kDead;
+          res.failed = true;
         } catch (const std::exception&) {
-          ++report.failures;  // transient: keep the previous state
+          res.failed = true;  // transient
         }
+        results.emplace(ref, res);
       }
 
       lock.lock();
-      for (const auto& [ref, report] : targets) {
+      // Merge this round's deltas only.  Assigning the whole pre-round
+      // snapshot back would resurrect stale counters on a target that was
+      // unwatched and re-watched while the probes ran unlocked.
+      for (const auto& [ref, res] : results) {
         auto it = reports_.find(ref);
-        if (it != reports_.end()) it->second = report;
+        if (it == reports_.end()) continue;  // unwatched mid-round
+        it->second.probes += 1;
+        if (res.failed) it->second.failures += 1;
+        if (res.state) it->second.state = *res.state;
       }
       rounds_.fetch_add(1, std::memory_order_relaxed);
     }

@@ -34,6 +34,8 @@ void CoherentDevice::write_array_coherent(const storage::ArrayPage& page,
   for (const auto& sub : it->second)
     acks.push_back(
         remote_ptr<PageCache>(sub).async<&PageCache::invalidate>(key));
+  // Coherence requires every ack; a lost subscriber must stall the writer,
+  // not let it publish stale reads.  oopp-lint: allow(future-bare-get)
   for (auto& a : acks) a.get();
 }
 

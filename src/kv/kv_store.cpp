@@ -132,6 +132,8 @@ void KvStore::multi_put(
   futs.reserve(pairs.size());
   for (const auto& [k, v] : pairs)
     futs.push_back(primaries_[shard_of(k)].async<&KvShard::put>(k, v));
+  // Store ops are all-or-nothing; a retrying default policy on the driver
+  // node bounds them.  oopp-lint: allow(future-bare-get)
   for (auto& f : futs) (void)f.get();
 }
 
@@ -143,6 +145,7 @@ std::vector<std::optional<std::string>> KvStore::multi_get(
     futs.push_back(primaries_[shard_of(k)].async<&KvShard::get>(k));
   std::vector<std::optional<std::string>> out;
   out.reserve(keys.size());
+  // oopp-lint: allow(future-bare-get) — see multi_put.
   for (auto& f : futs) out.push_back(f.get());
   return out;
 }
@@ -152,6 +155,7 @@ std::uint64_t KvStore::size() const {
   futs.reserve(primaries_.size());
   for (const auto& p : primaries_) futs.push_back(p.async<&KvShard::size>());
   std::uint64_t total = 0;
+  // oopp-lint: allow(future-bare-get) — see multi_put.
   for (auto& f : futs) total += f.get();
   return total;
 }
@@ -164,7 +168,7 @@ std::vector<std::pair<std::string, std::string>> KvStore::scan(
     futs.push_back(p.async<&KvShard::scan>(prefix, limit_per_shard));
   std::vector<std::pair<std::string, std::string>> all;
   for (auto& f : futs) {
-    auto part = f.get();
+    auto part = f.get();  // oopp-lint: allow(future-bare-get) — see multi_put.
     all.insert(all.end(), part.begin(), part.end());
   }
   std::sort(all.begin(), all.end());
@@ -201,6 +205,7 @@ void KvStore::destroy() {
     if (p.valid()) futs.push_back(p.async_destroy());
   for (auto& b : backups_)
     if (b.valid()) futs.push_back(b.async_destroy());
+  // oopp-lint: allow(future-bare-get) — teardown waits for completion.
   for (auto& f : futs) f.get();
   primaries_.clear();
   backups_.clear();

@@ -42,21 +42,26 @@ class FaultyFabric final : public Fabric {
 
   void send(Message m) override {
     account(m);
-    const bool eligible =
-        (m.header.kind == MsgKind::kRequest && faults_.affect_requests) ||
-        (m.header.kind == MsgKind::kResponse && faults_.affect_responses);
-    if (eligible) {
+    {
+      // The whole fault decision sits under mu_: the eligibility flags are
+      // part of faults_ and must be read against the same configuration
+      // the probabilities come from (set_faults can swap it concurrently).
       std::lock_guard lock(mu_);
-      if (faults_.drop_probability > 0.0 &&
-          rng_.uniform() < faults_.drop_probability) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
-        return;  // the network ate it
-      }
-      if (faults_.corrupt_probability > 0.0 && !m.payload.empty() &&
-          rng_.uniform() < faults_.corrupt_probability) {
-        const auto pos = rng_.below(m.payload.size());
-        m.payload[pos] ^= std::byte{0x40};
-        corrupted_.fetch_add(1, std::memory_order_relaxed);
+      const bool eligible =
+          (m.header.kind == MsgKind::kRequest && faults_.affect_requests) ||
+          (m.header.kind == MsgKind::kResponse && faults_.affect_responses);
+      if (eligible) {
+        if (faults_.drop_probability > 0.0 &&
+            rng_.uniform() < faults_.drop_probability) {
+          dropped_.fetch_add(1, std::memory_order_relaxed);
+          return;  // the network ate it
+        }
+        if (faults_.corrupt_probability > 0.0 && !m.payload.empty() &&
+            rng_.uniform() < faults_.corrupt_probability) {
+          const auto pos = rng_.below(m.payload.size());
+          m.payload[pos] ^= std::byte{0x40};
+          corrupted_.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     }
     inner_->send(std::move(m));

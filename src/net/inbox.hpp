@@ -14,6 +14,7 @@
 // is delivered exactly once; nothing accepted after close() is delivered.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <mutex>
@@ -44,20 +45,34 @@ class Inbox {
   /// Block until a message is deliverable (its timestamp has passed, or
   /// the inbox was closed — see the close semantics above) or the inbox
   /// is closed and drained.  Returns nullopt only when closed and empty.
+  ///
+  /// Delivery picks the *first entry in arrival order whose time has
+  /// passed*, not blindly the queue head: links have independent delays,
+  /// so a due message from one link must not sit behind an undue one from
+  /// another.  Per-link FIFO still holds — each link's timestamps are
+  /// monotonic, so within a link the first-arrived entry is always the
+  /// first due.
   std::optional<Message> pop() {
     std::unique_lock lock(mu_);
     for (;;) {
       if (!queue_.empty()) {
-        const auto due = queue_.front().deliver_at;
-        // closed_ is re-checked on every iteration: a close() that lands
-        // during the timed wait below releases the message immediately
-        // instead of holding it until its simulated delivery time.
-        if (closed_ || due <= steady_clock::now()) {
+        // closed_ collapses all delays: drain strictly in arrival order.
+        if (closed_) {
           Message m = std::move(queue_.front().msg);
           queue_.pop_front();
           return m;
         }
-        cv_.wait_until(lock, due);
+        const auto now = steady_clock::now();
+        time_point earliest = time_point::max();
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (it->deliver_at <= now) {
+            Message m = std::move(it->msg);
+            queue_.erase(it);
+            return m;
+          }
+          earliest = std::min(earliest, it->deliver_at);
+        }
+        cv_.wait_until(lock, earliest);
         continue;
       }
       if (closed_) return std::nullopt;

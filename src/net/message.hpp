@@ -43,6 +43,7 @@ enum class CallStatus : std::uint8_t {
   kTimeout = 6,           // caller-side deadline expired (Future::get_for)
   kUnknownClass = 7,      // spawn requested for an unregistered class
   kInternal = 8,          // invariant violation inside the runtime
+  kUnavailable = 9,       // circuit breaker open: peer not being attempted
 };
 
 inline const char* call_status_name(CallStatus s) {
@@ -56,6 +57,7 @@ inline const char* call_status_name(CallStatus s) {
     case CallStatus::kTimeout: return "timeout";
     case CallStatus::kUnknownClass: return "unknown_class";
     case CallStatus::kInternal: return "internal";
+    case CallStatus::kUnavailable: return "unavailable";
   }
   return "unknown";
 }
@@ -75,6 +77,11 @@ struct MessageHeader {
   /// wire by every fabric; see src/telemetry/trace.hpp for the model.
   std::uint64_t trace_id = 0;
   std::uint64_t span_id = 0;
+  /// Fault-tolerance extension: which delivery attempt of a retryable
+  /// call this request is (1 = first send, 2+ = retries).  0 marks a
+  /// non-retryable call — the server skips at-most-once bookkeeping for
+  /// those.  Responses echo the attempt they answer.
+  std::uint32_t attempt = 0;
 };
 
 /// FNV-1a over arbitrary bytes, folded to 32 bits, never returning 0 (so
@@ -108,7 +115,8 @@ inline Message make_request(MachineId src, MachineId dst, SeqNum seq,
                             ObjectId object, MethodId method,
                             std::vector<std::byte> payload, bool checksum,
                             std::uint64_t trace_id = 0,
-                            std::uint64_t span_id = 0) {
+                            std::uint64_t span_id = 0,
+                            std::uint32_t attempt = 0) {
   Message m;
   m.header.kind = MsgKind::kRequest;
   m.header.status = CallStatus::kOk;
@@ -119,6 +127,7 @@ inline Message make_request(MachineId src, MachineId dst, SeqNum seq,
   m.header.method = method;
   m.header.trace_id = trace_id;
   m.header.span_id = span_id;
+  m.header.attempt = attempt;
   m.payload = std::move(payload);
   if (checksum) m.header.payload_crc = payload_checksum(m.payload);
   return m;
@@ -138,6 +147,7 @@ inline Message make_response(const MessageHeader& request, CallStatus status,
   m.header.method = request.method;
   m.header.trace_id = request.trace_id;
   m.header.span_id = request.span_id;
+  m.header.attempt = request.attempt;
   m.payload = std::move(payload);
   if (checksum) m.header.payload_crc = payload_checksum(m.payload);
   return m;

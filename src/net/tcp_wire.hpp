@@ -18,9 +18,9 @@
 namespace oopp::net::wire {
 
 /// kind, status, src, dst, seq, object, method, crc, trace_id, span_id,
-/// payload_len.
+/// attempt, payload_len.
 inline constexpr std::size_t kFrameHeaderSize =
-    1 + 1 + 4 + 4 + 8 + 8 + 8 + 4 + 8 + 8 + 8;
+    1 + 1 + 4 + 4 + 8 + 8 + 8 + 4 + 8 + 8 + 4 + 8;
 
 inline void encode_header(const MessageHeader& h, std::uint64_t payload_len,
                           std::uint8_t* out) {
@@ -41,6 +41,7 @@ inline void encode_header(const MessageHeader& h, std::uint64_t payload_len,
   put(&h.payload_crc, 4);
   put(&h.trace_id, 8);
   put(&h.span_id, 8);
+  put(&h.attempt, 4);
   put(&payload_len, 8);
 }
 
@@ -64,6 +65,7 @@ inline void decode_header(const std::uint8_t* in, MessageHeader& h,
   get(&h.payload_crc, 4);
   get(&h.trace_id, 8);
   get(&h.span_id, 8);
+  get(&h.attempt, 4);
   get(&payload_len, 8);
 }
 

@@ -1,0 +1,87 @@
+// CallPolicy: per-call fault-tolerance knobs for remote calls.
+//
+// The paper's semantics (§2) says every remote instruction *completes* —
+// on a lossy interconnect that promise needs a recovery layer, not just
+// typed failure detection.  A CallPolicy tells rpc::Node how hard to try:
+// how long to wait for each attempt, how many attempts to make, how to
+// space them (exponential backoff with jitter), and when to give up
+// entirely (overall deadline).
+//
+// Retried requests are stamped with a monotonically increasing attempt
+// number; the serving node deduplicates on (src, seq) so a retried
+// non-reentrant method is executed at most once — the cached response is
+// replayed instead (see docs/FAULTS.md for the full guarantee).
+//
+// The default-constructed policy means "no retry": exactly the pre-policy
+// behaviour (send once, wait forever).  Node::set_default_policy installs
+// a node-wide default; remote_ptr<T>::with_policy overrides it per handle.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace oopp::rpc {
+
+struct CallPolicy {
+  /// Total sends of the request, including the first (1 = never retry).
+  std::uint32_t max_attempts = 1;
+
+  /// How long to wait for each attempt's response before declaring the
+  /// attempt lost and scheduling a retry (or giving up).  0 = wait
+  /// forever, which makes the policy inert regardless of max_attempts.
+  std::chrono::milliseconds attempt_timeout{0};
+
+  /// Overall budget across all attempts and backoff waits.  Once it is
+  /// spent the call fails with rpc::CallTimeout even if attempts remain.
+  /// 0 = unbounded (bounded only by max_attempts * attempt_timeout).
+  std::chrono::milliseconds deadline{0};
+
+  /// Backoff before retry k (k = 1 for the first retry):
+  ///   min(backoff_max, backoff_initial * multiplier^(k-1))
+  /// scaled by a uniform random factor in [1 - jitter, 1 + jitter] so a
+  /// herd of peers retrying a congested machine does not stay in phase.
+  std::chrono::milliseconds backoff_initial{2};
+  std::chrono::milliseconds backoff_max{250};
+  double backoff_multiplier = 2.0;
+  double jitter = 0.2;
+
+  /// Also retry responses that arrived as kBadFrame (payload corrupted in
+  /// flight).  Safe under the server-side dedup cache: a corrupted
+  /// *request* was never executed, a corrupted *response* is replayed
+  /// from the cache without re-executing.
+  bool retry_bad_frame = true;
+
+  [[nodiscard]] bool retryable() const {
+    return max_attempts > 1 && attempt_timeout.count() > 0;
+  }
+
+  /// Backoff duration before retry number `retry` (1-based), before
+  /// jitter.  Saturates at backoff_max.
+  [[nodiscard]] std::chrono::milliseconds backoff_for(
+      std::uint32_t retry) const {
+    double ms = static_cast<double>(backoff_initial.count());
+    for (std::uint32_t i = 1; i < retry; ++i) {
+      ms *= backoff_multiplier;
+      if (ms >= static_cast<double>(backoff_max.count())) break;
+    }
+    ms = std::min(ms, static_cast<double>(backoff_max.count()));
+    return std::chrono::milliseconds(static_cast<std::int64_t>(ms));
+  }
+};
+
+/// A policy that retries hard enough to ride out a few percent of
+/// request/response loss without the caller noticing.  Tune, don't
+/// worship: attempt_timeout must exceed the honest round-trip time.
+inline CallPolicy resilient_policy(
+    std::chrono::milliseconds attempt_timeout = std::chrono::milliseconds(100),
+    std::uint32_t max_attempts = 8) {
+  CallPolicy p;
+  p.max_attempts = max_attempts;
+  p.attempt_timeout = attempt_timeout;
+  p.backoff_initial = std::chrono::milliseconds(1);
+  p.backoff_max = std::chrono::milliseconds(50);
+  return p;
+}
+
+}  // namespace oopp::rpc

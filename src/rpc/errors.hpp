@@ -117,6 +117,23 @@ class CallTimeout : public Error {
       : Error(what_arg, net::CallStatus::kTimeout) {}
 };
 
+/// The per-peer circuit breaker is open: recent calls to this machine
+/// failed repeatedly, so new calls fail fast without touching the network
+/// until the cooldown elapses and a half-open probe succeeds.  The
+/// fastest possible failure — nothing was sent.
+class PeerUnavailable : public Error {
+ public:
+  PeerUnavailable(net::MachineId machine, const std::string& why)
+      : Error("machine " + std::to_string(machine) + " unavailable: " + why,
+              net::CallStatus::kUnavailable),
+        machine_(machine) {}
+
+  [[nodiscard]] net::MachineId machine() const { return machine_; }
+
+ private:
+  net::MachineId machine_;
+};
+
 /// A class name arrived in a spawn/restore request that the local registry
 /// does not know.
 class UnknownClass : public Error {

@@ -1,9 +1,11 @@
 #include "rpc/node.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <optional>
 #include <typeinfo>
+#include <vector>
 
 #include "rpc/binding.hpp"
 #include "serial/archive.hpp"
@@ -41,6 +43,42 @@ telemetry::Histogram& verb_histogram(telemetry::Verb v) {
   return *hists[static_cast<std::size_t>(v)];
 }
 
+/// rpc.retry scope: client-side retry driver + server-side dedup cache.
+struct RetryMetrics {
+  telemetry::Counter& resends;            // retry attempts put on the wire
+  telemetry::Counter& bad_frame_retries;  // retries triggered by kBadFrame
+  telemetry::Counter& giveups;            // calls failed after all attempts
+  telemetry::Counter& dedup_replays;      // cached responses replayed
+  telemetry::Counter& dedup_inflight_drops;  // duplicates of running calls
+};
+
+RetryMetrics& retry_metrics() {
+  static RetryMetrics m = [] {
+    auto& s = telemetry::Metrics::scope_for("rpc.retry");
+    return RetryMetrics{s.counter("resends"), s.counter("bad_frame_retries"),
+                        s.counter("giveups"), s.counter("dedup_replays"),
+                        s.counter("dedup_inflight_drops")};
+  }();
+  return m;
+}
+
+/// rpc.breaker scope: per-peer circuit breaker transitions and effects.
+struct BreakerMetrics {
+  telemetry::Counter& opened;
+  telemetry::Counter& closed;
+  telemetry::Counter& fast_fails;  // calls rejected without touching the net
+  telemetry::Counter& probes;      // half-open probe admissions
+};
+
+BreakerMetrics& breaker_metrics() {
+  static BreakerMetrics m = [] {
+    auto& s = telemetry::Metrics::scope_for("rpc.breaker");
+    return BreakerMetrics{s.counter("opened"), s.counter("closed"),
+                          s.counter("fast_fails"), s.counter("probes")};
+  }();
+  return m;
+}
+
 }  // namespace
 
 thread_local Node* Node::tls_current_ = nullptr;
@@ -52,7 +90,11 @@ Node::Node(net::MachineId id, net::Fabric& fabric, Options opts)
       opts_(opts),
       fabric_(fabric),
       pool_(ElasticPool::Options{.min_threads = opts.min_threads,
-                                 .max_threads = opts.max_threads}) {}
+                                 .max_threads = opts.max_threads}),
+      default_policy_(opts.default_policy) {
+  has_default_policy_.store(default_policy_.retryable(),
+                            std::memory_order_relaxed);
+}
 
 bool Node::payload_intact(const net::Message& m) const {
   if (!opts_.checksums || m.header.payload_crc == 0) return true;
@@ -67,6 +109,8 @@ void Node::start() {
   fabric_.attach(id_, &inbox_);
   // oopp-lint: allow(raw-thread-primitive) — joined in stop().
   receiver_ = std::thread([this] { receive_loop(); });
+  // oopp-lint: allow(raw-thread-primitive) — joined in stop_retry().
+  retry_thread_ = std::thread([this] { retry_loop(); });
 }
 
 void Node::stop() {
@@ -78,9 +122,25 @@ void Node::stop() {
 void Node::stop_receiving() {
   inbox_.close();
   if (receiver_.joinable()) receiver_.join();
+  stop_retry();
+}
+
+void Node::stop_retry() {
+  {
+    std::lock_guard lock(retry_mu_);
+    retry_stop_ = true;
+    retries_.clear();
+  }
+  retry_cv_.notify_all();
+  if (retry_thread_.joinable()) retry_thread_.join();
 }
 
 void Node::fail_pending() {
+  {
+    // The retry driver must not resurrect calls we are about to abort.
+    std::lock_guard lock(retry_mu_);
+    retries_.clear();
+  }
   std::unordered_map<net::SeqNum, PendingCall> doomed;
   {
     std::lock_guard lock(pending_mu_);
@@ -109,9 +169,14 @@ void Node::receive_loop() {
   while (auto msg = inbox_.pop()) {
     if (!payload_intact(*msg)) {
       if (msg->header.kind == net::MsgKind::kRequest) {
-        respond_error(*msg, net::CallStatus::kBadFrame,
-                      serial::to_bytes(std::string(
-                          "payload checksum mismatch on request")));
+        // Answer directly, bypassing respond_error's dedup bookkeeping: a
+        // corrupted duplicate must not disturb the at-most-once record of
+        // the intact attempt that may be executing right now.
+        fabric_.send(net::make_response(
+            msg->header, net::CallStatus::kBadFrame,
+            serial::to_bytes(
+                std::string("payload checksum mismatch on request")),
+            opts_.checksums));
       } else {
         // Surface the corruption at the call site as BadFrame: this is an
         // in-place rewrite of an inbound frame, not construction of one.
@@ -134,6 +199,37 @@ void Node::receive_loop() {
 }
 
 void Node::on_response(net::Message resp) {
+  if (resp.header.attempt > 0) {
+    // This answers a retryable call: retire its retry entry — unless it is
+    // a corrupted-in-flight response and the policy says to treat that
+    // like loss (the server's dedup cache replays the real result on the
+    // next attempt without re-executing).
+    bool swallow = false;
+    {
+      std::lock_guard lock(retry_mu_);
+      auto it = retries_.find(resp.header.seq);
+      if (it != retries_.end()) {
+        RetryEntry& e = it->second;
+        const auto now = steady_clock::now();
+        if (resp.header.status == net::CallStatus::kBadFrame &&
+            e.policy.retry_bad_frame &&
+            e.attempts_sent < e.policy.max_attempts &&
+            now < e.overall_deadline) {
+          e.in_backoff = true;
+          e.due = now + jittered_backoff(e.policy, e.attempts_sent);
+          swallow = true;
+        } else {
+          retries_.erase(it);
+        }
+      }
+    }
+    if (swallow) {
+      retry_metrics().bad_frame_retries.add(1);
+      retry_cv_.notify_all();
+      return;
+    }
+    record_peer_success(resp.header.src);
+  }
   PendingCall call;
   {
     std::lock_guard lock(pending_mu_);
@@ -154,6 +250,7 @@ void Node::on_response(net::Message resp) {
 }
 
 void Node::on_request(net::Message req) {
+  if (dedup_intercept(req)) return;
   if (req.header.object == net::kNodeObject) {
     pool_.submit([this, req = std::move(req)]() mutable {
       ContextGuard guard(this);
@@ -483,14 +580,283 @@ void Node::handle_control(const net::Message& req) {
 }
 
 void Node::respond_ok(const net::Message& req, std::vector<std::byte> payload) {
-  fabric_.send(net::make_response(req.header, net::CallStatus::kOk,
-                                  std::move(payload), opts_.checksums));
+  net::Message resp = net::make_response(req.header, net::CallStatus::kOk,
+                                         std::move(payload), opts_.checksums);
+  dedup_store(req, resp);
+  fabric_.send(std::move(resp));
 }
 
 void Node::respond_error(const net::Message& req, net::CallStatus status,
                          std::vector<std::byte> payload) {
-  fabric_.send(net::make_response(req.header, status, std::move(payload),
-                                  opts_.checksums));
+  net::Message resp =
+      net::make_response(req.header, status, std::move(payload),
+                         opts_.checksums);
+  dedup_store(req, resp);
+  fabric_.send(std::move(resp));
+}
+
+bool Node::dedup_intercept(const net::Message& req) {
+  if (req.header.attempt == 0) return false;
+  net::Message replay;
+  {
+    std::lock_guard lock(dedup_mu_);
+    const DedupKey key{req.header.src, req.header.seq};
+    auto it = dedup_.find(key);
+    if (it == dedup_.end()) {
+      // First sighting: record the execution as in flight, then dispatch.
+      dedup_.emplace(key, DedupEntry{});
+      dedup_fifo_.push_back(key);
+      while (dedup_.size() > opts_.dedup_cache_entries &&
+             !dedup_fifo_.empty()) {
+        dedup_.erase(dedup_fifo_.front());
+        dedup_fifo_.pop_front();
+      }
+      return false;
+    }
+    if (!it->second.completed) {
+      // Duplicate of an attempt still executing: drop it.  The running
+      // execution answers the caller when it finishes.
+      retry_metrics().dedup_inflight_drops.add(1);
+      return true;
+    }
+    replay = it->second.response;
+  }
+  retry_metrics().dedup_replays.add(1);
+  fabric_.send(std::move(replay));
+  return true;
+}
+
+void Node::dedup_store(const net::Message& req, const net::Message& response) {
+  if (req.header.attempt == 0) return;
+  std::lock_guard lock(dedup_mu_);
+  const DedupKey key{req.header.src, req.header.seq};
+  auto it = dedup_.find(key);
+  if (response.header.status == net::CallStatus::kBadFrame) {
+    // Never cache a corrupt-frame verdict: erase the marker so a retry
+    // re-executes.  A corruption-induced BadFrame heals on retry; a
+    // deterministic one just re-surfaces once attempts are exhausted.
+    if (it != dedup_.end()) dedup_.erase(it);
+    return;
+  }
+  if (it == dedup_.end()) return;  // evicted under cache pressure
+  it->second.completed = true;
+  it->second.response = response;
+}
+
+void Node::retry_loop() {
+  struct Resend {
+    net::SeqNum seq = 0;
+    net::Message msg;
+  };
+  std::unique_lock lock(retry_mu_);
+  for (;;) {
+    if (retry_stop_) return;
+    if (retries_.empty()) {
+      retry_cv_.wait(lock);
+      continue;
+    }
+    const auto now = steady_clock::now();
+    time_point earliest = time_point::max();
+    std::vector<Resend> resends;
+    std::vector<net::SeqNum> giveups;
+    std::vector<net::MachineId> lost_attempts;
+    for (auto it = retries_.begin(); it != retries_.end();) {
+      RetryEntry& e = it->second;
+      if (e.due > now) {
+        earliest = std::min(earliest, e.due);
+        ++it;
+        continue;
+      }
+      if (e.in_backoff) {
+        // Backoff over: put the next attempt on the wire (outside the
+        // lock, below).
+        e.in_backoff = false;
+        e.attempts_sent += 1;
+        e.due = now + e.policy.attempt_timeout;
+        resends.push_back(
+            {it->first,
+             net::make_request(id_, e.dst, it->first, e.object, e.method,
+                               e.payload, opts_.checksums, e.trace_id,
+                               e.span_id, e.attempts_sent)});
+        earliest = std::min(earliest, e.due);
+        ++it;
+        continue;
+      }
+      // Attempt `attempts_sent` got no response within attempt_timeout.
+      lost_attempts.push_back(e.dst);
+      if (e.attempts_sent >= e.policy.max_attempts ||
+          now >= e.overall_deadline) {
+        giveups.push_back(it->first);
+        it = retries_.erase(it);
+        continue;
+      }
+      e.in_backoff = true;
+      e.due = now + jittered_backoff(e.policy, e.attempts_sent);
+      if (e.due >= e.overall_deadline) {
+        // The backoff wait alone would blow the deadline; give up now.
+        giveups.push_back(it->first);
+        it = retries_.erase(it);
+        continue;
+      }
+      earliest = std::min(earliest, e.due);
+      ++it;
+    }
+    if (resends.empty() && giveups.empty() && lost_attempts.empty()) {
+      if (earliest != time_point::max()) retry_cv_.wait_until(lock, earliest);
+      continue;
+    }
+    lock.unlock();
+    for (auto& r : resends) {
+      bool blocked = false;
+      try {
+        admit_call(r.msg.header.dst);
+      } catch (const PeerUnavailable&) {
+        blocked = true;
+      }
+      if (blocked) {
+        {
+          std::lock_guard g(retry_mu_);
+          retries_.erase(r.seq);
+        }
+        fail_call(r.seq, net::CallStatus::kUnavailable,
+                  std::make_exception_ptr(PeerUnavailable(
+                      r.msg.header.dst, "circuit breaker opened mid-retry")));
+        continue;
+      }
+      retry_metrics().resends.add(1);
+      fabric_.send(std::move(r.msg));
+    }
+    for (auto peer : lost_attempts) record_peer_failure(peer);
+    if (!giveups.empty()) {
+      retry_metrics().giveups.add(giveups.size());
+      for (auto seq : giveups)
+        fail_call(seq, net::CallStatus::kTimeout,
+                  std::make_exception_ptr(CallTimeout(
+                      "remote call timed out (all retry attempts lost)")));
+    }
+    lock.lock();
+  }
+}
+
+void Node::fail_call(net::SeqNum seq, net::CallStatus status,
+                     std::exception_ptr ex) {
+  PendingCall call;
+  {
+    std::lock_guard lock(pending_mu_);
+    auto it = pending_.find(seq);
+    if (it == pending_.end()) return;  // a response won the race
+    call = std::move(it->second);
+    pending_.erase(it);
+  }
+  if (call.traced) {
+    call.span.status = static_cast<std::uint8_t>(status);
+    call.span.end_ns = now_ns();
+    span_sink_.record(call.span);
+  }
+  call.prom->set_exception(std::move(ex));
+}
+
+void Node::admit_call(net::MachineId dst) {
+  if (opts_.breaker_threshold == 0 || dst == id_) return;
+  auto& bm = breaker_metrics();
+  const char* why = nullptr;
+  {
+    std::lock_guard lock(peers_mu_);
+    auto it = peers_.find(dst);
+    if (it == peers_.end()) return;  // never failed: closed by default
+    Peer& p = it->second;
+    switch (p.state) {
+      case BreakerState::kClosed:
+        return;
+      case BreakerState::kOpen:
+        if (steady_clock::now() >= p.open_until) {
+          // Cooldown elapsed — this very call becomes the probe.
+          p.state = BreakerState::kHalfOpen;
+          p.probe_inflight = true;
+          bm.probes.add(1);
+          return;
+        }
+        why = "circuit breaker open";
+        break;
+      case BreakerState::kHalfOpen:
+        if (!p.probe_inflight) {
+          p.probe_inflight = true;
+          bm.probes.add(1);
+          return;
+        }
+        why = "circuit breaker half-open, probe already in flight";
+        break;
+    }
+  }
+  bm.fast_fails.add(1);
+  throw PeerUnavailable(dst, why);
+}
+
+void Node::record_peer_failure(net::MachineId peer) {
+  if (opts_.breaker_threshold == 0 || peer == id_) return;
+  auto& bm = breaker_metrics();
+  bool opened = false;
+  {
+    std::lock_guard lock(peers_mu_);
+    Peer& p = peers_[peer];
+    p.consecutive_failures += 1;
+    const bool trip =
+        p.state == BreakerState::kHalfOpen ||
+        (p.state == BreakerState::kClosed &&
+         p.consecutive_failures >= opts_.breaker_threshold);
+    if (trip) {
+      opened = true;
+      p.state = BreakerState::kOpen;
+      p.open_until = steady_clock::now() + opts_.breaker_cooldown;
+      p.probe_inflight = false;
+    }
+  }
+  if (opened) bm.opened.add(1);
+}
+
+void Node::record_peer_success(net::MachineId peer) {
+  if (opts_.breaker_threshold == 0 || peer == id_) return;
+  auto& bm = breaker_metrics();
+  bool closed = false;
+  {
+    std::lock_guard lock(peers_mu_);
+    auto it = peers_.find(peer);
+    if (it == peers_.end()) return;
+    closed = it->second.state != BreakerState::kClosed;
+    it->second = Peer{};
+  }
+  if (closed) bm.closed.add(1);
+}
+
+std::chrono::nanoseconds Node::jittered_backoff(const CallPolicy& p,
+                                                std::uint32_t retry) {
+  // Caller holds retry_mu_ (it guards retry_rng_).
+  const auto base = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      p.backoff_for(retry));
+  const double j = std::clamp(p.jitter, 0.0, 1.0);
+  const double factor = j == 0.0 ? 1.0 : retry_rng_.uniform(1.0 - j, 1.0 + j);
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(
+      static_cast<double>(base.count()) * factor));
+}
+
+void Node::set_default_policy(const CallPolicy& p) {
+  {
+    std::lock_guard lock(policy_mu_);
+    default_policy_ = p;
+  }
+  has_default_policy_.store(p.retryable(), std::memory_order_release);
+}
+
+CallPolicy Node::default_policy() const {
+  std::lock_guard lock(policy_mu_);
+  return default_policy_;
+}
+
+PeerHealth Node::peer_health(net::MachineId peer) const {
+  std::lock_guard lock(peers_mu_);
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return {};
+  return {it->second.state, it->second.consecutive_failures};
 }
 
 std::future<net::Message> Node::async_raw(net::MachineId dst,
@@ -498,8 +864,18 @@ std::future<net::Message> Node::async_raw(net::MachineId dst,
                                           net::MethodId method,
                                           std::vector<std::byte> payload,
                                           telemetry::Verb verb,
-                                          telemetry::TraceContext* issued) {
+                                          telemetry::TraceContext* issued,
+                                          const CallPolicy* policy) {
   verb_counter(verb).add(1);
+
+  CallPolicy pol;
+  if (policy != nullptr) {
+    pol = *policy;
+  } else if (has_default_policy_.load(std::memory_order_acquire)) {
+    std::lock_guard lock(policy_mu_);
+    pol = default_policy_;
+  }
+  admit_call(dst);  // throws rpc::PeerUnavailable when the breaker is open
 
   PendingCall call;
   call.prom = std::make_shared<std::promise<net::Message>>();
@@ -532,18 +908,38 @@ std::future<net::Message> Node::async_raw(net::MachineId dst,
     if (aborting_) throw CallAborted("node shutting down");
     pending_.emplace(seq, std::move(call));
   }
+  const bool retryable = pol.retryable();
+  if (retryable) {
+    const auto now = steady_clock::now();
+    RetryEntry e;
+    e.dst = dst;
+    e.object = object;
+    e.method = method;
+    e.payload = payload;  // keep a copy for resends
+    e.policy = pol;
+    e.due = now + pol.attempt_timeout;
+    if (pol.deadline.count() > 0) e.overall_deadline = now + pol.deadline;
+    e.trace_id = trace_id;
+    e.span_id = span_id;
+    {
+      std::lock_guard lock(retry_mu_);
+      if (!retry_stop_) retries_.emplace(seq, std::move(e));
+    }
+    retry_cv_.notify_all();
+  }
   fabric_.send(net::make_request(id_, dst, seq, object, method,
                                  std::move(payload), opts_.checksums, trace_id,
-                                 span_id));
+                                 span_id, retryable ? 1u : 0u));
   return fut;
 }
 
 net::Message Node::call_raw(net::MachineId dst, net::ObjectId object,
                             net::MethodId method,
                             std::vector<std::byte> payload,
-                            telemetry::Verb verb) {
+                            telemetry::Verb verb, const CallPolicy* policy) {
   note_blocking_remote_call("rpc::Node::call_raw");
-  auto fut = async_raw(dst, object, method, std::move(payload), verb);
+  auto fut = async_raw(dst, object, method, std::move(payload), verb, nullptr,
+                       policy);
   net::Message resp = fut.get();
   throw_on_error(resp);
   return resp;
@@ -576,6 +972,8 @@ void Node::throw_on_error(const net::Message& resp) {
                         std::to_string(resp.header.src));
     case net::CallStatus::kTimeout:
       throw CallTimeout("remote call timed out");
+    case net::CallStatus::kUnavailable:
+      throw PeerUnavailable(resp.header.src, "circuit breaker open");
     case net::CallStatus::kUnknownClass: {
       serial::IArchive ia(resp.payload);
       [[maybe_unused]] auto type = ia.read<std::string>();

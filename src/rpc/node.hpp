@@ -16,8 +16,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <string_view>
 #include <mutex>
@@ -27,12 +30,15 @@
 #include "net/fabric.hpp"
 #include "net/inbox.hpp"
 #include "net/message.hpp"
+#include "rpc/call_policy.hpp"
 #include "rpc/class_registry.hpp"
 #include "rpc/errors.hpp"
 #include "rpc/object_table.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/checked_mutex.hpp"
+#include "util/clock.hpp"
+#include "util/prng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace oopp::rpc {
@@ -79,6 +85,29 @@ struct CallTrace {
   std::size_t response_bytes = 0;
 };
 
+/// Circuit-breaker state for one peer machine, as seen by this node's
+/// client side (see docs/FAULTS.md for the state machine).
+enum class BreakerState : std::uint8_t {
+  kClosed = 0,    // healthy: calls flow
+  kOpen = 1,      // failing: calls fail fast with rpc::PeerUnavailable
+  kHalfOpen = 2,  // cooldown over: one probe call is in flight
+};
+
+inline const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+/// Snapshot of one peer's health tracker (Node::peer_health).
+struct PeerHealth {
+  BreakerState state = BreakerState::kClosed;
+  std::uint32_t consecutive_failures = 0;
+};
+
 class Node {
  public:
   struct Options {
@@ -89,6 +118,22 @@ class Node {
     /// response surfaces as rpc::BadFrame at the call site.  Costs one
     /// pass over each payload; intended for untrusted fabrics.
     bool checksums = false;
+    /// Fault tolerance applied when a call carries no explicit policy.
+    /// The default default is inert (one attempt, wait forever) — the
+    /// pre-policy behaviour.  Also settable at runtime via
+    /// set_default_policy().
+    CallPolicy default_policy{};
+    /// Server-side at-most-once window: how many responses to retryable
+    /// (attempt-stamped) calls are kept for replay.  Must cover the
+    /// maximum number of such calls a single peer can have outstanding
+    /// or recently completed; beyond it, a very late retry may re-execute.
+    std::size_t dedup_cache_entries = 4096;
+    /// Circuit breaker: this many consecutive retry-layer failures to one
+    /// peer open its breaker (calls fail fast with rpc::PeerUnavailable
+    /// until breaker_cooldown passes and a half-open probe succeeds).
+    /// 0 disables the breaker entirely.
+    std::uint32_t breaker_threshold = 0;
+    std::chrono::milliseconds breaker_cooldown{250};
   };
 
   using TraceFn = std::function<void(const CallTrace&)>;
@@ -131,6 +176,17 @@ class Node {
   /// This node's span ring (tracing); dumped by Cluster::dump_trace().
   [[nodiscard]] telemetry::SpanSink& span_sink() { return span_sink_; }
 
+  // -- fault tolerance ------------------------------------------------------
+
+  /// Policy applied to calls that carry no explicit one.  Thread-safe;
+  /// takes effect for calls issued after it returns.
+  void set_default_policy(const CallPolicy& p);
+  [[nodiscard]] CallPolicy default_policy() const;
+
+  /// This node's view of a peer's circuit breaker.  A peer never called
+  /// (or with the breaker disabled) reads as closed/0.
+  [[nodiscard]] PeerHealth peer_health(net::MachineId peer) const;
+
   // -- client side ----------------------------------------------------------
 
   /// Fire a request and return a future for the raw response message.
@@ -139,16 +195,26 @@ class Node {
   /// thread's trace context) and completed when the response arrives; if
   /// `issued` is non-null it receives that span's context so callers (e.g.
   /// Future::get_for) can attribute later events to this call.
+  ///
+  /// `policy` null means "use the node default".  A retryable policy
+  /// stamps the request with an attempt number, arms the retry driver
+  /// (lost attempts are re-sent with backoff + jitter; the server
+  /// deduplicates so non-reentrant methods never run twice), and fails
+  /// the future with rpc::CallTimeout once attempts or the deadline are
+  /// exhausted.  Throws rpc::PeerUnavailable immediately when the peer's
+  /// circuit breaker is open.
   std::future<net::Message> async_raw(
       net::MachineId dst, net::ObjectId object, net::MethodId method,
       std::vector<std::byte> payload,
       telemetry::Verb verb = telemetry::Verb::kCall,
-      telemetry::TraceContext* issued = nullptr);
+      telemetry::TraceContext* issued = nullptr,
+      const CallPolicy* policy = nullptr);
 
   /// Synchronous round trip; throws the decoded error on failure status.
   net::Message call_raw(net::MachineId dst, net::ObjectId object,
                         net::MethodId method, std::vector<std::byte> payload,
-                        telemetry::Verb verb = telemetry::Verb::kCall);
+                        telemetry::Verb verb = telemetry::Verb::kCall,
+                        const CallPolicy* policy = nullptr);
 
   /// Decode a response's status, throwing the corresponding typed
   /// exception for non-kOk.  Exposed for typed futures.
@@ -185,6 +251,46 @@ class Node {
   void receive_loop();
   void on_request(net::Message req);
   void on_response(net::Message resp);
+
+  // -- fault-tolerance internals (see docs/FAULTS.md) -----------------------
+
+  /// One retryable logical call being driven by retry_loop().
+  struct RetryEntry {
+    net::MachineId dst = 0;
+    net::ObjectId object = 0;
+    net::MethodId method = 0;
+    std::vector<std::byte> payload;  // retained for resends
+    CallPolicy policy;
+    std::uint32_t attempts_sent = 1;
+    /// false: waiting on attempt `attempts_sent`'s response until `due`;
+    /// true: attempt declared lost, resending when `due` passes.
+    bool in_backoff = false;
+    time_point due{};
+    time_point overall_deadline = time_point::max();
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+  };
+
+  void retry_loop();
+  void stop_retry();
+  /// Complete a pending call exceptionally (retry exhaustion, breaker).
+  void fail_call(net::SeqNum seq, net::CallStatus status,
+                 std::exception_ptr ex);
+  /// Breaker admission; throws rpc::PeerUnavailable when open.
+  void admit_call(net::MachineId dst);
+  void record_peer_success(net::MachineId peer);
+  void record_peer_failure(net::MachineId peer);
+  /// Backoff for retry number `retry` with jitter applied.
+  std::chrono::nanoseconds jittered_backoff(const CallPolicy& p,
+                                            std::uint32_t retry);
+
+  /// Server side: returns true when the request was fully handled by the
+  /// at-most-once layer (cached response replayed, or duplicate of an
+  /// in-flight execution dropped) and must not be dispatched.
+  bool dedup_intercept(const net::Message& req);
+  /// Record a completed response for future replay (attempt-stamped
+  /// requests only; kBadFrame is never cached — see respond_error).
+  void dedup_store(const net::Message& req, const net::Message& response);
 
   /// Run one request against a live entry and send the response.
   void execute(const std::shared_ptr<ObjectTable::Entry>& entry,
@@ -229,6 +335,43 @@ class Node {
   std::unordered_map<net::SeqNum, PendingCall> pending_;
   std::atomic<net::SeqNum> next_seq_{1};
   bool aborting_ = false;
+
+  /// Retry driver state.  retry_mu_ is never held across a fabric send or
+  /// while taking pending_mu_/peers_mu_ (no nested locking anywhere in
+  /// the fault-tolerance layer).
+  util::CheckedMutex retry_mu_{"rpc.Node.retry"};
+  util::CondVar retry_cv_;
+  std::map<net::SeqNum, RetryEntry> retries_;
+  bool retry_stop_ = false;
+  std::thread retry_thread_;  // oopp-lint: allow(raw-thread-primitive)
+  Xoshiro256 retry_rng_{0x0fa17e5};  // jitter only; seed is irrelevant
+
+  /// Server-side at-most-once cache: (caller, seq) -> response, for
+  /// attempt-stamped requests.  FIFO-bounded by opts_.dedup_cache_entries.
+  struct DedupEntry {
+    bool completed = false;
+    net::Message response;
+  };
+  using DedupKey = std::pair<net::MachineId, net::SeqNum>;
+  util::CheckedMutex dedup_mu_{"rpc.Node.dedup"};
+  std::map<DedupKey, DedupEntry> dedup_;
+  std::deque<DedupKey> dedup_fifo_;
+
+  /// Per-peer health / circuit breaker (client side).
+  struct Peer {
+    BreakerState state = BreakerState::kClosed;
+    std::uint32_t consecutive_failures = 0;
+    time_point open_until{};
+    bool probe_inflight = false;
+  };
+  mutable util::CheckedMutex peers_mu_{"rpc.Node.peers"};
+  std::map<net::MachineId, Peer> peers_;
+
+  mutable util::CheckedMutex policy_mu_{"rpc.Node.policy"};
+  CallPolicy default_policy_;
+  /// Fast path: skip the policy_mu_ lookup entirely while the node-level
+  /// default is inert (the common case).
+  std::atomic<bool> has_default_policy_{false};
 
   telemetry::SpanSink span_sink_;
 

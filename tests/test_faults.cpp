@@ -123,6 +123,37 @@ TEST(Faults, ChecksumsCoverControlPlane) {
   EXPECT_THROW(fc.cluster->make_remote<Echoer>(1), rpc::BadFrame);
 }
 
+TEST(Faults, SetFaultsConcurrentWithSendIsRaceFree) {
+  // Regression (run under TSan): send() used to read the eligibility
+  // flags before taking the fabric mutex, racing with set_faults().  The
+  // whole fault decision now sits under the lock.
+  net::FaultyFabric fabric(std::make_unique<net::InProcFabric>(2),
+                           net::FaultyFabric::Faults{});
+  net::Inbox a, b;
+  fabric.attach(0, &a);
+  fabric.attach(1, &b);
+
+  std::thread sender([&] {
+    for (int i = 0; i < 2000; ++i) {
+      fabric.send(net::make_request(0, 1, static_cast<net::SeqNum>(i),
+                                    /*object=*/1, /*method=*/1,
+                                    std::vector<std::byte>(16),
+                                    /*checksum=*/false));
+    }
+  });
+  for (int i = 0; i < 400; ++i) {
+    fabric.set_faults({.drop_probability = (i % 2) ? 0.5 : 0.0,
+                       .corrupt_probability = (i % 3) ? 0.25 : 0.0,
+                       .affect_requests = (i % 3) != 0,
+                       .affect_responses = (i % 2) != 0,
+                       .seed = static_cast<std::uint64_t>(i)});
+  }
+  sender.join();
+  a.close();
+  b.close();
+  fabric.shutdown();
+}
+
 TEST(Faults, DroppedTrafficDoesNotPoisonLaterCalls) {
   FaultyCluster fc;
   auto e = fc.cluster->make_remote<Echoer>(1);

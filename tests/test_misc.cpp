@@ -206,6 +206,44 @@ TEST(Watchdog, DetectsLifeAndDeath) {
   dog.destroy();  // joins the prober cleanly
 }
 
+TEST(Watchdog, RewatchDuringProbeRoundDoesNotResurrectStaleCounts) {
+  // Regression: probe_loop snapshots reports_, probes unlocked, then used
+  // to merge whole WatchReport copies back.  A target unwatched and
+  // re-watched while a round was in flight got its fresh counters
+  // overwritten by the stale pre-unwatch snapshot.  The merge is now
+  // delta-only.
+  Cluster cluster(2);
+  auto ctx = cluster.use(0);
+  auto slow = cluster.make_remote<Napper>(1);
+  Watchdog dog(10);
+  dog.watch(slow.ref());
+
+  // Accumulate probe history the bug would resurrect.
+  while (dog.rounds() < 8)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  // Stall the next round: its ping waits behind a long nap in the
+  // target's command queue.
+  auto nap = slow.async<&Napper::nap>(300);
+  const auto r0 = dog.rounds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Reset the entry while the stalled round (carrying the old snapshot)
+  // is still executing.
+  ASSERT_TRUE(dog.unwatch(slow.ref()));
+  dog.watch(slow.ref());
+
+  (void)nap.get();
+  while (dog.rounds() < r0 + 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  auto reports = dog.status();
+  ASSERT_EQ(reports.size(), 1u);
+  // Fresh entry + in-flight round's delta + a couple of fast rounds: far
+  // below the >= 9 probes the stale snapshot would have restored.
+  EXPECT_LT(reports[0].probes, 6u);
+}
+
 TEST(Watchdog, DrivesKvFailover) {
   // Supervision loop: watchdog detects a dead primary, the driver reacts
   // by promoting the backup — detection + recovery end to end.

@@ -1,0 +1,312 @@
+// Fault-tolerant remote calls: retry/backoff rides out message loss, the
+// server-side dedup cache keeps retried non-reentrant methods at-most-once
+// (so with a completing retry: exactly-once), circuit breakers convert a
+// dead peer into fast typed failures, and the partial-failure group
+// operations contain one member's death to one typed error.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/expected.hpp"
+#include "core/group.hpp"
+#include "core/oopp.hpp"
+#include "net/faulty_fabric.hpp"
+#include "net/inproc_fabric.hpp"
+#include "telemetry/metrics.hpp"
+
+using namespace oopp;
+using namespace std::chrono_literals;
+
+namespace {
+
+/// CI hook (the faults-smoke job): OOPP_METRICS_OUT=<path> dumps the
+/// process-global metrics registry — rpc.retry / rpc.breaker counters
+/// included — once the suite finishes.
+class MetricsDumpEnv : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    const char* out = std::getenv("OOPP_METRICS_OUT");
+    if (!out) return;
+    std::ofstream(out) << telemetry::Metrics::instance().json() << "\n";
+  }
+};
+const auto* const kMetricsDump =
+    ::testing::AddGlobalTestEnvironment(new MetricsDumpEnv);
+
+/// Non-reentrant counter: every execution of bump() is observable, which
+/// is what lets the tests count *executions* (not responses) and prove
+/// the at-most-once guarantee.
+class Counter {
+ public:
+  Counter() = default;
+  int bump() { return ++n_; }
+  int count() const { return n_; }
+
+ private:
+  int n_ = 0;
+};
+
+class Pinger {
+ public:
+  Pinger() = default;
+  int poke() { return 42; }
+  std::vector<double> echo(const std::vector<double>& v) { return v; }
+};
+
+}  // namespace
+
+template <>
+struct oopp::rpc::class_def<Counter> {
+  static std::string name() { return "recovery.Counter"; }
+  using ctors = ctor_list<ctor<>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&Counter::bump>("bump");
+    b.template method<&Counter::count>("count");
+  }
+};
+
+template <>
+struct oopp::rpc::class_def<Pinger> {
+  static std::string name() { return "recovery.Pinger"; }
+  using ctors = ctor_list<ctor<>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&Pinger::poke>("poke");
+    b.template method<&Pinger::echo>("echo");
+  }
+};
+
+namespace {
+
+struct FaultyCluster {
+  net::FaultyFabric* fabric = nullptr;  // owned by the cluster
+  std::unique_ptr<Cluster> cluster;
+
+  explicit FaultyCluster(std::size_t machines = 2,
+                         rpc::Node::Options node_opts = {.checksums = true}) {
+    Cluster::Options opts;
+    opts.machines = machines;
+    opts.node = node_opts;
+    opts.node.checksums = true;
+    opts.fabric_factory = [&](std::size_t n) {
+      auto faulty = std::make_unique<net::FaultyFabric>(
+          std::make_unique<net::InProcFabric>(n), net::FaultyFabric::Faults{});
+      fabric = faulty.get();
+      return faulty;
+    };
+    cluster = std::make_unique<Cluster>(opts);
+  }
+};
+
+/// Retry policy tuned for the in-process fabric: round trips are tens of
+/// microseconds, so a 50 ms attempt timeout only fires on genuine loss.
+rpc::CallPolicy test_policy(std::uint32_t max_attempts = 8) {
+  rpc::CallPolicy p = rpc::resilient_policy(50ms, max_attempts);
+  p.backoff_initial = 1ms;
+  p.backoff_max = 10ms;
+  return p;
+}
+
+// The issue's acceptance gate: 1000 calls over a fabric dropping 5% of
+// requests AND 5% of responses complete with zero caller-visible errors,
+// and the non-reentrant method executed exactly once per call.
+TEST(Recovery, ThousandCallsRideOutFivePercentLoss) {
+  FaultyCluster fc;
+  auto c = fc.cluster->make_remote<Counter>(1).with_policy(test_policy());
+  fc.fabric->set_faults({.drop_probability = 0.05, .seed = 23});
+
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_NO_THROW((void)c.call<&Counter::bump>()) << "call " << i;
+  }
+  EXPECT_GT(fc.fabric->dropped(), 0u) << "fault injection never fired";
+
+  fc.fabric->set_faults({});
+  EXPECT_EQ(c.call<&Counter::count>(), 1000);  // exactly once each
+}
+
+// Dedup proof in isolation: with every response destroyed, the request
+// executes once, every retry replays the cached (lost) response, and the
+// server-side counter still reads 1.
+TEST(Recovery, DedupCachePreventsDoubleExecution) {
+  FaultyCluster fc;
+  auto c = fc.cluster->make_remote<Counter>(1);
+  fc.fabric->set_faults({.drop_probability = 1.0,
+                         .affect_requests = false,
+                         .seed = 29});
+
+  rpc::CallPolicy p = test_policy(/*max_attempts=*/4);
+  p.attempt_timeout = 20ms;
+  auto retried = c.with_policy(p);
+  EXPECT_THROW((void)retried.call<&Counter::bump>(), rpc::CallTimeout);
+
+  fc.fabric->set_faults({});
+  EXPECT_EQ(c.call<&Counter::count>(), 1)
+      << "a retried non-reentrant call executed more than once";
+}
+
+// Corrupted frames are retried too (retry_bad_frame): a mangled response
+// is replayed from the dedup cache without re-executing; a mangled
+// request was never executed and simply runs on the retry.
+TEST(Recovery, BadFramesHealUnderRetry) {
+  FaultyCluster fc;
+  auto c = fc.cluster->make_remote<Counter>(1).with_policy(test_policy());
+  fc.fabric->set_faults({.corrupt_probability = 0.3, .seed = 31});
+
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_NO_THROW((void)c.call<&Counter::bump>()) << "call " << i;
+  }
+  EXPECT_GT(fc.fabric->corrupted(), 0u);
+
+  fc.fabric->set_faults({});
+  EXPECT_EQ(c.call<&Counter::count>(), 200);
+}
+
+// The node-level default policy applies to calls that carry none.
+TEST(Recovery, NodeDefaultPolicyApplies) {
+  FaultyCluster fc;
+  auto p = fc.cluster->make_remote<Pinger>(1);
+  fc.cluster->node(0).set_default_policy(test_policy());
+  fc.fabric->set_faults({.drop_probability = 0.1, .seed = 37});
+
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(p.call<&Pinger::poke>(), 42) << "call " << i;
+  }
+}
+
+// Breaker lifecycle: consecutive retry-layer failures open it (fast
+// typed failures without touching the network), the cooldown admits a
+// half-open probe, and a successful probe closes it again.
+TEST(Recovery, BreakerOpensFastFailsAndRecovers) {
+  rpc::Node::Options node_opts;
+  node_opts.breaker_threshold = 3;
+  node_opts.breaker_cooldown = 100ms;
+  FaultyCluster fc(2, node_opts);
+  auto p = fc.cluster->make_remote<Pinger>(1);
+  fc.fabric->set_faults({.drop_probability = 1.0, .seed = 41});
+
+  rpc::CallPolicy pol = test_policy(/*max_attempts=*/2);
+  pol.attempt_timeout = 15ms;
+  auto retried = p.with_policy(pol);
+
+  // Burn through calls until the accumulated lost attempts trip the
+  // breaker; every failure is typed (timeout before it opens,
+  // PeerUnavailable after).
+  bool opened = false;
+  for (int i = 0; i < 10 && !opened; ++i) {
+    try {
+      (void)retried.call<&Pinger::poke>();
+      FAIL() << "call succeeded on a fabric dropping everything";
+    } catch (const rpc::PeerUnavailable&) {
+      opened = true;
+    } catch (const rpc::CallTimeout&) {
+    }
+  }
+  ASSERT_TRUE(opened) << "breaker never opened";
+  EXPECT_EQ(fc.cluster->node(0).peer_health(1).state,
+            rpc::BreakerState::kOpen);
+
+  // Open breaker = fast fail: no attempt timeout is paid.
+  const auto t0 = steady_clock::now();
+  EXPECT_THROW((void)retried.call<&Pinger::poke>(), rpc::PeerUnavailable);
+  EXPECT_LT(steady_clock::now() - t0, 10ms);
+
+  // Heal the network, wait out the cooldown: the next call is the
+  // half-open probe, it succeeds, and the breaker closes.
+  fc.fabric->set_faults({});
+  std::this_thread::sleep_for(120ms);
+  EXPECT_EQ(retried.call<&Pinger::poke>(), 42);
+  EXPECT_EQ(fc.cluster->node(0).peer_health(1).state,
+            rpc::BreakerState::kClosed);
+}
+
+// Partial gather: one deleted member costs one typed per-member error,
+// not the whole operation.  (gather<> on the same group would throw.)
+TEST(Recovery, PartialGatherContainsOneDeadMember) {
+  Cluster cluster(4);
+  std::vector<remote_ptr<Pinger>> members;
+  for (net::MachineId m = 0; m < 4; ++m)
+    members.push_back(cluster.make_remote<Pinger>(m));
+  ProcessGroup<Pinger> group(std::move(members));
+
+  group[2].destroy();
+
+  auto results = group.gather_partial<&Pinger::poke>();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(failed_indices(results), std::vector<std::size_t>{2});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i == 2) {
+      EXPECT_FALSE(results[i].has_value());
+      EXPECT_EQ(results[i].error_code(), net::CallStatus::kObjectNotFound);
+      EXPECT_THROW((void)results[i].value(), rpc::ObjectNotFound);
+    } else {
+      ASSERT_TRUE(results[i].has_value()) << "member " << i;
+      EXPECT_EQ(results[i].value(), 42);
+    }
+  }
+
+  // The all-or-nothing spelling still throws, as documented.
+  EXPECT_THROW((void)group.gather<&Pinger::poke>(), rpc::ObjectNotFound);
+}
+
+TEST(Recovery, PartialBarrierReportsFailedMembers) {
+  Cluster cluster(3);
+  std::vector<remote_ptr<Pinger>> members;
+  for (net::MachineId m = 0; m < 3; ++m)
+    members.push_back(cluster.make_remote<Pinger>(m));
+  ProcessGroup<Pinger> group(std::move(members));
+
+  group[1].destroy();
+
+  auto results = group.barrier_partial();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].has_value());
+  EXPECT_FALSE(results[1].has_value());
+  EXPECT_EQ(results[1].error_code(), net::CallStatus::kObjectNotFound);
+  EXPECT_TRUE(results[2].has_value());
+}
+
+TEST(Recovery, PartialGatherIndexedKeepsResults) {
+  Cluster cluster(3);
+  std::vector<remote_ptr<Pinger>> members;
+  for (net::MachineId m = 0; m < 3; ++m)
+    members.push_back(cluster.make_remote<Pinger>(m));
+  ProcessGroup<Pinger> group(std::move(members));
+
+  auto results = group.gather_indexed_partial<&Pinger::echo>(
+      [](std::size_t i) {
+        return std::make_tuple(std::vector<double>{double(i)});
+      });
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].has_value());
+    EXPECT_EQ(results[i].value(), std::vector<double>{double(i)});
+  }
+}
+
+// Policies are a property of the handle: they survive serialization of
+// the *local* handle object but are not part of the remote identity.
+TEST(Recovery, PolicyIsHandleLocal) {
+  Cluster cluster(2);
+  auto p = cluster.make_remote<Pinger>(1);
+  auto retried = p.with_policy(test_policy());
+  EXPECT_EQ(p, retried);  // identity: same remote object
+  EXPECT_FALSE(p.policy().has_value());
+  ASSERT_TRUE(retried.policy().has_value());
+  EXPECT_EQ(retried.policy()->max_attempts, test_policy().max_attempts);
+
+  serial::OArchive oa;
+  oa(retried);
+  EXPECT_TRUE(retried.policy().has_value()) << "serializing wiped the policy";
+  serial::IArchive ia(oa.bytes());
+  auto wire = ia.read<remote_ptr<Pinger>>();
+  EXPECT_EQ(wire, p);
+  EXPECT_FALSE(wire.policy().has_value()) << "policy leaked onto the wire";
+}
+
+}  // namespace

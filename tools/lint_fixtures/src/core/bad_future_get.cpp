@@ -1,0 +1,45 @@
+// Fixture: bare Future::get() in a hot path (this file sits under a
+// src/core/ subpath on purpose so the scoped rule applies).
+namespace fixture {
+
+template <class R>
+struct FakeFuture {
+  R get() { return R{}; }
+  R get_for(int) { return R{}; }
+  int get_expected() { return 0; }
+};
+
+struct FakeHandle {
+  FakeFuture<int> async_ping() { return {}; }
+};
+
+inline int hot_path() {
+  FakeFuture<int> fut;
+  int acc = fut.get();                     // LINT-EXPECT: future-bare-get
+  FakeHandle h;
+  acc += h.async_ping().get();             // LINT-EXPECT: future-bare-get
+  FakeFuture<int>* pf = &fut;
+  acc += pf->get();                        // LINT-EXPECT: future-bare-get
+  return acc;
+}
+
+// Bounded and typed accessors must NOT be flagged.
+inline int clean_path() {
+  FakeFuture<int> fut;
+  int acc = fut.get_for(50);
+  acc += fut.get_expected();
+  // A documented unbounded wait is suppressible in place.
+  acc += fut.get();  // oopp-lint: allow(future-bare-get)
+  return acc;
+}
+
+// Smart-pointer style access through a subscript is not a future get.
+struct Slot {
+  int get() { return 0; }
+};
+inline int subscripted() {
+  Slot slots[2];
+  return slots[0].get() + slots[1].get();
+}
+
+}  // namespace fixture

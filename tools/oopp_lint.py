@@ -28,6 +28,15 @@ raw-message-header      Hand-assembled ``net::Message`` headers (naming
                         ``net::make_request`` / ``net::make_response`` so
                         the checksum policy and the trace-id extension
                         cannot be forgotten at any call site.
+future-bare-get         A bare ``.get()`` on a future inside the hot
+                        paths (``src/core/``, ``src/kv/``, ``src/dsm/``,
+                        ``src/coll/``) blocks forever if the peer dies.
+                        Use ``get_for``/``get_until`` with a deadline, a
+                        retrying CallPolicy, or ``get_expected()`` — or
+                        annotate the site to document that an unbounded
+                        wait is intended (e.g. behind a caller-supplied
+                        policy).  ``src/core/future.hpp`` itself is
+                        exempt: it is the implementation.
 
 Usage
 -----
@@ -60,6 +69,11 @@ INBOX_POP_ALLOWED = ("src/rpc/node.cpp",)
 
 # Message headers are assembled by make_request/make_response here only.
 MESSAGE_HEADER_ALLOWED = ("src/net/",)
+
+# Hot paths where an unbounded Future::get() is a hang waiting to happen.
+# future.hpp is the implementation of get() itself and stays exempt.
+FUTURE_GET_SCOPED = ("src/core/", "src/kv/", "src/dsm/", "src/coll/")
+FUTURE_GET_EXEMPT = ("src/core/future.hpp",)
 
 VIOLATION_FMT = "{file}:{line}: [{rule}] {msg}"
 
@@ -237,6 +251,10 @@ INBOX_POP_RE = re.compile(r"\b(\w*[Ii]nbox\w*(?:\(\s*\))?)\s*(?:\.|->)\s*pop\s*\
 MESSAGE_HEADER_RE = re.compile(
     r"\bMessageHeader\b|[.\->]\s*header\s*\.\s*\w+\s*=(?!=)"
 )
+# `.get()` whose receiver is a plain identifier (a future variable) or a
+# call result (`async_ping().get()`).  Subscripted smart-pointer accesses
+# like `nodes_[i].get()` have `]` before the dot and do not match.
+FUTURE_GET_RE = re.compile(r"[\w)]\s*(?:\.|->)\s*get\s*\(\s*\)")
 
 
 def check_token_rules(path: Path, text: str, raw_lines: list[str], rel: str):
@@ -286,6 +304,25 @@ def check_token_rules(path: Path, text: str, raw_lines: list[str], rel: str):
                     "hand-built net::Message header outside src/net/ — "
                     "use net::make_request / net::make_response so the "
                     "checksum and trace extension are always stamped",
+                )
+            )
+
+    in_hot_path = any(rel.startswith(p) or f"/{p}" in rel
+                      for p in FUTURE_GET_SCOPED)
+    if in_hot_path and not any(rel.endswith(p) for p in FUTURE_GET_EXEMPT):
+        for m in FUTURE_GET_RE.finditer(text):
+            line = line_of(text, m.start())
+            if suppressed(raw_lines, line, "future-bare-get"):
+                continue
+            violations.append(
+                Violation(
+                    path,
+                    line,
+                    "future-bare-get",
+                    "bare Future::get() in a hot path blocks forever if "
+                    "the peer dies — bound it (get_for/get_until), attach "
+                    "a retrying CallPolicy, or use get_expected(); "
+                    "annotate if the unbounded wait is intentional",
                 )
             )
 
