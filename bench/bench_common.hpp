@@ -102,6 +102,32 @@ inline void emit_json(const std::string& name, int iters,
   }
 }
 
+/// Emit one benchmark result with arbitrary numeric fields as a single
+/// JSON line, mirrored into BENCH_<name>.json — for benches whose result
+/// is a comparison (e.g. batching off vs on) rather than a percentile
+/// set.  Integral-valued fields print without a fraction.
+inline void emit_json_fields(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  std::string line = "{\"bench\":\"" + name + "\"";
+  char buf[64];
+  for (const auto& [key, value] : fields) {
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(value));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.2f", value);
+    }
+    line += ",\"" + key + "\":" + buf;
+  }
+  line += "}";
+  std::printf("BENCH_JSON %s\n", line.c_str());
+  if (std::FILE* f = std::fopen(("BENCH_" + name + ".json").c_str(), "w")) {
+    std::fprintf(f, "%s\n", line.c_str());
+    std::fclose(f);
+  }
+}
+
 /// Scratch directory for device backing files; removed on destruction.
 class ScratchDir {
  public:

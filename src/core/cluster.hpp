@@ -67,6 +67,10 @@ class Cluster {
     FabricKind fabric = FabricKind::kInProc;
     net::CostModel cost = net::CostModel::zero();
     rpc::Node::Options node{};
+    /// Per-peer send coalescing for the TCP fabrics (kTcp and mesh
+    /// deployments; see net/batcher.hpp).  Ignored by kInProc, which has
+    /// no syscalls to amortize.
+    net::BatchOptions batch{};
     /// Directory for passivated process images.  Empty → a fresh temp
     /// directory owned (and removed) by this Cluster.
     std::filesystem::path state_dir{};

@@ -12,9 +12,8 @@
 //               for void methods);
 //   barrier() — completes when every member has drained its command queue.
 //
-// The old names (call_all / async_all / collect / invoke_all /
-// invoke_all_indexed) remain as deprecated aliases; see docs/TELEMETRY.md
-// for the migration table.
+// The pre-unification spellings were deprecated in PR 2 and removed in
+// PR 4; docs/TELEMETRY.md keeps the migration table.
 //
 // A ProcessGroup serializes as a vector of remote pointers, so passing a
 // group to a remote method performs exactly the deep copy the paper calls
@@ -142,38 +141,6 @@ class ProcessGroup {
   [[nodiscard]] std::vector<Expected<void>> barrier_partial() const {
     return collect_partial_impl<void>(
         [&](std::size_t i) { return members_[i].async_ping(); });
-  }
-
-  // -- deprecated pre-unification spellings ---------------------------------
-
-  template <auto M, class... A>
-  [[deprecated("use call<M>(...)")]] void call_all(const A&... args) const {
-    call<M>(args...);
-  }
-
-  template <auto M, class... A>
-  [[deprecated("use async<M>(...)")]] [[nodiscard]] std::vector<
-      Future<rpc::method_result_t<M>>>
-  async_all(const A&... args) const {
-    return async<M>(args...);
-  }
-
-  template <auto M, class... A>
-  [[deprecated("use gather<M>(...)")]] [[nodiscard]] std::vector<
-      rpc::method_result_t<M>>
-  collect(const A&... args) const {
-    return gather<M>(args...);
-  }
-
-  template <auto M, class... A>
-  [[deprecated("use gather<M>(...)")]] void invoke_all(const A&... args) const {
-    gather<M>(args...);
-  }
-
-  template <auto M, class ArgFn>
-  [[deprecated("use gather_indexed<M>(...)")]] void invoke_all_indexed(
-      ArgFn&& fn) const {
-    gather_indexed<M>(std::forward<ArgFn>(fn));
   }
 
   /// The paper's `fft->barrier()`: completes once every member has drained

@@ -101,6 +101,17 @@ class remote_data {
     return p_.template call<&RemoteVector<T>::get>(i);
   }
 
+  // Asynchronous element ops: the §4 split-loop spelling of `data[i]`.
+  // A burst of these is what per-peer send coalescing is for — with a
+  // batching fabric, each flush is one syscall instead of one per
+  // element (see docs/PROTOCOL.md, "Batch frames").
+  [[nodiscard]] Future<T> async_get(std::uint64_t i) const {
+    return p_.template async<&RemoteVector<T>::get>(i);
+  }
+  [[nodiscard]] Future<void> async_set(std::uint64_t i, T x) {
+    return p_.template async<&RemoteVector<T>::set>(i, std::move(x));
+  }
+
   [[nodiscard]] std::uint64_t size() const { return n_; }
   [[nodiscard]] bool valid() const { return p_.valid(); }
   [[nodiscard]] remote_ptr<RemoteVector<T>> ptr() const { return p_; }

@@ -59,7 +59,9 @@ class FaultyFabric final : public Fabric {
         if (faults_.corrupt_probability > 0.0 && !m.payload.empty() &&
             rng_.uniform() < faults_.corrupt_probability) {
           const auto pos = rng_.below(m.payload.size());
-          m.payload[pos] ^= std::byte{0x40};
+          // Copy-on-write: the sender's retry/dedup copies share these
+          // payload slices and must keep the intact bytes.
+          m.payload.mutate_byte(pos, std::byte{0x40});
           corrupted_.fetch_add(1, std::memory_order_relaxed);
         }
       }

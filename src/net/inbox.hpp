@@ -19,6 +19,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "net/message.hpp"
 #include "util/checked_mutex.hpp"
@@ -41,6 +42,20 @@ class Inbox {
   }
 
   void push_now(Message m) { push(std::move(m), steady_clock::now()); }
+
+  /// Enqueue a whole batch for immediate delivery under one lock — the
+  /// receive path of a batched fabric read.  Arrival order (and thus
+  /// per-link FIFO) follows the vector order.
+  void push_all(std::vector<Message> ms) {
+    if (ms.empty()) return;
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return;
+      const auto now = steady_clock::now();
+      for (auto& m : ms) queue_.push_back(Entry{std::move(m), now});
+    }
+    cv_.notify_all();
+  }
 
   /// Block until a message is deliverable (its timestamp has passed, or
   /// the inbox was closed — see the close semantics above) or the inbox

@@ -10,8 +10,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
+
+#include "net/buffer.hpp"
 
 namespace oopp::net {
 
@@ -86,7 +89,7 @@ struct MessageHeader {
 
 /// FNV-1a over arbitrary bytes, folded to 32 bits, never returning 0 (so
 /// 0 can mean "unchecked").
-inline std::uint32_t payload_checksum(const std::vector<std::byte>& bytes) {
+inline std::uint32_t payload_checksum(std::span<const std::byte> bytes) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (std::byte b : bytes) {
     h ^= static_cast<std::uint8_t>(b);
@@ -96,9 +99,14 @@ inline std::uint32_t payload_checksum(const std::vector<std::byte>& bytes) {
   return folded == 0 ? 1 : folded;
 }
 
+/// Buffer overload: walks the slices instead of forcing a flatten.
+inline std::uint32_t payload_checksum(const Buffer& payload) {
+  return payload.checksum();
+}
+
 struct Message {
   MessageHeader header;
-  std::vector<std::byte> payload;
+  Buffer payload;
 
   /// Total bytes this message occupies on the wire; used by the network
   /// cost model and by transfer accounting in the benches.
@@ -113,7 +121,7 @@ struct Message {
 /// trace extension in one place.
 inline Message make_request(MachineId src, MachineId dst, SeqNum seq,
                             ObjectId object, MethodId method,
-                            std::vector<std::byte> payload, bool checksum,
+                            Buffer payload, bool checksum,
                             std::uint64_t trace_id = 0,
                             std::uint64_t span_id = 0,
                             std::uint32_t attempt = 0) {
@@ -136,7 +144,7 @@ inline Message make_request(MachineId src, MachineId dst, SeqNum seq,
 /// Build the response to `request`: src/dst swapped, seq/object/method and
 /// the trace extension echoed so the caller can match and attribute it.
 inline Message make_response(const MessageHeader& request, CallStatus status,
-                             std::vector<std::byte> payload, bool checksum) {
+                             Buffer payload, bool checksum) {
   Message m;
   m.header.kind = MsgKind::kResponse;
   m.header.status = status;

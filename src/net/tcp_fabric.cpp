@@ -11,6 +11,7 @@ namespace oopp::net {
 struct TcpFabric::Link {
   util::CheckedMutex mu{"net.TcpFabric.link"};
   int fd = -1;
+  BatchQueue batch;  // guarded by mu
   ~Link() {
     if (fd >= 0) ::close(fd);
   }
@@ -93,15 +94,17 @@ struct TcpFabric::Endpoint {
   void read_loop(int fd) {
     static auto& frames =
         telemetry::Metrics::scope_for("net").counter("tcp_frames_received");
-    Message m;
-    while (wire::recv_frame(fd, m)) {
-      frames.add(1);
-      inbox->push_now(std::move(m));
+    wire::FrameReader reader(fd);
+    std::vector<Message> ms;
+    while (reader.next_batch(ms)) {
+      frames.add(ms.size());
+      inbox->push_all(std::move(ms));
     }
   }
 };
 
-TcpFabric::TcpFabric(std::size_t machines) {
+TcpFabric::TcpFabric(std::size_t machines, Options opts)
+    : batch_opts_(opts.batch) {
   endpoints_.reserve(machines);
   for (std::size_t i = 0; i < machines; ++i)
     endpoints_.push_back(std::make_unique<Endpoint>());
@@ -149,16 +152,67 @@ void TcpFabric::send(Message m) {
   OOPP_CHECK_MSG(m.header.dst < endpoints_.size(),
                  "send to unknown machine " << m.header.dst);
   account(m);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(m.header.src) << 32) | m.header.dst;
+  const BatchOptions bo = batch_opts_.load();
   Link& link = link_for(m.header.src, m.header.dst);
-  std::lock_guard lock(link.mu);
-  OOPP_CHECK_MSG(wire::send_frame(link.fd, m), "frame write failed");
+
+  if (!bo.enabled) {
+    std::lock_guard lock(link.mu);
+    // Drain leftovers from when batching was on (runtime switch-off).
+    OOPP_CHECK_MSG(link.batch.flush(link.fd, FlushTrigger::kDrain),
+                   "frame write failed");
+    OOPP_CHECK_MSG(wire::send_framev(link.fd, m), "frame write failed");
+    return;
+  }
+
+  bool arm = false;
+  time_point deadline{};
+  {
+    std::lock_guard lock(link.mu);
+    arm = link.batch.add(std::move(m), bo);
+    deadline = link.batch.deadline;
+    if (link.batch.due_for_size_flush(bo)) {
+      OOPP_CHECK_MSG(link.batch.flush(link.fd, FlushTrigger::kSize),
+                     "frame write failed");
+      arm = false;
+    }
+  }
+  // The flusher registry lock is only ever taken with no link lock held.
+  if (arm) flusher_.schedule(key, deadline);
+}
+
+void TcpFabric::flush_link(std::uint64_t key) {
+  std::lock_guard links_lock(links_mu_);
+  auto it = links_.find(key);
+  if (it == links_.end()) return;
+  Link& link = *it->second;
+  time_point again{};
+  {
+    std::lock_guard lock(link.mu);
+    if (link.batch.empty()) return;
+    if (link.batch.deadline <= steady_clock::now()) {
+      OOPP_CHECK_MSG(link.batch.flush(link.fd, FlushTrigger::kDeadline),
+                     "frame write failed");
+      return;
+    }
+    // A size flush emptied the queue and a younger batch started since
+    // this deadline was armed: come back when that one matures.
+    again = link.batch.deadline;
+  }
+  flusher_.schedule(key, again);
 }
 
 void TcpFabric::shutdown() {
   if (down_) return;
   down_ = true;
+  flusher_.stop();
   {
     std::lock_guard lock(links_mu_);
+    for (auto& [key, link] : links_) {
+      std::lock_guard link_lock(link->mu);
+      (void)link->batch.flush(link->fd, FlushTrigger::kDrain);
+    }
     links_.clear();  // closes outgoing sockets; peers' readers exit on EOF
   }
   for (auto& ep : endpoints_) ep->stop();

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/batcher.hpp"
 #include "net/fabric.hpp"
 #include "util/checked_mutex.hpp"
 
@@ -26,12 +27,26 @@ namespace oopp::net {
 
 class TcpFabric final : public Fabric {
  public:
-  explicit TcpFabric(std::size_t machines);
+  struct Options {
+    /// Per-peer send coalescing (see net/batcher.hpp).  Off by default:
+    /// the wire stream is then byte-identical to the pre-batching
+    /// framing.
+    BatchOptions batch{};
+  };
+
+  explicit TcpFabric(std::size_t machines)
+      : TcpFabric(machines, Options{}) {}
+  TcpFabric(std::size_t machines, Options opts);
   ~TcpFabric() override;
 
   void attach(MachineId id, Inbox* inbox) override;
   void send(Message m) override;
   void shutdown() override;
+
+  /// Reconfigure batching at runtime; takes effect for subsequent sends.
+  /// Turning batching off drains each link's queue on its next send.
+  void set_batching(const BatchOptions& batch) { batch_opts_.store(batch); }
+  [[nodiscard]] BatchOptions batching() const { return batch_opts_.load(); }
 
   /// Port the given machine listens on (for tests).
   [[nodiscard]] std::uint16_t port(MachineId id) const;
@@ -41,11 +56,16 @@ class TcpFabric final : public Fabric {
   struct Link;      // cached outgoing connection for one (src, dst) pair
 
   Link& link_for(MachineId src, MachineId dst);
+  /// Deadline-flush callback (runs on the flusher thread).
+  void flush_link(std::uint64_t key);
 
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   util::CheckedMutex links_mu_{"net.TcpFabric.links"};
   std::unordered_map<std::uint64_t, std::unique_ptr<Link>> links_;
   bool down_ = false;
+
+  AtomicBatchOptions batch_opts_;
+  BatchFlusher flusher_{[this](std::uint64_t key) { flush_link(key); }};
 };
 
 }  // namespace oopp::net

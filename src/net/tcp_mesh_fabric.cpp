@@ -15,13 +15,14 @@ namespace oopp::net {
 struct TcpMeshFabric::Link {
   util::CheckedMutex mu{"net.TcpMeshFabric.link"};
   int fd = -1;
+  BatchQueue batch;  // guarded by mu
   ~Link() {
     if (fd >= 0) ::close(fd);
   }
 };
 
 TcpMeshFabric::TcpMeshFabric(std::vector<Endpoint> peers, Options opts)
-    : peers_(std::move(peers)), opts_(opts) {
+    : peers_(std::move(peers)), opts_(opts), batch_opts_(opts.batch) {
   OOPP_CHECK_MSG(!peers_.empty(), "empty endpoint table");
 }
 
@@ -64,10 +65,11 @@ void TcpMeshFabric::attach(MachineId id, Inbox* inbox) {
       readers_.emplace_back([this, fd] {
         static auto& frames = telemetry::Metrics::scope_for("net").counter(
             "tcp_frames_received");
-        Message m;
-        while (wire::recv_frame(fd, m)) {
-          frames.add(1);
-          inbox_->push_now(std::move(m));
+        wire::FrameReader reader(fd);
+        std::vector<Message> ms;
+        while (reader.next_batch(ms)) {
+          frames.add(ms.size());
+          inbox_->push_all(std::move(ms));
         }
       });
     }
@@ -131,22 +133,74 @@ void TcpMeshFabric::send(Message m) {
   account(m);
 
   if (m.header.dst == local_) {
-    // Loopback without touching the kernel.
+    // Loopback without touching the kernel — never batched: there is no
+    // syscall to amortize, and delaying it would only add latency.
     inbox_->push_now(std::move(m));
     return;
   }
 
-  Link& link = link_for(m.header.dst);
-  std::lock_guard lock(link.mu);
-  OOPP_CHECK_MSG(wire::send_frame(link.fd, m),
-                 "frame write to machine " << m.header.dst << " failed");
+  const auto dst = m.header.dst;
+  const BatchOptions bo = batch_opts_.load();
+  Link& link = link_for(dst);
+
+  if (!bo.enabled) {
+    std::lock_guard lock(link.mu);
+    // Drain leftovers from when batching was on (runtime switch-off).
+    OOPP_CHECK_MSG(link.batch.flush(link.fd, FlushTrigger::kDrain),
+                   "frame write to machine " << dst << " failed");
+    OOPP_CHECK_MSG(wire::send_framev(link.fd, m),
+                   "frame write to machine " << dst << " failed");
+    return;
+  }
+
+  bool arm = false;
+  time_point deadline{};
+  {
+    std::lock_guard lock(link.mu);
+    arm = link.batch.add(std::move(m), bo);
+    deadline = link.batch.deadline;
+    if (link.batch.due_for_size_flush(bo)) {
+      OOPP_CHECK_MSG(link.batch.flush(link.fd, FlushTrigger::kSize),
+                     "frame write to machine " << dst << " failed");
+      arm = false;
+    }
+  }
+  // The flusher registry lock is only ever taken with no link lock held.
+  if (arm) flusher_.schedule(dst, deadline);
+}
+
+void TcpMeshFabric::flush_link(std::uint64_t key) {
+  const auto dst = static_cast<MachineId>(key);
+  std::lock_guard links_lock(links_mu_);
+  auto it = links_.find(dst);
+  if (it == links_.end()) return;
+  Link& link = *it->second;
+  time_point again{};
+  {
+    std::lock_guard lock(link.mu);
+    if (link.batch.empty()) return;
+    if (link.batch.deadline <= steady_clock::now()) {
+      OOPP_CHECK_MSG(link.batch.flush(link.fd, FlushTrigger::kDeadline),
+                     "frame write to machine " << dst << " failed");
+      return;
+    }
+    // A size flush emptied the queue and a younger batch started since
+    // this deadline was armed: come back when that one matures.
+    again = link.batch.deadline;
+  }
+  flusher_.schedule(key, again);
 }
 
 void TcpMeshFabric::shutdown() {
   if (down_) return;
   down_ = true;
+  flusher_.stop();
   {
     std::lock_guard lock(links_mu_);
+    for (auto& [dst, link] : links_) {
+      std::lock_guard link_lock(link->mu);
+      (void)link->batch.flush(link->fd, FlushTrigger::kDrain);
+    }
     links_.clear();
   }
   if (listen_fd_ >= 0) {

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/batcher.hpp"
 #include "net/fabric.hpp"
 #include "util/checked_mutex.hpp"
 
@@ -35,6 +36,10 @@ class TcpMeshFabric final : public Fabric {
   struct Options {
     /// How long send() keeps redialing a peer that refuses connections.
     std::chrono::milliseconds connect_deadline{10'000};
+    /// Per-peer send coalescing (see net/batcher.hpp).  Off by default:
+    /// the wire stream is then byte-identical to the pre-batching
+    /// framing, and peers with different settings interoperate.
+    BatchOptions batch{};
   };
 
   explicit TcpMeshFabric(std::vector<Endpoint> peers)
@@ -49,6 +54,11 @@ class TcpMeshFabric final : public Fabric {
   void send(Message m) override;
   void shutdown() override;
 
+  /// Reconfigure batching at runtime; takes effect for subsequent sends.
+  /// Turning batching off drains each link's queue on its next send.
+  void set_batching(const BatchOptions& batch) { batch_opts_.store(batch); }
+  [[nodiscard]] BatchOptions batching() const { return batch_opts_.load(); }
+
   [[nodiscard]] MachineId local_machine() const { return local_; }
   [[nodiscard]] const std::vector<Endpoint>& peers() const { return peers_; }
 
@@ -56,6 +66,8 @@ class TcpMeshFabric final : public Fabric {
   struct Link;
 
   Link& link_for(MachineId dst);
+  /// Deadline-flush callback (runs on the flusher thread).
+  void flush_link(std::uint64_t key);
 
   std::vector<Endpoint> peers_;
   Options opts_;
@@ -73,6 +85,11 @@ class TcpMeshFabric final : public Fabric {
   util::CheckedMutex links_mu_{"net.TcpMeshFabric.links"};
   std::unordered_map<MachineId, std::unique_ptr<Link>> links_;
   bool down_ = false;
+
+  AtomicBatchOptions batch_opts_;
+  BatchFlusher flusher_{[this](std::uint64_t key) {
+    flush_link(key);
+  }};
 };
 
 /// Parse an endpoints file: one "host port" pair per line, machine id =

@@ -40,9 +40,6 @@ class Error : public std::runtime_error {
 
 namespace rpc {
 
-/// Deprecated spelling of oopp::Error; catch sites keep working.
-using rpc_error [[deprecated("use oopp::Error")]] = oopp::Error;
-
 /// The servant method threw.  Carries the machine it ran on, the original
 /// exception's type name and its what() string.
 class RemoteError : public Error {

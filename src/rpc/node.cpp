@@ -579,7 +579,7 @@ void Node::handle_control(const net::Message& req) {
   }
 }
 
-void Node::respond_ok(const net::Message& req, std::vector<std::byte> payload) {
+void Node::respond_ok(const net::Message& req, net::Buffer payload) {
   net::Message resp = net::make_response(req.header, net::CallStatus::kOk,
                                          std::move(payload), opts_.checksums);
   dedup_store(req, resp);
@@ -587,7 +587,7 @@ void Node::respond_ok(const net::Message& req, std::vector<std::byte> payload) {
 }
 
 void Node::respond_error(const net::Message& req, net::CallStatus status,
-                         std::vector<std::byte> payload) {
+                         net::Buffer payload) {
   net::Message resp =
       net::make_response(req.header, status, std::move(payload),
                          opts_.checksums);
@@ -862,7 +862,7 @@ PeerHealth Node::peer_health(net::MachineId peer) const {
 std::future<net::Message> Node::async_raw(net::MachineId dst,
                                           net::ObjectId object,
                                           net::MethodId method,
-                                          std::vector<std::byte> payload,
+                                          net::Buffer payload,
                                           telemetry::Verb verb,
                                           telemetry::TraceContext* issued,
                                           const CallPolicy* policy) {
@@ -915,7 +915,7 @@ std::future<net::Message> Node::async_raw(net::MachineId dst,
     e.dst = dst;
     e.object = object;
     e.method = method;
-    e.payload = payload;  // keep a copy for resends
+    e.payload = payload;  // shares the payload slices: no byte copy
     e.policy = pol;
     e.due = now + pol.attempt_timeout;
     if (pol.deadline.count() > 0) e.overall_deadline = now + pol.deadline;
@@ -934,8 +934,7 @@ std::future<net::Message> Node::async_raw(net::MachineId dst,
 }
 
 net::Message Node::call_raw(net::MachineId dst, net::ObjectId object,
-                            net::MethodId method,
-                            std::vector<std::byte> payload,
+                            net::MethodId method, net::Buffer payload,
                             telemetry::Verb verb, const CallPolicy* policy) {
   note_blocking_remote_call("rpc::Node::call_raw");
   auto fut = async_raw(dst, object, method, std::move(payload), verb, nullptr,

@@ -205,14 +205,14 @@ class Node {
   /// circuit breaker is open.
   std::future<net::Message> async_raw(
       net::MachineId dst, net::ObjectId object, net::MethodId method,
-      std::vector<std::byte> payload,
+      net::Buffer payload,
       telemetry::Verb verb = telemetry::Verb::kCall,
       telemetry::TraceContext* issued = nullptr,
       const CallPolicy* policy = nullptr);
 
   /// Synchronous round trip; throws the decoded error on failure status.
   net::Message call_raw(net::MachineId dst, net::ObjectId object,
-                        net::MethodId method, std::vector<std::byte> payload,
+                        net::MethodId method, net::Buffer payload,
                         telemetry::Verb verb = telemetry::Verb::kCall,
                         const CallPolicy* policy = nullptr);
 
@@ -259,7 +259,7 @@ class Node {
     net::MachineId dst = 0;
     net::ObjectId object = 0;
     net::MethodId method = 0;
-    std::vector<std::byte> payload;  // retained for resends
+    net::Buffer payload;  // retained for resends (slice refs, not a copy)
     CallPolicy policy;
     std::uint32_t attempts_sent = 1;
     /// false: waiting on attempt `attempts_sent`'s response until `due`;
@@ -302,9 +302,9 @@ class Node {
 
   void handle_control(const net::Message& req);
 
-  void respond_ok(const net::Message& req, std::vector<std::byte> payload);
+  void respond_ok(const net::Message& req, net::Buffer payload);
   void respond_error(const net::Message& req, net::CallStatus status,
-                     std::vector<std::byte> payload);
+                     net::Buffer payload);
 
   static thread_local Node* tls_current_;
 

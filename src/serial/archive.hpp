@@ -100,6 +100,7 @@ class OArchive {
     if constexpr (Scalar<T>) {
       append(v.data(), v.size() * sizeof(T));
     } else {
+      reserve_elements(v.size(), sizeof(T));
       for (const auto& e : v) write(e);
     }
   }
@@ -133,30 +134,35 @@ class OArchive {
   template <class T, class A>
   void write(const std::deque<T, A>& d) {
     write(static_cast<std::uint64_t>(d.size()));
+    reserve_elements(d.size(), sizeof(T));
     for (const auto& e : d) write(e);
   }
 
   template <class T, class A>
   void write(const std::list<T, A>& l) {
     write(static_cast<std::uint64_t>(l.size()));
+    reserve_elements(l.size(), sizeof(T));
     for (const auto& e : l) write(e);
   }
 
   template <class K, class C, class A>
   void write(const std::set<K, C, A>& s) {
     write(static_cast<std::uint64_t>(s.size()));
+    reserve_elements(s.size(), sizeof(K));
     for (const auto& e : s) write(e);
   }
 
   template <class K, class H, class E, class A>
   void write(const std::unordered_set<K, H, E, A>& s) {
     write(static_cast<std::uint64_t>(s.size()));
+    reserve_elements(s.size(), sizeof(K));
     for (const auto& e : s) write(e);
   }
 
   template <class K, class V, class C, class A>
   void write(const std::map<K, V, C, A>& m) {
     write(static_cast<std::uint64_t>(m.size()));
+    reserve_elements(m.size(), sizeof(K) + sizeof(V));
     for (const auto& [k, v] : m) {
       write(k);
       write(v);
@@ -166,6 +172,7 @@ class OArchive {
   template <class K, class V, class H, class E, class A>
   void write(const std::unordered_map<K, V, H, E, A>& m) {
     write(static_cast<std::uint64_t>(m.size()));
+    reserve_elements(m.size(), sizeof(K) + sizeof(V));
     for (const auto& [k, v] : m) {
       write(k);
       write(v);
@@ -183,7 +190,13 @@ class OArchive {
   void write_raw(const void* p, std::size_t n) { append(p, n); }
 
   [[nodiscard]] const std::vector<std::byte>& bytes() const { return buf_; }
-  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+  /// Move the encoded bytes out (the sanctioned way to hand a finished
+  /// pack to the transport: a net::Buffer adopts the vector so the bytes
+  /// travel to the socket without another copy).  Leaves the archive
+  /// empty and reusable.
+  [[nodiscard]] std::vector<std::byte> take() {
+    return std::exchange(buf_, {});
+  }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
 
  private:
@@ -194,6 +207,13 @@ class OArchive {
   void append(const void* p, std::size_t n) {
     const auto* b = static_cast<const std::byte*>(p);
     buf_.insert(buf_.end(), b, b + n);
+  }
+  /// One up-front grow ahead of an element loop instead of log2(n)
+  /// doubling reallocations.  sizeof(T) is exact for scalar elements and
+  /// a rough per-element estimate otherwise — under- or overshoot is
+  /// harmless, the loop still appends element by element.
+  void reserve_elements(std::size_t n, std::size_t per) {
+    buf_.reserve(buf_.size() + n * per);
   }
   std::vector<std::byte> buf_;
 };

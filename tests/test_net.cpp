@@ -201,13 +201,15 @@ TEST(TcpFabric, RoundTripsFrames) {
 
   // This test exercises the wire codec itself, so it hand-sets every
   // header field on purpose.
-  auto m = make_msg(0, 1, 99, 1024);
+  auto m = make_msg(0, 1, 99, 0);
   m.header.object = 42;                            // oopp-lint: allow(raw-message-header)
   m.header.method = 0x1234567890abcdefULL;         // oopp-lint: allow(raw-message-header)
   m.header.kind = net::MsgKind::kResponse;         // oopp-lint: allow(raw-message-header)
   m.header.status = net::CallStatus::kRemoteException;  // oopp-lint: allow(raw-message-header)
-  for (std::size_t i = 0; i < m.payload.size(); ++i)
-    m.payload[i] = static_cast<std::byte>(i & 0xff);
+  std::vector<std::byte> payload(1024);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::byte>(i & 0xff);
+  m.payload = net::Buffer(std::move(payload));
   fabric.send(std::move(m));
 
   auto got = b.pop();

@@ -138,6 +138,39 @@ TEST(Serial, UserTypesViaSymmetricVisitor) {
   EXPECT_EQ(round_trip(empty), empty);
 }
 
+TEST(Serial, TakeMovesBytesOutAndLeavesArchiveReusable) {
+  serial::OArchive oa;
+  oa(std::string("first"), 7);
+  const auto ref = oa.bytes();  // copy for comparison
+  auto moved = oa.take();
+  EXPECT_EQ(moved, ref);
+  EXPECT_EQ(oa.size(), 0u);
+
+  // The emptied archive keeps encoding correctly.
+  oa(std::string("second"));
+  serial::IArchive ia(oa.bytes());
+  EXPECT_EQ(ia.read<std::string>(), "second");
+  EXPECT_TRUE(ia.exhausted());
+}
+
+TEST(Serial, ElementLoopReserveDoesNotChangeEncoding) {
+  // The reserve-ahead in the element-loop writers is a pure capacity hint:
+  // bulk container encodings must be byte-identical to element-at-a-time
+  // writes of the same values.
+  std::map<int, std::string> m{{1, "one"}, {2, "two"}, {3, "three"}};
+  std::list<std::pair<int, int>> l{{1, 2}, {3, 4}};
+  serial::OArchive bulk;
+  bulk(m, l);
+
+  serial::OArchive manual;
+  manual(std::uint64_t{m.size()});
+  for (const auto& [k, v] : m) manual(k, v);
+  manual(std::uint64_t{l.size()});
+  for (const auto& e : l) manual(e);
+
+  EXPECT_EQ(bulk.bytes(), manual.bytes());
+}
+
 TEST(Serial, MultipleValuesInterleaved) {
   serial::OArchive oa;
   oa(42, std::string("mid"), 2.5);

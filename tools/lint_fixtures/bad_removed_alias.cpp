@@ -1,0 +1,34 @@
+// Fixture: the pre-unification remote-call spellings, removed in PR 4.
+#include <vector>
+
+namespace fixture {
+
+struct FakeGroup {
+  template <auto M, class... A>
+  void call(const A&...) const {}
+  template <auto M, class... A>
+  std::vector<int> gather(const A&...) const { return {}; }
+};
+
+inline void uses_removed_spellings(const FakeGroup& g) {
+  g.call_all();                         // LINT-EXPECT: removed-alias
+  g.async_all();                        // LINT-EXPECT: removed-alias
+  g.invoke_all();                       // LINT-EXPECT: removed-alias
+  g.invoke_all_indexed();               // LINT-EXPECT: removed-alias
+  auto xs = g.collect<nullptr>();       // LINT-EXPECT: removed-alias
+  (void)xs;
+}
+
+// The error alias is gone too.
+using err = rpc_error;  // LINT-EXPECT: removed-alias
+
+// The English word `collect` outside member-call syntax stays legal, as
+// do the gather_* spellings that merely contain it.
+inline int collect_partial_impl() { return 0; }
+inline void clean(const FakeGroup& g) {
+  g.call<nullptr>();
+  (void)g.gather<nullptr>();
+  (void)collect_partial_impl();
+}
+
+}  // namespace fixture

@@ -37,6 +37,19 @@ future-bare-get         A bare ``.get()`` on a future inside the hot
                         wait is intended (e.g. behind a caller-supplied
                         policy).  ``src/core/future.hpp`` itself is
                         exempt: it is the implementation.
+removed-alias           The pre-unification remote-call spellings
+                        (``call_all`` / ``async_all`` / ``invoke_all`` /
+                        ``invoke_all_indexed`` / ``.collect<M>`` /
+                        ``rpc_error``) were deprecated in PR 2 and removed
+                        in PR 4; any reappearance is rejected so the dead
+                        API cannot grow back.  See the migration table in
+                        docs/TELEMETRY.md.
+raw-batch-header        Batch-frame framing (``kBatchMagic`` / the 0xB5
+                        magic byte / ``kBatchHeaderSize`` /
+                        ``encode_batch_header`` / ``decode_batch_header``)
+                        belongs to net::wire alone.  A hand-rolled batch
+                        header outside ``src/net/`` silently diverges from
+                        the one codec the FrameReader understands.
 
 Usage
 -----
@@ -69,6 +82,9 @@ INBOX_POP_ALLOWED = ("src/rpc/node.cpp",)
 
 # Message headers are assembled by make_request/make_response here only.
 MESSAGE_HEADER_ALLOWED = ("src/net/",)
+
+# Batch-frame framing (magic, header layout, codec) lives in net::wire only.
+BATCH_HEADER_ALLOWED = ("src/net/",)
 
 # Hot paths where an unbounded Future::get() is a hang waiting to happen.
 # future.hpp is the implementation of get() itself and stays exempt.
@@ -255,6 +271,19 @@ MESSAGE_HEADER_RE = re.compile(
 # call result (`async_ping().get()`).  Subscripted smart-pointer accesses
 # like `nodes_[i].get()` have `]` before the dot and do not match.
 FUTURE_GET_RE = re.compile(r"[\w)]\s*(?:\.|->)\s*get\s*\(\s*\)")
+# The retired pre-unification spellings.  `collect` is only flagged in
+# member-call syntax (`.collect<` / `->collect<`) so the English word in
+# identifiers like collect_partial_impl stays legal.
+REMOVED_ALIAS_RE = re.compile(
+    r"\b(call_all|async_all|invoke_all_indexed|invoke_all|rpc_error)\b"
+    r"|(?:\.|->)\s*(?:template\s+)?(collect)\s*<"
+)
+# Batch-frame framing tokens: the magic byte and the codec entry points.
+BATCH_HEADER_RE = re.compile(
+    r"\b(kBatchMagic|kBatchVersion|kBatchHeaderSize|"
+    r"encode_batch_header|decode_batch_header)\b"
+    r"|\b0[xX][bB]5\b"
+)
 
 
 def check_token_rules(path: Path, text: str, raw_lines: list[str], rel: str):
@@ -323,6 +352,39 @@ def check_token_rules(path: Path, text: str, raw_lines: list[str], rel: str):
                     "the peer dies — bound it (get_for/get_until), attach "
                     "a retrying CallPolicy, or use get_expected(); "
                     "annotate if the unbounded wait is intentional",
+                )
+            )
+
+    for m in REMOVED_ALIAS_RE.finditer(text):
+        line = line_of(text, m.start())
+        if suppressed(raw_lines, line, "removed-alias"):
+            continue
+        name = m.group(1) or m.group(2)
+        violations.append(
+            Violation(
+                path,
+                line,
+                "removed-alias",
+                f"'{name}' is a pre-unification spelling removed in PR 4 — "
+                f"use the unified call/async/gather surface (migration "
+                f"table in docs/TELEMETRY.md)",
+            )
+        )
+
+    if not any(rel.startswith(p) or f"/{p}" in rel
+               for p in BATCH_HEADER_ALLOWED):
+        for m in BATCH_HEADER_RE.finditer(text):
+            line = line_of(text, m.start())
+            if suppressed(raw_lines, line, "raw-batch-header"):
+                continue
+            violations.append(
+                Violation(
+                    path,
+                    line,
+                    "raw-batch-header",
+                    "batch-frame framing outside src/net/ — only "
+                    "net::wire::send_batch / FrameReader may emit or parse "
+                    "the 0xB5 batch header, so the codec cannot fork",
                 )
             )
 
