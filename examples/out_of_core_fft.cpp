@@ -75,9 +75,9 @@ int main() {
   const auto stats = fft::fft3d_out_of_core(re, im, -1, budget);
   std::printf("forward out-of-core FFT: %.1f ms, %lld + %lld slabs, "
               "%.2f MiB moved (budget %.0f KiB)\n",
-              t.millis(), static_cast<long long>(stats.pass1_slabs),
-              static_cast<long long>(stats.pass2_slabs),
-              double(stats.elements_moved) * sizeof(fft::cplx) / (1 << 20),
+              t.millis(), static_cast<long long>(stats.pass1.slabs),
+              static_cast<long long>(stats.pass2.slabs),
+              double(stats.elements_moved()) * sizeof(fft::cplx) / (1 << 20),
               double(budget.max_bytes) / 1024.0);
 
   // All spectral energy must sit in bin (k1, k2, k3).

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <map>
 
 #include "core/future.hpp"
 
@@ -152,43 +153,162 @@ void buffer_to_page(const std::vector<double>& sub, const Domain& domain,
 
 }  // namespace
 
-std::vector<double> Array::read(const Domain& domain) const {
+// ---------------------------------------------------------------------------
+// Async slice I/O: the send half groups pages per device and issues ONE
+// batched call per device; the receive half (the futures' get()) decodes
+// and assembles.  The window between the two is the pipeline's overlap.
+// ---------------------------------------------------------------------------
+
+std::vector<double> SliceReadFuture::get() {
+  OOPP_CHECK_MSG(valid(), "SliceReadFuture::get() called twice");
+  done_ = true;
+  std::vector<double> out(static_cast<std::size_t>(domain_.volume()));
+  for (auto& b : batches_) {
+    const std::vector<ArrayPage> pages = b.fut.get();
+    OOPP_CHECK(pages.size() == b.pieces.size());
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      const auto& pc = b.pieces[i];
+      page_to_buffer(pages[i], pc.o1, pc.o2, pc.o3, pc.inter, domain_, out);
+    }
+  }
+  return out;
+}
+
+void SliceWriteFuture::get() {
+  OOPP_CHECK_MSG(valid(), "SliceWriteFuture::get() called twice");
+  done_ = true;
+  // Finish the read-modify-write of partially covered pages: harvest the
+  // batched reads, overlay, and send the batched writes.
+  for (auto& r : rmw_) {
+    std::vector<ArrayPage> pages = r.fut.get();
+    OOPP_CHECK(pages.size() == r.pieces.size());
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      const auto& pc = r.pieces[i];
+      buffer_to_page(sub_, domain_, pc.inter, pc.o1, pc.o2, pc.o3, pages[i]);
+    }
+    writes_.push_back(r.dev.async<&ArrayPageDevice::write_arrays>(
+        std::move(pages), r.indices));
+  }
+  rmw_.clear();
+  for (auto& w : writes_) w.get();
+  writes_.clear();
+  sub_.clear();
+}
+
+SliceReadFuture Array::async_read_slice(const Domain& domain) const {
   validate_domain(domain);
-  std::vector<double> out(static_cast<std::size_t>(domain.volume()));
-  if (domain.empty()) return out;
+  SliceReadFuture op;
+  op.domain_ = domain;
+  if (domain.empty()) return op;
 
-  struct Pending {
-    Future<ArrayPage> fut;
-    Domain inter;
-    index_t o1, o2, o3;
+  struct Build {
+    std::vector<std::int32_t> indices;
+    std::vector<SliceReadFuture::Piece> pieces;
   };
-  std::vector<Pending> pending;
+  std::map<std::int32_t, Build> per_dev;
+  for_each_page(domain, [&](index_t p1, index_t p2, index_t p3,
+                            const PageAddress& addr, const Domain& box) {
+    const Domain inter = domain.intersect(box);
+    if (inter.empty()) return;
+    auto& b = per_dev[addr.device_id];
+    b.indices.push_back(addr.index);
+    b.pieces.push_back({inter, p1 * b_.n1, p2 * b_.n2, p3 * b_.n3});
+  });
 
+  op.batches_.reserve(per_dev.size());
+  for (auto& [dev_id, b] : per_dev) {
+    const auto& dev = data_[static_cast<std::size_t>(dev_id)];
+    pages_read_ += b.indices.size();
+    SliceReadFuture::Batch batch;
+    batch.fut = dev.async<&ArrayPageDevice::read_arrays>(b.indices);
+    batch.pieces = std::move(b.pieces);
+    op.batches_.push_back(std::move(batch));
+  }
+  return op;
+}
+
+SliceWriteFuture Array::async_write_slice(std::vector<double> subarray,
+                                          const Domain& domain) {
+  validate_domain(domain);
+  OOPP_CHECK_MSG(
+      subarray.size() == static_cast<std::size_t>(domain.volume()),
+      "subarray has " << subarray.size() << " elements, domain needs "
+                      << domain.volume());
+  SliceWriteFuture op;
+  op.domain_ = domain;
+  if (domain.empty()) return op;
+  op.sub_ = std::move(subarray);
+
+  struct Build {
+    std::vector<std::int32_t> full_indices;
+    std::vector<ArrayPage> full_pages;
+    std::vector<std::int32_t> part_indices;
+    std::vector<SliceWriteFuture::Piece> part_pieces;
+  };
+  std::map<std::int32_t, Build> per_dev;
   for_each_page(domain, [&](index_t p1, index_t p2, index_t p3,
                             const PageAddress& addr, const Domain& box) {
     const Domain inter = domain.intersect(box);
     if (inter.empty()) return;
     const index_t o1 = p1 * b_.n1, o2 = p2 * b_.n2, o3 = p3 * b_.n3;
-    const auto& dev = device(addr);
-    if (io_ == IoMode::kSequential) {
-      // Paper §2: the whole round trip completes before the next page.
-      const ArrayPage page =
-          dev.call<&ArrayPageDevice::read_array>(addr.index);
-      page_to_buffer(page, o1, o2, o3, inter, domain, out);
-      ++pages_read_;
+    auto& b = per_dev[addr.device_id];
+    if (inter == box) {
+      // Fully covered: build the page locally, no read needed.
+      ArrayPage page(static_cast<int>(b_.n1), static_cast<int>(b_.n2),
+                     static_cast<int>(b_.n3));
+      buffer_to_page(op.sub_, domain, inter, o1, o2, o3, page);
+      b.full_indices.push_back(addr.index);
+      b.full_pages.push_back(std::move(page));
     } else {
-      // Paper §4: send-loop now, receive-loop below.
-      pending.push_back({dev.async<&ArrayPageDevice::read_array>(addr.index),
-                         inter, o1, o2, o3});
+      b.part_indices.push_back(addr.index);
+      b.part_pieces.push_back({addr.index, inter, o1, o2, o3});
     }
   });
 
-  for (auto& p : pending) {
-    const ArrayPage page = p.fut.get();
-    page_to_buffer(page, p.o1, p.o2, p.o3, p.inter, domain, out);
-    ++pages_read_;
+  for (auto& [dev_id, b] : per_dev) {
+    const auto& dev = data_[static_cast<std::size_t>(dev_id)];
+    if (!b.full_indices.empty()) {
+      pages_written_ += b.full_indices.size();
+      op.writes_.push_back(dev.async<&ArrayPageDevice::write_arrays>(
+          std::move(b.full_pages), std::move(b.full_indices)));
+    }
+    if (!b.part_indices.empty()) {
+      pages_read_ += b.part_indices.size();
+      pages_written_ += b.part_indices.size();
+      SliceWriteFuture::RmwBatch r;
+      r.dev = dev;
+      r.fut = dev.async<&ArrayPageDevice::read_arrays>(b.part_indices);
+      r.indices = std::move(b.part_indices);
+      r.pieces = std::move(b.part_pieces);
+      op.rmw_.push_back(std::move(r));
+    }
   }
-  return out;
+  return op;
+}
+
+std::vector<double> Array::read(const Domain& domain) const {
+  validate_domain(domain);
+  std::vector<double> out(static_cast<std::size_t>(domain.volume()));
+  if (domain.empty()) return out;
+
+  if (io_ == IoMode::kSequential) {
+    // Paper §2: each page's whole round trip completes before the next.
+    for_each_page(domain, [&](index_t p1, index_t p2, index_t p3,
+                              const PageAddress& addr, const Domain& box) {
+      const Domain inter = domain.intersect(box);
+      if (inter.empty()) return;
+      const ArrayPage page =
+          device(addr).call<&ArrayPageDevice::read_array>(addr.index);
+      page_to_buffer(page, p1 * b_.n1, p2 * b_.n2, p3 * b_.n3, inter, domain,
+                     out);
+      ++pages_read_;
+    });
+    return out;
+  }
+
+  // Paper §4 upgraded: one batched send per device, then the receive half.
+  auto op = async_read_slice(domain);
+  return op.get();
 }
 
 void Array::write(const std::vector<double>& subarray, const Domain& domain) {
@@ -199,61 +319,32 @@ void Array::write(const std::vector<double>& subarray, const Domain& domain) {
                       << domain.volume());
   if (domain.empty()) return;
 
-  struct Rmw {
-    Future<ArrayPage> fut;  // outstanding read of a partially covered page
-    std::int32_t index;
-    const remote_ptr<ArrayPageDevice>* dev;
-    Domain inter;
-    index_t o1, o2, o3;
-  };
-  std::vector<Rmw> rmw;
-  std::vector<Future<void>> writes;
-
-  for_each_page(domain, [&](index_t p1, index_t p2, index_t p3,
-                            const PageAddress& addr, const Domain& box) {
-    const Domain inter = domain.intersect(box);
-    if (inter.empty()) return;
-    const index_t o1 = p1 * b_.n1, o2 = p2 * b_.n2, o3 = p3 * b_.n3;
-    const auto& dev = device(addr);
-    const bool full = inter == box;
-
-    if (full) {
-      // Fully covered: build the page locally, no read needed.
-      ArrayPage page(static_cast<int>(b_.n1), static_cast<int>(b_.n2),
-                     static_cast<int>(b_.n3));
-      buffer_to_page(subarray, domain, inter, o1, o2, o3, page);
-      if (io_ == IoMode::kSequential) {
+  if (io_ == IoMode::kSequential) {
+    for_each_page(domain, [&](index_t p1, index_t p2, index_t p3,
+                              const PageAddress& addr, const Domain& box) {
+      const Domain inter = domain.intersect(box);
+      if (inter.empty()) return;
+      const index_t o1 = p1 * b_.n1, o2 = p2 * b_.n2, o3 = p3 * b_.n3;
+      const auto& dev = device(addr);
+      if (inter == box) {
+        ArrayPage page(static_cast<int>(b_.n1), static_cast<int>(b_.n2),
+                       static_cast<int>(b_.n3));
+        buffer_to_page(subarray, domain, inter, o1, o2, o3, page);
         dev.call<&ArrayPageDevice::write_array>(page, addr.index);
-      } else {
-        writes.push_back(
-            dev.async<&ArrayPageDevice::write_array>(page, addr.index));
+        ++pages_written_;
+        return;
       }
-      ++pages_written_;
-      return;
-    }
-
-    // Partially covered: read-modify-write.
-    if (io_ == IoMode::kSequential) {
       ArrayPage page = dev.call<&ArrayPageDevice::read_array>(addr.index);
       buffer_to_page(subarray, domain, inter, o1, o2, o3, page);
       dev.call<&ArrayPageDevice::write_array>(page, addr.index);
       ++pages_read_;
       ++pages_written_;
-    } else {
-      rmw.push_back({dev.async<&ArrayPageDevice::read_array>(addr.index),
-                     addr.index, &dev, inter, o1, o2, o3});
-    }
-  });
-
-  for (auto& r : rmw) {
-    ArrayPage page = r.fut.get();
-    buffer_to_page(subarray, domain, r.inter, r.o1, r.o2, r.o3, page);
-    writes.push_back(
-        r.dev->async<&ArrayPageDevice::write_array>(page, r.index));
-    ++pages_read_;
-    ++pages_written_;
+    });
+    return;
   }
-  for (auto& w : writes) w.get();
+
+  auto op = async_write_slice(subarray, domain);
+  op.get();
 }
 
 double Array::sum(const Domain& domain) const {

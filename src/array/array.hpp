@@ -23,12 +23,81 @@
 #include "array/block_storage.hpp"
 #include "array/domain.hpp"
 #include "array/page_map.hpp"
+#include "core/future.hpp"
 
 namespace oopp::array {
 
 enum class IoMode : std::uint8_t {
   kSequential = 0,  // paper §2: each instruction completes before the next
   kParallel = 1,    // paper §4: send-loop then receive-loop
+};
+
+/// Handle on an in-flight slice read: one batched read_arrays call per
+/// device is already on the wire when this is returned; get() performs
+/// the receive half and assembles the row-major subarray.  The overlap
+/// window between issue and get() is where the out-of-core pipeline
+/// hides its communication.
+class SliceReadFuture {
+ public:
+  SliceReadFuture() = default;
+  SliceReadFuture(SliceReadFuture&&) = default;
+  SliceReadFuture& operator=(SliceReadFuture&&) = default;
+
+  /// True while the receive half has not been performed yet.
+  [[nodiscard]] bool valid() const { return !done_; }
+
+  /// Block for every device batch and assemble the subarray (once).
+  [[nodiscard]] std::vector<double> get();
+
+ private:
+  friend class Array;
+  struct Piece {  // assembly info for one page within a batch
+    Domain inter;
+    index_t o1 = 0, o2 = 0, o3 = 0;
+  };
+  struct Batch {  // one batched call to one device
+    Future<std::vector<storage::ArrayPage>> fut;
+    std::vector<Piece> pieces;
+  };
+  std::vector<Batch> batches_;
+  Domain domain_;
+  bool done_ = false;
+};
+
+/// Handle on an in-flight slice write.  Fully covered pages are already
+/// on the wire (batched write_arrays per device) when this is returned;
+/// partially covered pages have their batched reads in flight and are
+/// read-modified-written inside get().  get() returns once every device
+/// acknowledged — the write-behind half of the pipeline.
+class SliceWriteFuture {
+ public:
+  SliceWriteFuture() = default;
+  SliceWriteFuture(SliceWriteFuture&&) = default;
+  SliceWriteFuture& operator=(SliceWriteFuture&&) = default;
+
+  [[nodiscard]] bool valid() const { return !done_; }
+
+  /// Block until every page write is acknowledged (once).
+  void get();
+
+ private:
+  friend class Array;
+  struct Piece {
+    std::int32_t index = 0;
+    Domain inter;
+    index_t o1 = 0, o2 = 0, o3 = 0;
+  };
+  struct RmwBatch {  // partially covered pages of one device
+    remote_ptr<storage::ArrayPageDevice> dev;
+    Future<std::vector<storage::ArrayPage>> fut;
+    std::vector<Piece> pieces;
+    std::vector<std::int32_t> indices;
+  };
+  std::vector<Future<void>> writes_;
+  std::vector<RmwBatch> rmw_;
+  std::vector<double> sub_;
+  Domain domain_;
+  bool done_ = false;
 };
 
 class Array {
@@ -61,6 +130,17 @@ class Array {
   /// of domain.volume() doubles.  Partially covered pages are
   /// read-modified-written.
   void write(const std::vector<double>& subarray, const Domain& domain);
+
+  /// Asynchronous slice read: issues ONE batched read_arrays call per
+  /// device overlapping `domain` (all devices fetch concurrently) and
+  /// returns immediately; the future's get() assembles the subarray.
+  [[nodiscard]] SliceReadFuture async_read_slice(const Domain& domain) const;
+
+  /// Asynchronous slice write: fully covered pages go out immediately as
+  /// one batched write_arrays call per device; partially covered pages
+  /// have their read half issued now and complete inside get().
+  [[nodiscard]] SliceWriteFuture async_write_slice(std::vector<double> subarray,
+                                                   const Domain& domain);
 
   /// Sum over a domain, computed device-side: each overlapping page
   /// contributes a partial sum produced by its ArrayPageDevice process

@@ -108,7 +108,7 @@ class remote_ptr {
   /// No-op round trip through the object's command queue: completes after
   /// every previously issued command on this object has completed.
   // oopp-lint: allow(future-bare-get) — blocking spelling; see call<M>.
-  void ping() const { async_ping().get(); }
+  void ping() const { async_ping().get(); }  // oopp-lint: allow(async-then-immediate-get)
 
   [[nodiscard]] Future<void> async_ping() const {
     OOPP_CHECK(valid());
@@ -124,7 +124,7 @@ class remote_ptr {
   /// The paper's `delete p`: terminate the remote process.  Completes
   /// after all previously issued commands on the object have finished.
   // oopp-lint: allow(future-bare-get) — blocking spelling; see call<M>.
-  void destroy() const { async_destroy().get(); }
+  void destroy() const { async_destroy().get(); }  // oopp-lint: allow(async-then-immediate-get)
 
   [[nodiscard]] Future<void> async_destroy() const {
     OOPP_CHECK(valid());

@@ -1,7 +1,10 @@
 #include "dsm/page_cache.hpp"
 
+#include <algorithm>
+
 #include "core/future.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace oopp::dsm {
 
@@ -9,34 +12,145 @@ namespace oopp::dsm {
 // CoherentDevice
 // ---------------------------------------------------------------------------
 
+void CoherentDevice::recall_dirty(int page_index, const RemoteRef* except) {
+  auto it = dirty_owner_.find(page_index);
+  if (it == dirty_owner_.end()) return;
+  if (except && it->second == *except) return;
+  const RemoteRef who = it->second;
+  // Clear the registration BEFORE the recall: once recalled, a coalesced
+  // flush still in flight from this owner must find itself superseded.
+  dirty_owner_.erase(it);
+  static auto& recalls =
+      telemetry::Metrics::scope_for("dsm.prefetch").counter("writeback_recalls");
+  recalls.add(1);
+  // flush_page is reentrant on the owner — it surrenders the buffered
+  // bytes even while blocked in a read or in its own flush.
+  remote_ptr<PageCache> owner(who);
+  const FlushResult r =
+      owner.call<&PageCache::flush_page>(PageKey{self_ref_, page_index});
+  if (r.dirty) write_array(r.page, page_index);
+}
+
+void CoherentDevice::invalidate_subscribers(int page_index,
+                                            const RemoteRef* except) {
+  auto it = subscribers_.find(page_index);
+  if (it == subscribers_.end()) return;
+  // Invalidate and wait for the acknowledgements: after this returns, no
+  // cache anywhere serves the old bytes.  The subscription survives — a
+  // reader that comes back simply misses once.
+  const PageKey key{self_ref_, page_index};
+  std::vector<Future<void>> acks;
+  acks.reserve(it->second.size());
+  for (const auto& sub : it->second) {
+    if (except && sub == *except) continue;
+    acks.push_back(
+        remote_ptr<PageCache>(sub).async<&PageCache::invalidate>(key));
+  }
+  // Coherence requires every ack; a lost subscriber must stall the writer,
+  // not let it publish stale reads.  oopp-lint: allow(future-bare-get)
+  for (auto& a : acks) a.get();
+}
+
 storage::ArrayPage CoherentDevice::read_array_subscribe(
     int page_index, remote_ptr<PageCache> subscriber, RemoteRef device_self) {
   OOPP_CHECK(subscriber.valid());
   OOPP_CHECK_MSG(!self_ref_.valid() || self_ref_ == device_self,
                  "subscribers disagree about this device's identity");
   self_ref_ = device_self;
+  // A write-back owner may hold fresher bytes than the backing file;
+  // pull them in before serving ("read after completed write never
+  // stale" extends to buffered writes).
+  recall_dirty(page_index, nullptr);
   auto page = read_array(page_index);
   subscribers_[page_index].insert(subscriber.ref());
   return page;
 }
 
+std::vector<storage::ArrayPage> CoherentDevice::read_arrays_subscribe(
+    std::vector<std::int32_t> indices, remote_ptr<PageCache> subscriber,
+    RemoteRef device_self) {
+  OOPP_CHECK(subscriber.valid());
+  OOPP_CHECK_MSG(!self_ref_.valid() || self_ref_ == device_self,
+                 "subscribers disagree about this device's identity");
+  self_ref_ = device_self;
+  for (const auto idx : indices) recall_dirty(idx, nullptr);
+  auto pages = read_arrays(indices);
+  for (const auto idx : indices) subscribers_[idx].insert(subscriber.ref());
+  return pages;
+}
+
 void CoherentDevice::write_array_coherent(const storage::ArrayPage& page,
                                           int page_index) {
+  // Ordered: the buffered write-back (if any) lands first, then this
+  // write wins, then every reader's copy is shot down.
+  recall_dirty(page_index, nullptr);
   write_array(page, page_index);
-  auto it = subscribers_.find(page_index);
-  if (it == subscribers_.end()) return;
-  // Invalidate every subscriber and wait for the acknowledgements: after
-  // this method returns, no cache anywhere serves the old bytes.  The
-  // subscription survives — a reader that comes back simply misses once.
-  const PageKey key{self_ref_, page_index};
-  std::vector<Future<void>> acks;
-  acks.reserve(it->second.size());
-  for (const auto& sub : it->second)
-    acks.push_back(
-        remote_ptr<PageCache>(sub).async<&PageCache::invalidate>(key));
-  // Coherence requires every ack; a lost subscriber must stall the writer,
-  // not let it publish stale reads.  oopp-lint: allow(future-bare-get)
-  for (auto& a : acks) a.get();
+  invalidate_subscribers(page_index, nullptr);
+}
+
+void CoherentDevice::write_arrays_coherent(
+    std::vector<storage::ArrayPage> pages, std::vector<std::int32_t> indices) {
+  OOPP_CHECK_MSG(pages.size() == indices.size(),
+                 "write_arrays_coherent: " << pages.size() << " pages for "
+                                           << indices.size() << " indices");
+  for (const auto idx : indices) recall_dirty(idx, nullptr);
+  write_arrays(std::move(pages), indices);
+  for (const auto idx : indices) invalidate_subscribers(idx, nullptr);
+}
+
+void CoherentDevice::mark_dirty(int page_index, remote_ptr<PageCache> owner,
+                                RemoteRef device_self) {
+  OOPP_CHECK(owner.valid());
+  OOPP_CHECK_MSG(!self_ref_.valid() || self_ref_ == device_self,
+                 "subscribers disagree about this device's identity");
+  self_ref_ = device_self;
+  check_index(page_index);
+  const RemoteRef who = owner.ref();
+  // A previous owner's buffered bytes land first; every other reader's
+  // copy becomes stale the moment the new owner's local write completes,
+  // so they are invalidated before the ownership ack.
+  recall_dirty(page_index, &who);
+  invalidate_subscribers(page_index, &who);
+  subscribers_[page_index].insert(who);
+  dirty_owner_[page_index] = who;
+}
+
+void CoherentDevice::flush_pages(std::vector<storage::ArrayPage> pages,
+                                 std::vector<std::int32_t> indices,
+                                 remote_ptr<PageCache> owner) {
+  OOPP_CHECK_MSG(pages.size() == indices.size(),
+                 "flush_pages: " << pages.size() << " pages for "
+                                 << indices.size() << " indices");
+  OOPP_CHECK(owner.valid());
+  auto& scope = telemetry::Metrics::scope_for("dsm.prefetch");
+  static auto& flushes = scope.counter("writeback_flushes");
+  static auto& flushed = scope.counter("writeback_pages");
+  static auto& superseded = scope.counter("writeback_superseded");
+  static auto& batch_h = scope.histogram("writeback_batch_pages");
+  flushes.add(1);
+  batch_h.record(indices.size());
+
+  const RemoteRef who = owner.ref();
+  std::vector<storage::ArrayPage> apply;
+  std::vector<std::int32_t> apply_idx;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    // Only pages this owner still owns: a page recalled by a competing
+    // reader or overwritten by a newer coherent write was already
+    // handled — applying the stale flush would clobber newer data.
+    auto it = dirty_owner_.find(indices[i]);
+    if (it == dirty_owner_.end() || it->second != who) {
+      superseded.add(1);
+      continue;
+    }
+    dirty_owner_.erase(it);
+    apply.push_back(std::move(pages[i]));
+    apply_idx.push_back(indices[i]);
+  }
+  if (apply_idx.empty()) return;
+  flushed.add(apply_idx.size());
+  write_arrays(std::move(apply), apply_idx);
+  // The flusher keeps its (now clean) copy; everyone else is stale.
+  for (const auto idx : apply_idx) invalidate_subscribers(idx, &who);
 }
 
 void CoherentDevice::unsubscribe(int page_index,
@@ -62,6 +176,7 @@ storage::ArrayPage PageCache::read_array(remote_ptr<CoherentDevice> device,
   const PageKey key{device.ref(), page_index};
 
   std::vector<PageKey> drop;
+  bool in_prefetch = false;
   {
     std::lock_guard lock(mu_);
     auto it = pages_.find(key);
@@ -70,18 +185,28 @@ storage::ArrayPage PageCache::read_array(remote_ptr<CoherentDevice> device,
       static auto& hit_ctr =
           telemetry::Metrics::scope_for("dsm").counter("cache_hits");
       hit_ctr.add(1);
-      // Touch LRU.
-      lru_.erase(lru_pos_[key]);
-      lru_.push_front(key);
-      lru_pos_[key] = lru_.begin();
-      return it->second;
+      if (it->second.from_prefetch && !it->second.used) {
+        ++pf_useful_;
+        static auto& useful =
+            telemetry::Metrics::scope_for("dsm.prefetch").counter("useful");
+        useful.add(1);
+      }
+      it->second.used = true;
+      if (!it->second.dirty) touch_lru_locked(key);
+      return it->second.page;
     }
     ++misses_;
     static auto& miss_ctr =
         telemetry::Metrics::scope_for("dsm").counter("cache_misses");
     miss_ctr.add(1);
-    pending_ = key;
-    pending_poisoned_ = false;
+    in_prefetch = prefetch_ && prefetch_->device == device.ref() &&
+                  std::find(prefetch_->indices.begin(),
+                            prefetch_->indices.end(),
+                            page_index) != prefetch_->indices.end();
+    if (!in_prefetch) {
+      pending_ = key;
+      pending_poisoned_ = false;
+    }
     drop.swap(to_unsubscribe_);
   }
 
@@ -89,6 +214,38 @@ storage::ArrayPage PageCache::read_array(remote_ptr<CoherentDevice> device,
   for (const auto& k : drop) {
     remote_ptr<CoherentDevice> dev(k.device);
     dev.call<&CoherentDevice::unsubscribe>(k.index, self_);
+  }
+
+  if (in_prefetch) {
+    // The page is already on the wire: block for the batch (this is the
+    // pipeline's hand-off point, not an extra round trip) and serve it.
+    harvest_prefetch(device);
+    bool served = false;
+    storage::ArrayPage result;
+    {
+      std::lock_guard lock(mu_);
+      auto it = pages_.find(key);
+      if (it != pages_.end()) {
+        if (it->second.from_prefetch && !it->second.used) {
+          ++pf_useful_;
+          static auto& useful =
+              telemetry::Metrics::scope_for("dsm.prefetch").counter("useful");
+          useful.add(1);
+        }
+        it->second.used = true;
+        result = it->second.page;
+        served = true;
+      } else {
+        // Poisoned by a raced invalidation: fall through to a fresh fetch.
+        pending_ = key;
+        pending_poisoned_ = false;
+      }
+    }
+    if (served) {
+      // Stream continues — keep the read-ahead window ahead of it.
+      maybe_issue_prefetch(device, page_index);
+      return result;
+    }
   }
 
   // Fetch + subscribe.  An invalidation may land during this call (the
@@ -101,22 +258,238 @@ storage::ArrayPage PageCache::read_array(remote_ptr<CoherentDevice> device,
   {
     std::lock_guard lock(mu_);
     if (!pending_poisoned_) {
-      pages_[key] = page;
-      lru_.push_front(key);
-      lru_pos_[key] = lru_.begin();
-      while (pages_.size() > capacity_) evict_lru_locked();
+      auto& e = pages_[key];
+      e.page = page;
+      e.dirty = false;
+      e.from_prefetch = false;
+      e.used = true;
+      insert_lru_locked(key);
+      while (pages_.size() - dirty_ > capacity_) evict_lru_locked();
     }
     pending_.reset();
   }
+  maybe_issue_prefetch(device, page_index);
   return page;
+}
+
+void PageCache::harvest_prefetch(remote_ptr<CoherentDevice> device) {
+  Future<std::vector<storage::ArrayPage>> fut;
+  {
+    std::lock_guard lock(mu_);
+    OOPP_CHECK(prefetch_.has_value());
+    fut = std::move(prefetch_->fut);
+  }
+  // Block outside the lock: a reentrant invalidate must be able to land
+  // (and poison raced pages) while the batch is in flight.
+  // oopp-lint: allow(future-bare-get)
+  std::vector<storage::ArrayPage> fetched = fut.get();
+
+  std::lock_guard lock(mu_);
+  OOPP_CHECK(fetched.size() == prefetch_->indices.size());
+  static auto& wasted_ctr =
+      telemetry::Metrics::scope_for("dsm.prefetch").counter("wasted");
+  for (std::size_t i = 0; i < fetched.size(); ++i) {
+    const std::int32_t idx = prefetch_->indices[i];
+    const PageKey key{prefetch_->device, idx};
+    if (prefetch_->poisoned.contains(idx)) {
+      // Stale before it ever landed: drop it, keep the device's books
+      // tidy (we did subscribe), and charge the prefetcher.
+      ++pf_wasted_;
+      wasted_ctr.add(1);
+      to_unsubscribe_.push_back(key);
+      continue;
+    }
+    if (pages_.contains(key)) continue;  // already (re)fetched
+    auto& e = pages_[key];
+    e.page = std::move(fetched[i]);
+    e.dirty = false;
+    e.from_prefetch = true;
+    e.used = false;
+    insert_lru_locked(key);
+    while (pages_.size() - dirty_ > capacity_) evict_lru_locked();
+  }
+  prefetch_.reset();
+  (void)device;
+}
+
+void PageCache::maybe_issue_prefetch(remote_ptr<CoherentDevice> device,
+                                     int just_read_index) {
+  if (opts_.readahead == 0) return;
+
+  std::vector<std::int32_t> window;
+  {
+    std::lock_guard lock(mu_);
+    auto& s = streams_[device.ref()];
+    s.run = (just_read_index == s.last + 1) ? s.run + 1 : 1;
+    s.last = just_read_index;
+    if (s.run < 2) return;       // not yet a stream
+    if (prefetch_) return;       // one batch in flight at a time
+  }
+
+  // Page-count lookup is a remote call — outside the lock, cached.
+  std::int32_t npages = 0;
+  {
+    std::lock_guard lock(mu_);
+    auto it = device_pages_.find(device.ref());
+    if (it != device_pages_.end()) npages = it->second;
+  }
+  if (npages == 0) {
+    npages = device.call<&storage::PageDevice::number_of_pages>();
+    std::lock_guard lock(mu_);
+    device_pages_[device.ref()] = npages;
+  }
+
+  {
+    std::lock_guard lock(mu_);
+    if (prefetch_) return;
+    for (std::int32_t idx = just_read_index + 1;
+         idx <= just_read_index + static_cast<std::int32_t>(opts_.readahead) &&
+         idx < npages;
+         ++idx) {
+      if (pages_.contains(PageKey{device.ref(), idx})) continue;
+      window.push_back(idx);
+    }
+    if (window.empty()) return;
+    Prefetch p;
+    p.device = device.ref();
+    p.indices = window;
+    prefetch_ = std::move(p);
+    pf_issued_ += window.size();
+    auto& scope = telemetry::Metrics::scope_for("dsm.prefetch");
+    static auto& issued = scope.counter("issued");
+    static auto& batches = scope.counter("batches");
+    static auto& window_h = scope.histogram("window_pages");
+    issued.add(window.size());
+    batches.add(1);
+    window_h.record(window.size());
+  }
+  // Issue the batched read outside the lock; the future parks in
+  // prefetch_ until a read wants one of its pages.
+  auto fut = device.async<&CoherentDevice::read_arrays_subscribe>(
+      window, self_, device.ref());
+  std::lock_guard lock(mu_);
+  prefetch_->fut = std::move(fut);
+}
+
+void PageCache::write_array(remote_ptr<CoherentDevice> device,
+                            storage::ArrayPage page, int page_index) {
+  OOPP_CHECK_MSG(self_.valid(), "set_self before writes");
+  if (!opts_.write_back) {
+    // Write-through: the device handles coherence before acknowledging.
+    device.call<&CoherentDevice::write_array_coherent>(page, page_index);
+    return;
+  }
+
+  const PageKey key{device.ref(), page_index};
+  bool need_mark = false;
+  {
+    std::lock_guard lock(mu_);
+    auto it = pages_.find(key);
+    if (it == pages_.end()) {
+      auto& e = pages_[key];
+      e.page = std::move(page);
+      e.dirty = true;
+      e.used = true;
+      ++dirty_;
+      need_mark = true;
+    } else {
+      if (!it->second.dirty) {
+        // Leaving the LRU: dirty pages are pinned until flushed.
+        if (auto pos = lru_pos_.find(key); pos != lru_pos_.end()) {
+          lru_.erase(pos->second);
+          lru_pos_.erase(pos);
+        }
+        it->second.dirty = true;
+        ++dirty_;
+        need_mark = true;
+      }
+      it->second.page = std::move(page);
+      it->second.used = true;
+      it->second.from_prefetch = false;
+    }
+  }
+  // Ownership registration is synchronous: the local write "completes"
+  // (returns to the writer) only after the device has invalidated every
+  // other reader — buffered or not, a completed write is never stale.
+  if (need_mark)
+    device.call<&CoherentDevice::mark_dirty>(page_index, self_, device.ref());
+
+  bool over = false;
+  {
+    std::lock_guard lock(mu_);
+    over = dirty_ > opts_.max_dirty;
+  }
+  if (over) flush();
+}
+
+void PageCache::flush() {
+  OOPP_CHECK_MSG(self_.valid(), "set_self before flush");
+  // Snapshot the dirty set, grouped per device, WITHOUT clearing the
+  // dirty flags: a concurrent recall (flush_page) must still see them.
+  // The device-side supersede check keeps the two paths from clobbering
+  // each other.
+  std::map<RemoteRef, std::pair<std::vector<std::int32_t>,
+                                std::vector<storage::ArrayPage>>>
+      groups;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [key, e] : pages_) {
+      if (!e.dirty) continue;
+      auto& g = groups[key.device];
+      g.first.push_back(key.index);
+      g.second.push_back(e.page);
+    }
+  }
+
+  for (auto& [dev_ref, g] : groups) {
+    remote_ptr<CoherentDevice> dev(dev_ref);
+    dev.call<&CoherentDevice::flush_pages>(std::move(g.second), g.first,
+                                           self_);
+    std::lock_guard lock(mu_);
+    for (const auto idx : g.first) {
+      auto it = pages_.find(PageKey{dev_ref, idx});
+      if (it == pages_.end() || !it->second.dirty) continue;  // recalled
+      it->second.dirty = false;
+      --dirty_;
+      insert_lru_locked(PageKey{dev_ref, idx});
+    }
+  }
+  std::lock_guard lock(mu_);
+  while (pages_.size() - dirty_ > capacity_) evict_lru_locked();
+}
+
+FlushResult PageCache::flush_page(PageKey key) {
+  std::lock_guard lock(mu_);
+  auto it = pages_.find(key);
+  if (it == pages_.end() || !it->second.dirty) return {};
+  it->second.dirty = false;
+  --dirty_;
+  insert_lru_locked(key);
+  // The copy stays resident (clean): the recalling device hands our
+  // bytes to the competing accessor, it does not invalidate us.
+  return {true, it->second.page};
 }
 
 void PageCache::invalidate(PageKey key) {
   std::lock_guard lock(mu_);
   ++invalidations_;
   if (pending_ && *pending_ == key) pending_poisoned_ = true;
+  if (prefetch_ && prefetch_->device == key.device &&
+      std::find(prefetch_->indices.begin(), prefetch_->indices.end(),
+                key.index) != prefetch_->indices.end())
+    prefetch_->poisoned.insert(key.index);
   auto it = pages_.find(key);
   if (it == pages_.end()) return;
+  // Never drop buffered bytes: our dirty write completed AFTER the write
+  // this invalidation announces (mark_dirty ordered us behind it on the
+  // device queue), so our bytes win — they leave via flush, not here.
+  if (it->second.dirty) return;
+  if (it->second.from_prefetch && !it->second.used) {
+    ++pf_wasted_;
+    static auto& wasted_ctr =
+        telemetry::Metrics::scope_for("dsm.prefetch").counter("wasted");
+    wasted_ctr.add(1);
+  }
   lru_.erase(lru_pos_[key]);
   lru_pos_.erase(key);
   pages_.erase(it);
@@ -127,12 +500,38 @@ std::uint64_t PageCache::resident() const {
   return pages_.size();
 }
 
+std::uint64_t PageCache::dirty_resident() const {
+  std::lock_guard lock(mu_);
+  return dirty_;
+}
+
+void PageCache::touch_lru_locked(const PageKey& key) {
+  lru_.erase(lru_pos_[key]);
+  lru_.push_front(key);
+  lru_pos_[key] = lru_.begin();
+}
+
+void PageCache::insert_lru_locked(const PageKey& key) {
+  if (auto it = lru_pos_.find(key); it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_front(key);
+  lru_pos_[key] = lru_.begin();
+}
+
 void PageCache::evict_lru_locked() {
   OOPP_CHECK(!lru_.empty());
   const PageKey victim = lru_.back();
   lru_.pop_back();
   lru_pos_.erase(victim);
-  pages_.erase(victim);
+  auto it = pages_.find(victim);
+  if (it != pages_.end()) {
+    if (it->second.from_prefetch && !it->second.used) {
+      ++pf_wasted_;
+      static auto& wasted_ctr =
+          telemetry::Metrics::scope_for("dsm.prefetch").counter("wasted");
+      wasted_ctr.add(1);
+    }
+    pages_.erase(it);
+  }
   to_unsubscribe_.push_back(victim);  // dropped at the next miss
 }
 

@@ -15,20 +15,31 @@
 //                    acknowledgements) before acknowledging the writer:
 //                    a read after a completed write never sees stale data.
 //   PageCache      — per-machine read-through cache with LRU eviction and
-//                    hit/miss/invalidation counters.
+//                    hit/miss/invalidation counters.  Optionally overlaps
+//                    communication with computation: sequential read
+//                    streams arm a batched read-ahead (async prefetch),
+//                    and write-back mode buffers dirty pages locally,
+//                    flushing them in coalesced batches.  Write-back
+//                    coherence is pull-based: the device keeps a
+//                    dirty-owner registry and *recalls* the buffered
+//                    bytes (reentrant flush_page) before serving any
+//                    competing read or write — a read after a completed
+//                    write never sees stale data, buffered or not.
 //
 // Deadlock discipline: cache → device calls are queued (distinct objects);
-// device → cache invalidations target a *reentrant* method, so they land
-// even while that cache is blocked inside a read.
+// device → cache invalidations and recalls target *reentrant* methods, so
+// they land even while that cache is blocked inside a read or a flush.
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <vector>
 
+#include "core/future.hpp"
 #include "core/remote_ptr.hpp"
 #include "storage/array_page_device.hpp"
 #include "util/checked_mutex.hpp"
@@ -57,6 +68,38 @@ void oopp_serialize(Ar& ar, PageKey& k) {
   ar(k.device, k.index);
 }
 
+/// What a cache hands back when a device recalls a dirty page: the
+/// buffered bytes, or dirty=false if the page was already flushed (the
+/// recall raced the cache's own flush).
+struct FlushResult {
+  bool dirty = false;
+  storage::ArrayPage page;
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, FlushResult& r) {
+  ar(r.dirty, r.page);
+}
+
+/// Knobs for the cache's communication/computation overlap machinery.
+struct PageCacheOptions {
+  /// Pages to prefetch ahead of a detected sequential read stream
+  /// (0 = prefetch off).  One batched read_arrays_subscribe call covers
+  /// the whole window.
+  std::uint32_t readahead = 0;
+  /// Buffer writes locally and flush in coalesced batches instead of
+  /// writing through on every page.
+  bool write_back = false;
+  /// Bound on locally buffered dirty pages; exceeding it triggers a
+  /// coalesced flush.  Dirty pages are exempt from LRU eviction.
+  std::uint32_t max_dirty = 16;
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, PageCacheOptions& o) {
+  ar(o.readahead, o.write_back, o.max_dirty);
+}
+
 /// A block device whose pages can be cached coherently by reader caches.
 class CoherentDevice : public storage::ArrayPageDevice {
  public:
@@ -80,64 +123,182 @@ class CoherentDevice : public storage::ArrayPageDevice {
                                           remote_ptr<PageCache> subscriber,
                                           RemoteRef device_self);
 
+  /// Batched subscribe-read: the prefetch path.  One call moves the whole
+  /// read-ahead window and registers the subscriber for every page.
+  [[nodiscard]] std::vector<storage::ArrayPage> read_arrays_subscribe(
+      std::vector<std::int32_t> indices, remote_ptr<PageCache> subscriber,
+      RemoteRef device_self);
+
   /// Write a page, then invalidate (and wait for) every subscriber of
   /// that page.  After this returns, no cache serves the old bytes.
   void write_array_coherent(const storage::ArrayPage& page, int page_index);
+
+  /// Batched coherent write: recalls dirty owners, applies all pages,
+  /// then runs one invalidation round per page.
+  void write_arrays_coherent(std::vector<storage::ArrayPage> pages,
+                             std::vector<std::int32_t> indices);
+
+  /// A write-back cache announces itself as the dirty owner of a page
+  /// BEFORE completing the buffered write locally.  The device recalls
+  /// any previous owner, invalidates every other subscriber (their copies
+  /// would be stale the moment the owner's write completes), and only
+  /// then acknowledges — the write-back counterpart of the write-through
+  /// coherence guarantee.
+  void mark_dirty(int page_index, remote_ptr<PageCache> owner,
+                  RemoteRef device_self);
+
+  /// Coalesced write-back from a dirty owner.  Pages whose dirty-owner
+  /// registration was already cleared (recalled by a competing reader, or
+  /// superseded by a newer coherent write) are skipped — the flush never
+  /// clobbers newer data.
+  void flush_pages(std::vector<storage::ArrayPage> pages,
+                   std::vector<std::int32_t> indices,
+                   remote_ptr<PageCache> owner);
 
   /// A cache drops its subscription when it evicts the page.
   void unsubscribe(int page_index, remote_ptr<PageCache> subscriber);
 
   [[nodiscard]] std::uint64_t subscriber_count(int page_index) const;
 
+  /// True while some cache holds the page's freshest bytes locally.
+  [[nodiscard]] bool has_dirty_owner(int page_index) const {
+    return dirty_owner_.contains(page_index);
+  }
+
  private:
+  /// Pull the dirty owner's buffered bytes (reentrant flush_page on the
+  /// owner — it may be blocked in a read) and apply them locally.  The
+  /// `except` owner is left alone.  Must run before any competing read
+  /// or write of the page is served.
+  void recall_dirty(int page_index, const RemoteRef* except);
+
+  /// Invalidate every subscriber except `except` and wait for the acks.
+  void invalidate_subscribers(int page_index, const RemoteRef* except);
+
   std::map<int, std::set<RemoteRef>> subscribers_;
+  std::map<int, RemoteRef> dirty_owner_;  // page -> write-back cache
   RemoteRef self_ref_{};  // learned from the first subscription
 };
 
-/// Per-machine read-through page cache (one process per reader machine).
+/// Per-machine read-through page cache (one process per reader machine),
+/// optionally prefetching sequential streams and buffering writes.
 class PageCache {
  public:
   explicit PageCache(std::uint32_t capacity_pages)
-      : capacity_(capacity_pages) {
+      : PageCache(capacity_pages, PageCacheOptions{}) {}
+
+  PageCache(std::uint32_t capacity_pages, PageCacheOptions options)
+      : capacity_(capacity_pages), opts_(options) {
     OOPP_CHECK(capacity_ > 0);
+    OOPP_CHECK(!opts_.write_back || opts_.max_dirty > 0);
   }
 
   /// Wire the cache's own identity (needed to subscribe at devices).
   void set_self(remote_ptr<PageCache> self) { self_ = self; }
 
-  /// Read-through: serve from cache or fetch-and-subscribe.
+  /// Read-through: serve from cache, harvest an in-flight prefetch that
+  /// covers the page, or fetch-and-subscribe.  Sequential misses arm a
+  /// batched read-ahead of the next `readahead` pages.
   storage::ArrayPage read_array(remote_ptr<CoherentDevice> device,
                                 int page_index);
 
+  /// Write a page.  Write-through mode forwards to the device's coherent
+  /// write; write-back mode buffers the page locally as dirty (after
+  /// registering ownership via mark_dirty) and flushes in coalesced
+  /// batches when the dirty set exceeds max_dirty.
+  void write_array(remote_ptr<CoherentDevice> device, storage::ArrayPage page,
+                   int page_index);
+
+  /// Push every buffered dirty page out, one coalesced flush_pages call
+  /// per device.
+  void flush();
+
   /// Invalidation callback from a device.  REENTRANT: arrives while this
-  /// cache may be blocked inside read_array.
+  /// cache may be blocked inside read_array.  Never drops a dirty page —
+  /// buffered bytes leave only via flush_page or flush (the dirty write
+  /// completed after the write this invalidation belongs to).
   void invalidate(PageKey key);
+
+  /// Recall callback from a device about to serve a competing read or
+  /// write: surrender the buffered bytes (the local copy stays, clean).
+  /// REENTRANT: this cache may be blocked in its own flush or read.
+  FlushResult flush_page(PageKey key);
 
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::uint64_t invalidations() const { return invalidations_; }
   [[nodiscard]] std::uint64_t resident() const;
+  [[nodiscard]] std::uint64_t dirty_resident() const;
+
+  /// Prefetch accounting: pages requested ahead, pages served from a
+  /// prefetch, pages fetched ahead but dropped unused.
+  [[nodiscard]] std::uint64_t prefetch_issued() const { return pf_issued_; }
+  [[nodiscard]] std::uint64_t prefetch_useful() const { return pf_useful_; }
+  [[nodiscard]] std::uint64_t prefetch_wasted() const { return pf_wasted_; }
 
  private:
+  struct Entry {
+    storage::ArrayPage page;
+    bool dirty = false;
+    bool from_prefetch = false;
+    bool used = false;  // served at least one hit since arriving
+  };
+
+  /// One prefetch batch in flight (reads are queued, so at most one).
+  /// The future is moved out for the blocking harvest; indices/poisoned
+  /// stay behind so the reentrant invalidate can poison raced pages.
+  struct Prefetch {
+    RemoteRef device;
+    std::vector<std::int32_t> indices;
+    Future<std::vector<storage::ArrayPage>> fut;
+    std::set<std::int32_t> poisoned;
+  };
+
   void evict_lru_locked();
+  void touch_lru_locked(const PageKey& key);
+  void insert_lru_locked(const PageKey& key);
+
+  /// Block for the in-flight prefetch batch and cache its non-poisoned
+  /// pages.  Called with mu_ NOT held.
+  void harvest_prefetch(remote_ptr<CoherentDevice> device);
+
+  /// Update the per-device stream detector and, on a sequential run,
+  /// launch the next read-ahead batch.  Called with mu_ NOT held.
+  void maybe_issue_prefetch(remote_ptr<CoherentDevice> device,
+                            int just_read_index);
 
   std::uint32_t capacity_;
+  PageCacheOptions opts_;
   remote_ptr<PageCache> self_;
 
-  // Guards everything below (invalidate is reentrant).  Never held across
-  // the device fetch — see read_array.
+  // Guards everything below (invalidate/flush_page are reentrant).  Never
+  // held across a device call — see read_array.
   mutable util::CheckedMutex mu_{"dsm.PageCache"};
-  std::map<PageKey, storage::ArrayPage> pages_;
-  std::list<PageKey> lru_;  // front = most recent
+  std::map<PageKey, Entry> pages_;
+  std::list<PageKey> lru_;  // front = most recent; clean pages only
   std::map<PageKey, std::list<PageKey>::iterator> lru_pos_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t invalidations_ = 0;
+  std::uint64_t dirty_ = 0;
+  std::uint64_t pf_issued_ = 0;
+  std::uint64_t pf_useful_ = 0;
+  std::uint64_t pf_wasted_ = 0;
 
-  // The fetch in flight (reads are queued, so at most one) and whether an
-  // invalidation raced it — a poisoned fetch must not be cached.
+  // The fetch in flight and whether an invalidation raced it — a
+  // poisoned fetch must not be cached.
   std::optional<PageKey> pending_;
   bool pending_poisoned_ = false;
+
+  std::optional<Prefetch> prefetch_;
+
+  // Sequential-stream detector, per device: last miss index + run length.
+  struct Stream {
+    std::int32_t last = -2;
+    std::uint32_t run = 0;
+  };
+  std::map<RemoteRef, Stream> streams_;
+  std::map<RemoteRef, std::int32_t> device_pages_;  // page-count cache
 
   // Evicted subscriptions to drop (performed outside the cache lock).
   std::vector<PageKey> to_unsubscribe_;
@@ -158,9 +319,14 @@ struct oopp::rpc::class_def<oopp::dsm::CoherentDevice> {
     // PageDevice's) — three levels of process inheritance.
     class_def<oopp::storage::ArrayPageDevice>::bind(b);
     b.template method<&D::read_array_subscribe>("read_array_subscribe");
+    b.template method<&D::read_arrays_subscribe>("read_arrays_subscribe");
     b.template method<&D::write_array_coherent>("write_array_coherent");
+    b.template method<&D::write_arrays_coherent>("write_arrays_coherent");
+    b.template method<&D::mark_dirty>("mark_dirty");
+    b.template method<&D::flush_pages>("flush_pages");
     b.template method<&D::unsubscribe>("unsubscribe");
     b.template method<&D::subscriber_count>("subscriber_count");
+    b.template method<&D::has_dirty_owner>("has_dirty_owner");
   }
 };
 
@@ -168,15 +334,24 @@ template <>
 struct oopp::rpc::class_def<oopp::dsm::PageCache> {
   using C = oopp::dsm::PageCache;
   static std::string name() { return "oopp.dsm.PageCache"; }
-  using ctors = ctor_list<ctor<std::uint32_t>>;
+  using ctors =
+      ctor_list<ctor<std::uint32_t>,
+                ctor<std::uint32_t, oopp::dsm::PageCacheOptions>>;
   template <class B>
   static void bind(B& b) {
     b.template method<&C::set_self>("set_self");
     b.template method<&C::read_array>("read_array");
+    b.template method<&C::write_array>("write_array");
+    b.template method<&C::flush>("flush");
     b.template method<&C::invalidate>("invalidate", reentrant);
+    b.template method<&C::flush_page>("flush_page", reentrant);
     b.template method<&C::hits>("hits");
     b.template method<&C::misses>("misses");
     b.template method<&C::invalidations>("invalidations");
     b.template method<&C::resident>("resident");
+    b.template method<&C::dirty_resident>("dirty_resident");
+    b.template method<&C::prefetch_issued>("prefetch_issued");
+    b.template method<&C::prefetch_useful>("prefetch_useful");
+    b.template method<&C::prefetch_wasted>("prefetch_wasted");
   }
 };

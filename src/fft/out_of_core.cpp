@@ -1,9 +1,14 @@
 #include "fft/out_of_core.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "fft/fft3d.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/assert.hpp"
+#include "util/clock.hpp"
 
 namespace oopp::fft {
 
@@ -37,46 +42,160 @@ void split(const std::vector<cplx>& buf, std::vector<double>& re,
   }
 }
 
+struct Slab {
+  array::Domain dom;
+  Extents3 local;
+};
+
+/// Build the slab decomposition of one pass: `rows` rows along `axis`
+/// per slab, full extent on the other two axes.
+std::vector<Slab> make_slabs(const Extents3& n, int axis, index_t rows) {
+  const index_t total = axis == 0 ? n.n1 : n.n2;
+  std::vector<Slab> slabs;
+  for (index_t lo = 0; lo < total; lo += rows) {
+    const index_t hi = std::min(lo + rows, total);
+    if (axis == 0)
+      slabs.push_back({array::Domain(lo, hi, 0, n.n2, 0, n.n3),
+                       Extents3{hi - lo, n.n2, n.n3}});
+    else
+      slabs.push_back({array::Domain(0, n.n1, lo, hi, 0, n.n3),
+                       Extents3{n.n1, hi - lo, n.n3}});
+  }
+  return slabs;
+}
+
+/// One pass, strict paper order: read slab, transform, write back, next.
+template <class Transform>
+void run_pass_serial(array::Array& re, array::Array& im,
+                     const std::vector<Slab>& slabs, Transform&& transform,
+                     PassStats& stats) {
+  std::vector<double> re_buf, im_buf;
+  for (const Slab& s : slabs) {
+    auto buf = fuse(re.read(s.dom), im.read(s.dom));
+    transform(buf, s.local);
+    split(buf, re_buf, im_buf);
+    re.write(re_buf, s.dom);
+    im.write(im_buf, s.dom);
+    ++stats.slabs;
+    stats.elements_read += buf.size();
+    stats.elements_written += buf.size();
+  }
+}
+
+/// One pass, double-buffered: prefetch slab k+1 while transforming slab k
+/// while slab k-1 drains back to the devices.  At most one read and one
+/// write slab are in flight beside the compute slab, so three slabs are
+/// live at once (the caller sizes them from a third of the budget).
+template <class Transform>
+void run_pass_pipelined(array::Array& re, array::Array& im,
+                        const std::vector<Slab>& slabs, Transform&& transform,
+                        PassStats& stats) {
+  using ReadPair = std::pair<array::SliceReadFuture, array::SliceReadFuture>;
+  using WritePair =
+      std::pair<array::SliceWriteFuture, array::SliceWriteFuture>;
+
+  auto& scope = telemetry::Metrics::scope_for("fft.pipeline");
+  static auto& stall_read_h = scope.histogram("stall_read_ns");
+  static auto& stall_write_h = scope.histogram("stall_write_ns");
+  static auto& slabs_ctr = scope.counter("slabs");
+
+  std::optional<ReadPair> cur_read;
+  std::optional<WritePair> prev_write;
+  if (!slabs.empty())
+    cur_read.emplace(re.async_read_slice(slabs[0].dom),
+                     im.async_read_slice(slabs[0].dom));
+
+  for (std::size_t k = 0; k < slabs.size(); ++k) {
+    const Slab& s = slabs[k];
+    // Prefetch slab k+1 before touching slab k's bytes.
+    std::optional<ReadPair> next_read;
+    if (k + 1 < slabs.size())
+      next_read.emplace(re.async_read_slice(slabs[k + 1].dom),
+                        im.async_read_slice(slabs[k + 1].dom));
+
+    // Receive half of slab k: time blocked here is the read stall — zero
+    // when the prefetch fully hid the fetch behind slab k-1's compute.
+    std::int64_t t0 = now_ns();
+    std::vector<double> re_in = cur_read->first.get();
+    std::vector<double> im_in = cur_read->second.get();
+    const std::uint64_t rstall = static_cast<std::uint64_t>(now_ns() - t0);
+    stats.stall_read_ns += rstall;
+    stall_read_h.record(rstall);
+
+    auto buf = fuse(re_in, im_in);
+    transform(buf, s.local);
+    std::vector<double> re_out, im_out;
+    split(buf, re_out, im_out);
+
+    // Bound the write-behind: slab k-1 must be on disk before slab k's
+    // write is issued (also keeps RMW boundary pages race-free — at most
+    // one write slab in flight).
+    t0 = now_ns();
+    if (prev_write) {
+      prev_write->first.get();
+      prev_write->second.get();
+    }
+    const std::uint64_t wstall = static_cast<std::uint64_t>(now_ns() - t0);
+    stats.stall_write_ns += wstall;
+    stall_write_h.record(wstall);
+
+    prev_write.emplace(re.async_write_slice(std::move(re_out), s.dom),
+                       im.async_write_slice(std::move(im_out), s.dom));
+    cur_read = std::move(next_read);
+
+    ++stats.slabs;
+    slabs_ctr.add(1);
+    stats.elements_read += buf.size();
+    stats.elements_written += buf.size();
+  }
+
+  if (prev_write) {
+    const std::int64_t t0 = now_ns();
+    prev_write->first.get();
+    prev_write->second.get();
+    const std::uint64_t wstall = static_cast<std::uint64_t>(now_ns() - t0);
+    stats.stall_write_ns += wstall;
+    stall_write_h.record(wstall);
+  }
+}
+
 }  // namespace
 
 OutOfCoreStats fft3d_out_of_core(array::Array& re, array::Array& im,
                                  int sign, OutOfCoreOptions options) {
   OOPP_CHECK_MSG(re.extents() == im.extents(),
                  "real and imaginary arrays must have identical extents");
+  telemetry::LocalSpan span("fft.out_of_core");
   const Extents3 n = re.extents();
   OutOfCoreStats stats;
-  std::vector<double> re_buf, im_buf;
+
+  // Three slabs live at once in the pipeline (prefetch / compute /
+  // write-behind), so each gets a third of the budget.
+  const std::size_t budget =
+      options.pipeline ? options.max_bytes / 3 : options.max_bytes;
 
   // -- pass 1: axis-0 slabs, transform axes 1 and 2 -------------------------
-  const index_t c1 = slab_rows(options.max_bytes, n.n2 * n.n3, n.n1);
-  for (index_t i1 = 0; i1 < n.n1; i1 += c1) {
-    const index_t hi = std::min(i1 + c1, n.n1);
-    const array::Domain slab(i1, hi, 0, n.n2, 0, n.n3);
-    auto buf = fuse(re.read(slab), im.read(slab));
-    const Extents3 local{hi - i1, n.n2, n.n3};
+  const auto pass1 =
+      make_slabs(n, 0, slab_rows(budget, n.n2 * n.n3, n.n1));
+  auto transform1 = [sign](std::vector<cplx>& buf, const Extents3& local) {
     fft3d_axis(buf, local, 2, sign);
     fft3d_axis(buf, local, 1, sign);
-    split(buf, re_buf, im_buf);
-    re.write(re_buf, slab);
-    im.write(im_buf, slab);
-    ++stats.pass1_slabs;
-    stats.elements_moved += 2 * buf.size();
-  }
+  };
+  if (options.pipeline)
+    run_pass_pipelined(re, im, pass1, transform1, stats.pass1);
+  else
+    run_pass_serial(re, im, pass1, transform1, stats.pass1);
 
   // -- pass 2: axis-1 slabs, transform axis 0 --------------------------------
-  const index_t c2 = slab_rows(options.max_bytes, n.n1 * n.n3, n.n2);
-  for (index_t i2 = 0; i2 < n.n2; i2 += c2) {
-    const index_t hi = std::min(i2 + c2, n.n2);
-    const array::Domain slab(0, n.n1, i2, hi, 0, n.n3);
-    auto buf = fuse(re.read(slab), im.read(slab));
-    const Extents3 local{n.n1, hi - i2, n.n3};
+  const auto pass2 =
+      make_slabs(n, 1, slab_rows(budget, n.n1 * n.n3, n.n2));
+  auto transform2 = [sign](std::vector<cplx>& buf, const Extents3& local) {
     fft3d_axis(buf, local, 0, sign);
-    split(buf, re_buf, im_buf);
-    re.write(re_buf, slab);
-    im.write(im_buf, slab);
-    ++stats.pass2_slabs;
-    stats.elements_moved += 2 * buf.size();
-  }
+  };
+  if (options.pipeline)
+    run_pass_pipelined(re, im, pass2, transform2, stats.pass2);
+  else
+    run_pass_serial(re, im, pass2, transform2, stats.pass2);
 
   return stats;
 }

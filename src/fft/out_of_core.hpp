@@ -31,12 +31,47 @@ struct OutOfCoreOptions {
   /// The minimum slab (one row / one column) is used if the budget is
   /// smaller than that.
   std::size_t max_bytes = std::size_t{64} << 20;
+
+  /// Overlap communication with computation: while slab k is transformed,
+  /// slab k+1 is already being fetched (async prefetch) and slab k-1 is
+  /// still being written back (write-behind).  Three slabs are live at
+  /// once, so each is sized from a third of max_bytes — the budget holds
+  /// either way.  Disable for the paper's strict read→compute→write
+  /// sequence (the serial baseline of experiment E12).
+  bool pipeline = true;
+};
+
+/// Per-pass accounting.  Element counts are complex elements crossing the
+/// client (re+im pair = one element), split by direction; stall times are
+/// where the pipeline actually blocked — reads that out-ran the prefetch
+/// and write-behinds that were still draining.
+struct PassStats {
+  index_t slabs = 0;
+  std::uint64_t elements_read = 0;
+  std::uint64_t elements_written = 0;
+  std::uint64_t stall_read_ns = 0;   // blocked waiting for slab fetches
+  std::uint64_t stall_write_ns = 0;  // blocked draining write-behind
+
+  [[nodiscard]] std::uint64_t bytes_read() const {
+    return elements_read * sizeof(cplx);
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const {
+    return elements_written * sizeof(cplx);
+  }
 };
 
 struct OutOfCoreStats {
-  index_t pass1_slabs = 0;
-  index_t pass2_slabs = 0;
-  std::uint64_t elements_moved = 0;  // elements read + written, both passes
+  PassStats pass1;
+  PassStats pass2;
+
+  [[nodiscard]] std::uint64_t elements_moved() const {
+    return pass1.elements_read + pass1.elements_written +
+           pass2.elements_read + pass2.elements_written;
+  }
+  [[nodiscard]] std::uint64_t stall_ns() const {
+    return pass1.stall_read_ns + pass1.stall_write_ns + pass2.stall_read_ns +
+           pass2.stall_write_ns;
+  }
 };
 
 /// Transform the complex field (re, im) in place on its storage.

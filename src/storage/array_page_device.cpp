@@ -63,6 +63,31 @@ void ArrayPageDevice::write_array(const ArrayPage& p, int page_index) {
   write(p, page_index);
 }
 
+std::vector<ArrayPage> ArrayPageDevice::read_arrays(
+    std::vector<std::int32_t> indices) const {
+  std::vector<Page> raw = read_pages(std::move(indices));
+  std::vector<ArrayPage> out;
+  out.reserve(raw.size());
+  for (const auto& p : raw)
+    out.emplace_back(static_cast<int>(extents_.n1),
+                     static_cast<int>(extents_.n2),
+                     static_cast<int>(extents_.n3),
+                     reinterpret_cast<const double*>(p.data()));
+  return out;
+}
+
+void ArrayPageDevice::write_arrays(std::vector<ArrayPage> pages,
+                                   std::vector<std::int32_t> indices) {
+  std::vector<Page> raw;
+  raw.reserve(pages.size());
+  for (auto& p : pages) {
+    OOPP_CHECK_MSG(p.extents() == extents_,
+                   "array page extents do not match device block shape");
+    raw.push_back(std::move(p));  // slices to the Page base: same bytes
+  }
+  write_pages(std::move(raw), std::move(indices));
+}
+
 void ArrayPageDevice::pull_page(remote_ptr<ArrayPageDevice> source,
                                 int source_index, int dst_index) {
   OOPP_CHECK(source.valid());

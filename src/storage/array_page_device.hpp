@@ -38,6 +38,14 @@ class ArrayPageDevice : public PageDevice {
   [[nodiscard]] ArrayPage read_array(int page_index) const;
   void write_array(const ArrayPage& p, int page_index);
 
+  /// Batched structure-aware I/O: one remote call per device moves a
+  /// whole slab's worth of blocks (rides the per-peer frame batching of
+  /// the wire and amortizes simulated seeks over contiguous runs).
+  [[nodiscard]] std::vector<ArrayPage> read_arrays(
+      std::vector<std::int32_t> indices) const;
+  void write_arrays(std::vector<ArrayPage> pages,
+                    std::vector<std::int32_t> indices);
+
   /// "Move the computation to the data": sum of all elements of the page
   /// at the given address, computed device-side (paper §3).
   [[nodiscard]] double sum(int page_address) const;
@@ -106,6 +114,8 @@ struct oopp::rpc::class_def<oopp::storage::ArrayPageDevice> {
     class_def<Base>::bind(b);  // process inheritance
     b.template method<&D::read_array>("read_array");
     b.template method<&D::write_array>("write_array");
+    b.template method<&D::read_arrays>("read_arrays");
+    b.template method<&D::write_arrays>("write_arrays");
     b.template method<&D::sum>("sum");
     b.template method<&D::sum_region>("sum_region");
     b.template method<&D::reduce_region>("reduce_region");

@@ -137,4 +137,84 @@ Page PageDevice::read(int page_index) const {
   return p;
 }
 
+namespace {
+
+/// Contiguous ascending runs in an index list — each run costs one
+/// simulated seek in the batched paths.
+int count_runs(const std::vector<std::int32_t>& indices) {
+  int runs = 0;
+  for (std::size_t i = 0; i < indices.size(); ++i)
+    if (i == 0 || indices[i] != indices[i - 1] + 1) ++runs;
+  return runs;
+}
+
+}  // namespace
+
+std::vector<Page> PageDevice::read_pages(
+    std::vector<std::int32_t> indices) const {
+  telemetry::LocalSpan span("storage.read_pages");
+  auto& scope = telemetry::Metrics::scope_for("storage.batch_io");
+  static auto& batch_reads = scope.counter("batch_reads");
+  static auto& pages_read = scope.counter("pages_read");
+  static auto& batch_pages_h = scope.histogram("batch_pages");
+  batch_reads.add(1);
+  pages_read.add(indices.size());
+  batch_pages_h.record(indices.size());
+
+  for (const auto idx : indices) check_index(idx);
+  for (int r = count_runs(indices); r > 0; --r) simulate_service_time();
+
+  std::vector<Page> out;
+  out.reserve(indices.size());
+  {
+    std::lock_guard lock(io_mu_);
+    for (const auto idx : indices) {
+      Page p(static_cast<std::size_t>(page_size_));
+      const auto offset =
+          static_cast<long>(idx) * static_cast<long>(page_size_);
+      OOPP_CHECK(std::fseek(f_, offset, SEEK_SET) == 0);
+      OOPP_CHECK(std::fread(p.data(), 1, p.size(), f_) == p.size());
+      out.push_back(std::move(p));
+    }
+  }
+  operations_.fetch_add(indices.size(), std::memory_order_relaxed);
+  return out;
+}
+
+void PageDevice::write_pages(std::vector<Page> pages,
+                             std::vector<std::int32_t> indices) {
+  OOPP_CHECK_MSG(pages.size() == indices.size(),
+                 "write_pages: " << pages.size() << " pages for "
+                                 << indices.size() << " indices");
+  telemetry::LocalSpan span("storage.write_pages");
+  auto& scope = telemetry::Metrics::scope_for("storage.batch_io");
+  static auto& batch_writes = scope.counter("batch_writes");
+  static auto& pages_written = scope.counter("pages_written");
+  static auto& batch_pages_h = scope.histogram("batch_pages");
+  batch_writes.add(1);
+  pages_written.add(indices.size());
+  batch_pages_h.record(indices.size());
+
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    check_index(indices[i]);
+    OOPP_CHECK_MSG(pages[i].size() == static_cast<std::size_t>(page_size_),
+                   "page size " << pages[i].size() << " != device page size "
+                                << page_size_);
+  }
+  for (int r = count_runs(indices); r > 0; --r) simulate_service_time();
+
+  {
+    std::lock_guard lock(io_mu_);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const auto offset =
+          static_cast<long>(indices[i]) * static_cast<long>(page_size_);
+      OOPP_CHECK(std::fseek(f_, offset, SEEK_SET) == 0);
+      OOPP_CHECK(std::fwrite(pages[i].data(), 1, pages[i].size(), f_) ==
+                 pages[i].size());
+    }
+    OOPP_CHECK(std::fflush(f_) == 0);
+  }
+  operations_.fetch_add(indices.size(), std::memory_order_relaxed);
+}
+
 }  // namespace oopp::storage

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "rpc/binding.hpp"
 #include "serial/archive.hpp"
@@ -58,6 +59,18 @@ class PageDevice {
 
   /// Fetch the page stored at the given address.
   [[nodiscard]] Page read(int page_index) const;
+
+  /// Batched multi-page read: one remote call moves a whole slab's worth
+  /// of pages off this device.  Returns pages in the order of `indices`.
+  /// The simulated seek (`service_us`) is charged once per contiguous
+  /// ascending run of indices — batching sequential I/O amortizes seeks,
+  /// which is exactly why the async pipeline issues batches.
+  [[nodiscard]] std::vector<Page> read_pages(
+      std::vector<std::int32_t> indices) const;
+
+  /// Batched multi-page write; pages[i] is stored at indices[i].  Same
+  /// contiguous-run service-time model as read_pages.
+  void write_pages(std::vector<Page> pages, std::vector<std::int32_t> indices);
 
   /// Same as read() but served *outside* the process's command queue
   /// (bound reentrant).  Exists for third-party transfers: device A's
@@ -124,6 +137,8 @@ struct oopp::rpc::class_def<oopp::storage::PageDevice> {
   static void bind(B& b) {
     b.template method<&D::write>("write");
     b.template method<&D::read>("read");
+    b.template method<&D::read_pages>("read_pages");
+    b.template method<&D::write_pages>("write_pages");
     b.template method<&D::read_unordered>("read_unordered", reentrant);
     b.template method<&D::number_of_pages>("number_of_pages");
     b.template method<&D::page_size>("page_size");

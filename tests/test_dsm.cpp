@@ -187,4 +187,88 @@ TEST_F(DsmTest, ReadBeforeSetSelfFails) {
                rpc::RemoteError);
 }
 
+TEST_F(DsmTest, PrefetchWastedWhenInvalidatedBeforeUse) {
+  auto cache = cluster_.make_remote<PageCache>(
+      1, std::uint32_t{8}, dsm::PageCacheOptions{.readahead = 4});
+  cache.call<&PageCache::set_self>(cache);
+  for (int p = 0; p < 8; ++p) write_page(double(p), p);
+
+  // Two consecutive misses arm the stream detector; the third read finds
+  // its page already on the wire (window [2, 5]) and harvests the batch.
+  EXPECT_DOUBLE_EQ(read_via(cache, 0), 0.0);
+  EXPECT_DOUBLE_EQ(read_via(cache, 1), 1.0);
+  EXPECT_DOUBLE_EQ(read_via(cache, 2), 2.0);
+  EXPECT_GE(cache.call<&PageCache::prefetch_useful>(), 1u);
+
+  // Page 4 sits prefetched but never read.  A coherent write must charge
+  // the prefetcher (wasted, not useful) and drop the stale copy...
+  const auto wasted0 = cache.call<&PageCache::prefetch_wasted>();
+  const auto misses0 = cache.call<&PageCache::misses>();
+  write_page(99.0, 4);
+  EXPECT_EQ(cache.call<&PageCache::prefetch_wasted>(), wasted0 + 1);
+  EXPECT_GE(cache.call<&PageCache::invalidations>(), 1u);
+
+  // ...so the next read is a fresh miss that sees the new bytes.
+  EXPECT_DOUBLE_EQ(read_via(cache, 4), 99.0);
+  EXPECT_GT(cache.call<&PageCache::misses>(), misses0);
+}
+
+TEST_F(DsmTest, DirtyPageRecalledBeforeCompetingReadReturns) {
+  auto writer = cluster_.make_remote<PageCache>(
+      1, std::uint32_t{8},
+      dsm::PageCacheOptions{.write_back = true, .max_dirty = 8});
+  writer.call<&PageCache::set_self>(writer);
+  auto reader = make_cache(2);
+  write_page(1.0, 3);
+
+  // The write completes locally: buffered dirty, ownership registered.
+  writer.call<&PageCache::write_array>(device_, filled_page(42.0), 3);
+  EXPECT_EQ(writer.call<&PageCache::dirty_resident>(), 1u);
+  EXPECT_TRUE(device_.call<&CoherentDevice::has_dirty_owner>(3));
+
+  // A competing read through another cache must see the buffered bytes:
+  // the device recalls the dirty owner before serving.
+  EXPECT_DOUBLE_EQ(read_via(reader, 3), 42.0);
+  EXPECT_EQ(writer.call<&PageCache::dirty_resident>(), 0u);
+  EXPECT_FALSE(device_.call<&CoherentDevice::has_dirty_owner>(3));
+
+  // The recalled bytes reached the backing store, and the writer's copy
+  // stayed resident (now clean) — a hit, not a refetch.
+  EXPECT_DOUBLE_EQ(
+      device_.call<&CoherentDevice::read_array>(3).at(0, 0, 0), 42.0);
+  const auto hits0 = writer.call<&PageCache::hits>();
+  EXPECT_DOUBLE_EQ(read_via(writer, 3), 42.0);
+  EXPECT_EQ(writer.call<&PageCache::hits>(), hits0 + 1);
+}
+
+TEST_F(DsmTest, WriteBackCoalescesIntoOneFlush) {
+  auto cache = cluster_.make_remote<PageCache>(
+      1, std::uint32_t{8},
+      dsm::PageCacheOptions{.write_back = true, .max_dirty = 2});
+  cache.call<&PageCache::set_self>(cache);
+
+  // Two buffered writes stay local: the device sees ownership traffic but
+  // no page data yet.
+  cache.call<&PageCache::write_array>(device_, filled_page(10.0), 0);
+  cache.call<&PageCache::write_array>(device_, filled_page(11.0), 1);
+  EXPECT_EQ(cache.call<&PageCache::dirty_resident>(), 2u);
+  EXPECT_DOUBLE_EQ(
+      device_.call<&storage::ArrayPageDevice::read_array>(0).at(0, 0, 0), 0.0);
+
+  // The third write exceeds max_dirty and triggers one coalesced flush of
+  // the whole dirty set.
+  cache.call<&PageCache::write_array>(device_, filled_page(12.0), 2);
+  EXPECT_EQ(cache.call<&PageCache::dirty_resident>(), 0u);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_FALSE(device_.call<&CoherentDevice::has_dirty_owner>(p));
+    EXPECT_DOUBLE_EQ(
+        device_.call<&storage::ArrayPageDevice::read_array>(p).at(0, 0, 0),
+        10.0 + p);
+  }
+
+  // An explicit flush with nothing dirty is a no-op.
+  cache.call<&PageCache::flush>();
+  EXPECT_EQ(cache.call<&PageCache::dirty_resident>(), 0u);
+}
+
 }  // namespace

@@ -400,8 +400,10 @@ TEST_P(OutOfCoreFft, MatchesInMemoryTransform) {
   const auto stats = fft::fft3d_out_of_core(
       re, im, -1, fft::OutOfCoreOptions{.max_bytes = GetParam()});
   // Every element moves exactly twice per pass regardless of budget.
-  EXPECT_EQ(stats.elements_moved,
+  EXPECT_EQ(stats.elements_moved(),
             static_cast<std::uint64_t>(4 * e.volume()));
+  EXPECT_EQ(stats.pass1.elements_read, stats.pass1.elements_written);
+  EXPECT_EQ(stats.pass2.elements_read, stats.pass2.elements_written);
 
   const auto re_out = re.read(whole);
   const auto im_out = im.read(whole);

@@ -1,0 +1,188 @@
+// Heavy overlap stress (ctest label: slow).  Exercises the full
+// communication/computation pipeline at a size the regular suites avoid:
+// the double-buffered out-of-core FFT over a tiny budget (maximum slab
+// count, every read prefetched and every write behind by one slab), and
+// several machines streaming through coherent caches with read-ahead and
+// write-back while writers churn — the coherence protocol under real
+// concurrency, not a scripted interleaving.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <numbers>
+#include <thread>
+#include <vector>
+
+#include "array/array.hpp"
+#include "array/block_storage.hpp"
+#include "core/oopp.hpp"
+#include "dsm/page_cache.hpp"
+#include "fft/fft3d.hpp"
+#include "fft/out_of_core.hpp"
+#include "util/prng.hpp"
+
+using namespace oopp;
+namespace arr = oopp::array;
+using dsm::CoherentDevice;
+using dsm::PageCache;
+
+namespace {
+
+class PipelineStressTest : public ::testing::Test {
+ protected:
+  PipelineStressTest() : cluster_(4) {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("oopp-pipe-stress-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  ~PipelineStressTest() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  arr::Array make_disk_array(const std::string& tag, const Extents3& n,
+                             const Extents3& b, int devices) {
+    const Extents3 grid{ceil_div(n.n1, b.n1), ceil_div(n.n2, b.n2),
+                        ceil_div(n.n3, b.n3)};
+    const arr::PageMapSpec spec{arr::PageMapKind::kRoundRobin};
+    arr::BlockStorageConfig cfg;
+    cfg.file_prefix = (dir_ / tag).string();
+    cfg.devices = devices;
+    cfg.pages_per_device =
+        static_cast<std::int32_t>(spec.pages_per_device(grid, devices));
+    cfg.n1 = static_cast<int>(b.n1);
+    cfg.n2 = static_cast<int>(b.n2);
+    cfg.n3 = static_cast<int>(b.n3);
+    auto storage = arr::create_block_storage(cfg, [&](std::int32_t i) {
+      return static_cast<net::MachineId>(i % cluster_.size());
+    });
+    return arr::Array(n.n1, n.n2, n.n3, b.n1, b.n2, b.n3, storage, spec);
+  }
+
+  static inline int counter_ = 0;
+  Cluster cluster_;
+  std::filesystem::path dir_;
+};
+
+// A 64^3 transform with the smallest page-aligned pipeline budget: one
+// 8-row layer per stage, so both passes run at maximum slab count with
+// every slab prefetched and written behind.  The pipelined forward and
+// inverse transforms must reproduce the tone exactly — overlap may
+// reorder the I/O, never the bytes.
+TEST_F(PipelineStressTest, OutOfCoreRoundTripAtMaxSlabCount) {
+  const Extents3 N{64, 64, 64};
+  const Extents3 b{8, 8, 8};
+  auto re = make_disk_array("re", N, b, 8);
+  auto im = make_disk_array("im", N, b, 8);
+
+  const index_t k1 = 5, k2 = 9, k3 = 12;
+  const auto whole = arr::Domain::whole(N);
+  std::vector<double> re0(static_cast<std::size_t>(N.volume()));
+  std::vector<double> im0(re0.size());
+  for (index_t i1 = 0; i1 < N.n1; ++i1)
+    for (index_t i2 = 0; i2 < N.n2; ++i2)
+      for (index_t i3 = 0; i3 < N.n3; ++i3) {
+        const double phase =
+            2.0 * std::numbers::pi *
+            (double(k1 * i1) / double(N.n1) + double(k2 * i2) / double(N.n2) +
+             double(k3 * i3) / double(N.n3));
+        re0[N.linear(i1, i2, i3)] = std::cos(phase);
+        im0[N.linear(i1, i2, i3)] = std::sin(phase);
+      }
+  re.write(re0, whole);
+  im.write(im0, whole);
+
+  // 3 x one 8-row layer (8 * 64 * 64 complex doubles = 512 KiB).
+  const fft::OutOfCoreOptions opts{
+      .max_bytes = std::size_t{3} * (std::size_t{512} << 10),
+      .pipeline = true};
+  const auto fwd = fft::fft3d_out_of_core(re, im, -1, opts);
+  EXPECT_EQ(fwd.pass1.slabs, 8);
+  EXPECT_EQ(fwd.pass2.slabs, 8);
+  EXPECT_EQ(fwd.elements_moved(),
+            static_cast<std::uint64_t>(4 * N.volume()));
+  EXPECT_NEAR(re.get(k1, k2, k3), double(N.volume()), 1e-6);
+  EXPECT_NEAR(re.get(0, 0, 0), 0.0, 1e-6);
+
+  fft::fft3d_out_of_core(re, im, +1, opts);
+  re.scale(1.0 / double(N.volume()), whole);
+  im.scale(1.0 / double(N.volume()), whole);
+  const auto re_back = re.read(whole);
+  const auto im_back = im.read(whole);
+  double err = 0.0;
+  for (std::size_t i = 0; i < re_back.size(); ++i) {
+    err = std::max(err, std::abs(re_back[i] - re0[i]));
+    err = std::max(err, std::abs(im_back[i] - im0[i]));
+  }
+  EXPECT_LT(err, 1e-10);
+}
+
+// Three machines stream the same device concurrently, each with
+// read-ahead on and each write-back-buffering churn into its own page
+// range.  Every read anywhere must observe a uniform page (no torn
+// pages, no stale bytes after a completed write), and after the final
+// flushes the backing store holds every writer's last value.
+TEST_F(PipelineStressTest, ConcurrentStreamsWithWriteBackAndPrefetch) {
+  constexpr int kPages = 48;
+  constexpr int kPerWriter = kPages / 3;
+  constexpr int kRounds = 30;
+  constexpr int n = 4;  // 4^3 doubles per page
+  auto device = cluster_.make_remote<CoherentDevice>(
+      0, (dir_ / "dev").string(), kPages, n, n, n);
+
+  storage::ArrayPage zero(n, n, n);
+  for (int p = 0; p < kPages; ++p)
+    device.call<&CoherentDevice::write_array_coherent>(zero, p);
+
+  std::vector<remote_ptr<PageCache>> caches;
+  for (int w = 0; w < 3; ++w) {
+    auto cache = cluster_.make_remote<PageCache>(
+        static_cast<net::MachineId>(1 + w), std::uint32_t{kPages},
+        dsm::PageCacheOptions{
+            .readahead = 6, .write_back = true, .max_dirty = 4});
+    cache.call<&PageCache::set_self>(cache);
+    caches.push_back(cache);
+  }
+
+  std::atomic<int> anomalies{0};
+  auto worker = [&](int w) {
+    const auto m = static_cast<net::MachineId>(1 + w);
+    auto guard = cluster_.use(m);
+    auto cache = caches[static_cast<std::size_t>(w)];
+
+    storage::ArrayPage page(n, n, n);
+    for (int round = 1; round <= kRounds; ++round) {
+      // Churn this writer's own range through the write-back buffer.
+      const double v = w * 1000.0 + round;
+      for (index_t i = 0; i < page.elements(); ++i) page.values()[i] = v;
+      for (int p = w * kPerWriter; p < (w + 1) * kPerWriter; ++p)
+        cache.call<&PageCache::write_array>(device, page, p);
+      // Stream the whole device (other writers' pages included): every
+      // observed page must be uniform — one write's bytes, never a mix.
+      for (int p = 0; p < kPages; ++p) {
+        auto got = cache.call<&PageCache::read_array>(device, p);
+        const double first = got.at(0, 0, 0);
+        for (index_t i = 0; i < got.elements(); ++i)
+          if (got.values()[i] != first) anomalies.fetch_add(1);
+      }
+    }
+    cache.call<&PageCache::flush>();
+  };
+
+  std::thread t0(worker, 0), t1(worker, 1), t2(worker, 2);
+  t0.join();
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(anomalies.load(), 0);
+  for (int p = 0; p < kPages; ++p) {
+    const double expect = (p / kPerWriter) * 1000.0 + kRounds;
+    auto got = device.call<&CoherentDevice::read_array>(p);
+    EXPECT_DOUBLE_EQ(got.at(0, 0, 0), expect) << "page " << p;
+  }
+  for (auto& c : caches) c.destroy();
+  device.destroy();
+}
+
+}  // namespace

@@ -1,0 +1,35 @@
+// Fixture: an async call collected in the same statement — a blocking
+// call with extra steps.  The async spelling only pays off when work (or
+// more calls) happen between issue and get().
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+template <class R>
+struct FakeFuture {
+  R get() { return R{}; }
+};
+
+struct FakePtr {
+  template <auto M, class... A>
+  FakeFuture<int> async(A&&...) const {
+    return {};
+  }
+  FakeFuture<int> async_ping() const { return {}; }
+};
+
+inline int collapses_the_overlap(const FakePtr& p) {
+  int sum = p.async<nullptr>(1, 2).get();     // LINT-EXPECT: async-then-immediate-get
+  sum += p.async_ping().get();                // LINT-EXPECT: async-then-immediate-get
+  sum += p.async<nullptr>(std::vector<int>{1, 2})  // LINT-EXPECT: async-then-immediate-get
+             .get();
+
+  // The sanctioned shapes: hold the future, overlap, then collect…
+  auto fut = p.async<nullptr>(3);
+  sum += p.async_ping().get();  // oopp-lint: allow(async-then-immediate-get)
+  sum += fut.get();
+  return sum;
+}
+
+}  // namespace fixture

@@ -17,7 +17,7 @@ inline int hot_path() {
   FakeFuture<int> fut;
   int acc = fut.get();                     // LINT-EXPECT: future-bare-get
   FakeHandle h;
-  acc += h.async_ping().get();             // LINT-EXPECT: future-bare-get
+  acc += h.async_ping().get();             // LINT-EXPECT: future-bare-get LINT-EXPECT: async-then-immediate-get
   FakeFuture<int>* pf = &fut;
   acc += pf->get();                        // LINT-EXPECT: future-bare-get
   return acc;

@@ -50,6 +50,15 @@ raw-batch-header        Batch-frame framing (``kBatchMagic`` / the 0xB5
                         belongs to net::wire alone.  A hand-rolled batch
                         header outside ``src/net/`` silently diverges from
                         the one codec the FrameReader understands.
+async-then-immediate-get
+                        ``async_*(...)`` / ``.async<&M>(...)`` followed by
+                        ``.get()`` in the same statement is a blocking
+                        call with extra steps: nothing overlaps, but the
+                        reply path still pays the future machinery.  Use
+                        ``call<&M>`` — or hold the future and do work
+                        before collecting it.  Annotate sites where the
+                        async spelling is load-bearing (e.g. fan-out
+                        helpers collecting a vector of futures).
 
 Usage
 -----
@@ -181,6 +190,18 @@ def find_matching_brace(text: str, open_idx: int) -> int:
             if depth == 0:
                 return i
     return len(text) - 1
+
+
+def find_matching_paren(text: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
 
 
 def struct_members(body: str) -> list[tuple[str, int]]:
@@ -407,6 +428,50 @@ def check_token_rules(path: Path, text: str, raw_lines: list[str], rel: str):
 
 
 # --------------------------------------------------------------------------
+# async-then-immediate-get
+# --------------------------------------------------------------------------
+
+# An `async…` member or free call: `.async<&M>(…)`, `async_ping(…)`, …
+# The template argument list never contains parentheses in this codebase
+# (member pointers like &T::m), which keeps the scan cheap.
+ASYNC_CALL_RE = re.compile(r"\basync\w*\s*(?:<[^;{}()]*>)?\s*\(")
+
+
+def check_async_immediate_get(path: Path, text: str, raw_lines: list[str]):
+    """Flag `async_*(...)` whose result is `.get()`-ed in the same
+    statement — a blocking call spelled asynchronously."""
+    violations = []
+    for m in ASYNC_CALL_RE.finditer(text):
+        close_idx = find_matching_paren(text, m.end() - 1)
+        if close_idx < 0:
+            continue
+        j = close_idx + 1
+        for token in (".", "get", "("):
+            while j < len(text) and text[j] in " \t\n":
+                j += 1
+            if not text.startswith(token, j):
+                j = -1
+                break
+            j += len(token)
+        if j < 0:
+            continue
+        line = line_of(text, m.start())
+        if suppressed(raw_lines, line, "async-then-immediate-get"):
+            continue
+        violations.append(
+            Violation(
+                path,
+                line,
+                "async-then-immediate-get",
+                "async call immediately .get()-ed in the same statement "
+                "— nothing overlaps; use call<&M> for a blocking call, "
+                "or hold the future and do work before collecting it",
+            )
+        )
+    return violations
+
+
+# --------------------------------------------------------------------------
 # driver
 # --------------------------------------------------------------------------
 
@@ -423,6 +488,7 @@ def lint_file(path: Path, root: Path) -> list[Violation]:
     violations = []
     violations += check_serialize_coverage(path, text, raw_lines)
     violations += check_token_rules(path, text, raw_lines, rel)
+    violations += check_async_immediate_get(path, text, raw_lines)
     return violations
 
 
