@@ -90,12 +90,16 @@ void Array::validate_domain(const Domain& domain) const {
 }
 
 const remote_ptr<ArrayPageDevice>& Array::device(
+    std::int32_t device_id) const {
+  OOPP_CHECK_MSG(device_id >= 0 &&
+                     static_cast<std::size_t>(device_id) < data_.size(),
+                 "page map produced device " << device_id << " out of range");
+  return data_[static_cast<std::size_t>(device_id)];
+}
+
+const remote_ptr<ArrayPageDevice>& Array::device(
     const PageAddress& addr) const {
-  OOPP_CHECK_MSG(addr.device_id >= 0 &&
-                     static_cast<std::size_t>(addr.device_id) < data_.size(),
-                 "page map produced device " << addr.device_id
-                                             << " out of range");
-  return data_[addr.device_id];
+  return device(addr.device_id);
 }
 
 template <class Fn>
@@ -174,9 +178,7 @@ std::vector<double> SliceReadFuture::get() {
   return out;
 }
 
-void SliceWriteFuture::get() {
-  OOPP_CHECK_MSG(valid(), "SliceWriteFuture::get() called twice");
-  done_ = true;
+void SliceWriteFuture::finish(const std::vector<double>& sub) {
   // Finish the read-modify-write of partially covered pages: harvest the
   // batched reads, overlay, and send the batched writes.
   for (auto& r : rmw_) {
@@ -184,7 +186,7 @@ void SliceWriteFuture::get() {
     OOPP_CHECK(pages.size() == r.pieces.size());
     for (std::size_t i = 0; i < pages.size(); ++i) {
       const auto& pc = r.pieces[i];
-      buffer_to_page(sub_, domain_, pc.inter, pc.o1, pc.o2, pc.o3, pages[i]);
+      buffer_to_page(sub, domain_, pc.inter, pc.o1, pc.o2, pc.o3, pages[i]);
     }
     writes_.push_back(r.dev.async<&ArrayPageDevice::write_arrays>(
         std::move(pages), r.indices));
@@ -192,6 +194,12 @@ void SliceWriteFuture::get() {
   rmw_.clear();
   for (auto& w : writes_) w.get();
   writes_.clear();
+}
+
+void SliceWriteFuture::get() {
+  OOPP_CHECK_MSG(valid(), "SliceWriteFuture::get() called twice");
+  done_ = true;
+  finish(sub_);
   sub_.clear();
 }
 
@@ -217,7 +225,7 @@ SliceReadFuture Array::async_read_slice(const Domain& domain) const {
 
   op.batches_.reserve(per_dev.size());
   for (auto& [dev_id, b] : per_dev) {
-    const auto& dev = data_[static_cast<std::size_t>(dev_id)];
+    const auto& dev = device(dev_id);
     pages_read_ += b.indices.size();
     SliceReadFuture::Batch batch;
     batch.fut = dev.async<&ArrayPageDevice::read_arrays>(b.indices);
@@ -229,6 +237,16 @@ SliceReadFuture Array::async_read_slice(const Domain& domain) const {
 
 SliceWriteFuture Array::async_write_slice(std::vector<double> subarray,
                                           const Domain& domain) {
+  // The builder borrows the buffer (fully covered pages are copied into
+  // their ArrayPages right away); the future keeps it only for the RMW
+  // overlay inside get().
+  SliceWriteFuture op = build_write_slice(subarray, domain);
+  op.sub_ = std::move(subarray);
+  return op;
+}
+
+SliceWriteFuture Array::build_write_slice(const std::vector<double>& subarray,
+                                          const Domain& domain) {
   validate_domain(domain);
   OOPP_CHECK_MSG(
       subarray.size() == static_cast<std::size_t>(domain.volume()),
@@ -237,7 +255,6 @@ SliceWriteFuture Array::async_write_slice(std::vector<double> subarray,
   SliceWriteFuture op;
   op.domain_ = domain;
   if (domain.empty()) return op;
-  op.sub_ = std::move(subarray);
 
   struct Build {
     std::vector<std::int32_t> full_indices;
@@ -256,7 +273,7 @@ SliceWriteFuture Array::async_write_slice(std::vector<double> subarray,
       // Fully covered: build the page locally, no read needed.
       ArrayPage page(static_cast<int>(b_.n1), static_cast<int>(b_.n2),
                      static_cast<int>(b_.n3));
-      buffer_to_page(op.sub_, domain, inter, o1, o2, o3, page);
+      buffer_to_page(subarray, domain, inter, o1, o2, o3, page);
       b.full_indices.push_back(addr.index);
       b.full_pages.push_back(std::move(page));
     } else {
@@ -266,7 +283,7 @@ SliceWriteFuture Array::async_write_slice(std::vector<double> subarray,
   });
 
   for (auto& [dev_id, b] : per_dev) {
-    const auto& dev = data_[static_cast<std::size_t>(dev_id)];
+    const auto& dev = device(dev_id);
     if (!b.full_indices.empty()) {
       pages_written_ += b.full_indices.size();
       op.writes_.push_back(dev.async<&ArrayPageDevice::write_arrays>(
@@ -343,8 +360,12 @@ void Array::write(const std::vector<double>& subarray, const Domain& domain) {
     return;
   }
 
-  auto op = async_write_slice(subarray, domain);
-  op.get();
+  // Borrow the caller's buffer rather than paying async_write_slice's
+  // by-value copy: the receive half completes before returning, so the
+  // borrow never outlives the buffer.
+  SliceWriteFuture op = build_write_slice(subarray, domain);
+  op.done_ = true;
+  op.finish(subarray);
 }
 
 double Array::sum(const Domain& domain) const {

@@ -82,6 +82,10 @@ class SliceWriteFuture {
 
  private:
   friend class Array;
+  /// Receive half against a borrowed subarray buffer; get() runs it
+  /// against the owned copy, Array::write against the caller's buffer
+  /// (which outlives the call, so no copy is needed).
+  void finish(const std::vector<double>& sub);
   struct Piece {
     std::int32_t index = 0;
     Domain inter;
@@ -216,6 +220,15 @@ class Array {
   void validate_domain(const Domain& domain) const;
   [[nodiscard]] const remote_ptr<storage::ArrayPageDevice>& device(
       const PageAddress& addr) const;
+  [[nodiscard]] const remote_ptr<storage::ArrayPageDevice>& device(
+      std::int32_t device_id) const;
+
+  /// Send half of a slice write against a borrowed buffer: fully covered
+  /// pages go out batched per device, RMW reads are issued.  The returned
+  /// future's sub_ is left empty — the caller either moves the buffer in
+  /// (async_write_slice) or finishes against the borrow (write).
+  [[nodiscard]] SliceWriteFuture build_write_slice(
+      const std::vector<double>& subarray, const Domain& domain);
 
   Extents3 n_{};     // array extents N1,N2,N3
   Extents3 b_{};     // page block extents n1,n2,n3

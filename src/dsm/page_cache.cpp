@@ -237,6 +237,14 @@ storage::ArrayPage PageCache::read_array(remote_ptr<CoherentDevice> device,
         served = true;
       } else {
         // Poisoned by a raced invalidation: fall through to a fresh fetch.
+        // The harvest queued this key's unsubscribe; cancel it — the
+        // deferred drop at a later miss would otherwise silently cancel
+        // the live subscription the refetch below is about to establish,
+        // and every write after that would leave this cache serving
+        // stale bytes.
+        to_unsubscribe_.erase(
+            std::remove(to_unsubscribe_.begin(), to_unsubscribe_.end(), key),
+            to_unsubscribe_.end());
         pending_ = key;
         pending_poisoned_ = false;
       }
@@ -435,6 +443,7 @@ void PageCache::flush() {
     std::lock_guard lock(mu_);
     for (const auto& [key, e] : pages_) {
       if (!e.dirty) continue;
+      flushing_.insert(key);
       auto& g = groups[key.device];
       g.first.push_back(key.index);
       g.second.push_back(e.page);
@@ -447,14 +456,20 @@ void PageCache::flush() {
                                            self_);
     std::lock_guard lock(mu_);
     for (const auto idx : g.first) {
-      auto it = pages_.find(PageKey{dev_ref, idx});
-      if (it == pages_.end() || !it->second.dirty) continue;  // recalled
+      const PageKey key{dev_ref, idx};
+      flushing_.erase(key);
+      // Gone or clean: recalled by a competing accessor, or dropped by an
+      // invalidation that raced the flush_pages call (a newer write
+      // superseded the flushed bytes device-side).
+      auto it = pages_.find(key);
+      if (it == pages_.end() || !it->second.dirty) continue;
       it->second.dirty = false;
       --dirty_;
-      insert_lru_locked(PageKey{dev_ref, idx});
+      insert_lru_locked(key);
     }
   }
   std::lock_guard lock(mu_);
+  flushing_.clear();
   while (pages_.size() - dirty_ > capacity_) evict_lru_locked();
 }
 
@@ -480,10 +495,26 @@ void PageCache::invalidate(PageKey key) {
     prefetch_->poisoned.insert(key.index);
   auto it = pages_.find(key);
   if (it == pages_.end()) return;
-  // Never drop buffered bytes: our dirty write completed AFTER the write
-  // this invalidation announces (mark_dirty ordered us behind it on the
-  // device queue), so our bytes win — they leave via flush, not here.
-  if (it->second.dirty) return;
+  if (it->second.dirty) {
+    if (flushing_.contains(key)) {
+      // The page is in an in-flight flush snapshot.  While we are the
+      // registered dirty owner, a competing writer RECALLS (which cleans
+      // the entry) before invalidating — so a dirty entry receiving an
+      // invalidation here means the device already applied our
+      // flush_pages, deregistered us, and a newer write superseded the
+      // flushed bytes.  Drop the entry now so the post-flush loop cannot
+      // mark it clean and serve stale hits.
+      flushing_.erase(key);
+      pages_.erase(it);
+      --dirty_;
+      return;
+    }
+    // Never drop buffered bytes otherwise: our dirty write completed
+    // AFTER the write this invalidation announces (mark_dirty ordered us
+    // behind it on the device queue), so our bytes win — they leave via
+    // flush, not here.
+    return;
+  }
   if (it->second.from_prefetch && !it->second.used) {
     ++pf_wasted_;
     static auto& wasted_ctr =

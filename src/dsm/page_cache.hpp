@@ -292,6 +292,12 @@ class PageCache {
 
   std::optional<Prefetch> prefetch_;
 
+  // Dirty keys snapshotted by an in-flight flush().  An invalidation
+  // arriving for one of these while the entry is still dirty means the
+  // flushed bytes were already superseded device-side — invalidate()
+  // drops the entry so the post-flush loop cannot mark it clean.
+  std::set<PageKey> flushing_;
+
   // Sequential-stream detector, per device: last miss index + run length.
   struct Stream {
     std::int32_t last = -2;

@@ -213,6 +213,67 @@ TEST_F(DsmTest, PrefetchWastedWhenInvalidatedBeforeUse) {
   EXPECT_GT(cache.call<&PageCache::misses>(), misses0);
 }
 
+TEST_F(DsmTest, PoisonedPrefetchRefetchKeepsSubscriptionLive) {
+  auto cache = cluster_.make_remote<PageCache>(
+      1, std::uint32_t{8}, dsm::PageCacheOptions{.readahead = 4});
+  cache.call<&PageCache::set_self>(cache);
+  for (int p = 0; p < 8; ++p) write_page(double(p), p);
+
+  // Two consecutive misses arm the stream detector; the window [2, 5]
+  // goes on the wire and parks.
+  EXPECT_DOUBLE_EQ(read_via(cache, 0), 0.0);
+  EXPECT_DOUBLE_EQ(read_via(cache, 1), 1.0);
+
+  // Poison page 3 while it sits in the in-flight window, then request
+  // it: the harvest drops the stale prefetched copy and the read falls
+  // through to a fresh fetch + re-subscribe.
+  write_page(99.0, 3);
+  EXPECT_DOUBLE_EQ(read_via(cache, 3), 99.0);
+
+  // A later miss drains the unsubscribes the harvest deferred.  The
+  // refetched page's subscription must survive that drain...
+  (void)read_via(cache, 7);
+
+  // ...or this write would never invalidate the cache and the final read
+  // would serve 99 forever (the stale-read hole).
+  write_page(100.0, 3);
+  EXPECT_DOUBLE_EQ(read_via(cache, 3), 100.0);
+  EXPECT_EQ(device_.call<&CoherentDevice::subscriber_count>(3), 1u);
+}
+
+TEST_F(DsmTest, FlushRacingCoherentWriteNeverYieldsStaleReads) {
+  // In every interleaving of a write-back flush with a competing
+  // coherent write to the same page, the coherent write's bytes land
+  // last device-side: either the flush applies first and is superseded,
+  // or the writer recalls the buffered bytes before its own.  A read
+  // after both completed must therefore always see the coherent write —
+  // never a flushed copy the cache wrongly marked clean.
+  auto cache = cluster_.make_remote<PageCache>(
+      1, std::uint32_t{8},
+      dsm::PageCacheOptions{.write_back = true, .max_dirty = 8});
+  cache.call<&PageCache::set_self>(cache);
+  write_page(0.0, 0);
+
+  for (int round = 1; round <= 100; ++round) {
+    const double buffered = round * 10.0;
+    const double direct = round * 10.0 + 1.0;
+    cache.call<&PageCache::write_array>(device_, filled_page(buffered), 0);
+    std::thread flusher([&] {
+      auto guard = cluster_.use(1);
+      cache.call<&PageCache::flush>();
+    });
+    std::thread writer([&] {
+      auto guard = cluster_.use(2);
+      device_.call<&CoherentDevice::write_array_coherent>(
+          filled_page(direct), 0);
+    });
+    flusher.join();
+    writer.join();
+    EXPECT_DOUBLE_EQ(read_via(cache, 0), direct) << "round " << round;
+    EXPECT_EQ(cache.call<&PageCache::dirty_resident>(), 0u);
+  }
+}
+
 TEST_F(DsmTest, DirtyPageRecalledBeforeCompetingReadReturns) {
   auto writer = cluster_.make_remote<PageCache>(
       1, std::uint32_t{8},
