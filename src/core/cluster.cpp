@@ -7,7 +7,9 @@
 #include "net/inproc_fabric.hpp"
 #include "net/tcp_fabric.hpp"
 #include "rpc/errors.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/assert.hpp"
+#include "util/checked_mutex.hpp"
 
 namespace oopp {
 
@@ -58,6 +60,22 @@ void write_file(const std::filesystem::path& p,
 }  // namespace
 
 Cluster::Cluster(Options opts) {
+  // lockcheck -> telemetry bridge.  util sits below telemetry in the
+  // layering, so the checker reports through a hook; install it once per
+  // process here, where both layers are visible.
+  static const bool lockcheck_hook = [] {
+    util::lockcheck::set_event_hook([](util::lockcheck::Event e) {
+      static auto& scope = telemetry::Metrics::scope_for("lockcheck");
+      static auto& cross_edges = scope.counter("cross_edges_recorded");
+      static auto& hazards = scope.counter("hazards_flagged");
+      (e == util::lockcheck::Event::kCrossEdgeRecorded ? cross_edges
+                                                       : hazards)
+          .add(1);
+    });
+    return true;
+  }();
+  (void)lockcheck_hook;
+
   if (!opts.mesh_endpoints.empty()) {
     // Multi-process deployment: this process hosts one machine of the
     // mesh; everything else is reached over real sockets.
@@ -166,6 +184,14 @@ std::size_t Cluster::dump_trace(const std::filesystem::path& dir) const {
     if (out.good()) ++written;
   }
   return written;
+}
+
+std::size_t Cluster::dump_lockgraph(const std::filesystem::path& dir) const {
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir /
+                    ("lockgraph_node" + std::to_string(local_) + ".json"));
+  out << util::lockcheck::dump_graph_json(local_);
+  return out.good() ? 1 : 0;
 }
 
 rpc::Node& Cluster::node(net::MachineId m) {

@@ -113,6 +113,15 @@ class Cluster {
   /// trace_node<N>.json; tools/oopp_trace.py merges them into a single
   /// causally ordered timeline.  Returns the number of files written.
   std::size_t dump_trace(const std::filesystem::path& dir) const;
+
+  /// Write this process's lock-order graph (local edges + the cross-node
+  /// edges recorded while serving RPCs under OOPP_DIST_LOCK_CHECK) into
+  /// `dir` as lockgraph_node<local>.json; tools/oopp_graph.py merges the
+  /// per-process dumps and reports distributed deadlock cycles.  One file
+  /// per process — the lockcheck graph is process-wide, so a single-
+  /// process multi-machine cluster dumps everything in one file.
+  /// Returns the number of files written (1).
+  std::size_t dump_lockgraph(const std::filesystem::path& dir) const;
   [[nodiscard]] const std::filesystem::path& state_dir() const {
     return state_dir_;
   }

@@ -34,6 +34,7 @@ class Future {
   [[nodiscard]] bool valid() const { return f_.valid(); }
   void wait() {
     rpc::note_blocking_remote_call("Future::wait");
+    rpc::BlockingWaitTimer timer;
     f_.wait();
   }
 
@@ -44,6 +45,7 @@ class Future {
   template <class Rep, class Period>
   [[nodiscard]] bool wait_for(std::chrono::duration<Rep, Period> timeout) {
     rpc::note_blocking_remote_call("Future::wait_for");
+    rpc::BlockingWaitTimer timer;
     return f_.wait_for(timeout) == std::future_status::ready;
   }
 
@@ -62,7 +64,10 @@ class Future {
   /// ObjectNotFound / ... exactly like the synchronous call would.
   R get() {
     rpc::note_blocking_remote_call("Future::get");
-    net::Message resp = f_.get();
+    net::Message resp = [&] {
+      rpc::BlockingWaitTimer timer;  // times the wait, not the decode
+      return f_.get();
+    }();
     rpc::Node::throw_on_error(resp);
     if constexpr (std::is_void_v<R>) {
       return;

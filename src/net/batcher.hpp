@@ -133,7 +133,7 @@ struct BatchQueue {
   bool add(Message m, const BatchOptions& o) {
     const bool first = frames.empty();
     if (first) deadline = steady_clock::now() + o.max_delay;
-    bytes += wire::kFrameHeaderSize + m.payload.size();
+    bytes += wire::header_wire_size(m.header) + m.payload.size();
     frames.push_back(std::move(m));
     return first;
   }
@@ -236,7 +236,8 @@ class BatchFlusher {
         }
       }
       if (fired.empty()) {
-        cv_.wait_until(lock, earliest);
+        // oopp-lint: allow(condvar-wait-no-predicate) scheduling sleep;
+        cv_.wait_until(lock, earliest);  // the for(;;) re-checks due_
         continue;
       }
       lock.unlock();

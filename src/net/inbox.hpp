@@ -87,7 +87,8 @@ class Inbox {
           }
           earliest = std::min(earliest, it->deliver_at);
         }
-        cv_.wait_until(lock, earliest);
+        // oopp-lint: allow(condvar-wait-no-predicate) delay sleep; the
+        cv_.wait_until(lock, earliest);  // for(;;) re-scans the queue
         continue;
       }
       if (closed_) return std::nullopt;

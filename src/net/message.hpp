@@ -8,6 +8,7 @@
 // when status != ok).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -65,6 +66,19 @@ inline const char* call_status_name(CallStatus s) {
   return "unknown";
 }
 
+/// Distributed lock-check extension: the lock-class-name hashes the
+/// issuing thread held when the request went out (util::lockcheck wire
+/// piggyback; see docs/CONCURRENCY.md "Distributed deadlock detection").
+/// Empty unless OOPP_DIST_LOCK_CHECK is on — and an empty set costs zero
+/// bytes on the wire, keeping frames byte-identical to the pre-extension
+/// format.  Requests only; responses never carry one.
+struct LockSet {
+  std::uint8_t count = 0;
+  std::array<std::uint32_t, 8> ids{};
+
+  [[nodiscard]] bool empty() const { return count == 0; }
+};
+
 struct MessageHeader {
   MsgKind kind = MsgKind::kRequest;
   CallStatus status = CallStatus::kOk;  // meaningful for responses
@@ -85,6 +99,8 @@ struct MessageHeader {
   /// non-retryable call — the server skips at-most-once bookkeeping for
   /// those.  Responses echo the attempt they answer.
   std::uint32_t attempt = 0;
+  /// Distributed lock-check extension (see LockSet above).
+  LockSet held;
 };
 
 /// FNV-1a over arbitrary bytes, folded to 32 bits, never returning 0 (so
@@ -109,9 +125,12 @@ struct Message {
   Buffer payload;
 
   /// Total bytes this message occupies on the wire; used by the network
-  /// cost model and by transfer accounting in the benches.
+  /// cost model and by transfer accounting in the benches.  The LockSet
+  /// field is excluded from the fixed part — on the wire it occupies
+  /// bytes only when non-empty (1 count byte + 4 per class hash).
   [[nodiscard]] std::size_t wire_size() const {
-    return sizeof(MessageHeader) + payload.size();
+    return sizeof(MessageHeader) - sizeof(LockSet) + payload.size() +
+           (header.held.empty() ? 0 : 1 + 4u * header.held.count);
   }
 };
 
@@ -124,7 +143,8 @@ inline Message make_request(MachineId src, MachineId dst, SeqNum seq,
                             Buffer payload, bool checksum,
                             std::uint64_t trace_id = 0,
                             std::uint64_t span_id = 0,
-                            std::uint32_t attempt = 0) {
+                            std::uint32_t attempt = 0,
+                            const LockSet& held = {}) {
   Message m;
   m.header.kind = MsgKind::kRequest;
   m.header.status = CallStatus::kOk;
@@ -136,6 +156,7 @@ inline Message make_request(MachineId src, MachineId dst, SeqNum seq,
   m.header.trace_id = trace_id;
   m.header.span_id = span_id;
   m.header.attempt = attempt;
+  m.header.held = held;
   m.payload = std::move(payload);
   if (checksum) m.header.payload_crc = payload_checksum(m.payload);
   return m;
@@ -143,6 +164,8 @@ inline Message make_request(MachineId src, MachineId dst, SeqNum seq,
 
 /// Build the response to `request`: src/dst swapped, seq/object/method and
 /// the trace extension echoed so the caller can match and attribute it.
+/// The request's held-lock set is NOT echoed — responses complete a
+/// pending call; there is no dispatch context to attribute edges to.
 inline Message make_response(const MessageHeader& request, CallStatus status,
                              Buffer payload, bool checksum) {
   Message m;

@@ -22,19 +22,48 @@
 
 namespace oopp::net::wire {
 
-/// kind, status, src, dst, seq, object, method, crc, trace_id, span_id,
-/// attempt, payload_len.
+/// Fixed header: kind, status, src, dst, seq, object, method, crc,
+/// trace_id, span_id, attempt, payload_len.
 inline constexpr std::size_t kFrameHeaderSize =
     1 + 1 + 4 + 4 + 8 + 8 + 8 + 4 + 8 + 8 + 4 + 8;
 
-inline void encode_header(const MessageHeader& h, std::uint64_t payload_len,
-                          std::uint8_t* out) {
+// ---------------------------------------------------------------------------
+// Held-locks extension (distributed lock checking, docs/CONCURRENCY.md).
+//
+// When the issuing thread held checked locks AND OOPP_DIST_LOCK_CHECK is
+// on, the kind byte carries kHeldLocksFlag and the fixed header is
+// followed by `count (u8) | count x class-hash (u32)`.  With the feature
+// off (or nothing held) the flag is clear and zero extension bytes are
+// written — frames are byte-identical to the pre-extension format, so
+// old and new peers interoperate exactly like batching on/off does.  The
+// flagged kind values (0x40/0x41) cannot collide with kBatchMagic (0xB5).
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint8_t kHeldLocksFlag = 0x40;
+inline constexpr std::size_t kMaxHeldClasses = 8;  // mirrors lockcheck's cap
+inline constexpr std::size_t kMaxFrameHeaderSize =
+    kFrameHeaderSize + 1 + 4 * kMaxHeldClasses;
+
+/// Bytes encode_header will write for this header.
+inline std::size_t header_wire_size(const MessageHeader& h) {
+  return kFrameHeaderSize +
+         (h.held.empty() ? 0 : 1 + 4 * std::size_t{h.held.count});
+}
+
+/// Encode into `out` (which must hold header_wire_size(h) bytes, at most
+/// kMaxFrameHeaderSize); returns the bytes written.
+inline std::size_t encode_header(const MessageHeader& h,
+                                 std::uint64_t payload_len,
+                                 std::uint8_t* out) {
   std::size_t o = 0;
   auto put = [&](const void* p, std::size_t n) {
     std::memcpy(out + o, p, n);
     o += n;
   };
-  const auto kind = static_cast<std::uint8_t>(h.kind);
+  const auto count = static_cast<std::uint8_t>(
+      std::min<std::size_t>(h.held.count, kMaxHeldClasses));
+  const auto kind = static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(h.kind) | (count != 0 ? kHeldLocksFlag : 0));
   const auto status = static_cast<std::uint8_t>(h.status);
   put(&kind, 1);
   put(&status, 1);
@@ -48,10 +77,17 @@ inline void encode_header(const MessageHeader& h, std::uint64_t payload_len,
   put(&h.span_id, 8);
   put(&h.attempt, 4);
   put(&payload_len, 8);
+  if (count != 0) {
+    put(&count, 1);
+    for (std::uint8_t i = 0; i < count; ++i) put(&h.held.ids[i], 4);
+  }
+  return o;
 }
 
-inline void decode_header(const std::uint8_t* in, MessageHeader& h,
-                          std::uint64_t& payload_len) {
+/// Decode the kFrameHeaderSize fixed prefix; returns true when a
+/// held-locks extension follows on the wire (flag set in the kind byte).
+inline bool decode_fixed_header(const std::uint8_t* in, MessageHeader& h,
+                                std::uint64_t& payload_len) {
   std::size_t o = 0;
   auto get = [&](void* p, std::size_t n) {
     std::memcpy(p, in + o, n);
@@ -60,7 +96,8 @@ inline void decode_header(const std::uint8_t* in, MessageHeader& h,
   std::uint8_t kind = 0, status = 0;
   get(&kind, 1);
   get(&status, 1);
-  h.kind = static_cast<MsgKind>(kind);
+  const bool held = (kind & kHeldLocksFlag) != 0;
+  h.kind = static_cast<MsgKind>(kind & ~kHeldLocksFlag);
   h.status = static_cast<CallStatus>(status);
   get(&h.src, 4);
   get(&h.dst, 4);
@@ -72,6 +109,35 @@ inline void decode_header(const std::uint8_t* in, MessageHeader& h,
   get(&h.span_id, 8);
   get(&h.attempt, 4);
   get(&payload_len, 8);
+  h.held = {};
+  return held;
+}
+
+/// Decode a held-locks extension from `in` (at most `avail` bytes);
+/// returns bytes consumed, or 0 on a malformed extension.
+inline std::size_t decode_held_ext(const std::uint8_t* in, std::size_t avail,
+                                   LockSet& held) {
+  if (avail < 1) return 0;
+  const std::uint8_t count = in[0];
+  if (count == 0 || count > kMaxHeldClasses) return 0;
+  const std::size_t need = 1 + 4 * std::size_t{count};
+  if (avail < need) return 0;
+  held.count = count;
+  for (std::uint8_t i = 0; i < count; ++i)
+    std::memcpy(&held.ids[i], in + 1 + 4 * std::size_t{i}, 4);
+  return need;
+}
+
+/// Decode a full header from a contiguous buffer of `avail` bytes
+/// (>= kFrameHeaderSize); returns total bytes consumed, or 0 when the
+/// held-locks extension is malformed or truncated.
+inline std::size_t decode_header(const std::uint8_t* in, std::size_t avail,
+                                 MessageHeader& h,
+                                 std::uint64_t& payload_len) {
+  if (!decode_fixed_header(in, h, payload_len)) return kFrameHeaderSize;
+  const std::size_t ext = decode_held_ext(in + kFrameHeaderSize,
+                                          avail - kFrameHeaderSize, h.held);
+  return ext == 0 ? 0 : kFrameHeaderSize + ext;
 }
 
 inline bool write_all(int fd, const void* data, std::size_t n) {
@@ -140,9 +206,9 @@ inline bool writev_all(int fd, struct iovec* iov, std::size_t cnt) {
 
 /// Send one framed message; returns false on socket failure.
 inline bool send_frame(int fd, const Message& m) {
-  std::uint8_t hdr[kFrameHeaderSize];
-  encode_header(m.header, m.payload.size(), hdr);
-  if (!write_all(fd, hdr, sizeof(hdr))) return false;
+  std::uint8_t hdr[kMaxFrameHeaderSize];
+  const std::size_t hlen = encode_header(m.header, m.payload.size(), hdr);
+  if (!write_all(fd, hdr, hlen)) return false;
   const auto payload = m.payload.bytes();
   if (!payload.empty() && !write_all(fd, payload.data(), payload.size()))
     return false;
@@ -153,18 +219,18 @@ inline bool send_frame(int fd, const Message& m) {
 /// send_frame on the wire, but one syscall and no payload flatten — each
 /// Buffer slice becomes an iovec.
 inline bool send_framev(int fd, const Message& m) {
-  std::uint8_t hdr[kFrameHeaderSize];
-  encode_header(m.header, m.payload.size(), hdr);
+  std::uint8_t hdr[kMaxFrameHeaderSize];
+  const std::size_t hlen = encode_header(m.header, m.payload.size(), hdr);
   std::array<iovec, 64> iov;
   if (m.payload.slice_count() + 1 > iov.size()) {
     // Degenerate scatter (never produced by the runtime today): flatten.
     const auto payload = m.payload.bytes();
-    iov[0] = {hdr, kFrameHeaderSize};
+    iov[0] = {hdr, hlen};
     iov[1] = {const_cast<std::byte*>(payload.data()), payload.size()};
     return writev_all(fd, iov.data(), 2);
   }
   std::size_t cnt = 0;
-  iov[cnt++] = {hdr, kFrameHeaderSize};
+  iov[cnt++] = {hdr, hlen};
   for (std::size_t i = 0; i < m.payload.slice_count(); ++i) {
     const auto s = m.payload.slice(i);
     if (!s.empty()) iov[cnt++] = {const_cast<std::byte*>(s.data()), s.size()};
@@ -230,18 +296,20 @@ inline bool send_batch(int fd, const Message* frames, std::size_t n) {
   if (n == 1) return send_framev(fd, frames[0]);
   std::uint64_t payload_len = 0;
   for (std::size_t i = 0; i < n; ++i)
-    payload_len += kFrameHeaderSize + frames[i].payload.size();
+    payload_len += header_wire_size(frames[i].header) +
+                   frames[i].payload.size();
   std::uint8_t bhdr[kBatchHeaderSize];
   encode_batch_header(static_cast<std::uint32_t>(n), payload_len, bhdr);
 
-  std::vector<std::array<std::uint8_t, kFrameHeaderSize>> hdrs(n);
+  std::vector<std::array<std::uint8_t, kMaxFrameHeaderSize>> hdrs(n);
   std::vector<iovec> iov;
   iov.reserve(1 + 2 * n);
   iov.push_back({bhdr, kBatchHeaderSize});
   for (std::size_t i = 0; i < n; ++i) {
     const Message& m = frames[i];
-    encode_header(m.header, m.payload.size(), hdrs[i].data());
-    iov.push_back({hdrs[i].data(), kFrameHeaderSize});
+    const std::size_t hlen =
+        encode_header(m.header, m.payload.size(), hdrs[i].data());
+    iov.push_back({hdrs[i].data(), hlen});
     for (std::size_t s = 0; s < m.payload.slice_count(); ++s) {
       const auto sl = m.payload.slice(s);
       if (!sl.empty())
@@ -258,7 +326,13 @@ inline bool recv_frame(int fd, Message& m) {
   std::uint8_t hdr[kFrameHeaderSize];
   if (!read_all(fd, hdr, sizeof(hdr))) return false;
   std::uint64_t payload_len = 0;
-  decode_header(hdr, m.header, payload_len);
+  if (decode_fixed_header(hdr, m.header, payload_len)) {
+    std::uint8_t ext[1 + 4 * kMaxHeldClasses];
+    if (!read_all(fd, ext, 1)) return false;
+    if (ext[0] == 0 || ext[0] > kMaxHeldClasses) return false;
+    if (!read_all(fd, ext + 1, 4 * std::size_t{ext[0]})) return false;
+    if (decode_held_ext(ext, sizeof(ext), m.header.held) == 0) return false;
+  }
   std::vector<std::byte> payload(payload_len);
   if (payload_len > 0 && !read_all(fd, payload.data(), payload_len))
     return false;
@@ -313,7 +387,14 @@ class FrameReader {
       if (!read_all(fd_, hdr + 1, kFrameHeaderSize - 1)) return false;
       std::uint64_t payload_len = 0;
       Message m;
-      decode_header(hdr, m.header, payload_len);
+      if (decode_fixed_header(hdr, m.header, payload_len)) {
+        std::uint8_t ext[1 + 4 * kMaxHeldClasses];
+        if (!read_all(fd_, ext, 1)) return false;
+        if (ext[0] == 0 || ext[0] > kMaxHeldClasses) return false;
+        if (!read_all(fd_, ext + 1, 4 * std::size_t{ext[0]})) return false;
+        if (decode_held_ext(ext, sizeof(ext), m.header.held) == 0)
+          return false;
+      }
       std::vector<std::byte> payload(payload_len);
       if (payload_len > 0 && !read_all(fd_, payload.data(), payload_len))
         return false;
@@ -338,10 +419,11 @@ class FrameReader {
       if (off + kFrameHeaderSize > payload_len) return false;
       Message m;
       std::uint64_t sub_len = 0;
-      decode_header(
+      const std::size_t hdr_len = decode_header(
           reinterpret_cast<const std::uint8_t*>(cstore->data()) + off,
-          m.header, sub_len);
-      off += kFrameHeaderSize;
+          payload_len - off, m.header, sub_len);
+      if (hdr_len == 0) return false;  // malformed held-locks extension
+      off += hdr_len;
       if (off + sub_len > payload_len) return false;
       m.payload = Buffer::view(cstore, off, sub_len);
       off += sub_len;

@@ -42,6 +42,7 @@
 #include "telemetry/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/checked_mutex.hpp"
+#include "util/clock.hpp"
 
 namespace oopp::rpc {
 
@@ -57,6 +58,27 @@ inline void note_blocking_remote_call(const char* where) {
   waits.add(1);
   util::lockcheck::on_blocking_call(where);
 }
+
+/// Companion to note_blocking_remote_call: times the wait itself and
+/// records it in the rpc scope's blocking_wait_ns histogram, so hazard
+/// reports can be ranked by observed stall time.  Construct right before
+/// blocking; the destructor records.  Gated on telemetry::enabled() like
+/// the other latency histograms.
+class BlockingWaitTimer {
+ public:
+  BlockingWaitTimer() : start_(telemetry::enabled() ? now_ns() : 0) {}
+  ~BlockingWaitTimer() {
+    if (start_ == 0) return;
+    static auto& hist =
+        telemetry::Metrics::scope_for("rpc").histogram("blocking_wait_ns");
+    hist.record(static_cast<std::uint64_t>(now_ns() - start_));
+  }
+  BlockingWaitTimer(const BlockingWaitTimer&) = delete;
+  BlockingWaitTimer& operator=(const BlockingWaitTimer&) = delete;
+
+ private:
+  std::int64_t start_;
+};
 
 /// Specialize for every remotable class (see file comment).
 template <class T>

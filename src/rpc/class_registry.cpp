@@ -21,6 +21,7 @@ std::pair<ClassInfo*, bool> ClassRegistry::add(std::string name) {
   if (it != classes_.end()) return {it->second.get(), false};
   auto info = std::make_unique<ClassInfo>();
   info->name = name;
+  // oopp-lint: allow(lock-across-future-get) unique_ptr::get, not a future
   auto* raw = info.get();
   classes_.emplace(std::move(name), std::move(info));
   return {raw, true};

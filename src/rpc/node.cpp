@@ -326,6 +326,16 @@ void Node::execute(const std::shared_ptr<ObjectTable::Entry>& entry,
     return;
   }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  // Distributed lockcheck: while this handler runs, every checked lock it
+  // acquires records a cross-node edge remote-held-class -> local-class,
+  // tagged with the method and the calling peer (mi->name has program
+  // lifetime — it lives in the class registry).  No-op when the request
+  // carries no held set.
+  util::lockcheck::RemoteHeldScope remote_held(
+      req.header.held.ids.data(), req.header.held.count, req.header.src, id_,
+      mi->name.c_str());
+
   CallTrace trace;
   if (trace_) {
     trace.caller = req.header.src;
@@ -652,7 +662,8 @@ void Node::retry_loop() {
   for (;;) {
     if (retry_stop_) return;
     if (retries_.empty()) {
-      retry_cv_.wait(lock);
+      // oopp-lint: allow(condvar-wait-no-predicate) the for(;;) re-checks
+      retry_cv_.wait(lock);  // retry_stop_ and retries_ every iteration
       continue;
     }
     const auto now = steady_clock::now();
@@ -677,7 +688,7 @@ void Node::retry_loop() {
             {it->first,
              net::make_request(id_, e.dst, it->first, e.object, e.method,
                                e.payload, opts_.checksums, e.trace_id,
-                               e.span_id, e.attempts_sent)});
+                               e.span_id, e.attempts_sent, e.held)});
         earliest = std::min(earliest, e.due);
         ++it;
         continue;
@@ -702,6 +713,7 @@ void Node::retry_loop() {
       ++it;
     }
     if (resends.empty() && giveups.empty() && lost_attempts.empty()) {
+      // oopp-lint: allow(condvar-wait-no-predicate) timed scheduling sleep
       if (earliest != time_point::max()) retry_cv_.wait_until(lock, earliest);
       continue;
     }
@@ -868,6 +880,13 @@ std::future<net::Message> Node::async_raw(net::MachineId dst,
                                           const CallPolicy* policy) {
   verb_counter(verb).add(1);
 
+  // Distributed lockcheck piggyback: what the issuing thread holds right
+  // now, captured before any of the node's own locks are taken below.
+  // Free (count 0, zero wire bytes) unless OOPP_DIST_LOCK_CHECK is on.
+  net::LockSet held;
+  held.count = static_cast<std::uint8_t>(util::lockcheck::held_class_hashes(
+      held.ids.data(), held.ids.size()));
+
   CallPolicy pol;
   if (policy != nullptr) {
     pol = *policy;
@@ -921,6 +940,7 @@ std::future<net::Message> Node::async_raw(net::MachineId dst,
     if (pol.deadline.count() > 0) e.overall_deadline = now + pol.deadline;
     e.trace_id = trace_id;
     e.span_id = span_id;
+    e.held = held;
     {
       std::lock_guard lock(retry_mu_);
       if (!retry_stop_) retries_.emplace(seq, std::move(e));
@@ -929,7 +949,7 @@ std::future<net::Message> Node::async_raw(net::MachineId dst,
   }
   fabric_.send(net::make_request(id_, dst, seq, object, method,
                                  std::move(payload), opts_.checksums, trace_id,
-                                 span_id, retryable ? 1u : 0u));
+                                 span_id, retryable ? 1u : 0u, held));
   return fut;
 }
 
@@ -939,7 +959,10 @@ net::Message Node::call_raw(net::MachineId dst, net::ObjectId object,
   note_blocking_remote_call("rpc::Node::call_raw");
   auto fut = async_raw(dst, object, method, std::move(payload), verb, nullptr,
                        policy);
-  net::Message resp = fut.get();
+  net::Message resp = [&] {
+    BlockingWaitTimer timer;
+    return fut.get();
+  }();
   throw_on_error(resp);
   return resp;
 }

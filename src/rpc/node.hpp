@@ -269,6 +269,9 @@ class Node {
     time_point overall_deadline = time_point::max();
     std::uint64_t trace_id = 0;
     std::uint64_t span_id = 0;
+    /// Issuer's held-lock classes, captured once at issue time so resends
+    /// carry the same distributed-lockcheck piggyback as the first send.
+    net::LockSet held;
   };
 
   void retry_loop();

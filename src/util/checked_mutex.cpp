@@ -1,5 +1,7 @@
 #include "util/checked_mutex.hpp"
 
+#include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -48,6 +50,63 @@ Graph& graph() {
 FailureHandler g_handler = nullptr;
 std::mutex g_handler_mu;
 
+std::atomic<EventHook> g_event_hook{nullptr};
+
+// True while this thread is inside the event hook.  The hook lives above
+// us (telemetry) and takes checked mutexes of its own; without the guard
+// those acquisitions would record cross edges and re-emit, re-entering
+// the hook mid-initialization — a self-deadlock on its static guards.
+thread_local bool t_in_emit = false;
+
+void emit_event(Event e) {
+  if (t_in_emit) return;
+  EventHook h = g_event_hook.load(std::memory_order_acquire);
+  if (h == nullptr) return;
+  t_in_emit = true;
+  h(e);
+  t_in_emit = false;
+}
+
+// -- distributed extension state --------------------------------------------
+
+/// One remote->local ordering observation: while serving `method` for
+/// `peer`, node `node` acquired the local class while the remote issuer
+/// held the class hashed `from` (names resolved via the class table).
+struct CrossEdgeInfo {
+  std::string method;
+  std::uint32_t peer = 0;
+  std::uint32_t node = 0;
+  std::uint64_t count = 0;
+};
+
+struct CrossStore {
+  std::mutex mu;
+  // hash -> class name, for every class acquired while distributed
+  // checking was on.  This is what lets the merger resolve a peer dump's
+  // from_hash even when this process never recorded an edge for it.
+  std::unordered_map<std::uint32_t, std::string> classes;
+  // (remote class hash, local class name) -> provenance.
+  std::map<std::pair<std::uint32_t, std::string>, CrossEdgeInfo> edges;
+};
+
+CrossStore& cross() {
+  static CrossStore* s = new CrossStore();  // leaked, like graph()
+  return *s;
+}
+
+/// The remote caller's held set for the RPC the thread is serving.
+struct RemoteCtx {
+  std::array<std::uint32_t, kMaxHeldClasses> hashes{};
+  std::size_t count = 0;
+  std::uint32_t peer = 0;
+  std::uint32_t node = 0;
+  const char* method = "";
+};
+
+thread_local RemoteCtx* t_remote = nullptr;
+
+std::atomic<int> g_distributed{-1};  // -1 = not yet read from environment
+
 thread_local std::vector<HeldLock> t_held;
 // Per-thread set of (held-name-ptr, new-name-ptr) pairs already vetted
 // against the global graph — the steady-state fast path takes no global
@@ -62,6 +121,7 @@ std::string this_thread_id() {
 }
 
 void fail(const std::string& report) {
+  emit_event(Event::kHazardFlagged);
   FailureHandler h;
   {
     std::lock_guard lock(g_handler_mu);
@@ -153,8 +213,43 @@ bool enabled() {
 
 std::size_t held_count() { return t_held.size(); }
 
+// Register the class and, when a RemoteHeldScope is active, record the
+// cross edges remote-class -> cls.  Same-class pairs are skipped: the
+// remote holder and this acquisition are distinct instances on distinct
+// machines, so (as with local same-class nesting) the pair alone carries
+// no ordering information.
+static void note_distributed_acquire(const char* cls) {
+  // Locks taken by the event hook itself are instrumentation, not servant
+  // behaviour — recording them would add noise edges and re-emit.
+  if (t_in_emit) return;
+  const std::uint32_t to_hash = class_hash(cls);
+  std::size_t fresh_edges = 0;
+  {
+    CrossStore& s = cross();
+    std::lock_guard lock(s.mu);
+    s.classes.try_emplace(to_hash, cls);
+    if (t_remote != nullptr) {
+      for (std::size_t i = 0; i < t_remote->count; ++i) {
+        const std::uint32_t from = t_remote->hashes[i];
+        if (from == to_hash) continue;
+        auto [it, fresh] = s.edges.try_emplace(
+            std::pair{from, std::string(cls)},
+            CrossEdgeInfo{t_remote->method, t_remote->peer, t_remote->node,
+                          0});
+        it->second.count += 1;
+        fresh_edges += fresh ? 1 : 0;
+      }
+    }
+  }
+  // Emitted with the store unlocked: the hook may acquire checked mutexes
+  // (the metrics registry does), re-entering this function on this thread.
+  for (std::size_t i = 0; i < fresh_edges; ++i)
+    emit_event(Event::kCrossEdgeRecorded);
+}
+
 void on_acquire(const void* instance, const char* cls) {
   if (!enabled()) return;
+  if (distributed_enabled()) note_distributed_acquire(cls);
 
   for (const auto& h : t_held) {
     if (h.instance == instance) {
@@ -230,10 +325,175 @@ void on_blocking_call(const char* where) {
 }
 
 void reset_for_testing() {
-  Graph& g = graph();
-  std::lock_guard lock(g.mu);
-  g.adj.clear();
-  g.edges.clear();
+  {
+    Graph& g = graph();
+    std::lock_guard lock(g.mu);
+    g.adj.clear();
+    g.edges.clear();
+  }
+  CrossStore& s = cross();
+  std::lock_guard lock(s.mu);
+  s.classes.clear();
+  s.edges.clear();
+}
+
+// -- distributed extension ---------------------------------------------------
+
+bool distributed_enabled() {
+  if (!enabled()) return false;
+  int v = g_distributed.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("OOPP_DIST_LOCK_CHECK");
+    v = (env != nullptr && env[0] != '\0' &&
+         std::string_view(env) != "0")
+            ? 1
+            : 0;
+    g_distributed.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+void set_distributed_enabled(bool on) {
+  g_distributed.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::uint32_t class_hash(std::string_view cls) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : cls) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  auto folded = static_cast<std::uint32_t>(h ^ (h >> 32));
+  return folded == 0 ? 1 : folded;
+}
+
+std::size_t held_class_hashes(std::uint32_t* out, std::size_t max) {
+  if (!distributed_enabled() || t_held.empty()) return 0;
+  std::size_t n = 0;
+  for (const auto& h : t_held) {
+    const std::uint32_t hash = class_hash(h.cls);
+    bool dup = false;
+    for (std::size_t i = 0; i < n; ++i) dup = dup || out[i] == hash;
+    if (dup) continue;
+    if (n == max) break;  // oldest-held classes win the truncation
+    out[n++] = hash;
+  }
+  return n;
+}
+
+RemoteHeldScope::RemoteHeldScope(const std::uint32_t* hashes,
+                                 std::size_t count, std::uint32_t peer,
+                                 std::uint32_t node, const char* method) {
+  if (count == 0 || !distributed_enabled()) return;
+  auto* ctx = new RemoteCtx();
+  ctx->count = std::min(count, kMaxHeldClasses);
+  for (std::size_t i = 0; i < ctx->count; ++i) ctx->hashes[i] = hashes[i];
+  ctx->peer = peer;
+  ctx->node = node;
+  ctx->method = method;
+  prev_ = t_remote;
+  t_remote = ctx;
+  active_ = true;
+}
+
+RemoteHeldScope::~RemoteHeldScope() {
+  if (!active_) return;
+  delete t_remote;
+  t_remote = static_cast<RemoteCtx*>(prev_);
+}
+
+void set_event_hook(EventHook h) {
+  g_event_hook.store(h, std::memory_order_release);
+}
+
+namespace {
+
+void json_escape(std::ostringstream& os, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dump_graph_json(std::uint32_t node) {
+  std::ostringstream os;
+  os << "{\n \"node\": " << node << ",\n \"classes\": [";
+
+  // Every class name this process has seen: the interned order-graph
+  // names plus the distributed class table (which also covers classes
+  // acquired with nothing else held).
+  std::map<std::string, std::uint32_t> classes;  // sorted, deduped
+  {
+    Graph& g = graph();
+    std::lock_guard lock(g.mu);
+    for (const auto& n : g.names) classes.emplace(n, class_hash(n));
+  }
+  {
+    CrossStore& s = cross();
+    std::lock_guard lock(s.mu);
+    for (const auto& [hash, name] : s.classes) classes.emplace(name, hash);
+  }
+  bool first = true;
+  for (const auto& [name, hash] : classes) {
+    os << (first ? "" : ",") << "\n  {\"name\": \"";
+    json_escape(os, name);
+    os << "\", \"hash\": " << hash << "}";
+    first = false;
+  }
+
+  os << "\n ],\n \"local_edges\": [";
+  {
+    Graph& g = graph();
+    std::lock_guard lock(g.mu);
+    first = true;
+    for (const auto& [pair, info] : g.edges) {
+      os << (first ? "" : ",") << "\n  {\"from\": \"";
+      json_escape(os, pair.first);
+      os << "\", \"to\": \"";
+      json_escape(os, pair.second);
+      os << "\", \"thread\": \"";
+      json_escape(os, info.thread_id);
+      os << "\", \"holder_stack\": [";
+      for (std::size_t i = 0; i < info.holder_stack.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << '"';
+        json_escape(os, info.holder_stack[i]);
+        os << '"';
+      }
+      os << "]}";
+      first = false;
+    }
+  }
+
+  os << "\n ],\n \"cross_edges\": [";
+  {
+    CrossStore& s = cross();
+    std::lock_guard lock(s.mu);
+    first = true;
+    for (const auto& [key, info] : s.edges) {
+      os << (first ? "" : ",") << "\n  {\"from_hash\": " << key.first
+         << ", \"from\": \"";
+      auto it = s.classes.find(key.first);
+      if (it != s.classes.end()) json_escape(os, it->second);
+      os << "\", \"to\": \"";
+      json_escape(os, key.second);
+      os << "\", \"method\": \"";
+      json_escape(os, info.method);
+      os << "\", \"peer\": " << info.peer << ", \"node\": " << info.node
+         << ", \"count\": " << info.count << "}";
+      first = false;
+    }
+  }
+  os << "\n ]\n}\n";
+  return os.str();
 }
 
 }  // namespace oopp::util::lockcheck

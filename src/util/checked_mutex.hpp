@@ -33,9 +33,11 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 
 namespace oopp::util::lockcheck {
 
@@ -69,6 +71,89 @@ void on_blocking_call(const char* where);
 /// Test-only: drop all recorded ordering edges (per-thread caches survive,
 /// so tests must use fresh lock-class names per scenario).
 void reset_for_testing();
+
+// ---------------------------------------------------------------------------
+// Distributed extension: the cluster-wide wait-for graph.
+//
+// The local checker above is blind to distributed inversions: node A holds
+// L1 and calls B; B's handler takes L2 and calls back A, whose handler
+// needs L1 — no single process ever sees both locks in one held stack.
+// The extension closes that hole in three pieces:
+//
+//   1. The RPC client piggybacks the issuing thread's held lock-class set
+//      (as 32-bit name hashes) on the message header (held_class_hashes,
+//      carried like trace/span ids — see net/message.hpp).
+//   2. The dispatch side installs a RemoteHeldScope around servant method
+//      execution; every lock the handler then acquires records a *cross
+//      edge* remote-class -> local-class, tagged with the RPC method, the
+//      calling peer, and the serving node.  Cross edges live in their own
+//      store — they never enter the online order graph (two nodes' same-
+//      name classes are different mutex instances, so a cross edge alone
+//      proves nothing; only a *cycle* through them does).
+//   3. dump_graph_json() exports classes + local edges + cross edges as
+//      JSON (one file per process via Cluster::dump_lockgraph); the
+//      offline merger tools/oopp_graph.py unions the dumps and reports
+//      cycles — including ones spanning >= 2 nodes — lockdep-style.
+//
+// Everything is gated on distributed_enabled() (env OOPP_DIST_LOCK_CHECK,
+// default off, runtime-overridable like telemetry::set_enabled): disabled
+// means zero wire bytes and no recording.
+// ---------------------------------------------------------------------------
+
+/// Hard cap on piggybacked held classes per message (wire format limit).
+inline constexpr std::size_t kMaxHeldClasses = 8;
+
+/// Compile-time support AND runtime switch (env OOPP_DIST_LOCK_CHECK=1 or
+/// set_distributed_enabled).  Always false when lock checking itself is
+/// off.
+[[nodiscard]] bool distributed_enabled();
+
+/// Programmatic override (tests, CI harnesses).  Wins over the environment.
+void set_distributed_enabled(bool on);
+
+/// FNV-1a-32 of a lock-class name; never returns 0 (0 = "no class").
+[[nodiscard]] std::uint32_t class_hash(std::string_view cls);
+
+/// Hashes of the distinct lock classes the calling thread holds right
+/// now, written to `out` (at most `max`); returns the count written.
+/// Returns 0 when distributed checking is off.
+std::size_t held_class_hashes(std::uint32_t* out, std::size_t max);
+
+/// Dispatch-side RAII: while alive, the calling thread is executing an
+/// RPC whose remote issuer held the given lock classes.  Each checked
+/// acquisition under the scope records a cross edge remote -> local.
+/// `method` must outlive the program (points into MethodInfo).  Nestable
+/// (saves/restores the previous scope); a no-op when count == 0 or
+/// distributed checking is off.
+class RemoteHeldScope {
+ public:
+  RemoteHeldScope(const std::uint32_t* hashes, std::size_t count,
+                  std::uint32_t peer, std::uint32_t node, const char* method);
+  ~RemoteHeldScope();
+  RemoteHeldScope(const RemoteHeldScope&) = delete;
+  RemoteHeldScope& operator=(const RemoteHeldScope&) = delete;
+
+ private:
+  void* prev_ = nullptr;
+  bool active_ = false;
+};
+
+/// Telemetry bridge.  util sits below telemetry in the layering, so the
+/// checker reports through a hook instead of bumping counters directly;
+/// Cluster installs one that feeds the "lockcheck" metric scope.
+enum class Event : std::uint8_t {
+  kCrossEdgeRecorded = 0,  // first sighting of a remote->local pair
+  kHazardFlagged = 1,      // any failure-handler invocation
+};
+using EventHook = void (*)(Event);
+void set_event_hook(EventHook h);
+
+/// The process-wide graph as JSON: lock classes (name + wire hash), local
+/// order edges with provenance (recording thread + held stack), and cross
+/// edges with provenance (RPC method, peer, serving node, count).  `node`
+/// labels the dump (the hosting machine id, or any stable id for
+/// multi-node single-process clusters — the graph itself is per-process).
+std::string dump_graph_json(std::uint32_t node);
 
 }  // namespace oopp::util::lockcheck
 
@@ -192,7 +277,8 @@ class CondVar {
 
   void wait(std::unique_lock<CheckedMutex>& lk) {
     Adopted inner(lk);
-    cv_.wait(inner.lk);
+    // oopp-lint: allow(condvar-wait-no-predicate) the predicate overload
+    cv_.wait(inner.lk);  // below forwards here; callers get the check
   }
 
   template <class Pred>
@@ -205,6 +291,7 @@ class CondVar {
       std::unique_lock<CheckedMutex>& lk,
       const std::chrono::time_point<Clock, Duration>& tp) {
     Adopted inner(lk);
+    // oopp-lint: allow(condvar-wait-no-predicate) predicate overload below
     return cv_.wait_until(inner.lk, tp);
   }
 

@@ -222,6 +222,94 @@ TEST(LockCheck, TryLockFailureRollsBackHeldStack) {
   EXPECT_TRUE(CaptureFailures::reports().empty());
 }
 
+// A successful try_lock is an acquisition like any other: the edge it
+// records must participate in cycle detection.
+TEST(LockCheck, TryLockSuccessParticipatesInOrderGraph) {
+  CaptureFailures capture;
+  CheckedMutex a("test.trysucc.A");
+  CheckedMutex b("test.trysucc.B");
+  {
+    std::lock_guard la(a);
+    ASSERT_TRUE(b.try_lock());  // records A -> B through the try path
+    b.unlock();
+  }
+  std::thread([&] {
+    std::lock_guard lb(b);
+    std::lock_guard la(a);  // B -> A closes the cycle
+  }).join();
+  ASSERT_FALSE(CaptureFailures::reports().empty());
+  EXPECT_TRUE(any_report_contains("test.trysucc.A"));
+  EXPECT_TRUE(any_report_contains("test.trysucc.B"));
+}
+
+// A FAILED try_lock rolls the held stack back but the order edge stays
+// vetted — deliberately conservative: the code was willing to take B
+// under A, so the reverse nesting elsewhere is still a hazard.
+TEST(LockCheck, FailedTryLockStillVetsTheEdge) {
+  CaptureFailures capture;
+  CheckedMutex a("test.tryfail.A");
+  CheckedMutex b("test.tryfail.B");
+
+  b.lock();  // make the try_lock below lose the race deterministically
+  std::thread([&] {
+    std::lock_guard la(a);
+    EXPECT_FALSE(b.try_lock());  // A -> B recorded, stack rolled back
+    EXPECT_EQ(lockcheck::held_count(), 1u);
+  }).join();
+  b.unlock();
+  EXPECT_TRUE(CaptureFailures::reports().empty());
+
+  std::thread([&] {
+    std::lock_guard lb(b);
+    std::lock_guard la(a);  // B -> A: cycle against the vetted edge
+  }).join();
+  ASSERT_FALSE(CaptureFailures::reports().empty());
+  EXPECT_TRUE(any_report_contains("test.tryfail.A"));
+}
+
+// The shared try paths mirror the exclusive ones: success participates
+// in ordering, failure rolls back the held stack.
+TEST(LockCheck, TryLockSharedPathsParticipate) {
+  CaptureFailures capture;
+  CheckedSharedMutex s("test.tryshared.S");
+  CheckedMutex x("test.tryshared.X");
+
+  s.lock();  // writer held: the reader's try must fail and roll back
+  std::thread([&] {
+    EXPECT_FALSE(s.try_lock_shared());
+    EXPECT_EQ(lockcheck::held_count(), 0u);
+  }).join();
+  s.unlock();
+  EXPECT_TRUE(CaptureFailures::reports().empty());
+
+  {
+    ASSERT_TRUE(s.try_lock_shared());
+    std::lock_guard lx(x);  // S -> X through the shared try path
+    s.unlock_shared();
+  }
+  std::thread([&] {
+    std::lock_guard lx(x);
+    ASSERT_TRUE(s.try_lock_shared());  // X -> S: inversion
+    s.unlock_shared();
+  }).join();
+  ASSERT_FALSE(CaptureFailures::reports().empty());
+  EXPECT_TRUE(any_report_contains("test.tryshared.S"));
+}
+
+// Taking the same instance exclusively while already holding it shared
+// would deadlock for real (no upgrade); the checker calls it out as a
+// recursive acquisition.
+TEST(LockCheck, SharedThenExclusiveSameInstanceIsCaught) {
+  CaptureFailures capture;
+  CheckedSharedMutex s("test.upgrade.S");
+  s.lock_shared();
+  lockcheck::on_acquire(&s, s.name());  // what s.lock() would do
+  ASSERT_FALSE(CaptureFailures::reports().empty());
+  EXPECT_TRUE(any_report_contains("recursive acquisition"));
+  lockcheck::on_release(&s);
+  s.unlock_shared();
+}
+
 // Two instances of the same lock class may nest (per-object mutexes taken
 // in address or container order) — excluded from the order graph.
 TEST(LockCheck, SameClassInstancesDoNotFalsePositive) {

@@ -5,15 +5,36 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "core/oopp.hpp"
 #include "net/faulty_fabric.hpp"
 #include "net/inproc_fabric.hpp"
+#include "util/checked_mutex.hpp"
 
 using namespace oopp;
 
 namespace {
+
+/// CI hook (the faults-smoke job): OOPP_LOCKGRAPH_OUT=<path> dumps this
+/// process's lock-order graph (run with OOPP_DIST_LOCK_CHECK=1 so the
+/// cross-node edges are recorded); tools/oopp_graph.py merges the dumps
+/// and gates on cycles.
+class LockgraphDumpEnv : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    const char* out = std::getenv("OOPP_LOCKGRAPH_OUT");
+    if (!out) return;
+    const auto parent = std::filesystem::path(out).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+    std::ofstream(out) << util::lockcheck::dump_graph_json(0) << "\n";
+  }
+};
+const auto* const kLockgraphDump =
+    ::testing::AddGlobalTestEnvironment(new LockgraphDumpEnv);
 
 class Echoer {
  public:

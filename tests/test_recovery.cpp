@@ -41,6 +41,23 @@ class MetricsDumpEnv : public ::testing::Environment {
 const auto* const kMetricsDump =
     ::testing::AddGlobalTestEnvironment(new MetricsDumpEnv);
 
+/// CI hook (the faults-smoke job): OOPP_LOCKGRAPH_OUT=<path> dumps this
+/// process's lock-order graph (run with OOPP_DIST_LOCK_CHECK=1 so the
+/// cross-node edges are recorded); tools/oopp_graph.py merges the dumps
+/// and gates on cycles.
+class LockgraphDumpEnv : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    const char* out = std::getenv("OOPP_LOCKGRAPH_OUT");
+    if (!out) return;
+    const auto parent = std::filesystem::path(out).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+    std::ofstream(out) << util::lockcheck::dump_graph_json(0) << "\n";
+  }
+};
+const auto* const kLockgraphDump =
+    ::testing::AddGlobalTestEnvironment(new LockgraphDumpEnv);
+
 /// Non-reentrant counter: every execution of bump() is observable, which
 /// is what lets the tests count *executions* (not responses) and prove
 /// the at-most-once guarantee.

@@ -138,6 +138,22 @@ TEST(Telemetry, MergedTimelineShowsCrossNodeChain) {
   std::filesystem::remove_all(dir);
 }
 
+// Every blocking wait — synchronous call<>, Future::get()/wait() — times
+// itself into the rpc scope's blocking_wait_ns histogram (alongside the
+// blocking_waits counter), so "how long do threads sit in remote waits"
+// is answerable from the metrics report alone.
+TEST(Telemetry, BlockingWaitsRecordDurationHistogram) {
+  TracingOn on;
+  Cluster cluster(2);
+  auto s = cluster.make_remote<Sleepy>(1);
+  EXPECT_EQ(s.call<&Sleepy::nap>(1), 1);
+  auto f = s.async<&Sleepy::nap>(1);
+  EXPECT_EQ(f.get(), 1);
+  const std::string report = cluster.metrics_report();
+  EXPECT_NE(report.find("blocking_wait_ns"), std::string::npos) << report;
+  s.destroy();
+}
+
 TEST(Telemetry, GetForTimeoutRecordsTimeoutSpan) {
   TracingOn on;
   Cluster cluster(2);

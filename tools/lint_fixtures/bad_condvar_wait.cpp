@@ -1,0 +1,28 @@
+// Fixture for oopp_lint's condvar-wait-no-predicate rule.  Not compiled —
+// linted by the self-test; LINT-EXPECT marks the violations the rule must
+// report (and nothing else).  The CondVar declaration below is what feeds
+// the pre-pass that names `ready_cv_` a condition variable.
+#include "util/checked_mutex.hpp"
+
+namespace oopp::fixture {
+
+class WorkQueue {
+ public:
+  void drain() {
+    std::unique_lock<util::CheckedMutex> lock(mu_);
+    ready_cv_.wait(lock);  // LINT-EXPECT: condvar-wait-no-predicate
+    ready_cv_.wait_until(lock, deadline());  // LINT-EXPECT: condvar-wait-no-predicate
+    ready_cv_.wait(lock, [this] { return ready_; });  // clean: predicate
+    ready_cv_.wait_until(lock, deadline(),
+                         [this] { return ready_; });  // clean: predicate
+    // oopp-lint: allow(condvar-wait-no-predicate) loop re-checks state
+    ready_cv_.wait(lock);
+  }
+
+ private:
+  util::CheckedMutex mu_{"fixture.WorkQueue"};
+  util::CondVar ready_cv_;
+  bool ready_ = false;
+};
+
+}  // namespace oopp::fixture

@@ -1,0 +1,37 @@
+// Fixture for oopp_lint's dispatch-thread-blocking rule.  Not compiled —
+// linted by the self-test; LINT-EXPECT marks the violations the rule must
+// report (and nothing else).  The class_def<DispatchWorker> specialization
+// below is what the pre-pass uses to mark DispatchWorker a servant.
+namespace oopp::fixture {
+
+struct Ctx;
+
+class DispatchWorker {
+ public:
+  void step(Ctx& ctx);
+  void inline_step(Ctx& ctx) {
+    ctx.barrier();  // LINT-EXPECT: dispatch-thread-blocking
+  }
+};
+
+template <>
+struct class_def<DispatchWorker> {
+  static const char* name() { return "fixture.DispatchWorker"; }
+};
+
+void DispatchWorker::step(Ctx& ctx) {
+  ctx.gather<&DispatchWorker::step>(0);  // LINT-EXPECT: dispatch-thread-blocking
+  coll::barrier_all(ctx);  // LINT-EXPECT: dispatch-thread-blocking
+  ctx.call<&DispatchWorker::step>(0);  // clean: point-to-point call
+  // oopp-lint: allow(dispatch-thread-blocking) pool sized for this site
+  ctx.gather_indexed<&DispatchWorker::step>(0);
+}
+
+class PlainHelper {
+ public:
+  // clean: PlainHelper has no class_def specialization, so its methods do
+  // not run on dispatch threads.
+  void run(Ctx& ctx) { ctx.gather<&DispatchWorker::step>(0); }
+};
+
+}  // namespace oopp::fixture

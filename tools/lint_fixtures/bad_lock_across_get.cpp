@@ -1,0 +1,42 @@
+// Fixture for oopp_lint's lock-across-future-get rule.  Not compiled —
+// linted by the self-test; LINT-EXPECT marks the violations the rule must
+// report (and nothing else).
+#include "core/future.hpp"
+#include "util/checked_mutex.hpp"
+
+namespace oopp::fixture {
+
+struct Svc {
+  util::CheckedMutex mu_{"fixture.Svc"};
+  int cached_ = 0;
+
+  int blocking_under_lock(Future<int> fut) {
+    std::unique_lock<util::CheckedMutex> lock(mu_);
+    return cached_ + fut.get();  // LINT-EXPECT: lock-across-future-get
+  }
+
+  int bounded_wait_still_holds(Future<int> fut) {
+    std::lock_guard<util::CheckedMutex> g(mu_);
+    return fut.get_for(kTimeout);  // LINT-EXPECT: lock-across-future-get
+  }
+
+  int unlock_before_wait(Future<int> fut) {
+    std::unique_lock<util::CheckedMutex> lock(mu_);
+    cached_ += 1;
+    lock.unlock();
+    return fut.get();  // clean: the guard was released before the wait
+  }
+
+  int pointer_get_is_not_a_future() {
+    std::lock_guard<util::CheckedMutex> g(mu_);
+    return *entry()->second.get();  // clean: smart-pointer get via ->
+  }
+
+  int sanctioned(Future<int> fut) {
+    std::unique_lock<util::CheckedMutex> lock(mu_);
+    // oopp-lint: allow(lock-across-future-get) documented exception
+    return fut.get();
+  }
+};
+
+}  // namespace oopp::fixture

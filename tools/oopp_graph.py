@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Merge per-node oopp lock-graph dumps and report deadlock cycles.
+
+Each process dumps `lockgraph_node<N>.json` (see Cluster::dump_lockgraph):
+its lock classes (name + 32-bit wire hash), the local lock-order edges the
+runtime checker recorded (with the recording thread's held stack), and the
+*cross-node* edges recorded while serving RPCs under OOPP_DIST_LOCK_CHECK
+(remote-held class -> locally acquired class, tagged with the RPC method
+and the calling peer).
+
+This tool unions those dumps into one directed graph over lock classes and
+reports every cycle — including cycles that span >= 2 nodes, which no
+single process's online checker can see (each node's local lockdep only
+ever observes its own held stacks).  Reports are lockdep-style: for each
+edge of the cycle, the call path that recorded it.
+
+Usage:
+    oopp_graph.py DIR|FILE...              human-readable cycle report
+    oopp_graph.py --json DIR|FILE...       merged graph as JSON
+    oopp_graph.py --check DIR|FILE...      exit 0 iff no cycle (CI gate)
+    oopp_graph.py --local-only ...         ignore cross-node edges
+
+No third-party dependencies; stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import signal
+import sys
+from pathlib import Path
+
+# Die quietly when the reader of our stdout goes away (e.g. `| head`).
+with contextlib.suppress(AttributeError, ValueError):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def expand(args: list[str]) -> list[Path]:
+    """Directories expand to their lockgraph_node*.json files."""
+    out: list[Path] = []
+    for a in args:
+        p = Path(a)
+        if p.is_dir():
+            out.extend(sorted(p.glob("lockgraph_node*.json")))
+        else:
+            out.append(p)
+    return out
+
+
+def load_graph(paths: list[Path]) -> dict:
+    """Union the dumps: hash->name table, local edges, cross edges."""
+    by_hash: dict[int, str] = {}
+    local_edges: list[dict] = []
+    cross_edges: list[dict] = []
+    for p in paths:
+        doc = json.loads(p.read_text())
+        node = doc.get("node", 0)
+        for c in doc.get("classes", []):
+            by_hash.setdefault(c["hash"], c["name"])
+        for e in doc.get("local_edges", []):
+            e = dict(e)
+            e["dump_node"] = node
+            local_edges.append(e)
+        for e in doc.get("cross_edges", []):
+            e = dict(e)
+            e["dump_node"] = node
+            cross_edges.append(e)
+    # Resolve cross-edge sources: the dumping process may never have seen
+    # the remote class name, but some other dump's class table has it.
+    for e in cross_edges:
+        if not e.get("from"):
+            e["from"] = by_hash.get(e["from_hash"],
+                                    f"class#{e['from_hash']:08x}")
+    return {"classes": by_hash, "local_edges": local_edges,
+            "cross_edges": cross_edges}
+
+
+def build_adjacency(graph: dict, local_only: bool) -> dict[str, dict]:
+    """name -> {name -> [provenance edges]} (parallel edges kept)."""
+    adj: dict[str, dict[str, list[dict]]] = {}
+    edges = graph["local_edges"] + (
+        [] if local_only else graph["cross_edges"])
+    for e in edges:
+        adj.setdefault(e["from"], {}).setdefault(e["to"], []).append(e)
+    return adj
+
+
+def find_cycles(adj: dict[str, dict]) -> list[list[str]]:
+    """Elementary cycles, deduplicated by their set of classes.
+
+    DFS from every class; a back edge to a node on the current path
+    closes a cycle.  Lock graphs are small (tens of classes), so the
+    simple quadratic search is fine.
+    """
+    cycles: list[list[str]] = []
+    seen_keys: set[frozenset] = set()
+
+    def dfs(start: str, cur: str, path: list[str],
+            on_path: set[str]) -> None:
+        for nxt in adj.get(cur, {}):
+            if nxt == start:
+                key = frozenset(path)
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    cycles.append(path + [start])
+            elif nxt not in on_path and nxt > start:
+                # Only walk classes ordered after `start`: each cycle is
+                # found exactly once, rooted at its smallest class.
+                on_path.add(nxt)
+                dfs(start, nxt, path + [nxt], on_path)
+                on_path.discard(nxt)
+
+    for start in sorted(adj):
+        dfs(start, start, [start], {start})
+    return cycles
+
+
+def describe_edge(e: dict) -> list[str]:
+    """The call path that recorded one edge, lockdep-style."""
+    if "method" in e:  # cross-node edge
+        return [f"cross-node: a caller on node {e['peer']} held "
+                f"'{e['from']}' while invoking rpc method '{e['method']}'; "
+                f"serving node {e['node']} then acquired '{e['to']}' "
+                f"(seen {e.get('count', 1)}x)"]
+    lines = [f"node {e['dump_node']} process, thread {e.get('thread', '?')} "
+             f"acquired '{e['to']}' while holding:"]
+    for i, cls in enumerate(e.get("holder_stack", [])):
+        lines.append(f"  [{i}] {cls}")
+    return lines
+
+
+def print_cycles(cycles: list[list[str]], adj: dict[str, dict]) -> None:
+    for n, cyc in enumerate(cycles, 1):
+        print(f"cycle {n}: {' -> '.join(cyc)}")
+        print()
+        for a, b in zip(cyc, cyc[1:]):
+            for e in adj[a][b]:
+                print(f"  edge '{a}' -> '{b}':")
+                for line in describe_edge(e):
+                    print(f"    {line}")
+        print()
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("inputs", nargs="+",
+                    help="lockgraph_node*.json files or directories")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the merged graph as JSON instead of text")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 iff any lock-order cycle exists (CI gate)")
+    ap.add_argument("--local-only", action="store_true",
+                    help="ignore cross-node edges (per-process view)")
+    args = ap.parse_args()
+
+    paths = expand(args.inputs)
+    if not paths:
+        print("oopp_graph: no lockgraph files found", file=sys.stderr)
+        return 2
+    graph = load_graph(paths)
+
+    if args.json:
+        json.dump(graph, sys.stdout, indent=1)
+        print()
+        return 0
+
+    adj = build_adjacency(graph, args.local_only)
+    cycles = find_cycles(adj)
+    n_cross = 0 if args.local_only else len(graph["cross_edges"])
+    print(f"{len(graph['classes'])} lock classes, "
+          f"{len(graph['local_edges'])} local edges, "
+          f"{n_cross} cross-node edges from {len(paths)} dump(s)")
+    if cycles:
+        print(f"{len(cycles)} lock-order cycle(s) found:\n")
+        print_cycles(cycles, adj)
+    else:
+        print("no lock-order cycles")
+    if args.check:
+        return 1 if cycles else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,30 @@ async-then-immediate-get
                         before collecting it.  Annotate sites where the
                         async spelling is load-bearing (e.g. fan-out
                         helpers collecting a vector of futures).
+lock-across-future-get  A ``std::lock_guard``/``unique_lock``/
+                        ``scoped_lock``/``shared_lock`` still in scope
+                        when ``.get()``/``.get_for()``/``.get_until()``/
+                        ``.get_expected()`` is called holds a CheckedMutex
+                        across a remote round trip — the static twin of
+                        the runtime ``on_blocking_call`` check, catching
+                        paths a test run never exercises.  An explicit
+                        ``x.unlock()`` before the wait ends the guarded
+                        region.
+condvar-wait-no-predicate
+                        ``CondVar::wait(lock)`` without a predicate (and
+                        ``wait_for``/``wait_until`` without one) returns
+                        on spurious wakeups with the condition unchecked.
+                        Pass the predicate overload, or annotate loops
+                        that deliberately re-check state each iteration.
+dispatch-thread-blocking
+                        Blocking collectives (every ``gather*``/``barrier*``
+                        spelling) inside a servant-class method park one
+                        dispatch thread per participant simultaneously — a
+                        full worker pool of these deadlocks the machine.
+                        Point-to-point ``call<&M>`` stays legal (the
+                        elastic pool is sized for linear chains).  Servant
+                        classes are those with a ``class_def<T>``
+                        specialization anywhere in the linted tree.
 
 Usage
 -----
@@ -68,6 +92,7 @@ Usage
                                 ``LINT-EXPECT: <rule>`` and must be
                                 reported (and nothing else); exit 1 on
                                 mismatch
+  oopp_lint.py --list-rules     print every rule id + one-line summary
 
 Suppression: put ``// oopp-lint: allow(<rule>)`` on the offending line or
 the line directly above it.
@@ -101,6 +126,35 @@ FUTURE_GET_SCOPED = ("src/core/", "src/kv/", "src/dsm/", "src/coll/")
 FUTURE_GET_EXEMPT = ("src/core/future.hpp",)
 
 VIOLATION_FMT = "{file}:{line}: [{rule}] {msg}"
+
+# Rule id -> one-line summary, in the order the docstring documents them.
+# `--list-rules` prints this table; keep it in sync with the docstring.
+RULES = {
+    "serialize-coverage":
+        "oopp_serialize must mention every data member of its struct",
+    "raw-thread-primitive":
+        "std::mutex/condition_variable/thread banned outside src/util/",
+    "thread-detach":
+        "thread detach() banned everywhere",
+    "inbox-pop-dispatch":
+        "blocking Inbox::pop() only in the node receiver loop",
+    "raw-message-header":
+        "hand-built net::Message headers banned outside src/net/",
+    "future-bare-get":
+        "bare Future::get() in hot paths must be bounded or annotated",
+    "removed-alias":
+        "retired pre-unification call spellings may not reappear",
+    "raw-batch-header":
+        "batch-frame framing (0xB5 codec) belongs to net::wire alone",
+    "async-then-immediate-get":
+        "async call .get()-ed in the same statement overlaps nothing",
+    "lock-across-future-get":
+        "lock guard in scope across a Future get/get_for/get_until",
+    "condvar-wait-no-predicate":
+        "CondVar wait without a predicate misses spurious wakeups",
+    "dispatch-thread-blocking":
+        "gather*/barrier* collectives inside a servant method",
+}
 
 
 class Violation:
@@ -472,11 +526,244 @@ def check_async_immediate_get(path: Path, text: str, raw_lines: list[str]):
 
 
 # --------------------------------------------------------------------------
+# lock-across-future-get
+# --------------------------------------------------------------------------
+
+# A guard object declaration: `std::lock_guard<M> g(mu);`, `std::unique_lock
+# lock{mu_};`, `std::scoped_lock both(a, b);`, `std::shared_lock rd(mu_);`.
+LOCK_GUARD_RE = re.compile(
+    r"\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock|shared_lock)\s*"
+    r"(?:<[^;>]*>)?\s+(\w+)\s*[({]"
+)
+# The blocking Future collection points.  get_expected() blocks just as
+# long as get(); the bounded forms still hold the lock for the full bound.
+# CondVar waits are NOT in this set: `cv.wait(lk)` releases the lock.
+FUTURE_WAIT_RE = re.compile(
+    r"[\w)]\s*(?:\.|->)\s*(get|get_for|get_until|get_expected)\s*\("
+)
+
+
+def guard_scope_end(text: str, decl_end: int) -> int:
+    """Offset where the block enclosing a declaration at decl_end closes."""
+    depth = 0
+    for i in range(decl_end, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth < 0:
+                return i
+    return len(text)
+
+
+def check_lock_across_get(path: Path, text: str, raw_lines: list[str]):
+    violations = []
+    reported = set()
+    for gm in LOCK_GUARD_RE.finditer(text):
+        var = gm.group(1)
+        # The guarded region: from the declaration to the end of its
+        # enclosing block, cut short by an explicit `var.unlock()`.
+        end = guard_scope_end(text, gm.end())
+        um = re.search(rf"\b{re.escape(var)}\s*\.\s*unlock\s*\(",
+                       text[gm.end():end])
+        if um:
+            end = gm.end() + um.start()
+        for fm in FUTURE_WAIT_RE.finditer(text, gm.end(), end):
+            # Receivers reached through `->` (`it->second.get()`) are
+            # iterator / smart-pointer internals, never futures (futures
+            # are moved-from values held by name in this codebase).
+            recv_start = fm.start()
+            while recv_start > 0 and (text[recv_start - 1].isalnum()
+                                      or text[recv_start - 1] == "_"):
+                recv_start -= 1
+            if text[max(0, recv_start - 2):recv_start].endswith("->"):
+                continue
+            line = line_of(text, fm.start())
+            if line in reported:
+                continue
+            if suppressed(raw_lines, line, "lock-across-future-get"):
+                continue
+            reported.add(line)
+            violations.append(
+                Violation(
+                    path,
+                    line,
+                    "lock-across-future-get",
+                    f"Future::{fm.group(1)}() while guard '{var}' "
+                    f"(declared line {line_of(text, gm.start())}) is still "
+                    f"in scope — a remote round trip under a lock; unlock "
+                    f"first or collect the future outside the guarded "
+                    f"region",
+                )
+            )
+    return violations
+
+
+# --------------------------------------------------------------------------
+# condvar-wait-no-predicate
+# --------------------------------------------------------------------------
+
+# A CondVar member/variable declaration anywhere in the linted tree; the
+# names feed the per-file wait-site scan (declaration and use may live in
+# different files — e.g. node.hpp declares, node.cpp waits).
+CONDVAR_DECL_RE = re.compile(r"\b(?:util\s*::\s*)?CondVar\s+(\w+)\s*[;{]")
+CONDVAR_WAIT_RE = re.compile(
+    r"\b(\w+)\s*(?:\.|->)\s*(wait|wait_for|wait_until)\s*\("
+)
+
+
+def top_level_commas(text: str, open_idx: int) -> int:
+    """Commas at depth 1 of the paren at open_idx (i.e. argument
+    separators), ignoring nested (), {}, []."""
+    depth = 0
+    count = 0
+    for i in range(open_idx, len(text)):
+        c = text[i]
+        if c in "({[":
+            depth += 1
+        elif c in ")}]":
+            depth -= 1
+            if depth == 0:
+                return count
+        elif c == "," and depth == 1:
+            count += 1
+    return count
+
+
+def check_condvar_wait(path: Path, text: str, raw_lines: list[str],
+                       condvars: set[str]):
+    violations = []
+    for m in CONDVAR_WAIT_RE.finditer(text):
+        if m.group(1) not in condvars:
+            continue
+        kind = m.group(2)
+        commas = top_level_commas(text, m.end() - 1)
+        # wait(lock, pred) has 1 comma; wait_for/until(lock, t, pred) have 2.
+        need = 1 if kind == "wait" else 2
+        if commas >= need:
+            continue
+        line = line_of(text, m.start())
+        if suppressed(raw_lines, line, "condvar-wait-no-predicate"):
+            continue
+        violations.append(
+            Violation(
+                path,
+                line,
+                "condvar-wait-no-predicate",
+                f"{m.group(1)}.{kind}() without a predicate returns on "
+                f"spurious wakeups with the condition unchecked — pass the "
+                f"predicate overload, or annotate a loop that re-checks "
+                f"state every iteration",
+            )
+        )
+    return violations
+
+
+# --------------------------------------------------------------------------
+# dispatch-thread-blocking
+# --------------------------------------------------------------------------
+
+# Servant classes: any T with a `class_def<T>` specialization in the tree.
+CLASS_DEF_RE = re.compile(r"\bclass_def\s*<\s*(?:[\w]+\s*::\s*)*(\w+)\s*>")
+# An out-of-line member definition: `ret Cls::method(...) ... {`.
+OUT_OF_LINE_RE = re.compile(r"\b(\w+)\s*::\s*(~?\w+)\s*\(")
+# An inline class/struct body: `class Cls ... {`.
+CLASS_BODY_RE = re.compile(r"\b(?:class|struct)\s+(\w+)[^;{]*\{")
+# Blocking collectives that must not run on a dispatch thread: every
+# gather*/barrier* spelling, member or coll::-qualified.  Point-to-point
+# call<&M> stays legal — the elastic pool is sized for linear chains, but
+# a collective parks one dispatch thread per participant at once.
+DISPATCH_BLOCKING_RE = re.compile(
+    r"(?:(?:\.|->)\s*(?:template\s+)?|\bcoll\s*::\s*)"
+    r"(gather\w*|barrier\w*)\s*[<(]"
+)
+
+
+def collect_context(files: list[Path]) -> dict:
+    """Repo-wide pre-pass: servant class names and CondVar variable names.
+    Both cross file boundaries (class_def<T> specializations live in
+    headers; waits on a header-declared CondVar live in the .cpp)."""
+    servants: set[str] = set()
+    condvars: set[str] = set()
+    for f in files:
+        text = strip_comments_and_strings(
+            f.read_text(encoding="utf-8", errors="replace"))
+        for m in CLASS_DEF_RE.finditer(text):
+            if len(m.group(1)) > 1:  # skip template params (class_def<T>)
+                servants.add(m.group(1))
+        for m in CONDVAR_DECL_RE.finditer(text):
+            condvars.add(m.group(1))
+    return {"servants": servants, "condvars": condvars}
+
+
+def servant_regions(text: str, servants: set[str]) -> list[tuple[int, int]]:
+    """Offset ranges of servant method bodies: out-of-line `Cls::m(){...}`
+    definitions plus whole inline class bodies."""
+    regions = []
+    for m in OUT_OF_LINE_RE.finditer(text):
+        if m.group(1) not in servants:
+            continue
+        close = find_matching_paren(text, text.find("(", m.end() - 1))
+        if close < 0:
+            continue
+        # A definition's `{` follows the parameter list after only
+        # qualifiers (const/noexcept/override/trailing return); a call
+        # expression hits `;` or an operator first.
+        tail = text[close + 1 : close + 120]
+        bm = re.match(
+            r"\s*(?:const|noexcept(?:\([^)]*\))?|override|final"
+            r"|->\s*[\w:<>,&*\s]+)*\s*\{", tail)
+        if not bm:
+            continue
+        open_idx = close + bm.end()
+        regions.append((open_idx, find_matching_brace(text, open_idx - 1)))
+    for m in CLASS_BODY_RE.finditer(text):
+        if m.group(1) not in servants:
+            continue
+        open_idx = m.end() - 1
+        regions.append((open_idx, find_matching_brace(text, open_idx)))
+    return regions
+
+
+def check_dispatch_blocking(path: Path, text: str, raw_lines: list[str],
+                            servants: set[str]):
+    violations = []
+    regions = servant_regions(text, servants)
+    if not regions:
+        return violations
+    reported = set()
+    for m in DISPATCH_BLOCKING_RE.finditer(text):
+        if not any(lo <= m.start() < hi for lo, hi in regions):
+            continue
+        line = line_of(text, m.start())
+        if line in reported:
+            continue
+        if suppressed(raw_lines, line, "dispatch-thread-blocking"):
+            continue
+        reported.add(line)
+        violations.append(
+            Violation(
+                path,
+                line,
+                "dispatch-thread-blocking",
+                f"blocking collective '{m.group(1)}' inside a servant "
+                f"method parks a dispatch thread per participant at once "
+                f"— a full worker pool of these deadlocks the machine; "
+                f"restructure as async + continuation, or annotate a site "
+                f"the elastic pool is sized to absorb",
+            )
+        )
+    return violations
+
+
+# --------------------------------------------------------------------------
 # driver
 # --------------------------------------------------------------------------
 
 
-def lint_file(path: Path, root: Path) -> list[Violation]:
+def lint_file(path: Path, root: Path, ctx: dict | None = None
+              ) -> list[Violation]:
+    ctx = ctx or {"servants": set(), "condvars": set()}
     raw = path.read_text(encoding="utf-8", errors="replace")
     raw_lines = raw.split("\n")
     text = strip_comments_and_strings(raw)
@@ -489,6 +776,10 @@ def lint_file(path: Path, root: Path) -> list[Violation]:
     violations += check_serialize_coverage(path, text, raw_lines)
     violations += check_token_rules(path, text, raw_lines, rel)
     violations += check_async_immediate_get(path, text, raw_lines)
+    violations += check_lock_across_get(path, text, raw_lines)
+    violations += check_condvar_wait(path, text, raw_lines, ctx["condvars"])
+    violations += check_dispatch_blocking(path, text, raw_lines,
+                                          ctx["servants"])
     return violations
 
 
@@ -512,13 +803,17 @@ def self_test(fixtures: Path, root: Path) -> int:
     """Every `LINT-EXPECT: rule` comment must produce exactly one matching
     violation on that line; any other violation is a failure."""
     ok = True
-    for f in collect_files([fixtures]):
+    files = collect_files([fixtures])
+    # Fixtures are self-contained: the pre-pass context (servant classes,
+    # CondVar names) is collected from the fixture set itself.
+    ctx = collect_context(files)
+    for f in files:
         raw_lines = f.read_text(encoding="utf-8").split("\n")
         expected = set()
         for i, line in enumerate(raw_lines, start=1):
             for m in re.finditer(r"LINT-EXPECT:\s*([\w-]+)", line):
                 expected.add((i, m.group(1)))
-        got = {(v.line, v.rule) for v in lint_file(f, root)}
+        got = {(v.line, v.rule) for v in lint_file(f, root, ctx)}
         for miss in sorted(expected - got):
             print(f"SELF-TEST FAIL {f}:{miss[0]}: expected [{miss[1]}] not reported")
             ok = False
@@ -531,12 +826,23 @@ def self_test(fixtures: Path, root: Path) -> int:
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("paths", nargs="+", type=Path)
+    ap.add_argument("paths", nargs="*", type=Path)
     ap.add_argument("--root", type=Path, default=Path.cwd(),
                     help="repo root for allow-list matching")
     ap.add_argument("--self-test", action="store_true",
                     help="treat paths as fixture dirs with LINT-EXPECT marks")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print every rule id and a one-line summary")
     args = ap.parse_args()
+
+    if args.list_rules:
+        width = max(len(r) for r in RULES)
+        for rule, summary in RULES.items():
+            print(f"{rule:<{width}}  {summary}")
+        return 0
+
+    if not args.paths:
+        ap.error("paths required (or --list-rules)")
 
     if args.self_test:
         rc = 0
@@ -546,8 +852,9 @@ def main() -> int:
 
     violations = []
     files = collect_files(args.paths)
+    ctx = collect_context(files)
     for f in files:
-        violations += lint_file(f, args.root)
+        violations += lint_file(f, args.root, ctx)
     for v in violations:
         print(v)
     print(f"oopp_lint: {len(files)} files, {len(violations)} violation(s)")
