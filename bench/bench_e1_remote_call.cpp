@@ -72,7 +72,7 @@ double burst_per_call_ns(bool batching, int calls) {
   Cluster::Options opts;
   opts.machines = 2;
   opts.fabric = Cluster::FabricKind::kTcp;
-  opts.batch = {.enabled = batching};
+  opts.transport.batch = {.enabled = batching};
   Cluster cluster(opts);
 
   auto data = cluster.make_remote_array<double>(1, 1024);

@@ -31,7 +31,7 @@ double split_loop_per_call_ns(bool batching, int rounds) {
   Cluster::Options opts;
   opts.machines = 4;
   opts.fabric = Cluster::FabricKind::kTcp;
-  opts.batch = {.enabled = batching};
+  opts.transport.batch = {.enabled = batching};
   Cluster cluster(opts);
 
   std::vector<remote_data<double>> data;

@@ -82,9 +82,8 @@ Cluster::Cluster(Options opts) {
     OOPP_CHECK_MSG(opts.local_machine < opts.mesh_endpoints.size(),
                    "local_machine outside the endpoint table");
     local_ = opts.local_machine;
-    fabric_ = std::make_unique<net::TcpMeshFabric>(
-        opts.mesh_endpoints,
-        net::TcpMeshFabric::Options{.batch = opts.batch});
+    fabric_ = std::make_unique<net::TcpMeshFabric>(opts.mesh_endpoints,
+                                                   opts.transport);
     nodes_.resize(opts.mesh_endpoints.size());
     nodes_[local_] =
         std::make_unique<rpc::Node>(local_, *fabric_, opts.node);
@@ -102,8 +101,8 @@ Cluster::Cluster(Options opts) {
               std::make_unique<net::InProcFabric>(opts.machines, opts.cost);
           break;
         case FabricKind::kTcp:
-          fabric_ = std::make_unique<net::TcpFabric>(
-              opts.machines, net::TcpFabric::Options{.batch = opts.batch});
+          fabric_ = std::make_unique<net::TcpFabric>(opts.machines,
+                                                     opts.transport);
           break;
       }
     }

@@ -12,6 +12,7 @@
 // space is itself a remotable object living on machine 0.
 #pragma once
 
+#include <algorithm>
 #include <filesystem>
 #include <functional>
 #include <list>
@@ -27,6 +28,7 @@
 #include "core/remote_ptr.hpp"
 #include "net/cost_model.hpp"
 #include "net/fabric.hpp"
+#include "net/fabric_options.hpp"
 #include "net/tcp_mesh_fabric.hpp"
 #include "rpc/node.hpp"
 #include "util/checked_mutex.hpp"
@@ -50,6 +52,9 @@ struct ClusterStats {
       t.objects_destroyed += n.objects_destroyed;
       t.pool_threads += n.pool_threads;
       t.pool_tasks_run += n.pool_tasks_run;
+      t.dispatch_shards += n.dispatch_shards;
+      t.queue_depth_hwm = std::max(t.queue_depth_hwm, n.queue_depth_hwm);
+      t.pool_busy += n.pool_busy;
     }
     return t;
   }
@@ -67,10 +72,12 @@ class Cluster {
     FabricKind fabric = FabricKind::kInProc;
     net::CostModel cost = net::CostModel::zero();
     rpc::Node::Options node{};
-    /// Per-peer send coalescing for the TCP fabrics (kTcp and mesh
-    /// deployments; see net/batcher.hpp).  Ignored by kInProc, which has
-    /// no syscalls to amortize.
-    net::BatchOptions batch{};
+    /// The unified transport surface (net/fabric_options.hpp): reactor
+    /// on/off, batching, buffers, connect deadline.  Applies to the TCP
+    /// fabrics (kTcp and mesh deployments); kInProc ignores it — it has
+    /// no sockets.  Replaces the old `batch` field (README migration
+    /// table): `opts.batch = b` becomes `opts.transport.batch = b`.
+    net::FabricOptions transport{};
     /// Directory for passivated process images.  Empty → a fresh temp
     /// directory owned (and removed) by this Cluster.
     std::filesystem::path state_dir{};

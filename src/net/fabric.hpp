@@ -21,6 +21,8 @@
 
 namespace oopp::net {
 
+struct FabricOptions;  // net/fabric_options.hpp
+
 class Fabric {
  public:
   virtual ~Fabric() = default;
@@ -29,9 +31,21 @@ class Fabric {
   /// Must be called for every machine before any send() targeting it.
   virtual void attach(MachineId id, Inbox* inbox) = 0;
 
+  /// Unregister machine `id`'s inbox: from the moment this returns, no
+  /// fabric thread will deliver another frame into it, even while peers
+  /// keep sending (their frames are read and dropped).  Part of the node
+  /// shutdown sequence — the inbox may be destroyed right after.  Safe to
+  /// call for an id that was never attached.  Idempotent.
+  virtual void detach(MachineId /*id*/) {}
+
   /// Deliver `m` to the machine in m.header.dst.  Never blocks on the
   /// receiver.  Thread-safe.
   virtual void send(Message m) = 0;
+
+  /// Apply the runtime-changeable subset of FabricOptions (today: the
+  /// batching knobs) to subsequent sends.  Construction-time fields
+  /// (reactor, buffers) are ignored.  Thread-safe.
+  virtual void reconfigure(const FabricOptions& /*opts*/) {}
 
   /// Tear down background resources (threads, sockets).  Idempotent.
   virtual void shutdown() {}

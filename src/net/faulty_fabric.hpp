@@ -18,6 +18,7 @@
 #include <mutex>
 
 #include "net/fabric.hpp"
+#include "net/fabric_options.hpp"
 #include "util/checked_mutex.hpp"
 #include "util/prng.hpp"
 
@@ -38,6 +39,12 @@ class FaultyFabric final : public Fabric {
 
   void attach(MachineId id, Inbox* inbox) override {
     inner_->attach(id, inbox);
+  }
+
+  void detach(MachineId id) override { inner_->detach(id); }
+
+  void reconfigure(const FabricOptions& opts) override {
+    inner_->reconfigure(opts);
   }
 
   void send(Message m) override {

@@ -27,27 +27,36 @@ class InProcFabric final : public Fabric {
  public:
   explicit InProcFabric(std::size_t machines, CostModel cost = CostModel::zero())
       : cost_(cost),
-        inboxes_(machines, nullptr),
+        slots_(machines),
         links_(machines * machines),
         egress_(machines),
         ingress_(machines) {}
 
   void attach(MachineId id, Inbox* inbox) override {
-    OOPP_CHECK(id < inboxes_.size());
-    inboxes_[id] = inbox;
+    OOPP_CHECK(id < slots_.size());
+    Slot& slot = slots_[id];
+    std::lock_guard lock(slot.mu);
+    slot.inbox = inbox;
+    slot.was_attached = true;
+  }
+
+  void detach(MachineId id) override {
+    if (id >= slots_.size()) return;
+    Slot& slot = slots_[id];
+    std::lock_guard lock(slot.mu);
+    slot.inbox = nullptr;
   }
 
   void send(Message m) override {
     const MachineId src = m.header.src;
     const MachineId dst = m.header.dst;
-    OOPP_CHECK_MSG(dst < inboxes_.size() && inboxes_[dst] != nullptr,
-                   "send to unattached machine " << dst);
+    OOPP_CHECK_MSG(dst < slots_.size(), "send to unknown machine " << dst);
     account(m);
 
     if (src == dst) {
       // Machine-local loopback: no NIC, no link — deliver immediately
       // (still through the inbox, so semantics are unchanged).
-      inboxes_[dst]->push_now(std::move(m));
+      deliver_now(dst, std::move(m));
       return;
     }
 
@@ -80,7 +89,7 @@ class InProcFabric final : public Fabric {
       deliver_at = port.busy_until;
     }
 
-    Link& link = links_[src * inboxes_.size() + dst];
+    Link& link = links_[src * slots_.size() + dst];
     {
       std::lock_guard lock(link.mu);
       if (deliver_at <= link.last)
@@ -95,12 +104,22 @@ class InProcFabric final : public Fabric {
                                                                now)
               .count()));
     }
-    inboxes_[dst]->push(std::move(m), deliver_at);
+    Slot& slot = slots_[dst];
+    std::lock_guard lock(slot.mu);
+    OOPP_CHECK_MSG(slot.was_attached, "send to unattached machine " << dst);
+    // Detached mid-shutdown: the machine is gone, drop like a real
+    // network would (the Inbox may already be destroyed).
+    if (slot.inbox != nullptr) slot.inbox->push(std::move(m), deliver_at);
   }
 
   [[nodiscard]] const CostModel& cost_model() const { return cost_; }
 
  private:
+  struct Slot {
+    util::CheckedMutex mu{"net.InProcFabric.slot"};
+    Inbox* inbox = nullptr;  // guarded by mu; null after detach()
+    bool was_attached = false;
+  };
   struct Link {
     util::CheckedMutex mu{"net.InProcFabric.link"};
     time_point last{};
@@ -109,8 +128,16 @@ class InProcFabric final : public Fabric {
     util::CheckedMutex mu{"net.InProcFabric.port"};
     time_point busy_until{};
   };
+
+  void deliver_now(MachineId dst, Message m) {
+    Slot& slot = slots_[dst];
+    std::lock_guard lock(slot.mu);
+    OOPP_CHECK_MSG(slot.was_attached, "send to unattached machine " << dst);
+    if (slot.inbox != nullptr) slot.inbox->push_now(std::move(m));
+  }
+
   CostModel cost_;
-  std::vector<Inbox*> inboxes_;
+  std::vector<Slot> slots_;
   std::vector<Link> links_;
   std::vector<Egress> egress_;
   std::vector<Egress> ingress_;

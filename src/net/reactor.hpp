@@ -1,0 +1,88 @@
+// Reactor: one epoll thread serving every inbound connection of a fabric.
+//
+// Replaces the thread-per-peer blocking readers of TcpFabric and
+// TcpMeshFabric: listening sockets and accepted connections are
+// nonblocking and edge-triggered; a single thread accepts, reads, and
+// decodes frames (via wire::StreamFrameDecoder, which parses exactly what
+// the blocking FrameReader does — the reactor changes no wire bytes).
+//
+// Inbound sockets are simplex here: a fabric link is one direction of one
+// (src, dst) pair, written by the sender's own threads under the link
+// mutex, so the reactor never needs write readiness — EPOLLOUT is unused
+// by design.
+//
+// Delivery goes through an InboxSlot, a shared inbox pointer behind a
+// mutex: Fabric::detach() nulls the pointer under the slot lock, after
+// which the reactor reads and drops frames for that machine instead of
+// pushing into a destroyed Inbox (the racing-shutdown fix).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/inbox.hpp"
+#include "util/checked_mutex.hpp"
+
+namespace oopp::net {
+
+/// The destination inbox of one attached machine, shared between the
+/// reader path (reactor or legacy per-peer threads) and Fabric::detach.
+struct InboxSlot {
+  util::CheckedMutex mu{"net.InboxSlot"};
+  Inbox* inbox = nullptr;
+};
+
+class Reactor {
+ public:
+  struct Options {
+    std::size_t read_chunk = 64 * 1024;
+    int socket_buffer = 0;  // SO_RCVBUF/SO_SNDBUF; 0 = kernel default
+  };
+
+  explicit Reactor(Options opts);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Register a listening socket; connections it accepts deliver into
+  /// `slot`.  The caller keeps ownership of `listen_fd` (and closes it to
+  /// stop new accepts); the reactor owns every fd it accepts.  The fd
+  /// must already be nonblocking.  Thread-safe.
+  void add_listener(int listen_fd, std::shared_ptr<InboxSlot> slot);
+
+  /// Stop the reactor thread and close all accepted connections.
+  /// Idempotent.  Callers close their listening fds first so no new
+  /// connections race the teardown.
+  void stop();
+
+ private:
+  struct Conn;
+
+  void run();
+  void do_accept(int listen_fd, const std::shared_ptr<InboxSlot>& slot);
+  /// Drain one readable connection; returns false when it must close
+  /// (EOF, error, malformed stream).
+  bool do_read(Conn& conn);
+  void close_conn(int fd);
+  void wake();
+
+  Options opts_;
+  std::vector<std::uint8_t> read_buf_;  // reactor-thread only
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: nudges epoll_wait for stop()
+  std::thread thread_;  // oopp-lint: allow(raw-thread-primitive) joined in stop()
+
+  util::CheckedMutex mu_{"net.Reactor.state"};
+  std::unordered_map<int, std::shared_ptr<InboxSlot>> listeners_;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace oopp::net

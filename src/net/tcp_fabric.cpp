@@ -20,8 +20,11 @@ struct TcpFabric::Link {
 struct TcpFabric::Endpoint {
   int listen_fd = -1;
   std::uint16_t port = 0;
-  Inbox* inbox = nullptr;
-  // This endpoint owns and joins its acceptor/reader threads in close().
+  // Shared with whichever reader path serves this endpoint; detach() nulls
+  // slot->inbox under slot->mu so no frame lands in a destroyed Inbox.
+  std::shared_ptr<InboxSlot> slot = std::make_shared<InboxSlot>();
+  // Legacy (reactor=false) path: this endpoint owns and joins its
+  // acceptor/reader threads in stop().
   std::thread acceptor;  // oopp-lint: allow(raw-thread-primitive)
   util::CheckedMutex readers_mu{"net.TcpFabric.readers"};
   std::vector<std::thread> readers;  // oopp-lint: allow(raw-thread-primitive)
@@ -78,7 +81,7 @@ struct TcpFabric::Endpoint {
     // writes listen_fd = -1 concurrently, and the thread never needs to
     // observe that (closing the fd is what unblocks accept()).
     const int lfd = listen_fd;
-    // oopp-lint: allow(raw-thread-primitive) — joined via close().
+    // oopp-lint: allow(raw-thread-primitive) — joined via stop().
     acceptor = std::thread([this, lfd] {
       for (;;) {
         const int fd = ::accept(lfd, nullptr, nullptr);
@@ -98,16 +101,22 @@ struct TcpFabric::Endpoint {
     std::vector<Message> ms;
     while (reader.next_batch(ms)) {
       frames.add(ms.size());
-      inbox->push_all(std::move(ms));
+      // After detach() the machine is gone but peers may still be
+      // sending: keep reading so their writes don't block, drop frames.
+      std::lock_guard lock(slot->mu);
+      if (slot->inbox != nullptr) slot->inbox->push_all(std::move(ms));
     }
   }
 };
 
-TcpFabric::TcpFabric(std::size_t machines, Options opts)
-    : batch_opts_(opts.batch) {
+TcpFabric::TcpFabric(std::size_t machines, FabricOptions opts)
+    : opts_(opts), batch_opts_(opts.batch) {
   endpoints_.reserve(machines);
   for (std::size_t i = 0; i < machines; ++i)
     endpoints_.push_back(std::make_unique<Endpoint>());
+  if (opts_.reactor)
+    reactor_ = std::make_unique<Reactor>(Reactor::Options{
+        .read_chunk = opts_.read_chunk, .socket_buffer = opts_.socket_buffer});
 }
 
 TcpFabric::~TcpFabric() { shutdown(); }
@@ -115,9 +124,28 @@ TcpFabric::~TcpFabric() { shutdown(); }
 void TcpFabric::attach(MachineId id, Inbox* inbox) {
   OOPP_CHECK(id < endpoints_.size());
   Endpoint& ep = *endpoints_[id];
-  ep.inbox = inbox;
+  {
+    std::lock_guard lock(ep.slot->mu);
+    ep.slot->inbox = inbox;
+  }
   ep.listen_on_ephemeral();
-  ep.start_accepting();
+  if (reactor_) {
+    wire::set_nonblocking(ep.listen_fd);
+    reactor_->add_listener(ep.listen_fd, ep.slot);
+  } else {
+    ep.start_accepting();
+  }
+}
+
+void TcpFabric::detach(MachineId id) {
+  if (id >= endpoints_.size()) return;
+  auto& slot = endpoints_[id]->slot;
+  std::lock_guard lock(slot->mu);
+  slot->inbox = nullptr;
+}
+
+void TcpFabric::reconfigure(const FabricOptions& opts) {
+  batch_opts_.store(opts.batch);
 }
 
 std::uint16_t TcpFabric::port(MachineId id) const {
@@ -215,7 +243,10 @@ void TcpFabric::shutdown() {
     }
     links_.clear();  // closes outgoing sockets; peers' readers exit on EOF
   }
+  // Listening fds close before the reactor stops, so no accept races the
+  // teardown; accepted fds are owned and closed by the reactor itself.
   for (auto& ep : endpoints_) ep->stop();
+  if (reactor_) reactor_->stop();
 }
 
 }  // namespace oopp::net

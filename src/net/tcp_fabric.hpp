@@ -3,8 +3,13 @@
 // Each attached machine gets a listening socket on 127.0.0.1 with an
 // ephemeral port.  Outgoing links are established lazily on first send and
 // cached per (src, dst) pair; a per-link mutex keeps frames atomic on the
-// socket.  A reader thread per accepted connection decodes frames and
-// pushes them into the destination inbox.
+// socket.
+//
+// Inbound connections are served, by default, by one epoll reactor thread
+// shared across every endpoint of the fabric (net/reactor.hpp); setting
+// FabricOptions::reactor = false restores the historical thread-per-peer
+// blocking readers for comparison.  Both paths decode the identical wire
+// stream.
 //
 // This fabric exists to show that the runtime's semantics do not depend on
 // shared memory: every remote method really crosses the kernel socket
@@ -21,45 +26,60 @@
 
 #include "net/batcher.hpp"
 #include "net/fabric.hpp"
+#include "net/fabric_options.hpp"
+#include "net/reactor.hpp"
 #include "util/checked_mutex.hpp"
 
 namespace oopp::net {
 
 class TcpFabric final : public Fabric {
  public:
-  struct Options {
-    /// Per-peer send coalescing (see net/batcher.hpp).  Off by default:
-    /// the wire stream is then byte-identical to the pre-batching
-    /// framing.
-    BatchOptions batch{};
-  };
+  /// Transport knobs moved to the fabric-agnostic net::FabricOptions;
+  /// designated initializers like `TcpFabric::Options{.batch = b}` keep
+  /// compiling through this alias during the migration (README table).
+  using Options [[deprecated("use net::FabricOptions")]] = FabricOptions;
 
   explicit TcpFabric(std::size_t machines)
-      : TcpFabric(machines, Options{}) {}
-  TcpFabric(std::size_t machines, Options opts);
+      : TcpFabric(machines, FabricOptions{}) {}
+  TcpFabric(std::size_t machines, FabricOptions opts);
   ~TcpFabric() override;
 
   void attach(MachineId id, Inbox* inbox) override;
+  void detach(MachineId id) override;
   void send(Message m) override;
+  void reconfigure(const FabricOptions& opts) override;
   void shutdown() override;
 
-  /// Reconfigure batching at runtime; takes effect for subsequent sends.
-  /// Turning batching off drains each link's queue on its next send.
-  void set_batching(const BatchOptions& batch) { batch_opts_.store(batch); }
-  [[nodiscard]] BatchOptions batching() const { return batch_opts_.load(); }
+  /// The options this fabric runs with (batch reflects reconfigure()).
+  [[nodiscard]] FabricOptions options() const {
+    FabricOptions o = opts_;
+    o.batch = batch_opts_.load();
+    return o;
+  }
+
+  [[deprecated("use reconfigure() with net::FabricOptions")]] void
+  set_batching(const BatchOptions& batch) {
+    batch_opts_.store(batch);
+  }
+  [[deprecated("use options().batch")]] [[nodiscard]] BatchOptions batching()
+      const {
+    return batch_opts_.load();
+  }
 
   /// Port the given machine listens on (for tests).
   [[nodiscard]] std::uint16_t port(MachineId id) const;
 
  private:
-  struct Endpoint;  // listener + accept thread + readers for one machine
+  struct Endpoint;  // listener (+ legacy accept/reader threads) per machine
   struct Link;      // cached outgoing connection for one (src, dst) pair
 
   Link& link_for(MachineId src, MachineId dst);
   /// Deadline-flush callback (runs on the flusher thread).
   void flush_link(std::uint64_t key);
 
+  FabricOptions opts_;  // construction-time snapshot (batch lives below)
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::unique_ptr<Reactor> reactor_;  // present iff opts_.reactor
   util::CheckedMutex links_mu_{"net.TcpFabric.links"};
   std::unordered_map<std::uint64_t, std::unique_ptr<Link>> links_;
   bool down_ = false;

@@ -21,9 +21,12 @@ struct TcpMeshFabric::Link {
   }
 };
 
-TcpMeshFabric::TcpMeshFabric(std::vector<Endpoint> peers, Options opts)
+TcpMeshFabric::TcpMeshFabric(std::vector<Endpoint> peers, FabricOptions opts)
     : peers_(std::move(peers)), opts_(opts), batch_opts_(opts.batch) {
   OOPP_CHECK_MSG(!peers_.empty(), "empty endpoint table");
+  if (opts_.reactor)
+    reactor_ = std::make_unique<Reactor>(Reactor::Options{
+        .read_chunk = opts_.read_chunk, .socket_buffer = opts_.socket_buffer});
 }
 
 TcpMeshFabric::~TcpMeshFabric() { shutdown(); }
@@ -34,7 +37,10 @@ void TcpMeshFabric::attach(MachineId id, Inbox* inbox) {
   OOPP_CHECK(id < peers_.size());
   attached_ = true;
   local_ = id;
-  inbox_ = inbox;
+  {
+    std::lock_guard lock(slot_->mu);
+    slot_->inbox = inbox;
+  }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   OOPP_CHECK_MSG(listen_fd_ >= 0, "socket() failed: " << std::strerror(errno));
@@ -49,6 +55,12 @@ void TcpMeshFabric::attach(MachineId id, Inbox* inbox) {
                  "bind to port " << peers_[id].port
                                  << " failed: " << std::strerror(errno));
   OOPP_CHECK(::listen(listen_fd_, 64) == 0);
+
+  if (reactor_) {
+    wire::set_nonblocking(listen_fd_);
+    reactor_->add_listener(listen_fd_, slot_);
+    return;
+  }
 
   // The acceptor works on a by-value copy of the listen fd: shutdown()
   // writes listen_fd_ = -1 concurrently, and the thread never needs to
@@ -69,11 +81,24 @@ void TcpMeshFabric::attach(MachineId id, Inbox* inbox) {
         std::vector<Message> ms;
         while (reader.next_batch(ms)) {
           frames.add(ms.size());
-          inbox_->push_all(std::move(ms));
+          // After detach() peers may still be sending: keep reading so
+          // their writes don't block, drop the frames.
+          std::lock_guard slot_lock(slot_->mu);
+          if (slot_->inbox != nullptr) slot_->inbox->push_all(std::move(ms));
         }
       });
     }
   });
+}
+
+void TcpMeshFabric::detach(MachineId id) {
+  if (!attached_ || id != local_) return;
+  std::lock_guard lock(slot_->mu);
+  slot_->inbox = nullptr;
+}
+
+void TcpMeshFabric::reconfigure(const FabricOptions& opts) {
+  batch_opts_.store(opts.batch);
 }
 
 TcpMeshFabric::Link& TcpMeshFabric::link_for(MachineId dst) {
@@ -135,7 +160,8 @@ void TcpMeshFabric::send(Message m) {
   if (m.header.dst == local_) {
     // Loopback without touching the kernel — never batched: there is no
     // syscall to amortize, and delaying it would only add latency.
-    inbox_->push_now(std::move(m));
+    std::lock_guard lock(slot_->mu);
+    if (slot_->inbox != nullptr) slot_->inbox->push_now(std::move(m));
     return;
   }
 
@@ -225,6 +251,9 @@ void TcpMeshFabric::shutdown() {
     for (int fd : reader_fds_) ::close(fd);
     reader_fds_.clear();
   }
+  // Listening fd is already closed above, so no accept races the
+  // teardown; accepted fds are owned and closed by the reactor itself.
+  if (reactor_) reactor_->stop();
 }
 
 std::vector<Endpoint> load_endpoints(const std::string& path) {

@@ -22,6 +22,8 @@
 
 #include "net/batcher.hpp"
 #include "net/fabric.hpp"
+#include "net/fabric_options.hpp"
+#include "net/reactor.hpp"
 #include "util/checked_mutex.hpp"
 
 namespace oopp::net {
@@ -33,31 +35,41 @@ struct Endpoint {
 
 class TcpMeshFabric final : public Fabric {
  public:
-  struct Options {
-    /// How long send() keeps redialing a peer that refuses connections.
-    std::chrono::milliseconds connect_deadline{10'000};
-    /// Per-peer send coalescing (see net/batcher.hpp).  Off by default:
-    /// the wire stream is then byte-identical to the pre-batching
-    /// framing, and peers with different settings interoperate.
-    BatchOptions batch{};
-  };
+  /// Transport knobs moved to the fabric-agnostic net::FabricOptions
+  /// (README migration table).  Note FabricOptions declares `batch`
+  /// before `connect_deadline`, so designated initializers naming both
+  /// must list `.batch` first.
+  using Options [[deprecated("use net::FabricOptions")]] = FabricOptions;
 
   explicit TcpMeshFabric(std::vector<Endpoint> peers)
-      : TcpMeshFabric(std::move(peers), Options{}) {}
-  TcpMeshFabric(std::vector<Endpoint> peers, Options opts);
+      : TcpMeshFabric(std::move(peers), FabricOptions{}) {}
+  TcpMeshFabric(std::vector<Endpoint> peers, FabricOptions opts);
   ~TcpMeshFabric() override;
 
   /// Bind and listen on peers[id]'s port; only one machine per process
   /// may attach.
   void attach(MachineId id, Inbox* inbox) override;
+  void detach(MachineId id) override;
 
   void send(Message m) override;
+  void reconfigure(const FabricOptions& opts) override;
   void shutdown() override;
 
-  /// Reconfigure batching at runtime; takes effect for subsequent sends.
-  /// Turning batching off drains each link's queue on its next send.
-  void set_batching(const BatchOptions& batch) { batch_opts_.store(batch); }
-  [[nodiscard]] BatchOptions batching() const { return batch_opts_.load(); }
+  /// The options this fabric runs with (batch reflects reconfigure()).
+  [[nodiscard]] FabricOptions options() const {
+    FabricOptions o = opts_;
+    o.batch = batch_opts_.load();
+    return o;
+  }
+
+  [[deprecated("use reconfigure() with net::FabricOptions")]] void
+  set_batching(const BatchOptions& batch) {
+    batch_opts_.store(batch);
+  }
+  [[deprecated("use options().batch")]] [[nodiscard]] BatchOptions batching()
+      const {
+    return batch_opts_.load();
+  }
 
   [[nodiscard]] MachineId local_machine() const { return local_; }
   [[nodiscard]] const std::vector<Endpoint>& peers() const { return peers_; }
@@ -70,13 +82,17 @@ class TcpMeshFabric final : public Fabric {
   void flush_link(std::uint64_t key);
 
   std::vector<Endpoint> peers_;
-  Options opts_;
+  FabricOptions opts_;  // construction snapshot (batch lives in batch_opts_)
   MachineId local_ = 0;
   bool attached_ = false;
 
   int listen_fd_ = -1;
-  Inbox* inbox_ = nullptr;
-  // The fabric owns and joins its acceptor/reader threads in shutdown().
+  // Shared with whichever reader path serves this process; detach() nulls
+  // slot_->inbox under slot_->mu so no frame lands in a destroyed Inbox.
+  std::shared_ptr<InboxSlot> slot_ = std::make_shared<InboxSlot>();
+  std::unique_ptr<Reactor> reactor_;  // present iff opts_.reactor
+  // Legacy (reactor=false) path: the fabric owns and joins its
+  // acceptor/reader threads in shutdown().
   std::thread acceptor_;  // oopp-lint: allow(raw-thread-primitive)
   util::CheckedMutex readers_mu_{"net.TcpMeshFabric.readers"};
   std::vector<std::thread> readers_;  // oopp-lint: allow(raw-thread-primitive)

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -173,6 +174,11 @@ inline void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+inline void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 /// Gather-write every iovec fully, handling partial writes, EINTR, and
 /// IOV_MAX by chunking.  Zero-length entries are permitted and skipped.
 inline bool writev_all(int fd, struct iovec* iov, std::size_t cnt) {
@@ -319,6 +325,35 @@ inline bool send_batch(int fd, const Message* frames, std::size_t n) {
   return writev_all(fd, iov.data(), iov.size());
 }
 
+/// Split a filled batch payload (everything after the batch header) into
+/// `count` messages whose payloads are zero-copy views of the shared
+/// store.  Returns false on a malformed or truncated sub-frame sequence.
+/// The one batch-splitting routine — FrameReader (blocking reads) and
+/// StreamFrameDecoder (reactor) both go through it, so the two inbound
+/// paths cannot diverge.
+inline bool split_batch(
+    const std::shared_ptr<const std::vector<std::byte>>& store,
+    std::uint32_t count, std::uint64_t payload_len,
+    std::vector<Message>& out) {
+  out.reserve(out.size() + count);
+  std::size_t off = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (off + kFrameHeaderSize > payload_len) return false;
+    Message m;
+    std::uint64_t sub_len = 0;
+    const std::size_t hdr_len = decode_header(
+        reinterpret_cast<const std::uint8_t*>(store->data()) + off,
+        payload_len - off, m.header, sub_len);
+    if (hdr_len == 0) return false;  // malformed held-locks extension
+    off += hdr_len;
+    if (off + sub_len > payload_len) return false;
+    m.payload = Buffer::view(store, off, sub_len);
+    off += sub_len;
+    out.push_back(std::move(m));
+  }
+  return off == payload_len;
+}
+
 /// Receive one framed message; returns false on EOF/socket failure.
 /// Pre-batching codec, kept for frame-level tests; fabric read loops use
 /// FrameReader, which additionally understands batch frames.
@@ -412,29 +447,130 @@ class FrameReader {
     auto store = std::make_shared<std::vector<std::byte>>(payload_len);
     // The store becomes shared and const once filled; read into it first.
     if (!read_all(fd_, store->data(), payload_len)) return false;
-    std::shared_ptr<const std::vector<std::byte>> cstore = std::move(store);
-    out.reserve(count);
-    std::size_t off = 0;
-    for (std::uint32_t i = 0; i < count; ++i) {
-      if (off + kFrameHeaderSize > payload_len) return false;
-      Message m;
-      std::uint64_t sub_len = 0;
-      const std::size_t hdr_len = decode_header(
-          reinterpret_cast<const std::uint8_t*>(cstore->data()) + off,
-          payload_len - off, m.header, sub_len);
-      if (hdr_len == 0) return false;  // malformed held-locks extension
-      off += hdr_len;
-      if (off + sub_len > payload_len) return false;
-      m.payload = Buffer::view(cstore, off, sub_len);
-      off += sub_len;
-      out.push_back(std::move(m));
-    }
-    return off == payload_len;
+    return split_batch(std::move(store), count, payload_len, out);
   }
 
   int fd_;
   std::vector<Message> buffered_;
   std::size_t pos_ = 0;
+};
+
+/// Incremental frame decoder for nonblocking sockets: the reactor's
+/// counterpart of FrameReader.  Bytes arrive in arbitrary read()-sized
+/// chunks; feed() consumes them and appends every completed message to
+/// the caller's vector.  Parses exactly the wire units FrameReader does —
+/// plain frames, the held-locks header extension, and 0xB5 batch frames
+/// (split zero-copy through the shared split_batch routine) — so the
+/// reactor changes no wire bytes.  One decoder per connection, driven by
+/// a single reactor thread: no internal locking.
+class StreamFrameDecoder {
+ public:
+  /// Consume `n` bytes of stream.  Returns false on a malformed stream
+  /// (bad batch header, bad held-locks extension); the connection must
+  /// then be dropped, exactly as FrameReader's fill() failure does.
+  bool feed(const std::uint8_t* data, std::size_t n,
+            std::vector<Message>& out) {
+    while (n > 0 || ready()) {
+      if (state_ == State::kHeader) {
+        const std::size_t take = std::min(n, need_ - have_);
+        std::memcpy(hdr_ + have_, data, take);
+        have_ += take;
+        data += take;
+        n -= take;
+        if (have_ < need_) return true;  // header still incomplete
+        if (!advance_header()) return false;
+        continue;
+      }
+      const std::size_t take =
+          std::min<std::size_t>(n, store_.size() - filled_);
+      std::memcpy(store_.data() + filled_, data, take);
+      filled_ += take;
+      data += take;
+      n -= take;
+      if (filled_ < store_.size()) return true;  // payload still incomplete
+      if (!emit(out)) return false;
+    }
+    return true;
+  }
+
+ private:
+  enum class State : std::uint8_t { kHeader, kPayload };
+
+  [[nodiscard]] bool ready() const {
+    // A zero-byte unit (empty payload, or a header fully buffered by the
+    // previous chunk) completes without consuming further input.
+    return (state_ == State::kHeader && have_ == need_) ||
+           (state_ == State::kPayload && filled_ == store_.size());
+  }
+
+  /// The header grew to `need_` bytes: classify, extend, or finish it.
+  bool advance_header() {
+    if (have_ == 1) {
+      need_ = hdr_[0] == kBatchMagic ? kBatchHeaderSize : kFrameHeaderSize;
+      return true;
+    }
+    if (hdr_[0] == kBatchMagic) {
+      if (!decode_batch_header(hdr_, batch_count_, payload_len_))
+        return false;
+      return begin_payload();
+    }
+    if (have_ == kFrameHeaderSize) {
+      if (!decode_fixed_header(hdr_, msg_.header, payload_len_))
+        return begin_payload();  // no held-locks extension follows
+      need_ = kFrameHeaderSize + 1;  // the extension's count byte
+      return true;
+    }
+    if (have_ == kFrameHeaderSize + 1) {
+      const std::uint8_t count = hdr_[kFrameHeaderSize];
+      if (count == 0 || count > kMaxHeldClasses) return false;
+      need_ = kFrameHeaderSize + 1 + 4 * std::size_t{count};
+      return true;
+    }
+    if (decode_held_ext(hdr_ + kFrameHeaderSize, have_ - kFrameHeaderSize,
+                        msg_.header.held) == 0)
+      return false;
+    return begin_payload();
+  }
+
+  bool begin_payload() {
+    if (payload_len_ > kMaxBatchBytes) return false;
+    state_ = State::kPayload;
+    store_.assign(static_cast<std::size_t>(payload_len_), std::byte{});
+    filled_ = 0;
+    return true;
+  }
+
+  /// Payload complete: hand out the finished message(s) and reset.
+  bool emit(std::vector<Message>& out) {
+    bool ok = true;
+    if (hdr_[0] == kBatchMagic) {
+      ok = split_batch(
+          std::make_shared<const std::vector<std::byte>>(std::move(store_)),
+          batch_count_, payload_len_, out);
+    } else {
+      msg_.payload = Buffer(std::move(store_));
+      out.push_back(std::move(msg_));
+      msg_ = Message{};
+    }
+    state_ = State::kHeader;
+    have_ = 0;
+    need_ = 1;
+    store_.clear();
+    filled_ = 0;
+    return ok;
+  }
+
+  State state_ = State::kHeader;
+  std::uint8_t hdr_[kMaxFrameHeaderSize > kBatchHeaderSize
+                        ? kMaxFrameHeaderSize
+                        : kBatchHeaderSize] = {};
+  std::size_t have_ = 0;
+  std::size_t need_ = 1;
+  Message msg_;
+  std::uint32_t batch_count_ = 0;
+  std::uint64_t payload_len_ = 0;
+  std::vector<std::byte> store_;
+  std::size_t filled_ = 0;
 };
 
 }  // namespace oopp::net::wire

@@ -79,6 +79,32 @@ BreakerMetrics& breaker_metrics() {
   return m;
 }
 
+/// rpc.dispatch scope: the N:M routing layer between the receiver thread
+/// and the worker pool (docs/DISPATCH.md).
+struct DispatchMetrics {
+  telemetry::Counter& routed;             // requests routed to a shard
+  telemetry::Counter& queue_full_rejects; // bounded object queues refusing
+  telemetry::Histogram& shard_depth;      // shard queue depth at enqueue
+};
+
+DispatchMetrics& dispatch_metrics() {
+  static DispatchMetrics m = [] {
+    auto& s = telemetry::Metrics::scope_for("rpc.dispatch");
+    return DispatchMetrics{s.counter("routed"),
+                           s.counter("queue_full_rejects"),
+                           s.histogram("shard_depth")};
+  }();
+  return m;
+}
+
+/// Lock-free high-water update (queue depth statistics).
+void note_depth(std::atomic<std::uint64_t>& hwm, std::size_t depth) {
+  auto prev = hwm.load(std::memory_order_relaxed);
+  while (depth > prev &&
+         !hwm.compare_exchange_weak(prev, depth, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 thread_local Node* Node::tls_current_ = nullptr;
@@ -89,11 +115,15 @@ Node::Node(net::MachineId id, net::Fabric& fabric, Options opts)
     : id_(id),
       opts_(opts),
       fabric_(fabric),
-      pool_(ElasticPool::Options{.min_threads = opts.min_threads,
-                                 .max_threads = opts.max_threads}),
+      pool_(ElasticPool::Options{.min_threads = opts.dispatch.workers,
+                                 .max_threads = opts.dispatch.max_workers}),
+      objects_(opts.dispatch.shards),
       default_policy_(opts.default_policy) {
   has_default_policy_.store(default_policy_.retryable(),
                             std::memory_order_relaxed);
+  dispatch_shards_.reserve(objects_.shard_count());
+  for (std::size_t i = 0; i < objects_.shard_count(); ++i)
+    dispatch_shards_.push_back(std::make_unique<DispatchShard>());
 }
 
 bool Node::payload_intact(const net::Message& m) const {
@@ -120,6 +150,10 @@ void Node::stop() {
 }
 
 void Node::stop_receiving() {
+  // Detach first: from here no fabric reader can push into inbox_, even
+  // while peers are still sending (their frames are read and dropped), so
+  // destroying this node under fire cannot deliver into a dead Inbox.
+  if (started_) fabric_.detach(id_);
   inbox_.close();
   if (receiver_.joinable()) receiver_.join();
   stop_retry();
@@ -193,8 +227,61 @@ void Node::receive_loop() {
       // so a servant blocked on a nested call always gets its reply.
       on_response(std::move(*msg));
     } else {
-      on_request(std::move(*msg));
+      route_request(std::move(*msg));
     }
+  }
+}
+
+void Node::route_request(net::Message req) {
+  // N:M dispatch stage 1 (docs/DISPATCH.md): the receiver thread only
+  // appends to the target shard's FIFO — the ordering chain is inbox FIFO
+  // -> shard FIFO -> object command queue FIFO, so two requests for one
+  // object can never reorder, while requests for objects in different
+  // shards are dispatched concurrently.
+  const std::size_t shard = objects_.shard_of(req.header.object);
+  DispatchShard& ds = *dispatch_shards_[shard];
+  bool kick = false;
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(ds.mu);
+    ds.q.push_back(std::move(req));
+    depth = ds.q.size();
+    if (!ds.draining) {
+      ds.draining = true;
+      kick = true;
+    }
+  }
+  note_depth(queue_depth_hwm_, depth);
+  auto& dm = dispatch_metrics();
+  dm.routed.add(1);
+  if (telemetry::enabled()) dm.shard_depth.record(depth);
+  if (!kick) return;
+  if (!pool_.try_submit([this, shard] { drain_shard(shard); })) {
+    // Pool already shut down: the node is tearing down, and fail_pending
+    // has settled (or will settle) every caller-side future.
+    std::lock_guard lock(ds.mu);
+    ds.draining = false;
+  }
+}
+
+void Node::drain_shard(std::size_t shard) {
+  ContextGuard guard(this);
+  DispatchShard& ds = *dispatch_shards_[shard];
+  // One drain task per shard at a time; on_request never blocks on
+  // servant work (executions go to object queues or their own pool
+  // tasks), so a shard cannot stall its siblings.
+  for (;;) {
+    net::Message req;
+    {
+      std::lock_guard lock(ds.mu);
+      if (ds.q.empty()) {
+        ds.draining = false;
+        return;
+      }
+      req = std::move(ds.q.front());
+      ds.q.pop_front();
+    }
+    on_request(std::move(req));
   }
 }
 
@@ -250,12 +337,18 @@ void Node::on_response(net::Message resp) {
 }
 
 void Node::on_request(net::Message req) {
+  // Runs on a shard drain task (stage 2 of the N:M dispatch).  Everything
+  // here is quick and non-blocking: servant executions go to object
+  // command queues or their own pool tasks — a control or reentrant
+  // handler making a nested blocking call must never occupy the drain
+  // task that would deliver requests for its own shard.
   if (dedup_intercept(req)) return;
   if (req.header.object == net::kNodeObject) {
-    pool_.submit([this, req = std::move(req)]() mutable {
+    const bool ok = pool_.try_submit([this, req = std::move(req)]() mutable {
       ContextGuard guard(this);
       handle_control(req);
     });
+    if (!ok) return;  // teardown race: futures settle via fail_pending
     return;
   }
 
@@ -275,31 +368,49 @@ void Node::on_request(net::Message req) {
   if (mi->reentrant) {
     // One-sided operation: runs immediately on its own pool task, even if
     // the object is busy inside a queued method.
-    pool_.submit([this, entry, mi, req = std::move(req)]() mutable {
-      ContextGuard guard(this);
-      execute(entry, mi, req);
-    });
+    if (!pool_.try_submit([this, entry, mi, req = std::move(req)]() mutable {
+          ContextGuard guard(this);
+          execute(entry, mi, req);
+        })) {
+      return;  // teardown race
+    }
     return;
   }
 
-  enqueue_command(entry, [this, entry, mi, req = std::move(req)] {
-    execute(entry, mi, req);
-  });
+  const bool accepted =
+      enqueue_command(entry,
+                      [this, entry, mi, req] { execute(entry, mi, req); },
+                      /*bounded=*/true);
+  if (!accepted) {
+    // Backpressure: the object's queue sits at dispatch.queue_bound.
+    // Refuse loudly (rpc::PeerUnavailable at the caller) instead of
+    // growing memory without limit.
+    respond_error(req, net::CallStatus::kUnavailable,
+                  serial::to_bytes(std::string("object command queue full")));
+  }
 }
 
-void Node::enqueue_command(std::shared_ptr<ObjectTable::Entry> entry,
-                           std::function<void()> cmd) {
+bool Node::enqueue_command(std::shared_ptr<ObjectTable::Entry> entry,
+                           std::function<void()> cmd, bool bounded) {
+  const std::size_t bound = opts_.dispatch.queue_bound;
   bool kick = false;
+  std::size_t depth = 0;
   {
     std::lock_guard lock(entry->queue_mu);
+    if (bounded && bound > 0 && entry->queue.size() >= bound) {
+      dispatch_metrics().queue_full_rejects.add(1);
+      return false;
+    }
     entry->queue.push_back(std::move(cmd));
+    depth = entry->queue.size();
     if (!entry->draining) {
       entry->draining = true;
       kick = true;
     }
   }
-  if (!kick) return;
-  pool_.submit([this, entry] {
+  note_depth(queue_depth_hwm_, depth);
+  if (!kick) return true;
+  const bool ok = pool_.try_submit([this, entry] {
     ContextGuard guard(this);
     // Drain the command queue FIFO — the paper's "process accepts commands"
     // loop.  One drain task exists per object at a time.
@@ -317,6 +428,13 @@ void Node::enqueue_command(std::shared_ptr<ObjectTable::Entry> entry,
       next();
     }
   });
+  if (!ok) {
+    // Pool already shut down (teardown race): leave the command dropped
+    // and let fail_pending settle the caller's future.
+    std::lock_guard lock(entry->queue_mu);
+    entry->draining = false;
+  }
+  return true;
 }
 
 void Node::execute(const std::shared_ptr<ObjectTable::Entry>& entry,
@@ -418,6 +536,9 @@ NodeStats Node::stats() const {
   s.objects_destroyed = objects_destroyed_.load(std::memory_order_relaxed);
   s.pool_threads = pool_.thread_count();
   s.pool_tasks_run = pool_.tasks_run();
+  s.dispatch_shards = objects_.shard_count();
+  s.queue_depth_hwm = queue_depth_hwm_.load(std::memory_order_relaxed);
+  s.pool_busy = pool_.busy_count();
   return s;
 }
 
@@ -491,13 +612,16 @@ void Node::handle_control(const net::Message& req) {
       // commands complete first, then the process terminates (paper §2:
       // the destructor "causes termination of the remote process and
       // completion of the corresponding client-server communications").
-      enqueue_command(entry, [this, entry, target, req] {
-        entry->destroyed = true;
-        entry->servant.reset();  // run the destructor now
-        objects_.erase(target);
-        objects_destroyed_.fetch_add(1, std::memory_order_relaxed);
-        respond_ok(req, {});
-      });
+      enqueue_command(
+          entry,
+          [this, entry, target, req] {
+            entry->destroyed = true;
+            entry->servant.reset();  // run the destructor now
+            objects_.erase(target);
+            objects_destroyed_.fetch_add(1, std::memory_order_relaxed);
+            respond_ok(req, {});
+          },
+          /*bounded=*/false);
       return;
     }
 
@@ -512,28 +636,31 @@ void Node::handle_control(const net::Message& req) {
       if (!entry->info->persistent())
         throw Error("class " + entry->info->name +
                     " is not persistent (no save/restore binding)");
-      enqueue_command(entry, [this, entry, target, destroy_after, req] {
-        if (entry->destroyed || !entry->servant) {
-          respond_error(req, net::CallStatus::kObjectNotFound, {});
-          return;
-        }
-        try {
-          serial::OArchive state;
-          entry->info->save(entry->servant->instance(), state);
-          serial::OArchive oa;
-          oa(entry->info->name, state.bytes());
-          if (destroy_after) {
-            entry->destroyed = true;
-            entry->servant.reset();
-            objects_.erase(target);
-          }
-          respond_ok(req, oa.take());
-        } catch (const std::exception& e) {
-          serial::OArchive oa;
-          oa(std::string(typeid(e).name()), std::string(e.what()));
-          respond_error(req, net::CallStatus::kRemoteException, oa.take());
-        }
-      });
+      enqueue_command(
+          entry,
+          [this, entry, target, destroy_after, req] {
+            if (entry->destroyed || !entry->servant) {
+              respond_error(req, net::CallStatus::kObjectNotFound, {});
+              return;
+            }
+            try {
+              serial::OArchive state;
+              entry->info->save(entry->servant->instance(), state);
+              serial::OArchive oa;
+              oa(entry->info->name, state.bytes());
+              if (destroy_after) {
+                entry->destroyed = true;
+                entry->servant.reset();
+                objects_.erase(target);
+              }
+              respond_ok(req, oa.take());
+            } catch (const std::exception& e) {
+              serial::OArchive oa;
+              oa(std::string(typeid(e).name()), std::string(e.what()));
+              respond_error(req, net::CallStatus::kRemoteException, oa.take());
+            }
+          },
+          /*bounded=*/false);
       return;
     }
 

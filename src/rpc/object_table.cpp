@@ -2,39 +2,62 @@
 
 namespace oopp::rpc {
 
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  if (n < 1) return 1;
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ObjectTable::ObjectTable(std::size_t shards)
+    : shards_(round_up_pow2(shards)) {}
+
 net::ObjectId ObjectTable::insert(std::unique_ptr<ServantBase> servant,
                                   const ClassInfo* info) {
   auto entry = std::make_shared<Entry>();
   entry->servant = std::move(servant);
   entry->info = info;
-  std::lock_guard lock(mu_);
-  const net::ObjectId id = next_++;
-  map_.emplace(id, std::move(entry));
+  const net::ObjectId id = next_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shards_[shard_of(id)];
+  std::lock_guard lock(shard.mu);
+  shard.map.emplace(id, std::move(entry));
   return id;
 }
 
 std::shared_ptr<ObjectTable::Entry> ObjectTable::find(
     net::ObjectId id) const {
-  std::lock_guard lock(mu_);
-  auto it = map_.find(id);
-  return it == map_.end() ? nullptr : it->second;
+  const Shard& shard = shards_[shard_of(id)];
+  std::lock_guard lock(shard.mu);
+  auto it = shard.map.find(id);
+  return it == shard.map.end() ? nullptr : it->second;
 }
 
 bool ObjectTable::erase(net::ObjectId id) {
-  std::lock_guard lock(mu_);
-  return map_.erase(id) > 0;
+  Shard& shard = shards_[shard_of(id)];
+  std::lock_guard lock(shard.mu);
+  return shard.map.erase(id) > 0;
 }
 
 std::size_t ObjectTable::size() const {
-  std::lock_guard lock(mu_);
-  return map_.size();
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
 }
 
 std::vector<net::ObjectId> ObjectTable::ids() const {
-  std::lock_guard lock(mu_);
   std::vector<net::ObjectId> out;
-  out.reserve(map_.size());
-  for (const auto& [id, _] : map_) out.push_back(id);
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    out.reserve(out.size() + shard.map.size());
+    for (const auto& [id, _] : shard.map) out.push_back(id);
+  }
   return out;
 }
 

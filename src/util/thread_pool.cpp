@@ -15,9 +15,14 @@ ElasticPool::ElasticPool(Options opts) : opts_(opts) {
 ElasticPool::~ElasticPool() { shutdown(); }
 
 void ElasticPool::submit(std::function<void()> task) {
+  if (!try_submit(std::move(task)))
+    throw std::runtime_error("ElasticPool: submit after shutdown");
+}
+
+bool ElasticPool::try_submit(std::function<void()> task) {
   {
     std::lock_guard lock(mu_);
-    if (shutdown_) throw std::runtime_error("ElasticPool: submit after shutdown");
+    if (shutdown_) return false;
     queue_.push_back(std::move(task));
     // Grow when nobody is idle: a busy worker may be about to block on a
     // nested remote call, and this task could be the one that unblocks it.
@@ -27,6 +32,7 @@ void ElasticPool::submit(std::function<void()> task) {
     }
   }
   cv_.notify_one();
+  return true;
 }
 
 void ElasticPool::shutdown() {
@@ -93,7 +99,9 @@ void ElasticPool::worker_loop() {
         spawn_worker_locked();
       }
       lock.unlock();
+      busy_.fetch_add(1, std::memory_order_relaxed);
       task();
+      busy_.fetch_sub(1, std::memory_order_relaxed);
       tasks_run_.fetch_add(1, std::memory_order_relaxed);
       lock.lock();
       continue;

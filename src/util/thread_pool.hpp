@@ -42,12 +42,24 @@ class ElasticPool {
   /// std::runtime_error if the pool has been shut down.
   void submit(std::function<void()> task);
 
+  /// Like submit(), but returns false instead of throwing when the pool
+  /// has been shut down (the task is dropped).  Dispatch paths racing a
+  /// node teardown use this: work refused at shutdown is work whose
+  /// futures fail_pending() already settled.
+  [[nodiscard]] bool try_submit(std::function<void()> task);
+
   /// Stop accepting tasks, drain the queue, join all workers.  Idempotent.
   void shutdown();
 
   /// Number of live worker threads (approximate; for tests/metrics).
   [[nodiscard]] std::size_t thread_count() const {
     return live_.load(std::memory_order_relaxed);
+  }
+
+  /// Workers currently inside a task (approximate; for utilization
+  /// metrics: busy_count() / thread_count()).
+  [[nodiscard]] std::size_t busy_count() const {
+    return busy_.load(std::memory_order_relaxed);
   }
 
   /// Total tasks executed (for tests/metrics).
@@ -68,6 +80,7 @@ class ElasticPool {
   std::vector<std::thread::id> finished_;  // retired workers awaiting join
   std::size_t idle_ = 0;
   std::atomic<std::size_t> live_{0};
+  std::atomic<std::size_t> busy_{0};
   std::atomic<std::uint64_t> tasks_run_{0};
   bool shutdown_ = false;
 };

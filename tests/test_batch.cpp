@@ -198,7 +198,7 @@ struct FabricPair {
   net::TcpFabric fabric;
   net::Inbox a, b;
   explicit FabricPair(net::BatchOptions batch)
-      : fabric(2, net::TcpFabric::Options{.batch = batch}) {
+      : fabric(2, net::FabricOptions{.batch = batch}) {
     fabric.attach(0, &a);
     fabric.attach(1, &b);
   }
@@ -272,12 +272,13 @@ TEST(TcpBatching, RuntimeToggleDrainsAndKeepsDelivering) {
   FabricPair fp({.enabled = true, .max_frames = 1000, .max_delay = 10s});
   fp.fabric.send(req(1, 16));  // parked in the queue (no trigger near)
   // Turning batching off must drain the parked frame on the next send.
-  fp.fabric.set_batching({.enabled = false});
+  fp.fabric.reconfigure(net::FabricOptions{.batch = {.enabled = false}});
   fp.fabric.send(req(2, 16));
   EXPECT_EQ(fp.b.pop()->header.seq, 1u);
   EXPECT_EQ(fp.b.pop()->header.seq, 2u);
 
-  fp.fabric.set_batching({.enabled = true, .max_frames = 2});
+  fp.fabric.reconfigure(
+      net::FabricOptions{.batch = {.enabled = true, .max_frames = 2}});
   fp.fabric.send(req(3, 16));
   fp.fabric.send(req(4, 16));
   EXPECT_EQ(fp.b.pop()->header.seq, 3u);
@@ -290,10 +291,9 @@ TEST(TcpBatching, ShutdownDrainsParkedFramesWithoutHanging) {
   // hit the socket) and never hangs on a parked queue.
   const auto drains_before = net::batch_metrics().flush_drain.value();
   {
-    net::TcpFabric fabric(
-        2, net::TcpFabric::Options{.batch = {.enabled = true,
-                                             .max_frames = 1000,
-                                             .max_delay = 10s}});
+    net::TcpFabric fabric(2, net::FabricOptions{.batch = {.enabled = true,
+                                                          .max_frames = 1000,
+                                                          .max_delay = 10s}});
     net::Inbox a, b;
     fabric.attach(0, &a);
     fabric.attach(1, &b);
@@ -349,8 +349,7 @@ struct BatchedCluster {
     opts.fabric_factory = [&](std::size_t machines) {
       auto tcp = std::make_unique<net::TcpFabric>(
           machines,
-          net::TcpFabric::Options{
-              .batch = {.enabled = true, .max_delay = 50us}});
+          net::FabricOptions{.batch = {.enabled = true, .max_delay = 50us}});
       auto faulty =
           std::make_unique<net::FaultyFabric>(std::move(tcp), faults);
       fabric = faulty.get();

@@ -1,0 +1,22 @@
+// Fixture: deprecated per-fabric transport setters outside src/net/.
+namespace fixture {
+
+struct FakeFabric {
+  struct BatchOptions {
+    bool enabled = false;
+  };
+  // Even re-declaring the deprecated setter outside src/net/ is flagged:
+  // the surface may not fork.
+  void set_batching(const BatchOptions&) {}  // LINT-EXPECT: deprecated-transport-setter
+  BatchOptions batching() const { return {}; }
+  BatchOptions options_batch() const { return {}; }
+};
+
+inline void configure(FakeFabric& fabric) {
+  fabric.set_batching({});  // LINT-EXPECT: deprecated-transport-setter
+  (void)fabric.batching();  // LINT-EXPECT: deprecated-transport-setter
+  // The replacement spelling stays legal.
+  (void)fabric.options_batch();
+}
+
+}  // namespace fixture

@@ -83,6 +83,17 @@ dispatch-thread-blocking
                         elastic pool is sized for linear chains).  Servant
                         classes are those with a ``class_def<T>``
                         specialization anywhere in the linted tree.
+deprecated-transport-setter
+                        The per-fabric transport setters
+                        (``set_batching(...)`` / ``batching()``) were
+                        deprecated in PR 7 in favour of the unified
+                        ``net::FabricOptions`` carried by
+                        ``Cluster::Options::transport`` (runtime changes go
+                        through ``Fabric::reconfigure``).  The forwarders
+                        stay for one release for out-of-tree callers, but
+                        in-tree code may not use them — see the migration
+                        table in README.md.  ``src/net/`` is exempt: the
+                        forwarders are defined there.
 
 Usage
 -----
@@ -120,6 +131,10 @@ MESSAGE_HEADER_ALLOWED = ("src/net/",)
 # Batch-frame framing (magic, header layout, codec) lives in net::wire only.
 BATCH_HEADER_ALLOWED = ("src/net/",)
 
+# The deprecated transport setters are defined (and self-referenced) here;
+# everywhere else must use net::FabricOptions / Fabric::reconfigure.
+TRANSPORT_SETTER_ALLOWED = ("src/net/",)
+
 # Hot paths where an unbounded Future::get() is a hang waiting to happen.
 # future.hpp is the implementation of get() itself and stays exempt.
 FUTURE_GET_SCOPED = ("src/core/", "src/kv/", "src/dsm/", "src/coll/")
@@ -154,6 +169,8 @@ RULES = {
         "CondVar wait without a predicate misses spurious wakeups",
     "dispatch-thread-blocking":
         "gather*/barrier* collectives inside a servant method",
+    "deprecated-transport-setter":
+        "set_batching()/batching() deprecated — use net::FabricOptions",
 }
 
 
@@ -359,6 +376,12 @@ BATCH_HEADER_RE = re.compile(
     r"encode_batch_header|decode_batch_header)\b"
     r"|\b0[xX][bB]5\b"
 )
+# The deprecated per-fabric transport setters: a set_batching(...) call, or
+# a zero-argument batching() member read.  `options().batch` (the
+# replacement) does not match.
+TRANSPORT_SETTER_RE = re.compile(
+    r"\bset_batching\s*\(|(?:\.|->)\s*batching\s*\(\s*\)"
+)
 
 
 def check_token_rules(path: Path, text: str, raw_lines: list[str], rel: str):
@@ -460,6 +483,25 @@ def check_token_rules(path: Path, text: str, raw_lines: list[str], rel: str):
                     "batch-frame framing outside src/net/ — only "
                     "net::wire::send_batch / FrameReader may emit or parse "
                     "the 0xB5 batch header, so the codec cannot fork",
+                )
+            )
+
+    if not any(rel.startswith(p) or f"/{p}" in rel
+               for p in TRANSPORT_SETTER_ALLOWED):
+        for m in TRANSPORT_SETTER_RE.finditer(text):
+            line = line_of(text, m.start())
+            if suppressed(raw_lines, line, "deprecated-transport-setter"):
+                continue
+            violations.append(
+                Violation(
+                    path,
+                    line,
+                    "deprecated-transport-setter",
+                    "deprecated transport setter — configure batching via "
+                    "net::FabricOptions (Cluster::Options::transport / the "
+                    "fabric constructor) and change it at runtime with "
+                    "Fabric::reconfigure(); see the migration table in "
+                    "README.md",
                 )
             )
 
