@@ -10,6 +10,7 @@
 //                   domain-shaped reads;
 //   round-robin   — adjacent pages on different spindles: maximal overlap.
 #include <cstdio>
+#include <cstring>
 
 #include "array/array.hpp"
 #include "array/block_storage.hpp"
@@ -20,7 +21,88 @@ using namespace oopp;
 namespace arr = oopp::array;
 using bench::ScratchDir;
 
-int main() {
+namespace {
+
+// CI smoke: online redistribution must not degrade steady-state reads.
+// An array laid out round-robin is migrated to blocked while live; the
+// bulk-read time afterwards is compared against an array *created*
+// blocked on identical spindles.  Emits BENCH_e6.json; CI fails the job
+// if the migrated layout serves reads at under 0.9x the fresh layout.
+int run_smoke() {
+  bench::headline("E6  read throughput after online redistribution (smoke)",
+                  "a migrated blocked layout must read like a fresh one");
+  Cluster cluster(4);
+  ScratchDir dir("e6s");
+
+  constexpr std::uint32_t kServiceUs = 300;
+  const Extents3 N{32, 32, 32};
+  const Extents3 n{8, 8, 8};  // page grid 4x4x4 = 64 pages
+  const Extents3 grid{4, 4, 4};
+  constexpr int kDevices = 4;
+  const arr::Domain whole = arr::Domain::whole(N);
+
+  auto make_storage = [&](arr::PageMapKind kind, const std::string& tag) {
+    const arr::PageMapSpec spec{kind};
+    arr::BlockStorageConfig cfg;
+    cfg.file_prefix = dir.file(tag);
+    cfg.devices = kDevices;
+    cfg.pages_per_device =
+        static_cast<std::int32_t>(spec.pages_per_device(grid, kDevices));
+    cfg.n1 = static_cast<int>(n.n1);
+    cfg.n2 = static_cast<int>(n.n2);
+    cfg.n3 = static_cast<int>(n.n3);
+    cfg.device_options.service_us = kServiceUs;
+    return arr::create_block_storage(cfg, [&](std::int32_t i) {
+      return static_cast<net::MachineId>(i % cluster.size());
+    });
+  };
+  auto read_ms = [&](arr::Array& a) {
+    return bench::median_seconds(3, [&] { (void)a.read(whole); }) * 1e3;
+  };
+
+  // Baseline: an array born with the target layout.
+  auto fresh_storage =
+      make_storage(arr::PageMapKind::kBlocked, "fresh");
+  arr::Array fresh(N.n1, N.n2, N.n3, n.n1, n.n2, n.n3, fresh_storage,
+                   arr::PageMapSpec{arr::PageMapKind::kBlocked});
+  fresh.fill(1.0, whole);
+  const double fresh_ms = read_ms(fresh);
+
+  // The same layout reached by live migration from round-robin.
+  auto moved_storage =
+      make_storage(arr::PageMapKind::kRoundRobin, "moved");
+  arr::Array moved(N.n1, N.n2, N.n3, n.n1, n.n2, n.n3, moved_storage,
+                   arr::PageMapSpec{arr::PageMapKind::kRoundRobin});
+  moved.fill(1.0, whole);
+  Timer t;
+  const auto st =
+      moved.redistribute(arr::PageMapSpec{arr::PageMapKind::kBlocked});
+  const double migrate_ms = t.seconds() * 1e3;
+  const double post_ms = read_ms(moved);
+  const double ratio = fresh_ms / post_ms;  // post throughput vs fresh
+
+  bench::note("64 pages of 8^3 over %d spindles, %u us service:", kDevices,
+              kServiceUs);
+  bench::note("  fresh blocked read : %8.1f ms", fresh_ms);
+  bench::note("  migration          : %8.1f ms (%llu pages)", migrate_ms,
+              static_cast<unsigned long long>(st.pages_migrated));
+  bench::note("  post-migration read: %8.1f ms  (%.2fx of fresh)", post_ms,
+              ratio);
+  bench::emit_json_fields(
+      "e6", {{"fresh_read_ms", fresh_ms},
+             {"redistribute_ms", migrate_ms},
+             {"post_read_ms", post_ms},
+             {"post_vs_fresh", ratio},
+             {"pages_migrated", static_cast<double>(st.pages_migrated)}});
+  arr::destroy_block_storage(fresh_storage);
+  arr::destroy_block_storage(moved_storage);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
   bench::headline("E6  PageMap layout vs I/O parallelism (paper §5)",
                   "round-robin spreads a bulk read over all spindles; "
                   "single-device serializes it");

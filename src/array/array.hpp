@@ -14,8 +14,15 @@
 // IoMode selects between the paper's §2 sequential semantics (one page
 // round trip at a time) and the §4 compiler-split loop (all page requests
 // in flight at once); E4/E6 measure the difference.
+//
+// The layout is no longer frozen at creation: redistribute() migrates the
+// pages to a new PageMapSpec while reads and writes keep being served, and
+// attach_device()/detach_device() grow or shrink the device set at
+// runtime.  See docs/REDISTRIBUTION.md for the protocol (version-stamped
+// map pair, per-page migration states, disjoint slot banks).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -24,13 +31,50 @@
 #include "array/domain.hpp"
 #include "array/page_map.hpp"
 #include "core/future.hpp"
+#include "rpc/errors.hpp"
+#include "util/checked_mutex.hpp"
 
 namespace oopp::array {
+
+class Array;
 
 enum class IoMode : std::uint8_t {
   kSequential = 0,  // paper §2: each instruction completes before the next
   kParallel = 1,    // paper §4: send-loop then receive-loop
 };
+
+/// Tuning knobs for Array::redistribute / detach_device.
+struct RedistOptions {
+  /// Pages the migrator claims and copies per step: one batched read from
+  /// a single source device, then grouped batched writes per target
+  /// device.  Larger batches amortize more seeks but hold claims (and so
+  /// stall overlapping writers) longer.
+  std::int32_t batch_pages = 16;
+
+  bool operator==(const RedistOptions&) const = default;
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, RedistOptions& o) {
+  ar(o.batch_pages);
+}
+
+/// What one redistribution did (returned by redistribute/detach_device;
+/// the same quantities feed the `array.redist` telemetry scope).
+struct RedistStats {
+  std::uint64_t pages_migrated = 0;   // copied by the migrator
+  std::uint64_t writer_migrated = 0;  // carried to the target by writers
+  std::uint64_t dual_reads = 0;       // resolutions through the dual map
+  std::uint64_t stall_ns = 0;         // writer wait on in-flight pages
+  std::uint64_t duration_ns = 0;
+  std::uint64_t map_version = 0;      // version the array ended on
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, RedistStats& s) {
+  ar(s.pages_migrated, s.writer_migrated, s.dual_reads, s.stall_ns,
+     s.duration_ns, s.map_version);
+}
 
 /// Handle on an in-flight slice read: one batched read_arrays call per
 /// device is already on the wire when this is returned; get() performs
@@ -69,11 +113,17 @@ class SliceReadFuture {
 /// partially covered pages have their batched reads in flight and are
 /// read-modified-written inside get().  get() returns once every device
 /// acknowledged — the write-behind half of the pipeline.
+///
+/// During a redistribution the write lands at each page's target home;
+/// the pages this op claimed are marked moved only inside get(), after
+/// every ack.  Dropping the future without get() releases the claims back
+/// to the migrator (the abandoned write may or may not take effect).
 class SliceWriteFuture {
  public:
   SliceWriteFuture() = default;
-  SliceWriteFuture(SliceWriteFuture&&) = default;
-  SliceWriteFuture& operator=(SliceWriteFuture&&) = default;
+  SliceWriteFuture(SliceWriteFuture&& o) noexcept;
+  SliceWriteFuture& operator=(SliceWriteFuture&& o) noexcept;
+  ~SliceWriteFuture();
 
   [[nodiscard]] bool valid() const { return !done_; }
 
@@ -86,22 +136,27 @@ class SliceWriteFuture {
   /// against the owned copy, Array::write against the caller's buffer
   /// (which outlives the call, so no copy is needed).
   void finish(const std::vector<double>& sub);
+  /// Mark the claimed pages moved (after finish's acks).
+  void commit();
   struct Piece {
-    std::int32_t index = 0;
+    std::int32_t index = 0;  // write-side slot
     Domain inter;
     index_t o1 = 0, o2 = 0, o3 = 0;
   };
-  struct RmwBatch {  // partially covered pages of one device
-    remote_ptr<storage::ArrayPageDevice> dev;
+  struct RmwBatch {  // partially covered pages sharing a device pair
+    remote_ptr<storage::ArrayPageDevice> dev;        // read side
+    remote_ptr<storage::ArrayPageDevice> write_dev;  // write side
     Future<std::vector<storage::ArrayPage>> fut;
     std::vector<Piece> pieces;
-    std::vector<std::int32_t> indices;
+    std::vector<std::int32_t> indices;  // write-side slots
   };
   std::vector<Future<void>> writes_;
   std::vector<RmwBatch> rmw_;
   std::vector<double> sub_;
   Domain domain_;
   bool done_ = false;
+  Array* owner_ = nullptr;       // set only when claims were taken
+  std::vector<index_t> claimed_;  // linear pages this op must mark moved
 };
 
 class Array {
@@ -121,6 +176,15 @@ class Array {
   Array(index_t N1, index_t N2, index_t N3, index_t n1, index_t n2,
         index_t n3, BlockStorage data, std::shared_ptr<PageMap> map,
         IoMode io = IoMode::kParallel);
+
+  /// Copyable and movable (remote-method arguments travel by value), but
+  /// not while a redistribution is in flight — the migration state
+  /// machine belongs to exactly one object.
+  Array(const Array& o);
+  Array& operator=(const Array& o);
+  Array(Array&& o);
+  Array& operator=(Array&& o);
+  ~Array() = default;
 
   /// Restore from a passivated image.
   explicit Array(serial::IArchive& ia);
@@ -190,15 +254,55 @@ class Array {
   [[nodiscard]] double get(index_t i1, index_t i2, index_t i3) const;
   void set(index_t i1, index_t i2, index_t i3, double v);
 
-  [[nodiscard]] bool valid() const { return !data_.empty(); }
+  // --- online re-layout (docs/REDISTRIBUTION.md) ---------------------------
+
+  /// Migrate every page to the layout `target` describes over the
+  /// currently attached devices, while concurrent reads and writes keep
+  /// being served with correct bytes.  Blocking: the calling thread IS
+  /// the background migrator (run it on its own thread, or as a servant
+  /// method, to keep a foreground workload going).  Throws a typed
+  /// oopp::Error if a redistribution is already in flight or the spec is
+  /// degenerate.
+  RedistStats redistribute(PageMapSpec target, RedistOptions opts = {});
+
+  /// Add a device (made with create_block_device or compatible) to the
+  /// storage set.  The current layout keeps ignoring it until the next
+  /// redistribute() spans it.  Not allowed mid-redistribution.
+  void attach_device(remote_ptr<storage::ArrayPageDevice> dev);
+
+  /// Drain every page off device `device_id` (re-laying out the current
+  /// spec over the remaining devices) and drop it from the storage set.
+  /// Reads and writes keep being served while the device drains.  The
+  /// device process itself is not destroyed — the caller owns it.
+  RedistStats detach_device(std::int32_t device_id, RedistOptions opts = {});
+
+  /// Layout-change epoch: bumped when a redistribution begins.  Devices
+  /// learn it through quiesce_pages; DSM caches must treat a bump as
+  /// fatal to cached copies of moved slots.
+  [[nodiscard]] std::uint64_t map_version() const;
+
+  /// Devices currently attached (the layout may span fewer until the
+  /// next redistribute).
+  [[nodiscard]] std::int32_t device_count() const;
+
+  /// The spec of the last completed layout (meaningless for custom maps).
+  [[nodiscard]] PageMapSpec layout() const;
+
+  /// True while a redistribution is draining pages.
+  [[nodiscard]] bool migrating() const;
+
+  /// Locks mu_: attach/detach/redistribute mutate the device list
+  /// concurrently with readers.  Callers already holding mu_ use
+  /// valid_locked().
+  [[nodiscard]] bool valid() const;
   [[nodiscard]] const Extents3& extents() const { return n_; }
 
-  /// Physical address of the page with page-grid coordinates (p1,p2,p3).
+  /// Physical address of the page with page-grid coordinates (p1,p2,p3)
+  /// under the *current* resolution: slot-bank offset applied and, mid-
+  /// migration, the dual-map rule (target home if the page moved, source
+  /// home otherwise).
   [[nodiscard]] PageAddress page_address(index_t p1, index_t p2,
-                                         index_t p3) const {
-    OOPP_CHECK(valid());
-    return map_->physical_page_address(p1, p2, p3);
-  }
+                                         index_t p3) const;
   [[nodiscard]] const Extents3& page_extents() const { return b_; }
   [[nodiscard]] Extents3 page_grid() const { return grid_; }
   [[nodiscard]] const BlockStorage& storage() const { return data_; }
@@ -207,21 +311,93 @@ class Array {
 
   /// I/O accounting since construction (pages fetched/stored by this
   /// client).  Exposed remotely for the benches.
-  [[nodiscard]] std::uint64_t pages_read() const { return pages_read_; }
-  [[nodiscard]] std::uint64_t pages_written() const { return pages_written_; }
+  [[nodiscard]] std::uint64_t pages_read() const {
+    return pages_read_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t pages_written() const {
+    return pages_written_.load(std::memory_order_relaxed);
+  }
 
  private:
+  friend class SliceWriteFuture;
+
+  [[nodiscard]] bool valid_locked() const { return !data_.empty(); }
+
+  /// Per-page migration progress (guarded by mu_).
+  enum PageState : std::uint8_t {
+    kAtSource = 0,  // bytes live at the source home
+    kMoving = 1,    // claimed: a copy or target-bound write is in flight
+    kMoved = 2,     // bytes live at the target home
+  };
+
+  struct Migration {
+    PageMapSpec target_spec{};
+    std::shared_ptr<PageMap> target_map;
+    std::vector<std::int32_t> perm;  // target map device id -> data_ index
+    std::int32_t target_base = 0;    // slot-bank base of the target layout
+    /// False until ensure_capacity has provisioned the target slot banks
+    /// on every device.  While false the migration only *reserves* the
+    /// array (blocks other redistributions, attach, serialization) —
+    /// reads and writes still resolve purely through the source map, so
+    /// no write can land on an unprovisioned target slot.
+    bool ready = false;
+    std::vector<std::uint8_t> state;  // PageState per linear page
+    index_t moved = 0;
+    std::uint64_t epoch = 0;  // bumped whenever claims resolve
+    std::uint64_t writer_migrated = 0;
+    std::uint64_t dual_reads = 0;
+    std::uint64_t stall_ns = 0;
+  };
+
   /// Visit every page overlapping `domain`: fn(p1, p2, p3, addr, page_box)
-  /// where page_box is the page's index box clipped to the array bounds.
+  /// where addr is the page's RESOLVED physical address (slot bank and
+  /// dual-map rule applied) and page_box its index box clipped to the
+  /// array bounds.  Resolution happens in one lock hold; fn runs without
+  /// the lock (it makes remote calls).
   template <class Fn>
   void for_each_page(const Domain& domain, Fn&& fn) const;
 
   [[nodiscard]] Domain page_box(index_t p1, index_t p2, index_t p3) const;
   void validate_domain(const Domain& domain) const;
-  [[nodiscard]] const remote_ptr<storage::ArrayPageDevice>& device(
+
+  /// Bounds-checked device lookup — the only way page-map output may
+  /// index data_ (a hostile custom map cannot reach UB).  Returns a copy:
+  /// attach_device may grow data_ concurrently.
+  [[nodiscard]] remote_ptr<storage::ArrayPageDevice> device(
       const PageAddress& addr) const;
-  [[nodiscard]] const remote_ptr<storage::ArrayPageDevice>& device(
+  [[nodiscard]] remote_ptr<storage::ArrayPageDevice> device(
       std::int32_t device_id) const;
+
+  // Resolution under mu_.
+  [[nodiscard]] PageAddress source_address_locked(index_t p1, index_t p2,
+                                                  index_t p3) const;
+  [[nodiscard]] PageAddress target_address_locked(index_t p1, index_t p2,
+                                                  index_t p3) const;
+  [[nodiscard]] PageAddress resolve_read_locked(index_t lin, index_t p1,
+                                                index_t p2, index_t p3) const;
+
+  /// One page of a planned write: where the current bytes live (RMW
+  /// source) and where the write must land.
+  struct WriteSlot {
+    index_t p1 = 0, p2 = 0, p3 = 0, lin = 0;
+    PageAddress read_addr{};
+    PageAddress write_addr{};
+    bool claimed = false;
+  };
+
+  /// Resolve every page a write to `domain` touches.  Mid-migration the
+  /// covered claim set is taken atomically (all-or-wait under one lock
+  /// hold), so concurrent multi-page writers can never deadlock on each
+  /// other's partial claims.
+  [[nodiscard]] std::vector<WriteSlot> plan_writes(const Domain& domain);
+
+  /// Claimed pages' bytes reached their target home: mark them moved.
+  void commit_claims(const std::vector<index_t>& lins);
+  /// Hand claimed pages back to the migrator (bytes still at the source).
+  void release_claims(const std::vector<index_t>& lins);
+
+  RedistStats redistribute_impl(PageMapSpec target, std::int32_t drop,
+                                RedistOptions opts);
 
   /// Send half of a slice write against a borrowed buffer: fully covered
   /// pages go out batched per device, RMW reads are issued.  The returned
@@ -237,9 +413,23 @@ class Array {
   PageMapSpec spec_{};
   bool custom_map_ = false;
   std::shared_ptr<PageMap> map_;
+  /// Devices the current map spans — data_.size() until a device is
+  /// attached without a redistribute yet covering it.
+  std::int32_t layout_devices_ = 0;
+  /// Slot-bank base of the current layout: physical slot = map index +
+  /// slot_base_.  Banks alternate between the bottom of each device and
+  /// just past the previous layout's highest slot, so the in-flight pair
+  /// of layouts never aliases (docs/REDISTRIBUTION.md).
+  std::int32_t slot_base_ = 0;
+  std::uint64_t map_version_ = 0;
   IoMode io_ = IoMode::kParallel;
-  mutable std::uint64_t pages_read_ = 0;
-  mutable std::uint64_t pages_written_ = 0;
+  // Guards data_/spec_/map_/layout_devices_/slot_base_/map_version_/mig_.
+  // Never held across a remote call.
+  mutable util::CheckedMutex mu_{"array.Array"};
+  mutable util::CondVar cv_;
+  std::unique_ptr<Migration> mig_;
+  mutable std::atomic<std::uint64_t> pages_read_{0};
+  mutable std::atomic<std::uint64_t> pages_written_{0};
 
   /// Recompute grid_ and map_ from the serialized fields.
   void rebuild_from_spec();
@@ -249,22 +439,35 @@ class Array {
 };
 
 /// By-value wire format: an Array travels as {extents, page extents,
-/// block storage (remote pointers), layout spec, io mode} and rebuilds
-/// its page map on arrival.  Custom-PageMap arrays cannot travel.
+/// block storage (remote pointers), layout spec + bank base + version,
+/// io mode} and rebuilds its page map on arrival.  Custom-PageMap arrays
+/// cannot travel, and neither can an Array mid-redistribution — both
+/// raise typed oopp::Errors (a servant attempting it fails that one call;
+/// the node lives on).
 template <class Ar>
 void oopp_serialize(Ar& ar, Array& a) {
-  OOPP_CHECK_MSG(!a.custom_map_,
-                 "an Array with a custom PageMap cannot be serialized");
+  std::unique_lock<util::CheckedMutex> lk(a.mu_);
+  if (a.custom_map_)
+    throw Error(
+        "an Array with a custom PageMap cannot be serialized; use a "
+        "PageMapSpec layout",
+        net::CallStatus::kInternal);
+  if (a.mig_)
+    throw Error("an Array cannot be serialized during an active "
+                "redistribution",
+                net::CallStatus::kInternal);
   std::uint8_t io = static_cast<std::uint8_t>(a.io_);
   ar(a.n_.n1, a.n_.n2, a.n_.n3, a.b_.n1, a.b_.n2, a.b_.n3, a.data_, a.spec_,
-     io);
+     io, a.layout_devices_, a.slot_base_, a.map_version_);
   a.io_ = static_cast<IoMode>(io);
   a.rebuild_from_spec();  // no-op result on the write path
 }
 
 }  // namespace oopp::array
 
-// Remote protocol: Array as a deployable client process (paper §5).
+// Remote protocol: Array as a deployable client process (paper §5).  The
+// re-layout methods are the control plane: a deployed Array client can be
+// told to redistribute or to adopt/drop devices remotely.
 template <>
 struct oopp::rpc::class_def<oopp::array::Array> {
   using A = oopp::array::Array;
@@ -287,6 +490,13 @@ struct oopp::rpc::class_def<oopp::array::Array> {
     b.template method<&A::update>("update");
     b.template method<&A::get>("get");
     b.template method<&A::set>("set");
+    b.template method<&A::redistribute>("redistribute");
+    b.template method<&A::attach_device>("attach_device");
+    b.template method<&A::detach_device>("detach_device");
+    b.template method<&A::map_version>("map_version");
+    b.template method<&A::device_count>("device_count");
+    b.template method<&A::layout>("layout");
+    b.template method<&A::migrating>("migrating");
     b.template method<&A::pages_read>("pages_read");
     b.template method<&A::pages_written>("pages_written");
     b.persistent();

@@ -21,6 +21,17 @@ BlockStorage create_block_storage(
   return out;
 }
 
+remote_ptr<storage::ArrayPageDevice> create_block_device(
+    const BlockStorageConfig& config, std::int32_t ordinal,
+    net::MachineId machine) {
+  OOPP_CHECK_MSG(!config.file_prefix.empty(), "empty backing file prefix");
+  OOPP_CHECK_MSG(ordinal >= 0, "negative device ordinal");
+  return make_remote<storage::ArrayPageDevice>(
+      machine, config.file_prefix + ".dev" + std::to_string(ordinal),
+      config.pages_per_device, config.n1, config.n2, config.n3,
+      config.device_options);
+}
+
 void destroy_block_storage(BlockStorage& storage) {
   std::vector<Future<void>> futs;
   futs.reserve(storage.size());

@@ -33,6 +33,14 @@ BlockStorage create_block_storage(
     const BlockStorageConfig& config,
     const std::function<net::MachineId(std::int32_t)>& placement);
 
+/// Spawn one additional device process compatible with a storage set made
+/// from the same config (same page shape and options) — the elastic path:
+/// Array::attach_device takes the result.  `ordinal` only names the
+/// backing file ("<prefix>.dev<ordinal>"); pick one unused by the set.
+remote_ptr<storage::ArrayPageDevice> create_block_device(
+    const BlockStorageConfig& config, std::int32_t ordinal,
+    net::MachineId machine);
+
 /// Terminate every device process (parallel).
 void destroy_block_storage(BlockStorage& storage);
 

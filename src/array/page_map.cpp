@@ -1,9 +1,42 @@
 #include "array/page_map.hpp"
 
+#include <algorithm>
+
+#include "rpc/errors.hpp"
+
 namespace oopp::array {
+
+void PageMapSpec::validate(Extents3 page_grid, std::int32_t devices) const {
+  if (page_grid.volume() <= 0)
+    throw Error("PageMapSpec: page grid " + std::to_string(page_grid.n1) +
+                    "x" + std::to_string(page_grid.n2) + "x" +
+                    std::to_string(page_grid.n3) + " has zero volume",
+                net::CallStatus::kInternal);
+  if (devices <= 0)
+    throw Error("PageMapSpec: layout needs a positive device count, got " +
+                    std::to_string(devices),
+                net::CallStatus::kInternal);
+  switch (kind) {
+    case PageMapKind::kSingleDevice:
+    case PageMapKind::kRoundRobin:
+    case PageMapKind::kBlocked:
+      return;
+    case PageMapKind::kBlockCyclic:
+      if (block <= 0)
+        throw Error("PageMapSpec: block-cyclic block length must be "
+                    "positive, got " +
+                        std::to_string(block),
+                    net::CallStatus::kInternal);
+      return;
+  }
+  throw Error("PageMapSpec: unknown PageMapKind " +
+                  std::to_string(static_cast<int>(kind)),
+              net::CallStatus::kInternal);
+}
 
 std::shared_ptr<PageMap> PageMapSpec::instantiate(Extents3 page_grid,
                                                   std::int32_t devices) const {
+  validate(page_grid, devices);
   switch (kind) {
     case PageMapKind::kSingleDevice:
       return std::make_shared<SingleDevicePageMap>(page_grid);
@@ -11,22 +44,56 @@ std::shared_ptr<PageMap> PageMapSpec::instantiate(Extents3 page_grid,
       return std::make_shared<RoundRobinPageMap>(page_grid, devices);
     case PageMapKind::kBlocked:
       return std::make_shared<BlockedPageMap>(page_grid, devices);
+    case PageMapKind::kBlockCyclic:
+      return std::make_shared<BlockCyclicPageMap>(page_grid, devices, block);
   }
-  OOPP_CHECK_MSG(false, "unknown PageMapKind");
-  return nullptr;
+  return nullptr;  // unreachable: validate rejected the kind
 }
 
 index_t PageMapSpec::pages_per_device(Extents3 page_grid,
                                       std::int32_t devices) const {
+  validate(page_grid, devices);
+  const index_t pages = page_grid.volume();
   switch (kind) {
     case PageMapKind::kSingleDevice:
-      return page_grid.volume();
+      return pages;
     case PageMapKind::kRoundRobin:
     case PageMapKind::kBlocked:
-      return ceil_div(page_grid.volume(), devices);
+      return ceil_div(pages, devices);
+    case PageMapKind::kBlockCyclic:
+      return ceil_div(ceil_div(pages, block), devices) *
+             static_cast<index_t>(block);
   }
-  OOPP_CHECK_MSG(false, "unknown PageMapKind");
-  return 0;
+  return 0;  // unreachable: validate rejected the kind
+}
+
+index_t PageMapSpec::pages_on_device(Extents3 page_grid, std::int32_t devices,
+                                     std::int32_t device) const {
+  validate(page_grid, devices);
+  if (device < 0 || device >= devices)
+    throw Error("PageMapSpec: device " + std::to_string(device) +
+                    " out of [0, " + std::to_string(devices) + ")",
+                net::CallStatus::kInternal);
+  const index_t pages = page_grid.volume();
+  switch (kind) {
+    case PageMapKind::kSingleDevice:
+      return device == 0 ? pages : 0;
+    case PageMapKind::kRoundRobin:
+      return pages / devices + (device < pages % devices ? 1 : 0);
+    case PageMapKind::kBlocked: {
+      const index_t chunk = ceil_div(pages, devices);
+      const index_t lo = static_cast<index_t>(device) * chunk;
+      return std::clamp<index_t>(pages - lo, 0, chunk);
+    }
+    case PageMapKind::kBlockCyclic: {
+      const index_t nblocks = ceil_div(pages, block);
+      index_t count = 0;
+      for (index_t b = device; b < nblocks; b += devices)
+        count += std::min<index_t>(block, pages - b * block);
+      return count;
+    }
+  }
+  return 0;  // unreachable: validate rejected the kind
 }
 
 const char* PageMapSpec::name() const {
@@ -37,6 +104,8 @@ const char* PageMapSpec::name() const {
       return "round-robin";
     case PageMapKind::kBlocked:
       return "blocked";
+    case PageMapKind::kBlockCyclic:
+      return "block-cyclic";
   }
   return "?";
 }

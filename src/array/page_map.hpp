@@ -9,11 +9,16 @@
 //   kRoundRobin   — page k on device k mod D: adjacent pages on different
 //                   devices, so bulk reads fan out maximally;
 //   kBlocked      — contiguous runs of pages per device: a small domain
-//                   touches one device (data locality, no fan-out).
+//                   touches one device (data locality, no fan-out);
+//   kBlockCyclic  — blocks of `block` pages dealt round-robin: locality
+//                   within a block, fan-out across blocks (Chapel's
+//                   BlockCycDist, the middle ground E6 motivates).
 //
 // Custom layouts: subclass PageMap and hand Array a shared_ptr; the
 // PageMapSpec value type exists so the built-in policies can travel inside
-// serialized Array clients.
+// serialized Array clients.  PageMapSpec::validate rejects degenerate
+// configurations (zero-volume grids, devices <= 0, block <= 0) with typed
+// oopp::Errors instead of letting the maps divide by zero.
 #pragma once
 
 #include <cstdint>
@@ -99,25 +104,66 @@ class BlockedPageMap final : public PageMap {
   index_t chunk_;
 };
 
+/// Blocks of `block` consecutive pages dealt round-robin over the devices:
+/// block b lands on device b mod D at block-slot b / D.
+class BlockCyclicPageMap final : public PageMap {
+ public:
+  BlockCyclicPageMap(Extents3 page_grid, std::int32_t devices,
+                     std::int32_t block)
+      : grid_(page_grid), devices_(devices), block_(block) {
+    OOPP_CHECK(devices_ > 0 && block_ > 0);
+  }
+  [[nodiscard]] PageAddress physical_page_address(index_t p1, index_t p2,
+                                                  index_t p3) const override {
+    const index_t lin = grid_.linear(p1, p2, p3);
+    const index_t blk = lin / block_;
+    return {static_cast<std::int32_t>(blk % devices_),
+            static_cast<std::int32_t>((blk / devices_) * block_ +
+                                      lin % block_)};
+  }
+
+ private:
+  Extents3 grid_;
+  std::int32_t devices_;
+  std::int32_t block_;
+};
+
 /// Serializable description of a built-in layout; instantiated against the
 /// array's page grid at construction time.
 enum class PageMapKind : std::uint8_t {
   kSingleDevice = 0,
   kRoundRobin = 1,
   kBlocked = 2,
+  kBlockCyclic = 3,
 };
 
 struct PageMapSpec {
   PageMapKind kind = PageMapKind::kRoundRobin;
+  /// Block length in pages for kBlockCyclic; the other kinds ignore it.
+  std::int32_t block = 1;
 
+  /// Throws a typed oopp::Error on degenerate configurations: zero-volume
+  /// page grid, devices <= 0, non-positive kBlockCyclic block, or a kind
+  /// byte that doesn't name a layout (corrupt wire data).
+  void validate(Extents3 page_grid, std::int32_t devices) const;
+
+  /// Validates, then builds the map.
   [[nodiscard]] std::shared_ptr<PageMap> instantiate(
       Extents3 page_grid, std::int32_t devices) const;
 
   /// Slots each device must provision so every logical page of the grid
   /// has a home under this layout (e.g. single-device needs the whole
-  /// grid on device 0).
+  /// grid on device 0).  An upper bound uniform across devices — use
+  /// pages_on_device for the exact per-device count.
   [[nodiscard]] index_t pages_per_device(Extents3 page_grid,
                                          std::int32_t devices) const;
+
+  /// Exact number of grid pages this layout homes on `device` — what the
+  /// `devices > page count` case gets wrong if sized by pages_per_device
+  /// alone (trailing devices hold zero pages).
+  [[nodiscard]] index_t pages_on_device(Extents3 page_grid,
+                                        std::int32_t devices,
+                                        std::int32_t device) const;
 
   [[nodiscard]] const char* name() const;
 
@@ -126,7 +172,7 @@ struct PageMapSpec {
 
 template <class Ar>
 void oopp_serialize(Ar& ar, PageMapSpec& s) {
-  ar(s.kind);
+  ar(s.kind, s.block);
 }
 
 }  // namespace oopp::array

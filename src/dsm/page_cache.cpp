@@ -98,6 +98,21 @@ void CoherentDevice::write_arrays_coherent(
   for (const auto idx : indices) invalidate_subscribers(idx, nullptr);
 }
 
+void CoherentDevice::quiesce_pages(std::vector<std::int32_t> indices,
+                                   std::uint64_t map_version) {
+  static auto& quiesced =
+      telemetry::Metrics::scope_for("array.redist").counter("quiesced_pages");
+  quiesced.add(indices.size());
+  last_quiesce_version_ = std::max(last_quiesce_version_, map_version);
+  for (const auto idx : indices) {
+    check_index(idx);
+    // Buffered write-back bytes must reach the file before the migrator's
+    // raw read; every cached copy dies with the old layout.
+    recall_dirty(idx, nullptr);
+    invalidate_subscribers(idx, nullptr);
+  }
+}
+
 void CoherentDevice::mark_dirty(int page_index, remote_ptr<PageCache> owner,
                                 RemoteRef device_self) {
   OOPP_CHECK(owner.valid());

@@ -158,6 +158,20 @@ class CoherentDevice : public storage::ArrayPageDevice {
   /// A cache drops its subscription when it evicts the page.
   void unsubscribe(int page_index, remote_ptr<PageCache> subscriber);
 
+  /// Re-layout barrier (overrides ArrayPageDevice): an Array migrator is
+  /// about to move these slots' raw bytes under a new page-map version.
+  /// Recalls the dirty owner of every slot (the buffered bytes must land
+  /// before the raw copy reads the file) and invalidates every
+  /// subscriber (their cached copies die with the old layout).
+  void quiesce_pages(std::vector<std::int32_t> indices,
+                     std::uint64_t map_version) override;
+
+  /// Highest page-map version a quiesce announced — how tests observe
+  /// that a redistribution's version bump reached the DSM layer.
+  [[nodiscard]] std::uint64_t last_quiesce_version() const {
+    return last_quiesce_version_;
+  }
+
   [[nodiscard]] std::uint64_t subscriber_count(int page_index) const;
 
   /// True while some cache holds the page's freshest bytes locally.
@@ -178,6 +192,7 @@ class CoherentDevice : public storage::ArrayPageDevice {
   std::map<int, std::set<RemoteRef>> subscribers_;
   std::map<int, RemoteRef> dirty_owner_;  // page -> write-back cache
   RemoteRef self_ref_{};  // learned from the first subscription
+  std::uint64_t last_quiesce_version_ = 0;
 };
 
 /// Per-machine read-through page cache (one process per reader machine),
@@ -333,6 +348,7 @@ struct oopp::rpc::class_def<oopp::dsm::CoherentDevice> {
     b.template method<&D::unsubscribe>("unsubscribe");
     b.template method<&D::subscriber_count>("subscriber_count");
     b.template method<&D::has_dirty_owner>("has_dirty_owner");
+    b.template method<&D::last_quiesce_version>("last_quiesce_version");
   }
 };
 

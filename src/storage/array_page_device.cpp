@@ -88,6 +88,14 @@ void ArrayPageDevice::write_arrays(std::vector<ArrayPage> pages,
   write_pages(std::move(raw), std::move(indices));
 }
 
+void ArrayPageDevice::quiesce_pages(std::vector<std::int32_t> indices,
+                                    std::uint64_t map_version) {
+  // No cache layer here: just validate the slots exist.  The override in
+  // dsm::CoherentDevice does the real recall/invalidate work.
+  (void)map_version;
+  for (const auto idx : indices) check_index(idx);
+}
+
 void ArrayPageDevice::pull_page(remote_ptr<ArrayPageDevice> source,
                                 int source_index, int dst_index) {
   OOPP_CHECK(source.valid());

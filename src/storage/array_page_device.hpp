@@ -87,6 +87,14 @@ class ArrayPageDevice : public PageDevice {
                      index_t hi1, index_t lo2, index_t hi2, index_t lo3,
                      index_t hi3);
 
+  /// Re-layout barrier: an Array migrator announces it is about to move
+  /// the raw bytes of these slots under map version `map_version`.  A
+  /// plain device has no cached state to reconcile, so this is a no-op;
+  /// CoherentDevice overrides it to recall dirty owners and invalidate
+  /// subscribers so no DSM cache serves bytes across the version bump.
+  virtual void quiesce_pages(std::vector<std::int32_t> indices,
+                             std::uint64_t map_version);
+
   [[nodiscard]] int n1() const { return static_cast<int>(extents_.n1); }
   [[nodiscard]] int n2() const { return static_cast<int>(extents_.n2); }
   [[nodiscard]] int n3() const { return static_cast<int>(extents_.n3); }
@@ -120,6 +128,7 @@ struct oopp::rpc::class_def<oopp::storage::ArrayPageDevice> {
     b.template method<&D::sum_region>("sum_region");
     b.template method<&D::reduce_region>("reduce_region");
     b.template method<&D::update_region>("update_region");
+    b.template method<&D::quiesce_pages>("quiesce_pages");
     b.template method<&D::pull_page>("pull_page");
     b.template method<&D::n1>("n1");
     b.template method<&D::n2>("n2");

@@ -26,14 +26,16 @@ PageDevice::PageDevice(std::string filename, int number_of_pages,
       number_of_pages_(number_of_pages),
       page_size_(page_size),
       options_(options) {
-  OOPP_CHECK_MSG(number_of_pages_ > 0 && page_size_ > 0,
+  OOPP_CHECK_MSG(number_of_pages > 0 && page_size_ > 0,
                  "PageDevice needs positive page count and size");
   open_or_create(truncate);
 }
 
 PageDevice::PageDevice(serial::IArchive& ia) {
   std::uint64_t ops = 0;
-  ia(filename_, number_of_pages_, page_size_, options_, ops);
+  int pages = 0;
+  ia(filename_, pages, page_size_, options_, ops);
+  number_of_pages_.store(pages, std::memory_order_relaxed);
   operations_.store(ops, std::memory_order_relaxed);
   // The backing file holds the pages; re-open without truncating.
   open_or_create(/*truncate=*/false);
@@ -43,7 +45,7 @@ void PageDevice::oopp_save(serial::OArchive& oa) const {
   // Push buffered writes to the file so the image + file pair is
   // consistent at the checkpoint.
   if (f_) std::fflush(f_);
-  oa(filename_, number_of_pages_, page_size_, options_, operations());
+  oa(filename_, number_of_pages(), page_size_, options_, operations());
 }
 
 PageDevice::~PageDevice() {
@@ -52,7 +54,7 @@ PageDevice::~PageDevice() {
 
 void PageDevice::open_or_create(bool truncate) {
   const auto expected =
-      static_cast<long>(number_of_pages_) * static_cast<long>(page_size_);
+      static_cast<long>(number_of_pages()) * static_cast<long>(page_size_);
   if (!truncate) {
     f_ = std::fopen(filename_.c_str(), "r+b");
     OOPP_CHECK_MSG(f_ != nullptr,
@@ -70,9 +72,29 @@ void PageDevice::open_or_create(bool truncate) {
 }
 
 void PageDevice::check_index(int page_index) const {
-  OOPP_CHECK_MSG(page_index >= 0 && page_index < number_of_pages_,
-                 "page index " << page_index << " out of [0, "
-                               << number_of_pages_ << ")");
+  const int pages = number_of_pages();
+  OOPP_CHECK_MSG(page_index >= 0 && page_index < pages,
+                 "page index " << page_index << " out of [0, " << pages
+                               << ")");
+}
+
+void PageDevice::ensure_capacity(int pages) {
+  OOPP_CHECK_MSG(pages > 0, "ensure_capacity needs a positive page count");
+  if (pages <= number_of_pages()) return;
+  static auto& grows =
+      telemetry::Metrics::scope_for("storage").counter("capacity_grows");
+  grows.add(1);
+  std::lock_guard lock(io_mu_);
+  if (pages <= number_of_pages()) return;
+  // Extend and zero-fill the backing file to the new size, the same
+  // pre-sizing trick the constructor uses; existing slots are untouched,
+  // so concurrent reentrant reads of old indices stay valid.
+  const auto bytes = static_cast<long>(pages) * static_cast<long>(page_size_);
+  OOPP_CHECK(std::fseek(f_, bytes - 1, SEEK_SET) == 0);
+  const unsigned char zero = 0;
+  OOPP_CHECK(std::fwrite(&zero, 1, 1, f_) == 1);
+  OOPP_CHECK(std::fflush(f_) == 0);
+  number_of_pages_.store(pages, std::memory_order_release);
 }
 
 void PageDevice::simulate_service_time() const {

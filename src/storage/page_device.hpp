@@ -83,7 +83,15 @@ class PageDevice {
     return read(page_index);
   }
 
-  [[nodiscard]] int number_of_pages() const { return number_of_pages_; }
+  /// Grow the device to at least `pages` slots (never shrinks); the
+  /// backing file is extended, existing pages keep their bytes.  Online
+  /// redistribution provisions target slot banks with this before
+  /// migrating pages onto the device.
+  void ensure_capacity(int pages);
+
+  [[nodiscard]] int number_of_pages() const {
+    return number_of_pages_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] int page_size() const { return page_size_; }
   [[nodiscard]] const std::string& filename() const { return filename_; }
 
@@ -109,7 +117,9 @@ class PageDevice {
   void simulate_service_time() const;
 
   std::string filename_;
-  int number_of_pages_ = 0;
+  // Atomic: reentrant reads bounds-check concurrently with a queued
+  // ensure_capacity extending the device.
+  std::atomic<int> number_of_pages_{0};
   int page_size_ = 0;
   DeviceOptions options_{};
   // Atomic: reentrant reads (read_unordered) bump it concurrently.
@@ -140,6 +150,7 @@ struct oopp::rpc::class_def<oopp::storage::PageDevice> {
     b.template method<&D::read_pages>("read_pages");
     b.template method<&D::write_pages>("write_pages");
     b.template method<&D::read_unordered>("read_unordered", reentrant);
+    b.template method<&D::ensure_capacity>("ensure_capacity");
     b.template method<&D::number_of_pages>("number_of_pages");
     b.template method<&D::page_size>("page_size");
     b.template method<&D::backing_file>("backing_file");

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <filesystem>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include "array/array.hpp"
 #include "array/block_storage.hpp"
@@ -16,6 +18,7 @@
 #include "array/domain.hpp"
 #include "array/page_map.hpp"
 #include "core/oopp.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/prng.hpp"
 
 using oopp::Cluster;
@@ -167,8 +170,94 @@ INSTANTIATE_TEST_SUITE_P(
     Layouts, PageMapBijection,
     ::testing::Combine(::testing::Values(arr::PageMapKind::kSingleDevice,
                                          arr::PageMapKind::kRoundRobin,
-                                         arr::PageMapKind::kBlocked),
+                                         arr::PageMapKind::kBlocked,
+                                         arr::PageMapKind::kBlockCyclic),
                        ::testing::Values(1, 2, 3, 7, 16)));
+
+TEST(PageMap, BlockCyclicDealsBlocksRoundRobin) {
+  // 10 pages, 2 devices, blocks of 3: blocks 0,2 -> dev 0; 1,3 -> dev 1.
+  arr::BlockCyclicPageMap map({10, 1, 1}, 2, 3);
+  const std::array<std::pair<int, int>, 10> expect{{{0, 0},
+                                                    {0, 1},
+                                                    {0, 2},
+                                                    {1, 0},
+                                                    {1, 1},
+                                                    {1, 2},
+                                                    {0, 3},
+                                                    {0, 4},
+                                                    {0, 5},
+                                                    {1, 3}}};
+  for (index_t p = 0; p < 10; ++p) {
+    const auto a = map.physical_page_address(p, 0, 0);
+    EXPECT_EQ(a.device_id, expect[static_cast<std::size_t>(p)].first) << p;
+    EXPECT_EQ(a.index, expect[static_cast<std::size_t>(p)].second) << p;
+  }
+}
+
+TEST(PageMap, BlockCyclicBijectionWithWideBlocks) {
+  const Extents3 grid{3, 4, 5};  // 60 pages
+  for (const std::int32_t block : {2, 4, 7}) {
+    for (const std::int32_t devices : {2, 3, 16}) {
+      const arr::PageMapSpec spec{arr::PageMapKind::kBlockCyclic, block};
+      auto map = spec.instantiate(grid, devices);
+      std::set<std::pair<std::int32_t, std::int32_t>> seen;
+      for (index_t p = 0; p < grid.volume(); ++p) {
+        auto [i1, i2, i3] = oopp::delinearize(grid, p);
+        const auto a = map->physical_page_address(i1, i2, i3);
+        EXPECT_GE(a.device_id, 0);
+        EXPECT_LT(a.device_id, devices);
+        EXPECT_GE(a.index, 0);
+        EXPECT_LT(a.index, spec.pages_on_device(grid, devices, a.device_id));
+        EXPECT_TRUE(seen.insert({a.device_id, a.index}).second)
+            << "collision at page " << p << " (block " << block << ", D "
+            << devices << ")";
+      }
+    }
+  }
+}
+
+TEST(PageMap, PagesOnDeviceMatchesActualPlacement) {
+  const Extents3 grid{3, 4, 5};  // 60 pages
+  const std::array<arr::PageMapSpec, 4> specs{
+      arr::PageMapSpec{arr::PageMapKind::kSingleDevice},
+      arr::PageMapSpec{arr::PageMapKind::kRoundRobin},
+      arr::PageMapSpec{arr::PageMapKind::kBlocked},
+      arr::PageMapSpec{arr::PageMapKind::kBlockCyclic, 4}};
+  for (const auto& spec : specs) {
+    for (const std::int32_t devices : {1, 2, 3, 7, 16, 100}) {
+      auto map = spec.instantiate(grid, devices);
+      std::vector<index_t> count(100, 0);
+      for (index_t p = 0; p < grid.volume(); ++p) {
+        auto [i1, i2, i3] = oopp::delinearize(grid, p);
+        ++count[static_cast<std::size_t>(
+            map->physical_page_address(i1, i2, i3).device_id)];
+      }
+      for (std::int32_t d = 0; d < devices; ++d)
+        EXPECT_EQ(spec.pages_on_device(grid, devices, d),
+                  count[static_cast<std::size_t>(d)])
+            << spec.name() << " D=" << devices << " d=" << d;
+    }
+  }
+}
+
+TEST(PageMap, DegenerateSpecsThrowTypedErrors) {
+  const arr::PageMapSpec rr{arr::PageMapKind::kRoundRobin};
+  // Zero-volume page grid.
+  EXPECT_THROW((void)rr.instantiate({0, 2, 2}, 2), oopp::Error);
+  // devices <= 0 reaching a spec (e.g. via a hand-built remote argument).
+  EXPECT_THROW((void)rr.instantiate({2, 2, 2}, 0), oopp::Error);
+  EXPECT_THROW((void)rr.instantiate({2, 2, 2}, -3), oopp::Error);
+  EXPECT_THROW((void)rr.pages_per_device({2, 2, 2}, 0), oopp::Error);
+  EXPECT_THROW((void)rr.pages_on_device({2, 2, 2}, 0, 0), oopp::Error);
+  // Non-positive block length for the block-cyclic layout.
+  const arr::PageMapSpec bc{arr::PageMapKind::kBlockCyclic, 0};
+  EXPECT_THROW((void)bc.instantiate({2, 2, 2}, 2), oopp::Error);
+  // A kind byte that names no layout (corrupt wire data).
+  arr::PageMapSpec bad;
+  bad.kind = static_cast<arr::PageMapKind>(99);
+  EXPECT_THROW((void)bad.instantiate({2, 2, 2}, 2), oopp::Error);
+  EXPECT_THROW((void)bad.pages_per_device({2, 2, 2}, 2), oopp::Error);
+}
 
 // ---------------------------------------------------------------------------
 // Array
@@ -560,5 +649,343 @@ TEST_P(ArrayRandomOps, MatchesReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ArrayRandomOps,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ---------------------------------------------------------------------------
+// Layout edge cases: hostile custom maps, serialization guards, more
+// devices than pages.
+// ---------------------------------------------------------------------------
+
+TEST(Array, HostileCustomMapHitsBoundsCheckNotUB) {
+  // A custom map that emits a device id beyond the storage set: every
+  // access path must fail the bounds check instead of indexing data_
+  // out of range.
+  class EvilDeviceMap final : public arr::PageMap {
+   public:
+    arr::PageAddress physical_page_address(index_t, index_t,
+                                           index_t) const override {
+      return {7, 0};  // storage only has 2 devices
+    }
+  };
+  ArrayFixture fx;
+  auto seed = fx.make({4, 4, 4}, {2, 2, 2}, 2);  // creates storage
+  arr::Array a(4, 4, 4, 2, 2, 2, fx.storage,
+               std::make_shared<EvilDeviceMap>());
+  const auto whole = arr::Domain::whole({4, 4, 4});
+  EXPECT_THROW((void)a.read(whole), oopp::check_error);
+  EXPECT_THROW(a.write(iota_buffer(whole.volume()), whole),
+               oopp::check_error);
+  EXPECT_THROW((void)a.sum(whole), oopp::check_error);
+  EXPECT_THROW(a.fill(1.0, whole), oopp::check_error);
+  a.set_io_mode(arr::IoMode::kSequential);
+  EXPECT_THROW((void)a.read(whole), oopp::check_error);
+  // Redistribution also refuses to trust the hostile source map.
+  EXPECT_THROW((void)a.redistribute(arr::PageMapSpec{}), oopp::Error);
+  // The storage itself is unharmed.
+  EXPECT_EQ(seed.read(whole),
+            std::vector<double>(static_cast<std::size_t>(whole.volume())));
+}
+
+TEST(Array, CustomMapSerializationFailsWithTypedErrorNotAbort) {
+  ArrayFixture fx;
+  auto seed = fx.make({4, 4, 4}, {2, 2, 2}, 2);
+  class ReverseMap final : public arr::PageMap {
+   public:
+    arr::PageAddress physical_page_address(index_t p1, index_t p2,
+                                           index_t p3) const override {
+      const index_t lin = Extents3{2, 2, 2}.linear(p1, p2, p3);
+      return {static_cast<std::int32_t>(1 - (lin % 2)),
+              static_cast<std::int32_t>(lin / 2)};
+    }
+  };
+  arr::Array a(4, 4, 4, 2, 2, 2, fx.storage, std::make_shared<ReverseMap>());
+  const auto whole = arr::Domain::whole({4, 4, 4});
+  const auto buf = iota_buffer(whole.volume());
+  a.write(buf, whole);
+
+  // Serializing the custom-map Array raises a typed error (a servant
+  // attempting this fails that one call; nothing aborts) ...
+  EXPECT_THROW((void)oopp::serial::to_bytes(a), oopp::Error);
+  // ... and the Array and its devices remain fully usable afterwards.
+  EXPECT_EQ(a.read(whole), buf);
+
+  // Redistributing to a spec layout lifts the restriction.
+  (void)a.redistribute(arr::PageMapSpec{arr::PageMapKind::kBlocked});
+  auto clone = oopp::serial::from_bytes<arr::Array>(
+      oopp::serial::to_bytes(a));
+  EXPECT_EQ(clone.read(whole), buf);
+}
+
+TEST(Array, MoreDevicesThanPagesStillRoundTrips) {
+  ArrayFixture fx;
+  // 2 pages spread over 3 devices: the trailing device holds nothing.
+  auto a = fx.make({4, 4, 4}, {4, 4, 2}, 3);
+  const auto whole = arr::Domain::whole({4, 4, 4});
+  const auto buf = iota_buffer(whole.volume());
+  a.write(buf, whole);
+  EXPECT_EQ(a.read(whole), buf);
+  EXPECT_DOUBLE_EQ(a.sum_all(),
+                   std::accumulate(buf.begin(), buf.end(), 0.0));
+}
+
+// ---------------------------------------------------------------------------
+// Online redistribution + elastic devices.
+// ---------------------------------------------------------------------------
+
+struct RedistFixture {
+  TempDir tmp;
+  Cluster cluster{4};
+  arr::BlockStorage storage;
+  arr::BlockStorageConfig cfg;
+  int made = 0;
+
+  arr::Array make(Extents3 n, Extents3 b, int devices, arr::PageMapKind kind,
+                  std::uint32_t service_us = 0,
+                  arr::IoMode io = arr::IoMode::kParallel) {
+    const Extents3 grid{oopp::ceil_div(n.n1, b.n1),
+                        oopp::ceil_div(n.n2, b.n2),
+                        oopp::ceil_div(n.n3, b.n3)};
+    cfg = {};
+    cfg.file_prefix = tmp.file("redist" + std::to_string(made++));
+    cfg.devices = devices;
+    cfg.pages_per_device = static_cast<std::int32_t>(
+        arr::PageMapSpec{kind}.pages_per_device(grid, devices));
+    cfg.n1 = static_cast<int>(b.n1);
+    cfg.n2 = static_cast<int>(b.n2);
+    cfg.n3 = static_cast<int>(b.n3);
+    cfg.device_options.service_us = service_us;
+    storage = arr::create_block_storage(cfg, [&](std::int32_t i) {
+      return static_cast<oopp::net::MachineId>(i % cluster.size());
+    });
+    return arr::Array(n.n1, n.n2, n.n3, b.n1, b.n2, b.n3, storage,
+                      arr::PageMapSpec{kind}, io);
+  }
+
+  /// One extra device compatible with the last make()'s storage set.
+  remote_ptr<oopp::storage::ArrayPageDevice> extra_device(
+      std::int32_t ordinal) {
+    return arr::create_block_device(
+        cfg, ordinal,
+        static_cast<oopp::net::MachineId>(ordinal % cluster.size()));
+  }
+};
+
+TEST(ArrayRedist, ByteIdentityAcrossEveryLayoutTransition) {
+  RedistFixture fx;
+  auto a = fx.make({8, 8, 8}, {2, 2, 2}, 3,
+                   arr::PageMapKind::kSingleDevice);  // 64 pages
+  const auto whole = arr::Domain::whole({8, 8, 8});
+  const auto buf = iota_buffer(whole.volume());
+  a.write(buf, whole);
+
+  const std::array<arr::PageMapSpec, 4> targets{
+      arr::PageMapSpec{arr::PageMapKind::kRoundRobin},
+      arr::PageMapSpec{arr::PageMapKind::kBlocked},
+      arr::PageMapSpec{arr::PageMapKind::kBlockCyclic, 3},
+      arr::PageMapSpec{arr::PageMapKind::kSingleDevice}};
+  std::uint64_t version = 0;
+  for (const auto& target : targets) {
+    const auto st = a.redistribute(target, {.batch_pages = 5});
+    EXPECT_EQ(st.pages_migrated + st.writer_migrated, 64u)
+        << target.name();
+    EXPECT_EQ(st.map_version, ++version);
+    EXPECT_FALSE(a.migrating());
+    EXPECT_EQ(a.layout(), target);
+    EXPECT_EQ(a.read(whole), buf) << "after move to " << target.name();
+    EXPECT_DOUBLE_EQ(a.sum_all(),
+                     std::accumulate(buf.begin(), buf.end(), 0.0));
+  }
+  EXPECT_EQ(a.map_version(), version);
+}
+
+TEST(ArrayRedist, SerializedCopySeesPostMigrationLayout) {
+  RedistFixture fx;
+  auto a = fx.make({8, 8, 8}, {4, 4, 4}, 2, arr::PageMapKind::kRoundRobin);
+  const auto whole = arr::Domain::whole({8, 8, 8});
+  const auto buf = iota_buffer(whole.volume());
+  a.write(buf, whole);
+
+  a.attach_device(fx.extra_device(2));
+  EXPECT_EQ(a.device_count(), 3);
+  (void)a.redistribute(arr::PageMapSpec{arr::PageMapKind::kBlocked});
+
+  // The wire format carries the layout's device span and slot-bank base,
+  // so a deserialized client resolves the same physical slots.
+  auto clone =
+      oopp::serial::from_bytes<arr::Array>(oopp::serial::to_bytes(a));
+  EXPECT_EQ(clone.device_count(), 3);
+  EXPECT_EQ(clone.read(whole), buf);
+}
+
+TEST(ArrayRedist, AttachValidatesPageShape) {
+  RedistFixture fx;
+  auto a = fx.make({8, 8, 8}, {4, 4, 4}, 2, arr::PageMapKind::kRoundRobin);
+  auto mismatched = fx.cluster.make_remote<oopp::storage::ArrayPageDevice>(
+      0, fx.tmp.file("mismatch"), 4, 2, 2, 2);
+  EXPECT_THROW(a.attach_device(mismatched), oopp::Error);
+  EXPECT_EQ(a.device_count(), 2);
+}
+
+TEST(ArrayRedist, DetachValidation) {
+  RedistFixture fx;
+  auto a = fx.make({4, 4, 4}, {2, 2, 2}, 2, arr::PageMapKind::kRoundRobin);
+  EXPECT_THROW((void)a.detach_device(5), oopp::Error);
+  (void)a.detach_device(1);
+  EXPECT_EQ(a.device_count(), 1);
+  EXPECT_THROW((void)a.detach_device(0), oopp::Error);  // last device
+}
+
+TEST(ArrayRedist, DetachDrainsDeviceAndPreservesBytes) {
+  RedistFixture fx;
+  auto a = fx.make({8, 8, 8}, {2, 2, 2}, 3, arr::PageMapKind::kRoundRobin);
+  const auto whole = arr::Domain::whole({8, 8, 8});
+  const auto buf = iota_buffer(whole.volume());
+  a.write(buf, whole);
+
+  const auto st = a.detach_device(1, {.batch_pages = 7});
+  EXPECT_EQ(st.pages_migrated, 64u);
+  EXPECT_EQ(a.device_count(), 2);
+  EXPECT_EQ(a.read(whole), buf);
+
+  // The dropped device still exists (the caller owns it) but no longer
+  // serves any page of the array.
+  const auto pr_before = a.pages_read();
+  (void)a.read(whole);
+  EXPECT_EQ(a.pages_read(), pr_before + 64);
+}
+
+TEST(ArrayRedist, RemoteControlPlane) {
+  // The re-layout API is part of the Array protocol: a deployed client
+  // process can be redistributed remotely.
+  RedistFixture fx;
+  auto local = fx.make({8, 8, 8}, {4, 4, 4}, 2,
+                       arr::PageMapKind::kRoundRobin);
+  const auto whole = arr::Domain::whole({8, 8, 8});
+  const auto buf = iota_buffer(whole.volume());
+
+  auto client = fx.cluster.make_remote<arr::Array>(
+      1, index_t{8}, index_t{8}, index_t{8}, index_t{4}, index_t{4},
+      index_t{4}, fx.storage, arr::PageMapSpec{arr::PageMapKind::kRoundRobin});
+  client.call<&arr::Array::write>(buf, whole);
+
+  const auto st = client.call<&arr::Array::redistribute>(
+      arr::PageMapSpec{arr::PageMapKind::kBlocked}, arr::RedistOptions{});
+  EXPECT_EQ(st.pages_migrated, 8u);
+  EXPECT_EQ(client.call<&arr::Array::map_version>(), 1u);
+  EXPECT_FALSE(client.call<&arr::Array::migrating>());
+  EXPECT_EQ(client.call<&arr::Array::device_count>(), 2);
+  EXPECT_EQ(client.call<&arr::Array::read>(whole), buf);
+}
+
+TEST(ArrayRedist, ServesReadsAndWritesDuringMigrationWithAttach) {
+  // The acceptance scenario: an Array round-robin on 2 devices keeps
+  // serving concurrent reads and writes with correct bytes while being
+  // redistributed to blocked on 3 devices, one of which is attached
+  // mid-run; zero failed calls.
+  RedistFixture fx;
+  auto a = fx.make({8, 8, 8}, {2, 2, 2}, 2, arr::PageMapKind::kRoundRobin,
+                   /*service_us=*/150);  // slow spindles: migration overlaps
+  const auto whole = arr::Domain::whole({8, 8, 8});
+  std::vector<double> base(static_cast<std::size_t>(whole.volume()), 1.0);
+  a.write(base, whole);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> last_value{0};
+
+  // Writer churn over its own slab: each round writes a uniform value
+  // and must read exactly that value back.
+  std::thread writer([&] {
+    auto guard = fx.cluster.use(1);
+    try {
+      const arr::Domain slab(0, 4, 0, 8, 0, 8);
+      for (int v = 2; !stop.load(); ++v) {
+        std::vector<double> w(static_cast<std::size_t>(slab.volume()),
+                              double(v));
+        a.write(w, slab);
+        last_value.store(v);
+        for (const double x : a.read(slab))
+          if (x != double(v)) {
+            failures.fetch_add(1);
+            break;
+          }
+      }
+    } catch (...) {
+      failures.fetch_add(1);
+    }
+  });
+  // Reader churn over the untouched slab: must always see the base.
+  std::thread reader([&] {
+    auto guard = fx.cluster.use(2);
+    try {
+      const arr::Domain slab(4, 8, 0, 8, 0, 8);
+      while (!stop.load()) {
+        for (const double x : a.read(slab))
+          if (x != 1.0) {
+            failures.fetch_add(1);
+            break;
+          }
+      }
+    } catch (...) {
+      failures.fetch_add(1);
+    }
+  });
+
+  a.attach_device(fx.extra_device(2));
+  EXPECT_EQ(a.device_count(), 3);
+  const auto st = a.redistribute(arr::PageMapSpec{arr::PageMapKind::kBlocked},
+                                 {.batch_pages = 4});
+  stop = true;
+  writer.join();
+  reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(st.pages_migrated + st.writer_migrated, 64u);
+  EXPECT_EQ(st.map_version, 1u);
+  EXPECT_FALSE(a.migrating());
+  EXPECT_EQ(a.layout().kind, arr::PageMapKind::kBlocked);
+
+  // Final bytes: the writer's slab holds its last round, the rest the base.
+  const arr::Domain wslab(0, 4, 0, 8, 0, 8);
+  for (const double x : a.read(wslab))
+    EXPECT_DOUBLE_EQ(x, double(last_value.load()));
+  const arr::Domain rslab(4, 8, 0, 8, 0, 8);
+  for (const double x : a.read(rslab)) EXPECT_DOUBLE_EQ(x, 1.0);
+
+  // Migration activity is visible in the array.redist telemetry scope.
+  auto& scope = oopp::telemetry::Metrics::scope_for("array.redist");
+  EXPECT_GE(scope.counter("pages_migrated").value(), 64u);
+  EXPECT_GT(scope.counter("dual_reads").value(), 0u);
+  EXPECT_GT(st.dual_reads, 0u);
+}
+
+TEST(ArrayRedist, DetachUnderLoad) {
+  RedistFixture fx;
+  auto a = fx.make({8, 8, 8}, {2, 2, 2}, 3, arr::PageMapKind::kRoundRobin,
+                   /*service_us=*/100);
+  const auto whole = arr::Domain::whole({8, 8, 8});
+  const auto buf = iota_buffer(whole.volume());
+  a.write(buf, whole);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread reader([&] {
+    auto guard = fx.cluster.use(1);
+    try {
+      while (!stop.load())
+        if (a.read(whole) != buf) failures.fetch_add(1);
+    } catch (...) {
+      failures.fetch_add(1);
+    }
+  });
+
+  const auto st = a.detach_device(0, {.batch_pages = 3});
+  stop = true;
+  reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(st.pages_migrated, 64u);
+  EXPECT_EQ(a.device_count(), 2);
+  EXPECT_EQ(a.read(whole), buf);
+}
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include <filesystem>
 #include <thread>
 
+#include "array/array.hpp"
+#include "array/domain.hpp"
 #include "core/oopp.hpp"
 #include "dsm/page_cache.hpp"
 
@@ -330,6 +332,55 @@ TEST_F(DsmTest, WriteBackCoalescesIntoOneFlush) {
   // An explicit flush with nothing dirty is a no-op.
   cache.call<&PageCache::flush>();
   EXPECT_EQ(cache.call<&PageCache::dirty_resident>(), 0u);
+}
+
+TEST_F(DsmTest, RedistributeQuiescesDirtyCacheState) {
+  // An Array living on CoherentDevices redistributes while DSM caches
+  // hold state for the moving slots: the per-batch quiesce barrier must
+  // recall buffered dirty bytes into the source slots before the copy
+  // and invalidate subscribed readers, announcing the new map version.
+  namespace arr = oopp::array;
+  auto dev2 = cluster_.make_remote<CoherentDevice>(
+      1, (dir_ / "dev2").string(), 8, 4, 4, 4);
+  arr::BlockStorage st{device_, dev2};  // derived → base remote_ptrs
+  // 8x4x4 with 4x4x4 pages: 2 pages, round-robin -> one per device.
+  arr::Array a(8, 4, 4, 4, 4, 4, st,
+               arr::PageMapSpec{arr::PageMapKind::kRoundRobin});
+  const auto whole = arr::Domain::whole({8, 4, 4});
+  a.write(std::vector<double>(static_cast<std::size_t>(whole.volume()), 1.0),
+          whole);
+
+  // A reader cache subscribes to the first page's current slot...
+  auto reader = make_cache(2);
+  EXPECT_DOUBLE_EQ(read_via(reader, 0), 1.0);
+  // ...and a write-back cache buffers dirty bytes for the same slot.
+  auto writer = cluster_.make_remote<PageCache>(
+      3, std::uint32_t{8},
+      dsm::PageCacheOptions{.write_back = true, .max_dirty = 8});
+  writer.call<&PageCache::set_self>(writer);
+  writer.call<&PageCache::write_array>(device_, filled_page(42.0), 0);
+  EXPECT_TRUE(device_.call<&CoherentDevice::has_dirty_owner>(0));
+
+  const auto rst =
+      a.redistribute(arr::PageMapSpec{arr::PageMapKind::kBlocked});
+  EXPECT_EQ(rst.pages_migrated, 2u);
+  EXPECT_EQ(rst.map_version, 1u);
+
+  // The quiesce recalled the dirty owner (so the migrator copied the
+  // buffered 42s, not the stale 1s) and told the device the new version.
+  EXPECT_FALSE(device_.call<&CoherentDevice::has_dirty_owner>(0));
+  EXPECT_EQ(writer.call<&PageCache::dirty_resident>(), 0u);
+  EXPECT_EQ(device_.call<&CoherentDevice::last_quiesce_version>(), 1u);
+  EXPECT_EQ(dev2.call<&CoherentDevice::last_quiesce_version>(), 1u);
+  // The subscribed reader was invalidated: its copy of the dead slot is
+  // gone rather than serving stale bytes forever.
+  EXPECT_GE(reader.call<&PageCache::invalidations>(), 1u);
+
+  // The array sees the dirty bytes at the new homes.
+  const arr::Domain first(0, 4, 0, 4, 0, 4);
+  for (const double x : a.read(first)) EXPECT_DOUBLE_EQ(x, 42.0);
+  const arr::Domain second(4, 8, 0, 4, 0, 4);
+  for (const double x : a.read(second)) EXPECT_DOUBLE_EQ(x, 1.0);
 }
 
 }  // namespace

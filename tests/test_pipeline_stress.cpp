@@ -7,7 +7,10 @@
 // concurrency, not a scripted interleaving.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <numbers>
 #include <thread>
@@ -183,6 +186,119 @@ TEST_F(PipelineStressTest, ConcurrentStreamsWithWriteBackAndPrefetch) {
   }
   for (auto& c : caches) c.destroy();
   device.destroy();
+}
+
+// Layout churn under load: three writers and a reader hammer their own
+// subdomains while the main thread walks the array through every built-in
+// layout, attaching a device mid-sequence and detaching another later.
+// No call may fail, no read may ever observe bytes other than the last
+// completed write to its subdomain, and every relayout must account for
+// all 64 pages.  (TSan runs this in the nightly slow lane: the claim
+// protocol, the dual-map resolution, and the slot banks under real races.)
+TEST_F(PipelineStressTest, RedistributionChurnAcrossAllLayouts) {
+  const Extents3 N{16, 16, 16};
+  const Extents3 b{4, 4, 4};  // 64 pages
+  const Extents3 grid{4, 4, 4};
+  const arr::PageMapSpec spec{arr::PageMapKind::kRoundRobin};
+  arr::BlockStorageConfig cfg;
+  cfg.file_prefix = (dir_ / "churn").string();
+  cfg.devices = 2;
+  cfg.pages_per_device =
+      static_cast<std::int32_t>(spec.pages_per_device(grid, 2));
+  cfg.n1 = cfg.n2 = cfg.n3 = 4;
+  cfg.device_options.service_us = 50;  // slow enough that ops overlap
+  auto storage = arr::create_block_storage(cfg, [&](std::int32_t i) {
+    return static_cast<net::MachineId>(i % cluster_.size());
+  });
+  arr::Array a(N.n1, N.n2, N.n3, b.n1, b.n2, b.n3, storage, spec);
+
+  const auto whole = arr::Domain::whole(N);
+  a.write(std::vector<double>(static_cast<std::size_t>(whole.volume()), 1.0),
+          whole);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  std::array<std::atomic<int>, 3> last{};
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&, w] {
+      auto guard = cluster_.use(static_cast<net::MachineId>(1 + w));
+      try {
+        const arr::Domain slab(w * 4, (w + 1) * 4, 0, 16, 0, 16);
+        for (int v = 2; !stop.load(); ++v) {
+          std::vector<double> buf(static_cast<std::size_t>(slab.volume()),
+                                  w * 1000.0 + v);
+          a.write(buf, slab);
+          last[static_cast<std::size_t>(w)].store(v);
+          if (a.read(slab) != buf) {
+            std::fprintf(stderr, "churn writer %d: readback mismatch at "
+                         "round %d\n", w, v);
+            failures.fetch_add(1);
+          }
+        }
+      } catch (const std::exception& ex) {
+        std::fprintf(stderr, "churn writer %d: %s\n", w, ex.what());
+        failures.fetch_add(1);
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    auto guard = cluster_.use(0);
+    try {
+      const arr::Domain slab(12, 16, 0, 16, 0, 16);
+      while (!stop.load())
+        for (const double x : a.read(slab))
+          if (x != 1.0) {
+            std::fprintf(stderr, "churn reader: saw %f in untouched "
+                         "slab\n", x);
+            failures.fetch_add(1);
+            break;
+          }
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "churn reader: %s\n", ex.what());
+      failures.fetch_add(1);
+    }
+  });
+
+  a.attach_device(arr::create_block_device(cfg, 2, 2));
+  EXPECT_EQ(a.device_count(), 3);
+  const std::array<arr::PageMapSpec, 6> seq{
+      arr::PageMapSpec{arr::PageMapKind::kBlocked},
+      arr::PageMapSpec{arr::PageMapKind::kBlockCyclic, 3},
+      arr::PageMapSpec{arr::PageMapKind::kRoundRobin},
+      arr::PageMapSpec{arr::PageMapKind::kBlockCyclic, 5},
+      arr::PageMapSpec{arr::PageMapKind::kSingleDevice},
+      arr::PageMapSpec{arr::PageMapKind::kBlocked}};
+  std::uint64_t version = 0;
+  for (const auto& target : seq) {
+    const auto st = a.redistribute(target, {.batch_pages = 7});
+    EXPECT_EQ(st.pages_migrated + st.writer_migrated, 64u) << target.name();
+    EXPECT_EQ(st.map_version, ++version);
+  }
+  const auto st = a.detach_device(1, {.batch_pages = 9});
+  EXPECT_EQ(st.pages_migrated + st.writer_migrated, 64u);
+  EXPECT_EQ(st.map_version, ++version);
+  EXPECT_EQ(a.device_count(), 2);
+
+  stop = true;
+  for (auto& t : workers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_FALSE(a.migrating());
+  EXPECT_EQ(a.map_version(), version);
+  const Extents3 e = N;
+  const auto back = a.read(whole);
+  for (index_t i1 = 0; i1 < 16; ++i1)
+    for (index_t i2 = 0; i2 < 16; ++i2)
+      for (index_t i3 = 0; i3 < 16; ++i3) {
+        const int w = static_cast<int>(i1 / 4);
+        const double expect =
+            w < 3 ? w * 1000.0 +
+                        last[static_cast<std::size_t>(w)].load()
+                  : 1.0;
+        ASSERT_DOUBLE_EQ(back[e.linear(i1, i2, i3)], expect)
+            << i1 << "," << i2 << "," << i3;
+      }
 }
 
 }  // namespace

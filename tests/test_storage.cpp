@@ -109,6 +109,34 @@ TEST(PageDeviceLocal, UnwrittenPagesReadAsZero) {
   for (std::size_t i = 0; i < page.size(); ++i) EXPECT_EQ(page[i], 0);
 }
 
+TEST(PageDeviceLocal, EnsureCapacityGrowsWithoutLosingData) {
+  // Redistribution provisions target slot banks on live devices; growing
+  // must preserve every existing page and make the new slots usable.
+  TempDir tmp;
+  const auto path = tmp.file("grow.bin");
+  storage::PageDevice dev(path, 2, 64);
+  dev.write(pattern_page(64, 11), 0);
+  dev.write(pattern_page(64, 22), 1);
+  EXPECT_THROW(dev.read(2), oopp::check_error);
+
+  dev.ensure_capacity(5);
+  EXPECT_EQ(dev.number_of_pages(), 5);
+  EXPECT_EQ(fs::file_size(path), 5u * 64u);
+  EXPECT_EQ(dev.read(0), pattern_page(64, 11));
+  EXPECT_EQ(dev.read(1), pattern_page(64, 22));
+  for (int i = 2; i < 5; ++i) {
+    const auto zero = dev.read(i);
+    for (std::size_t b = 0; b < zero.size(); ++b) EXPECT_EQ(zero[b], 0);
+  }
+  dev.write(pattern_page(64, 33), 4);
+  EXPECT_EQ(dev.read(4), pattern_page(64, 33));
+
+  // Grow-only: a smaller request is a no-op, never a truncation.
+  dev.ensure_capacity(1);
+  EXPECT_EQ(dev.number_of_pages(), 5);
+  EXPECT_EQ(dev.read(1), pattern_page(64, 22));
+}
+
 // The paper's §2 program, verbatim in library form:
 //   PageDevice* PageStore = new(machine 1) PageDevice("pagefile", 10, 1024);
 //   Page* page = GenerateDataPage();
