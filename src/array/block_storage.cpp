@@ -40,4 +40,54 @@ void destroy_block_storage(BlockStorage& storage) {
   storage.clear();
 }
 
+BlockStorage create_replicated_block_storage(
+    const BlockStorageConfig& config, const storage::ReplicaOptions& replica,
+    const std::function<net::MachineId(std::int32_t)>& coordinator_placement,
+    const std::function<net::MachineId(std::int32_t, std::int32_t)>&
+        replica_placement) {
+  OOPP_CHECK_MSG(config.devices > 0, "need at least one device");
+  OOPP_CHECK_MSG(!config.file_prefix.empty(), "empty backing file prefix");
+  replica.validate();
+  BlockStorage out;
+  out.reserve(static_cast<std::size_t>(config.devices));
+  for (std::int32_t i = 0; i < config.devices; ++i) {
+    std::vector<remote_ptr<storage::ArrayPageDevice>> copies;
+    copies.reserve(static_cast<std::size_t>(replica.replicas));
+    for (std::int32_t j = 0; j < replica.replicas; ++j) {
+      copies.push_back(make_remote<storage::ArrayPageDevice>(
+          replica_placement(i, j),
+          config.file_prefix + ".dev" + std::to_string(i) + ".r" +
+              std::to_string(j),
+          config.pages_per_device, config.n1, config.n2, config.n3,
+          config.device_options));
+    }
+    auto coord = make_remote<storage::ReplicatedPageDevice>(
+        coordinator_placement(i), copies, replica);
+    // A coordinator *is* an ArrayPageDevice — drop it into the slot.
+    out.push_back(
+        remote_ptr<storage::ArrayPageDevice>(coord.machine(), coord.id()));
+  }
+  return out;
+}
+
+void destroy_replicated_block_storage(BlockStorage& storage) {
+  for (auto& dev : storage) {
+    remote_ptr<storage::ReplicatedPageDevice> coord(dev.machine(), dev.id());
+    const auto replicas =
+        coord.call<&storage::ReplicatedPageDevice::replica_refs>();
+    const auto status =
+        coord.call<&storage::ReplicatedPageDevice::replica_status>();
+    coord.destroy();  // stops the watchdog before its probe targets vanish
+    for (std::size_t j = 0; j < replicas.size(); ++j) {
+      if (j < status.alive.size() && status.alive[j] == 0) continue;
+      try {
+        replicas[j].destroy();
+      } catch (const Error&) {
+        // The replica died between the status snapshot and now.
+      }
+    }
+  }
+  storage.clear();
+}
+
 }  // namespace oopp::array

@@ -13,6 +13,7 @@
 
 #include "core/remote_ptr.hpp"
 #include "storage/array_page_device.hpp"
+#include "storage/replicated_page_device.hpp"
 
 namespace oopp::array {
 
@@ -43,5 +44,25 @@ remote_ptr<storage::ArrayPageDevice> create_block_device(
 
 /// Terminate every device process (parallel).
 void destroy_block_storage(BlockStorage& storage);
+
+/// Spawn a *replicated* storage set (Cluster::Options::replica durability
+/// knobs made concrete): each logical device is a ReplicatedPageDevice
+/// coordinator fronting `replica.replicas` plain ArrayPageDevice
+/// processes with backing files "<prefix>.dev<i>.r<j>".
+/// `coordinator_placement(i)` hosts coordinator i; `replica_placement(i, j)`
+/// hosts replica j of device i — spread replicas across machines so one
+/// machine loss still leaves a write quorum.  The result is an ordinary
+/// BlockStorage: Array slices and the out-of-core FFT run on it unchanged,
+/// now surviving replica death mid-pass.
+BlockStorage create_replicated_block_storage(
+    const BlockStorageConfig& config, const storage::ReplicaOptions& replica,
+    const std::function<net::MachineId(std::int32_t)>& coordinator_placement,
+    const std::function<net::MachineId(std::int32_t, std::int32_t)>&
+        replica_placement);
+
+/// Terminate a replicated storage set: every coordinator *and* the
+/// surviving replica processes behind it.  Replicas already dead are
+/// skipped (their process is gone; nothing to destroy).
+void destroy_replicated_block_storage(BlockStorage& storage);
 
 }  // namespace oopp::array

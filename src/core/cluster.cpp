@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <fstream>
+#include <span>
 #include <unistd.h>
 
+#include "kv/kv_store.hpp"
 #include "net/inproc_fabric.hpp"
 #include "net/tcp_fabric.hpp"
 #include "rpc/errors.hpp"
@@ -57,7 +59,35 @@ void write_file(const std::filesystem::path& p,
   OOPP_CHECK_MSG(out.good(), "short write on state image " << p);
 }
 
+// The replicated registry stores each PersistRecord as the archive bytes
+// of the record, keyed by the URI string.
+std::string encode_record(const PersistRecord& rec) {
+  serial::OArchive oa;
+  PersistRecord copy = rec;
+  oa(copy);
+  const auto bytes = oa.take();
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+PersistRecord decode_record(const std::string& value) {
+  serial::IArchive ia(
+      std::as_bytes(std::span(value.data(), value.size())));
+  PersistRecord rec;
+  ia(rec);
+  return rec;
+}
+
 }  // namespace
+
+// The symbolic-address directory behind the reg_* helpers: either the
+// paper's single NameService process (ns) or, when Options::replica asks
+// for durability, a chain-replicated KvStore (kv) whose shard backups live
+// one machine over — never both.
+struct Cluster::RegistryBackend {
+  remote_ptr<NameService> ns;
+  std::optional<kv::KvStore> kv;
+};
 
 Cluster::Cluster(Options opts) {
   // lockcheck -> telemetry bridge.  util sits below telemetry in the
@@ -124,6 +154,13 @@ Cluster::Cluster(Options opts) {
     std::filesystem::create_directories(state_dir_);
   }
   persistent_registry_ = opts.persistent_registry;
+  replica_ = opts.replica;
+  replica_.validate();
+  // The replicated registry needs a second machine for the shard backups;
+  // with one machine — or a mesh deployment, where peer processes come and
+  // go — it falls back to the single NameService.
+  replicated_registry_ = replica_.replicas > 1 && nodes_.size() > 1 &&
+                         opts.mesh_endpoints.empty();
 
   // The constructing thread drives the computation from the local driver
   // machine, like the code in the paper's examples runs on machine 0.
@@ -131,7 +168,7 @@ Cluster::Cluster(Options opts) {
 }
 
 Cluster::~Cluster() {
-  if (persistent_registry_ && ns_.valid()) {
+  if (persistent_registry_ && registry_) {
     try {
       save_registry();
     } catch (...) {
@@ -208,20 +245,57 @@ void Cluster::request_shutdown(net::MachineId m) {
                                  net::method_id(rpc::kShutdownMethod), {});
 }
 
-remote_ptr<NameService> Cluster::name_service() {
+Cluster::RegistryBackend& Cluster::registry() {
   // Creation takes blocking remote calls, so it must not run under
   // ns_mu_: the first caller becomes the initializer and works unlocked;
-  // concurrent callers wait on ns_cv_ for the published pointer.
+  // concurrent callers wait on ns_cv_ for the published backend.
   std::unique_lock lock(ns_mu_);
   ns_cv_.wait(lock, [this] { return !ns_initializing_; });
-  if (ns_.valid()) return ns_;
+  if (registry_) return *registry_;
   ns_initializing_ = true;
   lock.unlock();
 
-  remote_ptr<NameService> fresh;
+  auto fresh = std::make_unique<RegistryBackend>();
   try {
     const auto registry_img = state_dir_ / "registry.img";
-    if (persistent_registry_ && std::filesystem::exists(registry_img)) {
+    const bool have_image =
+        persistent_registry_ && std::filesystem::exists(registry_img);
+    if (replicated_registry_) {
+      const auto machines = nodes_.size();
+      kv::KvStore::Config cfg;
+      cfg.shards = static_cast<int>(std::min<std::size_t>(4, machines));
+      cfg.replicate = true;
+      // Primaries round-robin across machines, each backup one machine
+      // over, so no single machine loss takes both copies of a shard.
+      fresh->kv = kv::KvStore::create(
+          cfg,
+          [machines](int s) {
+            return static_cast<net::MachineId>(
+                static_cast<std::size_t>(s) % machines);
+          },
+          [machines](int s) {
+            return static_cast<net::MachineId>(
+                (static_cast<std::size_t>(s) + 1) % machines);
+          });
+      if (have_image) {
+        // Records of a previous incarnation refer to processes that died
+        // with it — mark them passive *before* they enter the store, so a
+        // lookup can never claim a stale live object id (it re-activates
+        // from the on-disk image instead).
+        const auto state = read_file(registry_img);
+        serial::IArchive ia(state);
+        std::map<std::string, PersistRecord> records;
+        ia(records);
+        std::vector<std::pair<std::string, std::string>> pairs;
+        pairs.reserve(records.size());
+        for (auto& [uri, rec] : records) {
+          rec.live_machine = -1;
+          rec.object_id = 0;
+          pairs.emplace_back(uri, encode_record(rec));
+        }
+        fresh->kv->multi_put(pairs);
+      }
+    } else if (have_image) {
       // Re-activate the registry of a previous cluster incarnation.  Its
       // live records refer to processes that died with that cluster, but
       // their checkpoints survive — mark them passive so lookup()
@@ -234,10 +308,10 @@ remote_ptr<NameService> Cluster::name_service() {
           0, net::kNodeObject, net::method_id(rpc::kRestoreMethod),
           req.take());
       serial::IArchive ia(resp.payload);
-      fresh = remote_ptr<NameService>(0, ia.read<std::uint64_t>());
-      fresh.call<&NameService::mark_all_passive>();
+      fresh->ns = remote_ptr<NameService>(0, ia.read<std::uint64_t>());
+      fresh->ns.call<&NameService::mark_all_passive>();
     } else {
-      fresh = oopp::make_remote<NameService>(0);
+      fresh->ns = oopp::make_remote<NameService>(0);
     }
   } catch (...) {
     {
@@ -249,21 +323,104 @@ remote_ptr<NameService> Cluster::name_service() {
   }
 
   lock.lock();
-  ns_ = fresh;
+  registry_ = std::move(fresh);
   ns_initializing_ = false;
   lock.unlock();
   ns_cv_.notify_all();
-  return fresh;
+  return *registry_;
+}
+
+// Heal-and-retry wrapper for replicated-registry calls: a shard primary
+// dying mid-call surfaces as an oopp::Error; promote the backups of every
+// dead primary, then retry exactly once (the retry's failure is final).
+template <class F>
+auto Cluster::registry_op(F&& f) {
+  try {
+    return f();
+  } catch (const Error&) {
+    heal_registry();
+    return f();
+  }
+}
+
+void Cluster::heal_registry() {
+  auto& reg = registry();
+  if (!reg.kv) return;
+  static auto& failovers = telemetry::Metrics::scope_for("storage.replica")
+                               .counter("registry_failovers");
+  for (int s = 0; s < reg.kv->shards(); ++s) {
+    try {
+      (void)reg.kv->primary(s).call<&kv::KvShard::version>();
+    } catch (const Error&) {
+      if (!reg.kv->backup(s).valid()) continue;  // nothing left to promote
+      reg.kv->promote_backup(s);
+      failovers.add(1);
+    }
+  }
+}
+
+void Cluster::reg_bind(const std::string& uri, const PersistRecord& rec) {
+  auto& reg = registry();
+  if (reg.kv) {
+    registry_op([&] { reg.kv->put(uri, encode_record(rec)); });
+  } else {
+    reg.ns.call<&NameService::bind>(uri, rec);
+  }
+}
+
+std::optional<PersistRecord> Cluster::reg_resolve(const std::string& uri) {
+  auto& reg = registry();
+  if (reg.kv) {
+    auto value = registry_op([&] { return reg.kv->get(uri); });
+    if (!value) return std::nullopt;
+    return decode_record(*value);
+  }
+  return reg.ns.call<&NameService::resolve>(uri);
+}
+
+bool Cluster::reg_unbind(const std::string& uri) {
+  auto& reg = registry();
+  if (reg.kv) return registry_op([&] { return reg.kv->erase(uri); });
+  return reg.ns.call<&NameService::unbind>(uri);
+}
+
+std::vector<std::string> Cluster::reg_list() {
+  auto& reg = registry();
+  if (reg.kv) {
+    auto pairs = registry_op([&] { return reg.kv->scan(""); });
+    std::vector<std::string> uris;
+    uris.reserve(pairs.size());
+    for (auto& [uri, value] : pairs) uris.push_back(uri);
+    return uris;
+  }
+  return reg.ns.call<&NameService::list>();
+}
+
+kv::KvStore* Cluster::registry_store() {
+  MaybeContext ctx(this);
+  auto& reg = registry();
+  return reg.kv ? &*reg.kv : nullptr;
 }
 
 void Cluster::save_registry() {
   MaybeContext ctx(this);
-  auto ns = name_service();
+  auto& reg = registry();
+  if (reg.kv) {
+    // Write the same archive format as the NameService image (a map of
+    // URI to record), so either backend can restore the other's image.
+    std::map<std::string, PersistRecord> records;
+    for (auto& [uri, value] : registry_op([&] { return reg.kv->scan(""); }))
+      records[uri] = decode_record(value);
+    serial::OArchive oa;
+    oa(records);
+    write_file(state_dir_ / "registry.img", oa.take());
+    return;
+  }
   serial::OArchive req;
-  req(static_cast<std::uint64_t>(ns.id()), std::uint8_t{0});
+  req(static_cast<std::uint64_t>(reg.ns.id()), std::uint8_t{0});
   net::Message resp = rpc::Node::current()->call_raw(
-      ns.machine(), net::kNodeObject, net::method_id(rpc::kPassivateMethod),
-      req.take());
+      reg.ns.machine(), net::kNodeObject,
+      net::method_id(rpc::kPassivateMethod), req.take());
   serial::IArchive ia(resp.payload);
   (void)ia.read<std::string>();  // class name
   write_file(state_dir_ / "registry.img", ia.read<std::vector<std::byte>>());
@@ -277,7 +434,6 @@ void Cluster::checkpoint_impl(RemoteRef ref, const std::string& uri,
                               bool destroy_after,
                               const std::string& expected_class) {
   OOPP_CHECK_MSG(ref.valid(), "persist of null remote pointer");
-  auto ns = name_service();
 
   serial::OArchive req;
   req(static_cast<std::uint64_t>(ref.object),
@@ -303,7 +459,7 @@ void Cluster::checkpoint_impl(RemoteRef ref, const std::string& uri,
   rec.object_id = destroy_after ? 0 : ref.object;
   rec.home_machine = static_cast<std::int32_t>(ref.machine);
   rec.state_file = path.string();
-  ns.call<&NameService::put>(uri, rec);
+  reg_bind(uri, rec);
 
   if (destroy_after)
     note_gone(uri);
@@ -314,8 +470,7 @@ void Cluster::checkpoint_impl(RemoteRef ref, const std::string& uri,
 RemoteRef Cluster::lookup_impl(const std::string& uri,
                                const std::string& expected_class,
                                std::optional<net::MachineId> activate_on) {
-  auto ns = name_service();
-  auto rec = ns.call<&NameService::get>(uri);
+  auto rec = reg_resolve(uri);
   if (!rec)
     throw Error("unknown symbolic address '" + uri + "'");
   if (rec->class_name != expected_class)
@@ -347,7 +502,7 @@ RemoteRef Cluster::lookup_impl(const std::string& uri,
   rec->live_machine = static_cast<std::int32_t>(target);
   rec->object_id = object;
   rec->home_machine = static_cast<std::int32_t>(target);
-  ns.call<&NameService::put>(uri, *rec);
+  reg_bind(uri, *rec);
 
   note_live(uri);
   return RemoteRef{target, object};
@@ -400,8 +555,7 @@ void Cluster::note_gone(const std::string& uri) {
 }
 
 void Cluster::passivate_registered(const std::string& uri) {
-  auto ns = name_service();
-  auto rec = ns.call<&NameService::get>(uri);
+  auto rec = reg_resolve(uri);
   if (!rec || rec->live_machine < 0) return;  // raced with explicit passivate
 
   serial::OArchive req;
@@ -417,7 +571,7 @@ void Cluster::passivate_registered(const std::string& uri) {
   rec->live_machine = -1;
   rec->object_id = 0;
   rec->state_file = image_path(uri).string();
-  ns.call<&NameService::put>(uri, *rec);
+  reg_bind(uri, *rec);
 }
 
 RemoteRef Cluster::migrate_impl(RemoteRef ref, net::MachineId target,
@@ -449,15 +603,14 @@ RemoteRef Cluster::migrate_impl(RemoteRef ref, net::MachineId target,
   const RemoteRef fresh{target, ba.read<std::uint64_t>()};
 
   // If the process was registered, point its record at the new identity.
-  auto ns = name_service();
-  for (const auto& uri : ns.call<&NameService::list>()) {
-    auto rec = ns.call<&NameService::get>(uri);
+  for (const auto& uri : reg_list()) {
+    auto rec = reg_resolve(uri);
     if (rec && rec->live_machine == static_cast<std::int32_t>(ref.machine) &&
         rec->object_id == ref.object) {
       rec->live_machine = static_cast<std::int32_t>(target);
       rec->home_machine = static_cast<std::int32_t>(target);
       rec->object_id = fresh.object;
-      ns.call<&NameService::put>(uri, *rec);
+      reg_bind(uri, *rec);
     }
   }
   return fresh;
@@ -465,10 +618,9 @@ RemoteRef Cluster::migrate_impl(RemoteRef ref, net::MachineId target,
 
 std::size_t Cluster::checkpoint_all() {
   MaybeContext ctx(this);
-  auto ns = name_service();
   std::size_t checkpointed = 0;
-  for (const auto& uri : ns.call<&NameService::list>()) {
-    auto rec = ns.call<&NameService::get>(uri);
+  for (const auto& uri : reg_list()) {
+    auto rec = reg_resolve(uri);
     if (!rec || rec->live_machine < 0) continue;
 
     serial::OArchive req;
@@ -480,26 +632,25 @@ std::size_t Cluster::checkpoint_all() {
     (void)ia.read<std::string>();
     write_file(image_path(uri), ia.read<std::vector<std::byte>>());
     rec->state_file = image_path(uri).string();
-    ns.call<&NameService::put>(uri, *rec);
+    reg_bind(uri, *rec);
     ++checkpointed;
   }
   return checkpointed;
 }
 
-bool Cluster::forget(const std::string& uri) {
+bool Cluster::forget(const Uri& uri) {
   MaybeContext ctx(this);
-  auto ns = name_service();
-  auto rec = ns.call<&NameService::get>(uri);
+  auto rec = reg_resolve(uri.str());
   if (!rec) return false;
   std::error_code ec;
   std::filesystem::remove(rec->state_file, ec);
-  note_gone(uri);
-  return ns.call<&NameService::erase>(uri);
+  note_gone(uri.str());
+  return reg_unbind(uri.str());
 }
 
 std::vector<std::string> Cluster::persisted_uris() {
   MaybeContext ctx(this);
-  return name_service().call<&NameService::list>();
+  return reg_list();
 }
 
 }  // namespace oopp

@@ -26,14 +26,20 @@
 #include "core/name_service.hpp"
 #include "core/remote_data.hpp"
 #include "core/remote_ptr.hpp"
+#include "core/uri.hpp"
 #include "net/cost_model.hpp"
 #include "net/fabric.hpp"
 #include "net/fabric_options.hpp"
 #include "net/tcp_mesh_fabric.hpp"
 #include "rpc/node.hpp"
+#include "storage/replica_options.hpp"
 #include "util/checked_mutex.hpp"
 
 namespace oopp {
+
+namespace kv {
+class KvStore;
+}
 
 /// Aggregated cluster metrics (per-node counters + fabric traffic).
 struct ClusterStats {
@@ -87,6 +93,13 @@ class Cluster {
     /// incarnation become passive) and checkpointed there on shutdown.
     /// Requires an explicit state_dir.
     bool persistent_registry = false;
+    /// The unified durability surface (storage/replica_options.hpp): how
+    /// many replicas each persistent page device keeps, the write/read
+    /// quorum sizes, and the primary-lease length.  `replicas > 1` also
+    /// switches the symbolic-address registry itself from the single
+    /// NameService process to a chain-replicated kv::KvStore, so
+    /// `oopp://` records survive the death of any one machine.
+    storage::ReplicaOptions replica{};
     /// Custom interconnect: when set, overrides `fabric`/`cost`.  Used to
     /// wrap the transport (e.g. net::FaultyFabric for fault injection).
     std::function<std::unique_ptr<net::Fabric>(std::size_t machines)>
@@ -178,20 +191,23 @@ class Cluster {
 
   /// Checkpoint a live process under a symbolic address.  The process
   /// keeps running; the image on disk reflects its state at the point
-  /// where its command queue was drained.
+  /// where its command queue was drained.  The Uri parameter validates at
+  /// the boundary: malformed addresses throw InvalidUri before any
+  /// registry state is touched.
   template <class T>
-  void persist(const remote_ptr<T>& p, const std::string& uri) {
+  void persist(const remote_ptr<T>& p, const Uri& uri) {
     MaybeContext ctx(this);
-    checkpoint_impl(p.ref(), uri, /*destroy_after=*/false,
+    checkpoint_impl(p.ref(), uri.str(), /*destroy_after=*/false,
                     rpc::class_def<T>::name());
   }
 
   /// Checkpoint and terminate: the process becomes passive — reachable
-  /// only through its symbolic address until lookup() re-activates it.
+  /// only through its symbolic address until lookup()/activate()
+  /// re-activates it.
   template <class T>
-  void passivate(const remote_ptr<T>& p, const std::string& uri) {
+  void passivate(const remote_ptr<T>& p, const Uri& uri) {
     MaybeContext ctx(this);
-    checkpoint_impl(p.ref(), uri, /*destroy_after=*/true,
+    checkpoint_impl(p.ref(), uri.str(), /*destroy_after=*/true,
                     rpc::class_def<T>::name());
   }
 
@@ -200,12 +216,20 @@ class Cluster {
   /// (defaulting to its home machine).  Throws oopp::Error for unknown
   /// addresses and class mismatches.
   template <class T>
-  remote_ptr<T> lookup(const std::string& uri,
+  remote_ptr<T> lookup(const Uri& uri,
                        std::optional<net::MachineId> activate_on = {}) {
     MaybeContext ctx(this);
     rpc::ensure_registered<T>();
     return remote_ptr<T>(
-        lookup_impl(uri, rpc::class_def<T>::name(), activate_on));
+        lookup_impl(uri.str(), rpc::class_def<T>::name(), activate_on));
+  }
+
+  /// Re-activate a passive process on an explicit machine.  Same contract
+  /// as lookup() with a target: a live process is returned where it runs,
+  /// a passive one comes back to life on `on`.
+  template <class T>
+  remote_ptr<T> activate(const Uri& uri, net::MachineId on) {
+    return lookup<T>(uri, on);
   }
 
   /// Move a persistent process to another machine: checkpoint, terminate,
@@ -223,10 +247,21 @@ class Cluster {
 
   /// Drop a symbolic address and its on-disk image.  Does not touch a live
   /// process.  Returns false if the address was unknown.
-  bool forget(const std::string& uri);
+  bool forget(const Uri& uri);
 
   /// All registered symbolic addresses.
   std::vector<std::string> persisted_uris();
+
+  /// The effective durability knobs this cluster was built with.
+  [[nodiscard]] const storage::ReplicaOptions& replica_options() const {
+    return replica_;
+  }
+
+  /// The chain-replicated store backing the symbolic-address registry, or
+  /// nullptr when the legacy single-NameService backend is active
+  /// (replica.replicas <= 1, single machine, or mesh deployment).  Admin
+  /// surface — fault tests use it to kill and heal shard primaries.
+  kv::KvStore* registry_store();
 
   /// Checkpoint the registry to state_dir/registry.img now (also done
   /// automatically on shutdown when Options::persistent_registry is set).
@@ -264,7 +299,22 @@ class Cluster {
                                                 : &c->node(c->local_)) {}
   };
 
-  remote_ptr<NameService> name_service();
+  // The registry backend is either the paper's single NameService process
+  // (legacy) or a chain-replicated kv::KvStore (replica.replicas > 1).
+  // reg_* are the only paths the rest of the Cluster uses; they hide the
+  // choice and, in kv mode, heal-and-retry once after a shard death.
+  struct RegistryBackend;
+  RegistryBackend& registry();
+  void reg_bind(const std::string& uri, const PersistRecord& rec);
+  std::optional<PersistRecord> reg_resolve(const std::string& uri);
+  bool reg_unbind(const std::string& uri);
+  std::vector<std::string> reg_list();
+  /// Probe every shard primary of the replicated registry; promote the
+  /// backup of each dead one.  Counted as storage.replica/registry_failovers.
+  void heal_registry();
+  template <class F>
+  auto registry_op(F&& f);  // defined in cluster.cpp (used only there)
+
   void checkpoint_impl(RemoteRef ref, const std::string& uri,
                        bool destroy_after, const std::string& expected_class);
 
@@ -288,15 +338,17 @@ class Cluster {
   std::filesystem::path state_dir_;
   bool own_state_dir_ = false;
   bool persistent_registry_ = false;
+  storage::ReplicaOptions replica_{};
+  bool replicated_registry_ = false;
 
-  // Creating the name service takes blocking remote calls, which must not
-  // run under ns_mu_ (the lock checker enforces this): the first caller
-  // flips ns_initializing_ and creates outside the lock while later
-  // callers wait on ns_cv_.
+  // Creating the registry backend takes blocking remote calls, which must
+  // not run under ns_mu_ (the lock checker enforces this): the first
+  // caller flips ns_initializing_ and creates outside the lock while
+  // later callers wait on ns_cv_.
   util::CheckedMutex ns_mu_{"core.Cluster.ns"};
   util::CondVar ns_cv_;
   bool ns_initializing_ = false;
-  remote_ptr<NameService> ns_;
+  std::unique_ptr<RegistryBackend> registry_;
 
   // LRU of live registered processes (front = most recently used).
   util::CheckedMutex lru_mu_{"core.Cluster.lru"};

@@ -1,0 +1,97 @@
+// oopp::Uri — the typed symbolic address of a persistent process (§5).
+//
+// The paper writes addresses like "oopp://data/set/PageDevice/34".  The
+// persistence facade (Cluster::persist/activate/lookup) takes a Uri, not
+// a raw string: construction *is* validation, so a malformed or empty
+// address throws a typed oopp::Error at the API boundary instead of
+// silently minting an unreachable registry record.  Uri converts
+// implicitly from string literals, so existing `persist(p, "oopp://x")`
+// call sites compile unchanged — they just gain the check.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "rpc/errors.hpp"
+#include "serial/archive.hpp"
+
+namespace oopp {
+
+/// A symbolic address failed validation.  Subclass of oopp::Error so
+/// `catch (const Error&)` plus code() == kBadFrame classifies it.
+class InvalidUri : public Error {
+ public:
+  explicit InvalidUri(const std::string& what_arg)
+      : Error(what_arg, net::CallStatus::kBadFrame) {}
+};
+
+class Uri {
+ public:
+  static constexpr std::string_view kScheme = "oopp://";
+
+  Uri() = default;
+
+  /// Implicit, validating.  Throws InvalidUri unless the address is
+  /// "oopp://" followed by one or more /-separated non-empty segments of
+  /// [A-Za-z0-9._-] characters.
+  Uri(const std::string& s) : str_(validated(s)) {}       // NOLINT(google-explicit-constructor)
+  Uri(const char* s) : Uri(std::string(s)) {}             // NOLINT(google-explicit-constructor)
+
+  static Uri parse(const std::string& s) { return Uri(s); }
+
+  /// The full address, scheme included.
+  [[nodiscard]] const std::string& str() const { return str_; }
+  /// The part after "oopp://".
+  [[nodiscard]] std::string_view path() const {
+    return std::string_view(str_).substr(kScheme.size());
+  }
+
+  [[nodiscard]] bool empty() const { return str_.empty(); }
+
+  bool operator==(const Uri&) const = default;
+  auto operator<=>(const Uri&) const = default;
+
+ private:
+  static std::string validated(const std::string& s) {
+    if (s.empty()) throw InvalidUri("empty symbolic address");
+    if (s.size() <= kScheme.size() ||
+        std::string_view(s).substr(0, kScheme.size()) != kScheme)
+      throw InvalidUri("symbolic address '" + s +
+                       "' must start with 'oopp://' and name a path");
+    const std::string_view path = std::string_view(s).substr(kScheme.size());
+    bool segment_empty = true;
+    for (const char c : path) {
+      if (c == '/') {
+        if (segment_empty)
+          throw InvalidUri("symbolic address '" + s +
+                           "' has an empty path segment");
+        segment_empty = true;
+        continue;
+      }
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+      if (!ok)
+        throw InvalidUri("symbolic address '" + s +
+                         "' contains an invalid character '" +
+                         std::string(1, c) + "'");
+      segment_empty = false;
+    }
+    if (segment_empty)
+      throw InvalidUri("symbolic address '" + s +
+                       "' ends with an empty path segment");
+    return s;
+  }
+
+  std::string str_;
+
+  template <class Ar>
+  friend void oopp_serialize(Ar& ar, Uri& u);
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, Uri& u) {
+  ar(u.str_);
+}
+
+}  // namespace oopp

@@ -26,8 +26,9 @@
 #include <utility>
 #include <vector>
 
-#include "core/cluster.hpp"
-#include "core/group.hpp"
+// Note: kv deliberately sits *below* core in the layering — the Cluster
+// backs its symbolic-address registry with a replicated KvStore, so this
+// header must not pull in core/cluster.hpp.
 #include "core/remote_ptr.hpp"
 #include "rpc/binding.hpp"
 

@@ -40,6 +40,12 @@ ArrayPageDevice::ArrayPageDevice(remote_ptr<PageDevice> existing, int n1,
                      << " doubles");
 }
 
+ArrayPageDevice::ArrayPageDevice(NoBackingTag tag, int number_of_pages,
+                                 int n1, int n2, int n3,
+                                 DeviceOptions options)
+    : PageDevice(tag, number_of_pages, block_bytes(n1, n2, n3), options),
+      extents_{n1, n2, n3} {}
+
 ArrayPageDevice::ArrayPageDevice(serial::IArchive& ia) : PageDevice(ia) {
   ia(extents_.n1, extents_.n2, extents_.n3);
 }

@@ -47,8 +47,11 @@ class ArrayPageDevice : public PageDevice {
                     std::vector<std::int32_t> indices);
 
   /// "Move the computation to the data": sum of all elements of the page
-  /// at the given address, computed device-side (paper §3).
-  [[nodiscard]] double sum(int page_address) const;
+  /// at the given address, computed device-side (paper §3).  Virtual so a
+  /// ReplicatedPageDevice can keep the compute at the data by shipping
+  /// the reduction to its leased primary replica instead of pulling the
+  /// page to the coordinator.
+  [[nodiscard]] virtual double sum(int page_address) const;
 
   /// Device-side partial reduction over an index range within a page —
   /// used by Array::sum for pages only partially covered by a domain.
@@ -64,9 +67,10 @@ class ArrayPageDevice : public PageDevice {
     kMax = 2,
     kSumSq = 3,  // sum of squares (for norms)
   };
-  [[nodiscard]] double reduce_region(Reduce op, int page_address, index_t lo1,
-                                     index_t hi1, index_t lo2, index_t hi2,
-                                     index_t lo3, index_t hi3) const;
+  [[nodiscard]] virtual double reduce_region(Reduce op, int page_address,
+                                             index_t lo1, index_t hi1,
+                                             index_t lo2, index_t hi2,
+                                             index_t lo3, index_t hi3) const;
 
   /// Third-party transfer: fetch a page directly from another (possibly
   /// remote) device and store it locally.  The client that orders the
@@ -99,6 +103,12 @@ class ArrayPageDevice : public PageDevice {
   [[nodiscard]] int n2() const { return static_cast<int>(extents_.n2); }
   [[nodiscard]] int n3() const { return static_cast<int>(extents_.n3); }
   [[nodiscard]] const Extents3& extents() const { return extents_; }
+
+ protected:
+  /// Fileless construction for coordinator devices (see
+  /// PageDevice::NoBackingTag).
+  ArrayPageDevice(NoBackingTag, int number_of_pages, int n1, int n2, int n3,
+                  DeviceOptions options);
 
  private:
   Extents3 extents_{};

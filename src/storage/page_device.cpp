@@ -31,10 +31,20 @@ PageDevice::PageDevice(std::string filename, int number_of_pages,
   open_or_create(truncate);
 }
 
+PageDevice::PageDevice(NoBackingTag, int number_of_pages, int page_size,
+                       DeviceOptions options)
+    : number_of_pages_(number_of_pages),
+      page_size_(page_size),
+      options_(options) {
+  OOPP_CHECK_MSG(number_of_pages > 0 && page_size_ > 0,
+                 "PageDevice needs positive page count and size");
+  // No file: every I/O method must be overridden by the derived class.
+}
+
 PageDevice::PageDevice(serial::IArchive& ia) {
   std::uint64_t ops = 0;
   int pages = 0;
-  ia(filename_, pages, page_size_, options_, ops);
+  ia(filename_, pages, page_size_, options_, ops, stamps_);
   number_of_pages_.store(pages, std::memory_order_relaxed);
   operations_.store(ops, std::memory_order_relaxed);
   // The backing file holds the pages; re-open without truncating.
@@ -45,7 +55,13 @@ void PageDevice::oopp_save(serial::OArchive& oa) const {
   // Push buffered writes to the file so the image + file pair is
   // consistent at the checkpoint.
   if (f_) std::fflush(f_);
-  oa(filename_, number_of_pages(), page_size_, options_, operations());
+  std::vector<std::uint64_t> stamps;
+  {
+    std::lock_guard lock(io_mu_);
+    stamps = stamps_;
+  }
+  oa(filename_, number_of_pages(), page_size_, options_, operations(),
+     stamps);
 }
 
 PageDevice::~PageDevice() {
@@ -237,6 +253,44 @@ void PageDevice::write_pages(std::vector<Page> pages,
     OOPP_CHECK(std::fflush(f_) == 0);
   }
   operations_.fetch_add(indices.size(), std::memory_order_relaxed);
+}
+
+void PageDevice::write_pages_stamped(std::vector<Page> pages,
+                                     std::vector<std::int32_t> indices,
+                                     std::vector<std::uint64_t> stamps) {
+  OOPP_CHECK_MSG(stamps.size() == indices.size(),
+                 "write_pages_stamped: " << stamps.size() << " stamps for "
+                                         << indices.size() << " indices");
+  // Virtual dispatch: on a plain device this is the batched file write;
+  // on a coordinator the data fans out to its replica set.
+  const std::vector<std::int32_t> idx = indices;
+  write_pages(std::move(pages), std::move(indices));
+  std::lock_guard lock(io_mu_);
+  if (stamps_.size() < static_cast<std::size_t>(number_of_pages()))
+    stamps_.resize(static_cast<std::size_t>(number_of_pages()), 0);
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    stamps_[static_cast<std::size_t>(idx[i])] = stamps[i];
+}
+
+StampedPages PageDevice::read_pages_stamped(
+    std::vector<std::int32_t> indices) const {
+  StampedPages out;
+  out.stamps = page_stamps(indices);
+  out.pages = read_pages(std::move(indices));
+  return out;
+}
+
+std::vector<std::uint64_t> PageDevice::page_stamps(
+    std::vector<std::int32_t> indices) const {
+  for (const auto idx : indices) check_index(idx);
+  std::vector<std::uint64_t> out;
+  out.reserve(indices.size());
+  std::lock_guard lock(io_mu_);
+  for (const auto idx : indices) {
+    const auto i = static_cast<std::size_t>(idx);
+    out.push_back(i < stamps_.size() ? stamps_[i] : 0);
+  }
+  return out;
 }
 
 }  // namespace oopp::storage

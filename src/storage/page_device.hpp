@@ -37,6 +37,20 @@ void oopp_serialize(Ar& ar, DeviceOptions& o) {
   ar(o.service_us);
 }
 
+/// Pages paired with their version stamps — the wire unit of the replica
+/// protocol (ReplicatedPageDevice): a coordinator compares returned stamps
+/// against its authoritative per-page versions to decide whether a replica
+/// is up to date.
+struct StampedPages {
+  std::vector<Page> pages;
+  std::vector<std::uint64_t> stamps;
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, StampedPages& s) {
+  ar(s.pages, s.stamps);
+}
+
 class PageDevice {
  public:
   /// Creates (or truncates) `filename` with NumberOfPages * PageSize bytes.
@@ -54,23 +68,44 @@ class PageDevice {
   PageDevice& operator=(const PageDevice&) = delete;
 
   /// Store a page at the given address.  The page must be exactly
-  /// page_size() bytes and the address within range.
-  void write(const Page& p, int page_index);
+  /// page_size() bytes and the address within range.  Virtual: a
+  /// ReplicatedPageDevice re-routes every I/O method to its replica set,
+  /// so anything reaching the device through the base protocol (Array
+  /// slices, DSM caches, pull_page) transparently gets replicated I/O.
+  virtual void write(const Page& p, int page_index);
 
   /// Fetch the page stored at the given address.
-  [[nodiscard]] Page read(int page_index) const;
+  [[nodiscard]] virtual Page read(int page_index) const;
 
   /// Batched multi-page read: one remote call moves a whole slab's worth
   /// of pages off this device.  Returns pages in the order of `indices`.
   /// The simulated seek (`service_us`) is charged once per contiguous
   /// ascending run of indices — batching sequential I/O amortizes seeks,
   /// which is exactly why the async pipeline issues batches.
-  [[nodiscard]] std::vector<Page> read_pages(
+  [[nodiscard]] virtual std::vector<Page> read_pages(
       std::vector<std::int32_t> indices) const;
 
   /// Batched multi-page write; pages[i] is stored at indices[i].  Same
   /// contiguous-run service-time model as read_pages.
-  void write_pages(std::vector<Page> pages, std::vector<std::int32_t> indices);
+  virtual void write_pages(std::vector<Page> pages,
+                           std::vector<std::int32_t> indices);
+
+  /// Replica protocol: batched write that also records a version stamp
+  /// per page.  Routed through the virtual write_pages, so the data path
+  /// (and its batching/seek model) is identical to an unstamped write.
+  void write_pages_stamped(std::vector<Page> pages,
+                           std::vector<std::int32_t> indices,
+                           std::vector<std::uint64_t> stamps);
+
+  /// Replica protocol: batched read returning each page with the stamp of
+  /// the last stamped write that touched it (0 = never stamped).
+  [[nodiscard]] StampedPages read_pages_stamped(
+      std::vector<std::int32_t> indices) const;
+
+  /// Stamps only — the cheap probe quorum resolution uses to find the
+  /// most up-to-date replica without moving page bytes.
+  [[nodiscard]] std::vector<std::uint64_t> page_stamps(
+      std::vector<std::int32_t> indices) const;
 
   /// Same as read() but served *outside* the process's command queue
   /// (bound reentrant).  Exists for third-party transfers: device A's
@@ -87,7 +122,7 @@ class PageDevice {
   /// backing file is extended, existing pages keep their bytes.  Online
   /// redistribution provisions target slot banks with this before
   /// migrating pages onto the device.
-  void ensure_capacity(int pages);
+  virtual void ensure_capacity(int pages);
 
   [[nodiscard]] int number_of_pages() const {
     return number_of_pages_.load(std::memory_order_acquire);
@@ -113,6 +148,14 @@ class PageDevice {
   PageDevice(std::string filename, int number_of_pages, int page_size,
              DeviceOptions options, bool truncate);
 
+  /// For derived devices that own no backing file of their own — a
+  /// ReplicatedPageDevice coordinator stores nothing locally; every I/O
+  /// method is overridden to fan out to replicas, so the base file paths
+  /// are unreachable (f_ stays null).
+  struct NoBackingTag {};
+  PageDevice(NoBackingTag, int number_of_pages, int page_size,
+             DeviceOptions options);
+
   void check_index(int page_index) const;
   void simulate_service_time() const;
 
@@ -131,6 +174,10 @@ class PageDevice {
   /// Makes each page operation atomic at the FILE* level so reentrant
   /// reads may run concurrently with queued operations.
   mutable util::CheckedMutex io_mu_{"storage.PageDevice.io"};
+  /// Per-page version stamps of the replica protocol (0 = unstamped),
+  /// guarded by io_mu_; persisted with the image so a re-activated
+  /// replica keeps its place in quorum resolution.
+  std::vector<std::uint64_t> stamps_;
 };
 
 }  // namespace oopp::storage
@@ -149,6 +196,9 @@ struct oopp::rpc::class_def<oopp::storage::PageDevice> {
     b.template method<&D::read>("read");
     b.template method<&D::read_pages>("read_pages");
     b.template method<&D::write_pages>("write_pages");
+    b.template method<&D::write_pages_stamped>("write_pages_stamped");
+    b.template method<&D::read_pages_stamped>("read_pages_stamped");
+    b.template method<&D::page_stamps>("page_stamps");
     b.template method<&D::read_unordered>("read_unordered", reentrant);
     b.template method<&D::ensure_capacity>("ensure_capacity");
     b.template method<&D::number_of_pages>("number_of_pages");

@@ -1,0 +1,62 @@
+// ReplicaOptions: the one durability knob surface (ROADMAP item 1).
+//
+// Folds every replication parameter — copy count, write/read quorums and
+// the primary lease — into a single options struct carried on
+// Cluster::Options, the same pattern net::FabricOptions and
+// rpc::DispatchOptions established for the transport and dispatch layers.
+// storage::ReplicatedPageDevice consumes it directly; the Cluster uses
+// `replicas > 1` as the switch that also backs the symbolic-address
+// registry with a replicated kv::KvStore.
+#pragma once
+
+#include <cstdint>
+
+#include "rpc/errors.hpp"
+#include "serial/archive.hpp"
+
+namespace oopp::storage {
+
+struct ReplicaOptions {
+  /// Copies of each page (1 = no replication, the seed behavior).
+  std::int32_t replicas = 1;
+  /// Replica acks required before a write is acknowledged.
+  /// 0 = majority (replicas / 2 + 1).
+  std::int32_t write_quorum = 0;
+  /// Replicas consulted per read.  1 = leased-primary fast path with
+  /// version-stamped fallback; >1 = every read cross-checks stamps across
+  /// that many replicas.
+  std::int32_t read_quorum = 1;
+  /// Primary lease duration per page range; also the Watchdog probe
+  /// period driving proactive failover.
+  std::uint32_t lease_ms = 200;
+
+  [[nodiscard]] std::int32_t effective_write_quorum() const {
+    return write_quorum > 0 ? write_quorum : replicas / 2 + 1;
+  }
+
+  /// Throws oopp::Error (kBadFrame) on a self-contradictory config —
+  /// validation happens at the API boundary, not deep in a write path.
+  void validate() const {
+    if (replicas < 1)
+      throw Error("ReplicaOptions: replicas must be >= 1",
+                  net::CallStatus::kBadFrame);
+    if (write_quorum < 0 || write_quorum > replicas)
+      throw Error("ReplicaOptions: write_quorum outside [0, replicas]",
+                  net::CallStatus::kBadFrame);
+    if (read_quorum < 1 || read_quorum > replicas)
+      throw Error("ReplicaOptions: read_quorum outside [1, replicas]",
+                  net::CallStatus::kBadFrame);
+    if (lease_ms == 0)
+      throw Error("ReplicaOptions: lease_ms must be positive",
+                  net::CallStatus::kBadFrame);
+  }
+
+  bool operator==(const ReplicaOptions&) const = default;
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, ReplicaOptions& o) {
+  ar(o.replicas, o.write_quorum, o.read_quorum, o.lease_ms);
+}
+
+}  // namespace oopp::storage

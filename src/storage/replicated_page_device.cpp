@@ -1,0 +1,501 @@
+#include "storage/replicated_page_device.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "core/future.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+#include "util/assert.hpp"
+#include "util/clock.hpp"
+
+namespace oopp::storage {
+
+namespace {
+
+telemetry::MetricScope& replica_scope() {
+  return telemetry::Metrics::scope_for("storage.replica");
+}
+
+void record_stall(std::int64_t t0) {
+  static auto& h = replica_scope().histogram("stall_ns");
+  h.record(static_cast<std::uint64_t>(now_ns() - t0));
+}
+
+const remote_ptr<ArrayPageDevice>& checked_front(
+    const std::vector<remote_ptr<ArrayPageDevice>>& replicas) {
+  OOPP_CHECK_MSG(!replicas.empty(),
+                 "ReplicatedPageDevice needs at least one replica");
+  return replicas.front();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / persistence
+// ---------------------------------------------------------------------------
+
+ReplicatedPageDevice::ReplicatedPageDevice(
+    std::vector<remote_ptr<ArrayPageDevice>> replicas, ReplicaOptions options)
+    : ArrayPageDevice(
+          NoBackingTag{},
+          checked_front(replicas).call<&PageDevice::number_of_pages>(),
+          replicas.front().call<&ArrayPageDevice::n1>(),
+          replicas.front().call<&ArrayPageDevice::n2>(),
+          replicas.front().call<&ArrayPageDevice::n3>(), DeviceOptions{}),
+      replicas_(std::move(replicas)),
+      opts_(options) {
+  opts_.replicas = static_cast<std::int32_t>(replicas_.size());
+  opts_.validate();
+  for (const auto& r : replicas_) {
+    OOPP_CHECK_MSG(r.valid(), "null replica handle");
+    OOPP_CHECK_MSG(r.call<&PageDevice::page_size>() == page_size(),
+                   "replica page size mismatch");
+    OOPP_CHECK_MSG(r.call<&PageDevice::number_of_pages>() == number_of_pages(),
+                   "replica slot count mismatch");
+  }
+  const auto pages = static_cast<std::size_t>(number_of_pages());
+  range_pages_ = std::max(
+      1, number_of_pages() / static_cast<std::int32_t>(replicas_.size()));
+  alive_.assign(replicas_.size(), true);
+  versions_.assign(pages, 0);
+  leases_.resize(static_cast<std::size_t>(range_of(number_of_pages() - 1)) + 1);
+  start_watchdog();
+}
+
+ReplicatedPageDevice::Restored ReplicatedPageDevice::read_image(
+    serial::IArchive& ia) {
+  Restored r;
+  ia(r.replicas, r.opts, r.npages, r.n1, r.n2, r.n3, r.versions);
+  return r;
+}
+
+ReplicatedPageDevice::ReplicatedPageDevice(serial::IArchive& ia)
+    : ReplicatedPageDevice(read_image(ia)) {}
+
+ReplicatedPageDevice::ReplicatedPageDevice(Restored r)
+    : ArrayPageDevice(NoBackingTag{}, r.npages, r.n1, r.n2, r.n3,
+                      DeviceOptions{}),
+      replicas_(std::move(r.replicas)),
+      opts_(r.opts) {
+  range_pages_ = std::max(
+      1, number_of_pages() / static_cast<std::int32_t>(replicas_.size()));
+  alive_.assign(replicas_.size(), true);
+  versions_ = std::move(r.versions);
+  versions_.resize(static_cast<std::size_t>(number_of_pages()), 0);
+  leases_.resize(static_cast<std::size_t>(range_of(number_of_pages() - 1)) + 1);
+  start_watchdog();
+}
+
+void ReplicatedPageDevice::oopp_save(serial::OArchive& oa) const {
+  std::vector<std::uint64_t> versions;
+  {
+    std::lock_guard lock(mu_);
+    versions = versions_;
+  }
+  std::vector<remote_ptr<ArrayPageDevice>> replicas = replicas_;
+  ReplicaOptions opts = opts_;
+  oa(replicas, opts, number_of_pages(), n1(), n2(), n3(), versions);
+}
+
+void ReplicatedPageDevice::start_watchdog() {
+  // One probe round per lease period: a dead replica loses its leases at
+  // most one lease after dying even if no read ever touches it.
+  dog_ = std::make_unique<Watchdog>(opts_.lease_ms);
+  for (const auto& r : replicas_) dog_->watch(r.ref());
+}
+
+// ---------------------------------------------------------------------------
+// Liveness / leases
+// ---------------------------------------------------------------------------
+
+void ReplicatedPageDevice::poll_watchdog() const {
+  if (!dog_) return;
+  for (const auto& report : dog_->status()) {
+    if (report.state != WatchState::kDead) continue;
+    for (std::size_t i = 0; i < replicas_.size(); ++i)
+      if (replicas_[i].ref() == report.target) {
+        mark_dead(static_cast<std::int32_t>(i));
+        break;
+      }
+  }
+}
+
+void ReplicatedPageDevice::mark_dead(std::int32_t replica) const {
+  std::lock_guard lock(mu_);
+  mark_dead_locked(replica);
+}
+
+void ReplicatedPageDevice::mark_dead_locked(std::int32_t replica) const {
+  const auto r = static_cast<std::size_t>(replica);
+  if (!alive_[r]) return;
+  alive_[r] = false;
+  static auto& lost = replica_scope().counter("replicas_lost");
+  lost.add(1);
+  // Every range this replica held a lease for fails over: the lease is
+  // voided, and the next reader elects a surviving primary.
+  static auto& failovers = replica_scope().counter("failovers");
+  for (auto& lease : leases_) {
+    if (lease.primary != replica) continue;
+    lease.primary = -1;
+    lease.expires_ns = 0;
+    failovers.add(1);
+  }
+}
+
+std::int32_t ReplicatedPageDevice::primary_for(std::int32_t range) const {
+  const auto k = static_cast<std::int32_t>(replicas_.size());
+  const std::int64_t now = now_ns();
+  std::lock_guard lock(mu_);
+  auto& lease = leases_[static_cast<std::size_t>(range)];
+  if (lease.primary >= 0 && alive_[static_cast<std::size_t>(lease.primary)]) {
+    if (now < lease.expires_ns) return lease.primary;
+    // Same primary, fresh lease.
+    lease.expires_ns =
+        now + static_cast<std::int64_t>(opts_.lease_ms) * 1'000'000;
+    static auto& renewals = replica_scope().counter("lease_renewals");
+    renewals.add(1);
+    return lease.primary;
+  }
+  // Elect: start at the range's home replica (spreads read load across
+  // the set) and take the first survivor.
+  for (std::int32_t step = 0; step < k; ++step) {
+    const std::int32_t cand = (range + step) % k;
+    if (!alive_[static_cast<std::size_t>(cand)]) continue;
+    lease.primary = cand;
+    lease.expires_ns =
+        now + static_cast<std::int64_t>(opts_.lease_ms) * 1'000'000;
+    return cand;
+  }
+  return -1;  // no survivors; callers escalate to kUnavailable
+}
+
+std::vector<std::int32_t> ReplicatedPageDevice::alive_snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::int32_t> out;
+  for (std::size_t i = 0; i < alive_.size(); ++i)
+    if (alive_[i]) out.push_back(static_cast<std::int32_t>(i));
+  return out;
+}
+
+std::int32_t ReplicatedPageDevice::alive_replicas() const {
+  return static_cast<std::int32_t>(alive_snapshot().size());
+}
+
+ReplicaStatus ReplicatedPageDevice::replica_status() const {
+  poll_watchdog();
+  std::lock_guard lock(mu_);
+  ReplicaStatus s;
+  s.alive.reserve(alive_.size());
+  for (const bool a : alive_) s.alive.push_back(a ? 1 : 0);
+  s.range_primary.reserve(leases_.size());
+  for (const auto& lease : leases_) s.range_primary.push_back(lease.primary);
+  s.range_pages = range_pages_;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
+void ReplicatedPageDevice::write_pages(std::vector<Page> pages,
+                                       std::vector<std::int32_t> indices) {
+  OOPP_CHECK_MSG(pages.size() == indices.size(),
+                 "write_pages: " << pages.size() << " pages for "
+                                 << indices.size() << " indices");
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    check_index(indices[i]);
+    OOPP_CHECK_MSG(pages[i].size() == static_cast<std::size_t>(page_size()),
+                   "page size " << pages[i].size() << " != device page size "
+                                << page_size());
+  }
+  telemetry::LocalSpan span("storage.replica.write");
+  poll_watchdog();
+
+  // Stamp each page one past its acknowledged version.  The coordinator's
+  // command queue serializes mutations, so the next version is free.
+  std::vector<std::uint64_t> stamps(indices.size());
+  {
+    std::lock_guard lock(mu_);
+    for (std::size_t i = 0; i < indices.size(); ++i)
+      stamps[i] = versions_[static_cast<std::size_t>(indices[i])] + 1;
+  }
+
+  const auto targets = alive_snapshot();
+  std::vector<std::pair<std::int32_t, Future<void>>> in_flight;
+  in_flight.reserve(targets.size());
+  for (const auto r : targets)
+    in_flight.emplace_back(
+        r, replicas_[static_cast<std::size_t>(r)]
+               .async<&PageDevice::write_pages_stamped>(pages, indices,
+                                                        stamps));
+  std::int32_t acks = 0;
+  const std::int64_t t0 = now_ns();
+  bool stalled = false;
+  for (auto& [r, fut] : in_flight) {
+    try {
+      fut.get();
+      ++acks;
+    } catch (const Error&) {
+      // A replica that missed an acknowledged write may never serve
+      // again — dead is sticky.
+      mark_dead(r);
+      stalled = true;
+    }
+  }
+  if (acks < opts_.effective_write_quorum())
+    throw Error("replicated write lost its quorum: " + std::to_string(acks) +
+                    " of " + std::to_string(replicas_.size()) +
+                    " replicas acknowledged, quorum is " +
+                    std::to_string(opts_.effective_write_quorum()),
+                net::CallStatus::kUnavailable);
+  if (stalled) record_stall(t0);
+
+  {
+    std::lock_guard lock(mu_);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      auto& v = versions_[static_cast<std::size_t>(indices[i])];
+      v = std::max(v, stamps[i]);
+    }
+  }
+  static auto& writes = replica_scope().counter("replica_writes");
+  writes.add(indices.size() * static_cast<std::uint64_t>(acks));
+  operations_.fetch_add(indices.size(), std::memory_order_relaxed);
+}
+
+void ReplicatedPageDevice::write(const Page& p, int page_index) {
+  std::vector<Page> pages;
+  pages.push_back(p);
+  ReplicatedPageDevice::write_pages(std::move(pages), {page_index});
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+void ReplicatedPageDevice::quorum_read(
+    const std::vector<std::int32_t>& indices,
+    const std::vector<std::size_t>& positions,
+    const std::vector<std::uint64_t>& expected, std::vector<Page>& out) const {
+  std::vector<std::int32_t> need;
+  need.reserve(positions.size());
+  for (const auto pos : positions) need.push_back(indices[pos]);
+
+  const auto targets = alive_snapshot();
+  std::vector<std::pair<std::int32_t, Future<StampedPages>>> in_flight;
+  in_flight.reserve(targets.size());
+  for (const auto r : targets)
+    in_flight.emplace_back(r, replicas_[static_cast<std::size_t>(r)]
+                                  .async<&PageDevice::read_pages_stamped>(need));
+  std::vector<StampedPages> answers;
+  for (auto& [r, fut] : in_flight) {
+    try {
+      answers.push_back(fut.get());
+    } catch (const Error&) {
+      mark_dead(r);
+    }
+  }
+  if (static_cast<std::int32_t>(answers.size()) < opts_.read_quorum)
+    throw Error("quorum read failed: " + std::to_string(answers.size()) +
+                    " replicas answered, read quorum is " +
+                    std::to_string(opts_.read_quorum),
+                net::CallStatus::kUnavailable);
+
+  static auto& quorum_reads = replica_scope().counter("quorum_reads");
+  quorum_reads.add(1);
+
+  // Version-stamped resolution: the freshest copy wins; anything older
+  // than the acknowledged version means every up-to-date replica is gone.
+  for (std::size_t j = 0; j < positions.size(); ++j) {
+    std::uint64_t best = 0;
+    const Page* page = nullptr;
+    for (const auto& a : answers) {
+      if (a.stamps[j] >= best) {
+        best = a.stamps[j];
+        page = &a.pages[j];
+      }
+    }
+    if (page == nullptr || best < expected[positions[j]])
+      throw Error("replicated page " + std::to_string(need[j]) +
+                      " lost: freshest surviving stamp " +
+                      std::to_string(best) + " < acknowledged version " +
+                      std::to_string(expected[positions[j]]),
+                  net::CallStatus::kUnavailable);
+    out[positions[j]] = *page;
+  }
+}
+
+std::vector<Page> ReplicatedPageDevice::read_pages(
+    std::vector<std::int32_t> indices) const {
+  for (const auto idx : indices) check_index(idx);
+  telemetry::LocalSpan span("storage.replica.read");
+  poll_watchdog();
+
+  // The acknowledged versions this read must observe (snapshot once; a
+  // concurrent write may push replicas *ahead*, which `>=` tolerates).
+  std::vector<std::uint64_t> expected(indices.size());
+  {
+    std::lock_guard lock(mu_);
+    for (std::size_t i = 0; i < indices.size(); ++i)
+      expected[i] = versions_[static_cast<std::size_t>(indices[i])];
+  }
+
+  std::vector<Page> out(indices.size());
+  std::vector<std::size_t> pending;  // positions not yet served
+  pending.reserve(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) pending.push_back(i);
+
+  if (opts_.read_quorum == 1) {
+    // Leased-primary fast path: group positions by the primary of their
+    // page range, one batched stamped read per primary.  Positions whose
+    // range has no electable primary go straight to quorum resolution.
+    std::map<std::int32_t, std::vector<std::size_t>> by_primary;
+    std::vector<std::size_t> leftover;
+    for (const auto pos : pending) {
+      const auto p = primary_for(range_of(indices[pos]));
+      if (p >= 0)
+        by_primary[p].push_back(pos);
+      else
+        leftover.push_back(pos);
+    }
+    for (auto& [r, positions] : by_primary) {
+      std::vector<std::int32_t> need;
+      need.reserve(positions.size());
+      for (const auto pos : positions) need.push_back(indices[pos]);
+      const std::int64_t t0 = now_ns();
+      try {
+        auto sp = replicas_[static_cast<std::size_t>(r)]
+                      .call<&PageDevice::read_pages_stamped>(need);
+        for (std::size_t j = 0; j < positions.size(); ++j) {
+          if (sp.stamps[j] >= expected[positions[j]])
+            out[positions[j]] = std::move(sp.pages[j]);
+          else
+            leftover.push_back(positions[j]);  // stale → quorum resolves
+        }
+      } catch (const Error&) {
+        mark_dead(r);
+        record_stall(t0);
+        leftover.insert(leftover.end(), positions.begin(), positions.end());
+      }
+    }
+    pending = std::move(leftover);
+  }
+
+  if (!pending.empty()) quorum_read(indices, pending, expected, out);
+
+  operations_.fetch_add(indices.size(), std::memory_order_relaxed);
+  return out;
+}
+
+Page ReplicatedPageDevice::read(int page_index) const {
+  return ReplicatedPageDevice::read_pages({page_index}).front();
+}
+
+// ---------------------------------------------------------------------------
+// Compute-at-data with failover
+// ---------------------------------------------------------------------------
+
+double ReplicatedPageDevice::sum(int page_address) const {
+  check_index(page_address);
+  poll_watchdog();
+  const std::int64_t t0 = now_ns();
+  for (std::size_t attempt = 0; attempt <= replicas_.size(); ++attempt) {
+    const auto r = primary_for(range_of(page_address));
+    if (r < 0) break;
+    try {
+      const double s = replicas_[static_cast<std::size_t>(r)]
+                           .call<&ArrayPageDevice::sum>(page_address);
+      if (attempt > 0) record_stall(t0);
+      return s;
+    } catch (const Error&) {
+      mark_dead(r);
+    }
+  }
+  throw Error("replicated sum: no surviving replica",
+              net::CallStatus::kUnavailable);
+}
+
+double ReplicatedPageDevice::reduce_region(Reduce op, int page_address,
+                                           index_t lo1, index_t hi1,
+                                           index_t lo2, index_t hi2,
+                                           index_t lo3, index_t hi3) const {
+  check_index(page_address);
+  poll_watchdog();
+  const std::int64_t t0 = now_ns();
+  for (std::size_t attempt = 0; attempt <= replicas_.size(); ++attempt) {
+    const auto r = primary_for(range_of(page_address));
+    if (r < 0) break;
+    try {
+      const double v =
+          replicas_[static_cast<std::size_t>(r)]
+              .call<&ArrayPageDevice::reduce_region>(op, page_address, lo1,
+                                                     hi1, lo2, hi2, lo3, hi3);
+      if (attempt > 0) record_stall(t0);
+      return v;
+    } catch (const Error&) {
+      mark_dead(r);
+    }
+  }
+  throw Error("replicated reduce_region: no surviving replica",
+              net::CallStatus::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// Capacity / re-layout
+// ---------------------------------------------------------------------------
+
+void ReplicatedPageDevice::grow_state_locked(std::size_t pages) {
+  versions_.resize(pages, 0);
+  const auto ranges =
+      static_cast<std::size_t>((pages - 1) / static_cast<std::size_t>(
+                                                 range_pages_)) +
+      1;
+  if (ranges > leases_.size()) leases_.resize(ranges);
+}
+
+void ReplicatedPageDevice::ensure_capacity(int pages) {
+  OOPP_CHECK_MSG(pages > 0, "ensure_capacity needs a positive page count");
+  if (pages <= number_of_pages()) return;
+  poll_watchdog();
+  const auto targets = alive_snapshot();
+  std::vector<std::pair<std::int32_t, Future<void>>> in_flight;
+  for (const auto r : targets)
+    in_flight.emplace_back(r, replicas_[static_cast<std::size_t>(r)]
+                                  .async<&PageDevice::ensure_capacity>(pages));
+  std::int32_t acks = 0;
+  for (auto& [r, fut] : in_flight) {
+    try {
+      fut.get();
+      ++acks;
+    } catch (const Error&) {
+      mark_dead(r);
+    }
+  }
+  if (acks < opts_.effective_write_quorum())
+    throw Error("ensure_capacity lost its replica quorum",
+                net::CallStatus::kUnavailable);
+  std::lock_guard lock(mu_);
+  grow_state_locked(static_cast<std::size_t>(pages));
+  number_of_pages_.store(pages, std::memory_order_release);
+}
+
+void ReplicatedPageDevice::quiesce_pages(std::vector<std::int32_t> indices,
+                                         std::uint64_t map_version) {
+  for (const auto idx : indices) check_index(idx);
+  const auto targets = alive_snapshot();
+  std::vector<std::pair<std::int32_t, Future<void>>> in_flight;
+  for (const auto r : targets)
+    in_flight.emplace_back(
+        r, replicas_[static_cast<std::size_t>(r)]
+               .async<&ArrayPageDevice::quiesce_pages>(indices, map_version));
+  for (auto& [r, fut] : in_flight) {
+    try {
+      fut.get();
+    } catch (const Error&) {
+      mark_dead(r);
+    }
+  }
+}
+
+}  // namespace oopp::storage

@@ -1,0 +1,167 @@
+// ReplicatedPageDevice: k-replica page storage behind the ordinary
+// PageDevice protocol (ROADMAP item 1 — "data survives faults").
+//
+// The coordinator is itself an ArrayPageDevice process with no backing
+// file; every virtual I/O method fans out to k plain replica devices:
+//
+//   * writes go to every live replica with a per-page version stamp and
+//     are acknowledged once `write_quorum` replicas confirm (the remote
+//     calls ride PR 3's attempt-stamped dedup and PR 4's batching, so a
+//     retried replicated write is applied exactly once per replica);
+//   * reads take a leased-primary fast path — one replica holds a
+//     time-bounded lease per contiguous page range — and every returned
+//     page's stamp is checked against the coordinator's authoritative
+//     version; a stale or dead primary triggers failover: the range is
+//     re-leased to a surviving replica and the read completes as a
+//     version-stamped quorum read (max stamp wins, at least `read_quorum`
+//     replicas must answer);
+//   * replica death is detected reactively (a failed call) and
+//     proactively (a Watchdog probing each replica on the lease period);
+//     dead is sticky — a replica that missed one acknowledged write can
+//     never serve a stale page again.
+//
+// Because the coordinator *is* an ArrayPageDevice, a
+// remote_ptr<ReplicatedPageDevice> drops into any BlockStorage slot:
+// Array slices, the out-of-core FFT, DSM caches and online
+// redistribution all get replicated durability without source changes.
+//
+// Telemetry scope "storage.replica": quorum_reads, replica_writes,
+// failovers, lease_renewals, replicas_lost + stall_ns histogram (time a
+// caller waited on a failover).  docs/REPLICATION.md walks the protocol.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/remote_ptr.hpp"
+#include "core/watchdog.hpp"
+#include "storage/array_page_device.hpp"
+#include "storage/replica_options.hpp"
+
+namespace oopp::storage {
+
+/// Snapshot of the coordinator's replica set for tests and admin tools.
+struct ReplicaStatus {
+  std::vector<std::uint8_t> alive;          // per replica: 1 = serving
+  std::vector<std::int32_t> range_primary;  // per range: replica index or -1
+  std::int32_t range_pages = 0;             // pages per lease range
+};
+
+template <class Ar>
+void oopp_serialize(Ar& ar, ReplicaStatus& s) {
+  ar(s.alive, s.range_primary, s.range_pages);
+}
+
+class ReplicatedPageDevice : public ArrayPageDevice {
+ public:
+  /// All replicas must share one page shape and slot count; `options`
+  /// quorums are validated against the actual replica count.
+  ReplicatedPageDevice(std::vector<remote_ptr<ArrayPageDevice>> replicas,
+                       ReplicaOptions options);
+
+  /// Restore from a passivated image.  Replica liveness is re-learned:
+  /// everyone starts presumed alive, and the stamp checks guarantee a
+  /// replica that went stale in the meantime cannot serve a read.
+  explicit ReplicatedPageDevice(serial::IArchive& ia);
+  void oopp_save(serial::OArchive& oa) const;
+
+  // -- replicated I/O (overrides of the virtual device protocol) -------------
+  void write(const Page& p, int page_index) override;
+  [[nodiscard]] Page read(int page_index) const override;
+  [[nodiscard]] std::vector<Page> read_pages(
+      std::vector<std::int32_t> indices) const override;
+  void write_pages(std::vector<Page> pages,
+                   std::vector<std::int32_t> indices) override;
+  void ensure_capacity(int pages) override;
+
+  /// Compute-at-data reductions are shipped to the leased primary of the
+  /// page's range (with failover), so replication keeps the paper's §3
+  /// "move the computation to the data" property.
+  [[nodiscard]] double sum(int page_address) const override;
+  [[nodiscard]] double reduce_region(Reduce op, int page_address, index_t lo1,
+                                     index_t hi1, index_t lo2, index_t hi2,
+                                     index_t lo3, index_t hi3) const override;
+
+  void quiesce_pages(std::vector<std::int32_t> indices,
+                     std::uint64_t map_version) override;
+
+  // -- introspection ---------------------------------------------------------
+  [[nodiscard]] ReplicaStatus replica_status() const;
+  [[nodiscard]] std::vector<remote_ptr<ArrayPageDevice>> replica_refs() const {
+    return replicas_;
+  }
+  [[nodiscard]] std::int32_t replica_count() const {
+    return static_cast<std::int32_t>(replicas_.size());
+  }
+  [[nodiscard]] std::int32_t alive_replicas() const;
+
+ private:
+  struct Lease {
+    std::int32_t primary = -1;
+    std::int64_t expires_ns = 0;
+  };
+  struct Restored {
+    std::vector<remote_ptr<ArrayPageDevice>> replicas;
+    ReplicaOptions opts;
+    std::int32_t npages = 0;
+    std::int32_t n1 = 1, n2 = 1, n3 = 1;
+    std::vector<std::uint64_t> versions;
+  };
+  explicit ReplicatedPageDevice(Restored r);
+  static Restored read_image(serial::IArchive& ia);
+
+  void start_watchdog();
+  /// Fold the Watchdog's verdicts into alive_ (proactive failover).
+  void poll_watchdog() const;
+  [[nodiscard]] std::int32_t range_of(int page_index) const {
+    return page_index / range_pages_;
+  }
+  /// Elect / renew the leased primary of a range.  Pure local state — no
+  /// remote calls; the stamp checks validate the choice on the next read.
+  [[nodiscard]] std::int32_t primary_for(std::int32_t range) const;
+  void mark_dead(std::int32_t replica) const;
+  void mark_dead_locked(std::int32_t replica) const;
+  [[nodiscard]] std::vector<std::int32_t> alive_snapshot() const;
+  void grow_state_locked(std::size_t pages);
+
+  /// Version-stamped quorum read of `indices[pos]` for every pos in
+  /// `positions`, writing into `out[pos]`.  Throws kUnavailable when
+  /// fewer than read_quorum replicas answer or the freshest stamp is
+  /// older than the acknowledged version.
+  void quorum_read(const std::vector<std::int32_t>& indices,
+                   const std::vector<std::size_t>& positions,
+                   const std::vector<std::uint64_t>& expected,
+                   std::vector<Page>& out) const;
+
+  std::vector<remote_ptr<ArrayPageDevice>> replicas_;  // immutable set
+  ReplicaOptions opts_;
+  std::int32_t range_pages_ = 1;
+  std::unique_ptr<Watchdog> dog_;
+
+  mutable util::CheckedMutex mu_{"storage.ReplicatedPageDevice"};
+  mutable std::vector<bool> alive_;                 // sticky false
+  mutable std::vector<std::uint64_t> versions_;     // acked version per page
+  mutable std::vector<Lease> leases_;               // per range
+};
+
+}  // namespace oopp::storage
+
+// Protocol: process inheritance from ArrayPageDevice — a coordinator
+// answers the full device protocol — plus replica introspection.
+template <>
+struct oopp::rpc::class_def<oopp::storage::ReplicatedPageDevice> {
+  using D = oopp::storage::ReplicatedPageDevice;
+  using Base = oopp::storage::ArrayPageDevice;
+  static std::string name() { return "oopp.storage.ReplicatedPageDevice"; }
+  using ctors = ctor_list<ctor<std::vector<oopp::remote_ptr<Base>>,
+                               oopp::storage::ReplicaOptions>>;
+  template <class B>
+  static void bind(B& b) {
+    class_def<Base>::bind(b);  // full device protocol, replicated
+    b.template method<&D::replica_status>("replica_status");
+    b.template method<&D::replica_refs>("replica_refs");
+    b.template method<&D::replica_count>("replica_count");
+    b.template method<&D::alive_replicas>("alive_replicas");
+    b.persistent();
+  }
+};

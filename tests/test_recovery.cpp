@@ -14,13 +14,18 @@
 
 #include <filesystem>
 
+#include "array/block_storage.hpp"
 #include "core/expected.hpp"
 #include "core/group.hpp"
 #include "core/oopp.hpp"
+#include "fft/fft3d.hpp"
+#include "fft/out_of_core.hpp"
 #include "net/faulty_fabric.hpp"
 #include "net/inproc_fabric.hpp"
 #include "storage/page_device.hpp"
+#include "storage/replicated_page_device.hpp"
 #include "telemetry/metrics.hpp"
+#include "util/prng.hpp"
 
 using namespace oopp;
 using namespace std::chrono_literals;
@@ -353,6 +358,207 @@ TEST(Recovery, PartialGatherIndexedKeepsResults) {
     ASSERT_TRUE(results[i].has_value());
     EXPECT_EQ(results[i].value(), std::vector<double>{double(i)});
   }
+}
+
+// -- replicated durability under faults (ReplicaRecovery) -------------------
+//
+// The CI replica-kill lane runs exactly this suite
+// (--gtest_filter=ReplicaRecovery.*) and gates on the storage.replica
+// counters it leaves behind: quorum_reads > 0 and failovers >= 1.
+
+std::uint64_t replica_counter(std::string_view name) {
+  return telemetry::Metrics::scope_for("storage.replica")
+      .counter(name)
+      .value();
+}
+
+/// The ISSUE acceptance gate: an out-of-core FFT over k=3 replicated
+/// storage, one replica (the leased primary of the first coordinator's
+/// first page range) killed mid-pass, must complete with output
+/// byte-identical to the same transform on plain storage — and the
+/// failover stall a caller observed stays bounded.
+TEST(ReplicaRecovery, ReplicaKilledMidFftCompletesByteIdentical) {
+  namespace arr = oopp::array;
+  namespace fft = oopp::fft;
+  Cluster cluster(4);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("oopp-replica-fft-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const oopp::Extents3 e{8, 6, 10};
+  const oopp::Extents3 b{4, 3, 5};
+  const oopp::Extents3 grid{2, 2, 2};
+  const arr::PageMapSpec spec{arr::PageMapKind::kRoundRobin};
+  arr::BlockStorageConfig cfg;
+  cfg.devices = 4;
+  cfg.pages_per_device =
+      static_cast<std::int32_t>(spec.pages_per_device(grid, 4));
+  cfg.n1 = static_cast<int>(b.n1);
+  cfg.n2 = static_cast<int>(b.n2);
+  cfg.n3 = static_cast<int>(b.n3);
+  // Simulated device service time stretches the pass so the mid-run kill
+  // lands while slabs are still in flight.
+  cfg.device_options.service_us = 300;
+
+  auto make_plain = [&](const std::string& tag) {
+    auto c = cfg;
+    c.file_prefix = (dir / tag).string();
+    return arr::Array(e.n1, e.n2, e.n3, b.n1, b.n2, b.n3,
+                      arr::create_block_storage(c,
+                                                [&](std::int32_t i) {
+                                                  return static_cast<
+                                                      net::MachineId>(
+                                                      i % cluster.size());
+                                                }),
+                      spec);
+  };
+  auto make_replicated = [&](const std::string& tag) {
+    auto c = cfg;
+    c.file_prefix = (dir / tag).string();
+    return arr::Array(
+        e.n1, e.n2, e.n3, b.n1, b.n2, b.n3,
+        arr::create_replicated_block_storage(
+            c, storage::ReplicaOptions{.replicas = 3, .lease_ms = 50},
+            [&](std::int32_t i) {
+              return static_cast<net::MachineId>(i % cluster.size());
+            },
+            [&](std::int32_t i, std::int32_t j) {
+              return static_cast<net::MachineId>((i + j) % cluster.size());
+            }),
+        spec);
+  };
+
+  const auto whole = arr::Domain::whole(e);
+  oopp::Xoshiro256 rng(97);
+  std::vector<double> re0(static_cast<std::size_t>(e.volume()));
+  std::vector<double> im0(re0.size());
+  for (auto& x : re0) x = rng.uniform(-1, 1);
+  for (auto& x : im0) x = rng.uniform(-1, 1);
+
+  // Reference pass on plain single-copy storage.
+  auto re_plain = make_plain("plain-re");
+  auto im_plain = make_plain("plain-im");
+  re_plain.write(re0, whole);
+  im_plain.write(im0, whole);
+  const fft::OutOfCoreOptions ooc{.max_bytes = 4000};
+  fft::fft3d_out_of_core(re_plain, im_plain, -1, ooc);
+  const auto re_expect = re_plain.read(whole);
+  const auto im_expect = im_plain.read(whole);
+
+  // Replicated pass with a mid-run replica kill.
+  auto re = make_replicated("repl-re");
+  auto im = make_replicated("repl-im");
+  re.write(re0, whole);
+  im.write(im0, whole);
+
+  const auto failovers0 = replica_counter("failovers");
+  const auto quorum0 = replica_counter("quorum_reads");
+  const auto writes_mark = replica_counter("replica_writes");
+
+  // First storage slot of the re array is a replicated coordinator.
+  remote_ptr<storage::ReplicatedPageDevice> coord(
+      re.storage()[0].machine(), re.storage()[0].id());
+  std::thread killer([&cluster, coord, writes_mark] {
+    auto guard = cluster.use(0);
+    // Wait until the transform is demonstrably under way...
+    while (replica_counter("replica_writes") < writes_mark + 16)
+      std::this_thread::sleep_for(1ms);
+    // ...then kill the replica holding the lease on the first page range.
+    const auto status =
+        coord.call<&storage::ReplicatedPageDevice::replica_status>();
+    const auto refs =
+        coord.call<&storage::ReplicatedPageDevice::replica_refs>();
+    const auto primary = status.range_primary.empty()
+                             ? 0
+                             : std::max(status.range_primary[0], 0);
+    refs[static_cast<std::size_t>(primary)].destroy();
+  });
+
+  fft::fft3d_out_of_core(re, im, -1, ooc);
+  killer.join();
+
+  const auto re_out = re.read(whole);
+  const auto im_out = im.read(whole);
+  ASSERT_EQ(re_out.size(), re_expect.size());
+  for (std::size_t i = 0; i < re_out.size(); ++i) {
+    ASSERT_EQ(re_out[i], re_expect[i]) << "re[" << i << "]";  // bit-exact
+    ASSERT_EQ(im_out[i], im_expect[i]) << "im[" << i << "]";
+  }
+
+  EXPECT_EQ(coord.call<&storage::ReplicatedPageDevice::alive_replicas>(), 2);
+  EXPECT_GE(replica_counter("failovers") - failovers0, 1u)
+      << "the killed replica never triggered a failover";
+  EXPECT_GE(replica_counter("quorum_reads") - quorum0, 1u)
+      << "no read ever fell back to a quorum";
+  // Bounded stall: the p99 of time callers spent riding out a failover.
+  EXPECT_LT(telemetry::Metrics::scope_for("storage.replica")
+                .histogram("stall_ns")
+                .percentile(99.0),
+            2'000'000'000u);
+  std::filesystem::remove_all(dir);
+}
+
+// Replicated writes ride the same retry/dedup machinery as everything
+// else: under 5% message loss every quorum write completes, and each
+// replica executed every page write exactly once — a replayed replicated
+// write is never applied twice anywhere.
+TEST(ReplicaRecovery, ReplicatedWritesExactlyOncePerReplicaUnderLoss) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("oopp-replica-loss-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  FaultyCluster fc(3);
+
+  std::vector<remote_ptr<storage::ArrayPageDevice>> replicas;
+  for (int j = 0; j < 3; ++j) {
+    replicas.push_back(fc.cluster->make_remote<storage::ArrayPageDevice>(
+        static_cast<net::MachineId>(j),
+        (dir / ("dev.r" + std::to_string(j))).string(), 8, 4, 4, 4,
+        storage::DeviceOptions{}));
+  }
+  auto coord = fc.cluster->make_remote<storage::ReplicatedPageDevice>(
+      0, replicas, storage::ReplicaOptions{.replicas = 3});
+  // Retries for both hops: client -> coordinator (handle policy) and
+  // coordinator -> replica (node-level default on the coordinator's node).
+  fc.cluster->node(0).set_default_policy(test_policy());
+  auto handle = coord.with_policy(test_policy());
+
+  const std::size_t bytes = 4 * 4 * 4 * sizeof(double);
+  std::vector<storage::Page> pages;
+  std::vector<std::int32_t> indices;
+  for (int i = 0; i < 8; ++i) {
+    storage::Page p(bytes);
+    for (std::size_t j = 0; j < p.size(); ++j)
+      p[j] = static_cast<unsigned char>((i * 13 + j) % 251);
+    pages.push_back(std::move(p));
+    indices.push_back(i);
+  }
+
+  fc.fabric->set_faults({.drop_probability = 0.05, .seed = 53});
+  constexpr int kRounds = 40;
+  for (int r = 0; r < kRounds; ++r) {
+    ASSERT_NO_THROW(
+        handle.call<&storage::PageDevice::write_pages>(pages, indices))
+        << "round " << r;
+  }
+  EXPECT_GT(fc.fabric->dropped(), 0u) << "fault injection never fired";
+  fc.fabric->set_faults({});
+
+  // No replica was marked dead, every acknowledged write landed on all
+  // three, and nobody executed a page write twice.
+  EXPECT_EQ(coord.call<&storage::ReplicatedPageDevice::alive_replicas>(), 3);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(replicas[j].call<&storage::PageDevice::operations>(),
+              static_cast<std::uint64_t>(8 * kRounds))
+        << "replica " << j;
+    const auto stamps =
+        replicas[j].call<&storage::PageDevice::page_stamps>(indices);
+    for (const auto s : stamps) EXPECT_EQ(s, std::uint64_t{kRounds});
+  }
+  auto got = coord.call<&storage::PageDevice::read_pages>(indices);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(got[i], pages[i]) << "page " << i;
+  std::filesystem::remove_all(dir);
 }
 
 // Policies are a property of the handle: they survive serialization of

@@ -1,0 +1,413 @@
+// The unified durability API: typed oopp::Uri validation at the boundary,
+// ReplicaOptions quorum checks, k-replica page writes with version-stamped
+// quorum reads and lease-based failover (storage::ReplicatedPageDevice),
+// and the chain-replicated symbolic-address registry that lets `oopp://`
+// records survive shard death and cluster incarnations.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "array/block_storage.hpp"
+#include "core/oopp.hpp"
+#include "kv/kv_store.hpp"
+#include "storage/replicated_page_device.hpp"
+#include "telemetry/metrics.hpp"
+
+using oopp::Cluster;
+using oopp::remote_ptr;
+using oopp::Uri;
+namespace storage = oopp::storage;
+namespace arr = oopp::array;
+
+namespace {
+
+class Acc {
+ public:
+  Acc() = default;
+  explicit Acc(double start) : total_(start) {}
+  explicit Acc(oopp::serial::IArchive& ia) { ia(total_); }
+  void oopp_save(oopp::serial::OArchive& oa) const { oa(total_); }
+
+  double add(double x) { return total_ += x; }
+  double total() const { return total_; }
+
+ private:
+  double total_ = 0.0;
+};
+
+}  // namespace
+
+template <>
+struct oopp::rpc::class_def<Acc> {
+  static std::string name() { return "replica.Acc"; }
+  using ctors = ctor_list<ctor<>, ctor<double>>;
+  template <class B>
+  static void bind(B& b) {
+    b.template method<&Acc::add>("add");
+    b.template method<&Acc::total>("total");
+    b.persistent();
+  }
+};
+
+namespace {
+
+std::uint64_t replica_counter(std::string_view name) {
+  return oopp::telemetry::Metrics::scope_for("storage.replica")
+      .counter(name)
+      .value();
+}
+
+std::filesystem::path fresh_dir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("oopp-replica-" + tag + "-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+storage::Page patterned_page(std::size_t bytes, int salt) {
+  storage::Page p(bytes);
+  for (std::size_t j = 0; j < p.size(); ++j)
+    p[j] = static_cast<unsigned char>((salt * 31 + j) % 251);
+  return p;
+}
+
+/// k plain devices + one coordinator fronting them, page shape 4x4x4.
+struct ReplicaSet {
+  std::vector<remote_ptr<storage::ArrayPageDevice>> replicas;
+  remote_ptr<storage::ReplicatedPageDevice> coord;
+
+  ReplicaSet(Cluster& cluster, const std::filesystem::path& dir, int k,
+             storage::ReplicaOptions opts = {}, int pages = 8) {
+    for (int j = 0; j < k; ++j) {
+      replicas.push_back(cluster.make_remote<storage::ArrayPageDevice>(
+          static_cast<oopp::net::MachineId>(j % cluster.size()),
+          (dir / ("dev.r" + std::to_string(j))).string(), pages, 4, 4, 4,
+          storage::DeviceOptions{}));
+    }
+    opts.replicas = k;
+    coord = cluster.make_remote<storage::ReplicatedPageDevice>(0, replicas,
+                                                               opts);
+  }
+};
+
+// -- oopp::Uri: validation at the API boundary ------------------------------
+
+TEST(UriValidation, AcceptsWellFormedAddresses) {
+  for (const char* s :
+       {"oopp://data/set/PageDevice/34", "oopp://x",
+        "oopp://a-b_c.d/e0/F9", "oopp://registry/acc-1"}) {
+    Uri u(s);
+    EXPECT_EQ(u.str(), s);
+    EXPECT_FALSE(u.empty());
+  }
+  EXPECT_EQ(Uri("oopp://a/b").path(), "a/b");
+  EXPECT_EQ(Uri::parse("oopp://a/b"), Uri("oopp://a/b"));
+}
+
+TEST(UriValidation, RejectsMalformedAddresses) {
+  for (const char* s :
+       {"", "oopp://", "oopp:/", "http://x", "data/set", "oopp:///x",
+        "oopp://a//b", "oopp://a/", "oopp://sp ace", "oopp://tab\tchar"}) {
+    EXPECT_THROW(Uri u(s), oopp::InvalidUri) << "accepted '" << s << "'";
+  }
+  try {
+    Uri u("oopp://a//b");
+    FAIL();
+  } catch (const oopp::Error& e) {
+    EXPECT_EQ(e.code(), oopp::net::CallStatus::kBadFrame);
+  }
+}
+
+TEST(UriValidation, ClusterFacadeRejectsBeforeTouchingRegistry) {
+  Cluster cluster(2);
+  auto a = cluster.make_remote<Acc>(1, 1.0);
+  EXPECT_THROW(cluster.persist(a, "not-a-uri"), oopp::InvalidUri);
+  EXPECT_THROW((void)cluster.lookup<Acc>("oopp://"), oopp::InvalidUri);
+  EXPECT_THROW((void)cluster.forget("oopp://bad segment"), oopp::InvalidUri);
+  EXPECT_TRUE(cluster.persisted_uris().empty())
+      << "a rejected address minted a registry record";
+}
+
+// -- ReplicaOptions ---------------------------------------------------------
+
+TEST(ReplicaOptions, ValidatesQuorums) {
+  storage::ReplicaOptions ok;
+  EXPECT_NO_THROW(ok.validate());
+  EXPECT_EQ(ok.effective_write_quorum(), 1);  // majority of 1
+
+  storage::ReplicaOptions three{.replicas = 3};
+  EXPECT_EQ(three.effective_write_quorum(), 2);  // majority of 3
+  three.write_quorum = 3;
+  EXPECT_EQ(three.effective_write_quorum(), 3);  // explicit override
+
+  storage::ReplicaOptions bad{.replicas = 0};
+  EXPECT_THROW(bad.validate(), oopp::Error);
+  bad = {.replicas = 3, .write_quorum = 4};
+  EXPECT_THROW(bad.validate(), oopp::Error);
+  bad = {.replicas = 3, .read_quorum = 0};
+  EXPECT_THROW(bad.validate(), oopp::Error);
+  bad = {.replicas = 2, .read_quorum = 3};
+  EXPECT_THROW(bad.validate(), oopp::Error);
+  bad = {.replicas = 2, .lease_ms = 0};
+  EXPECT_THROW(bad.validate(), oopp::Error);
+}
+
+// -- ReplicatedPageDevice ---------------------------------------------------
+
+TEST(ReplicatedDevice, WritesReachEveryReplicaAndReadBack) {
+  const auto dir = fresh_dir("roundtrip");
+  Cluster cluster(3);
+  ReplicaSet set(cluster, dir, 3);
+  const auto writes0 = replica_counter("replica_writes");
+
+  const std::size_t bytes = 4 * 4 * 4 * sizeof(double);
+  std::vector<storage::Page> pages;
+  std::vector<std::int32_t> indices;
+  for (int i = 0; i < 8; ++i) {
+    pages.push_back(patterned_page(bytes, i));
+    indices.push_back(i);
+  }
+  set.coord.call<&storage::PageDevice::write_pages>(pages, indices);
+
+  // Coordinator reads match what was written.
+  auto got = set.coord.call<&storage::PageDevice::read_pages>(indices);
+  ASSERT_EQ(got.size(), pages.size());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(got[i], pages[i]) << "page " << i;
+
+  // Every replica holds every page with the committed stamp.
+  for (std::size_t j = 0; j < set.replicas.size(); ++j) {
+    auto stamped =
+        set.replicas[j].call<&storage::PageDevice::read_pages_stamped>(
+            indices);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(stamped.pages[i], pages[i])
+          << "replica " << j << " page " << i;
+      EXPECT_EQ(stamped.stamps[i], 1u) << "replica " << j << " page " << i;
+    }
+  }
+  EXPECT_GE(replica_counter("replica_writes") - writes0, 24u);
+
+  auto status =
+      set.coord.call<&storage::ReplicatedPageDevice::replica_status>();
+  EXPECT_EQ(status.alive, (std::vector<std::uint8_t>{1, 1, 1}));
+  arr::BlockStorage as_storage{remote_ptr<storage::ArrayPageDevice>(
+      set.coord.machine(), set.coord.id())};
+  arr::destroy_replicated_block_storage(as_storage);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReplicatedDevice, FailoverOnDeadPrimaryKeepsDataAvailable) {
+  const auto dir = fresh_dir("failover");
+  Cluster cluster(3);
+  ReplicaSet set(cluster, dir, 3);
+  const auto failovers0 = replica_counter("failovers");
+  const auto quorum0 = replica_counter("quorum_reads");
+
+  const std::size_t bytes = 4 * 4 * 4 * sizeof(double);
+  std::vector<storage::Page> pages;
+  std::vector<std::int32_t> indices;
+  for (int i = 0; i < 8; ++i) {
+    pages.push_back(patterned_page(bytes, 100 + i));
+    indices.push_back(i);
+  }
+  set.coord.call<&storage::PageDevice::write_pages>(pages, indices);
+  // Leases are elected on the read path; take one read so the first
+  // range has a leased primary to kill.
+  (void)set.coord.call<&storage::PageDevice::read_pages>(indices);
+
+  // Kill the replica currently holding the lease for page 0's range.
+  auto status =
+      set.coord.call<&storage::ReplicatedPageDevice::replica_status>();
+  ASSERT_FALSE(status.range_primary.empty());
+  const auto primary = status.range_primary[0];
+  ASSERT_GE(primary, 0);
+  set.replicas[static_cast<std::size_t>(primary)].destroy();
+
+  // Reads still return the acknowledged data (failover to a survivor).
+  auto got = set.coord.call<&storage::PageDevice::read_pages>(indices);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(got[i], pages[i]) << "page " << i;
+  EXPECT_GE(replica_counter("failovers") - failovers0, 1u);
+  EXPECT_GE(replica_counter("quorum_reads") - quorum0, 1u);
+  EXPECT_EQ(set.coord.call<&storage::ReplicatedPageDevice::alive_replicas>(),
+            2);
+
+  // Writes keep committing on the surviving majority (2 of 3), and the
+  // dead replica never resurrects into the lease table.
+  set.coord.call<&storage::PageDevice::write_pages>(pages, indices);
+  status = set.coord.call<&storage::ReplicatedPageDevice::replica_status>();
+  EXPECT_EQ(status.alive[static_cast<std::size_t>(primary)], 0u);
+  for (const auto p : status.range_primary) EXPECT_NE(p, primary);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReplicatedDevice, LostWriteQuorumIsATypedError) {
+  const auto dir = fresh_dir("quorumloss");
+  Cluster cluster(2);
+  ReplicaSet set(cluster, dir, 2);  // majority of 2 = both
+
+  const std::size_t bytes = 4 * 4 * 4 * sizeof(double);
+  set.coord.call<&storage::PageDevice::write>(patterned_page(bytes, 7), 0);
+
+  set.replicas[1].destroy();
+  // The coordinator throws Error(kUnavailable); through the RPC boundary
+  // it surfaces as RemoteError carrying the original message.
+  try {
+    set.coord.call<&storage::PageDevice::write>(patterned_page(bytes, 8), 1);
+    FAIL() << "write acknowledged without a quorum";
+  } catch (const oopp::rpc::RemoteError& e) {
+    EXPECT_NE(e.original_what().find("lost its quorum"), std::string::npos)
+        << e.original_what();
+  }
+
+  // Reads of previously acknowledged data still work off the survivor.
+  EXPECT_EQ(set.coord.call<&storage::PageDevice::read>(0),
+            patterned_page(bytes, 7));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReplicatedDevice, BlockStorageFactoryBuildsWorkingSet) {
+  const auto dir = fresh_dir("factory");
+  Cluster cluster(4);
+  arr::BlockStorageConfig cfg;
+  cfg.file_prefix = (dir / "a").string();
+  cfg.devices = 2;
+  cfg.pages_per_device = 4;
+  cfg.n1 = 4;
+  cfg.n2 = 1;
+  cfg.n3 = 2;
+  auto bs = arr::create_replicated_block_storage(
+      cfg, storage::ReplicaOptions{.replicas = 3},
+      [](std::int32_t i) { return static_cast<oopp::net::MachineId>(i); },
+      [&](std::int32_t i, std::int32_t j) {
+        return static_cast<oopp::net::MachineId>((i + j) % 4);
+      });
+  ASSERT_EQ(bs.size(), 2u);
+
+  // Each slot answers the whole device protocol, replicated underneath.
+  const std::size_t bytes = 4 * 1 * 2 * sizeof(double);
+  for (auto& dev : bs) {
+    dev.call<&storage::PageDevice::write>(patterned_page(bytes, 3), 2);
+    EXPECT_EQ(dev.call<&storage::PageDevice::read>(2),
+              patterned_page(bytes, 3));
+    remote_ptr<storage::ReplicatedPageDevice> coord(dev.machine(), dev.id());
+    EXPECT_EQ(coord.call<&storage::ReplicatedPageDevice::replica_count>(), 3);
+  }
+  arr::destroy_replicated_block_storage(bs);
+  EXPECT_TRUE(bs.empty());
+  std::filesystem::remove_all(dir);
+}
+
+// -- replicated symbolic-address registry -----------------------------------
+
+TEST(ReplicatedRegistry, RecordsSurviveShardPrimaryDeath) {
+  Cluster::Options opts;
+  opts.machines = 3;
+  opts.replica.replicas = 2;
+  Cluster cluster(opts);
+  const auto failovers0 = replica_counter("registry_failovers");
+
+  auto a = cluster.make_remote<Acc>(1, 1.0);
+  a.call<&Acc::add>(2.0);
+  cluster.persist(a, "oopp://replica/acc");
+
+  auto* store = cluster.registry_store();
+  ASSERT_NE(store, nullptr) << "durability opts did not replicate the registry";
+  const int shard = store->shard_of("oopp://replica/acc");
+  store->primary(shard).destroy();
+
+  // The record is served from the promoted backup; the live process is
+  // untouched.
+  auto again = cluster.lookup<Acc>("oopp://replica/acc");
+  EXPECT_EQ(again, a);
+  EXPECT_DOUBLE_EQ(again.call<&Acc::total>(), 3.0);
+  EXPECT_GE(replica_counter("registry_failovers") - failovers0, 1u);
+}
+
+TEST(ReplicatedRegistry, LegacyBackendWhenReplicationOff) {
+  Cluster cluster(2);
+  EXPECT_EQ(cluster.registry_store(), nullptr);
+  auto a = cluster.make_remote<Acc>(1, 4.0);
+  cluster.persist(a, "oopp://legacy/acc");
+  EXPECT_EQ(cluster.lookup<Acc>("oopp://legacy/acc"), a);
+}
+
+// Records restored from a previous incarnation must not claim live object
+// ids that died with it: they come back passive and lookup re-activates
+// from the checkpoint image.
+TEST(ReplicatedRegistry, PreviousIncarnationRecordsComeBackPassive) {
+  const auto dir = fresh_dir("incarnation");
+  Cluster::Options opts;
+  opts.machines = 2;
+  opts.replica.replicas = 2;
+  opts.state_dir = dir;
+  opts.persistent_registry = true;
+
+  {
+    Cluster first(opts);
+    auto a = first.make_remote<Acc>(1, 5.0);
+    a.call<&Acc::add>(2.0);
+    first.persist(a, "oopp://replica/persistent-acc");  // record stays live
+    ASSERT_NE(first.registry_store(), nullptr);
+  }  // shutdown checkpoints the registry with the record marked live
+
+  Cluster second(opts);
+  ASSERT_EQ(second.persisted_uris(),
+            std::vector<std::string>{"oopp://replica/persistent-acc"});
+  // A stale live id would make this call land on a nonexistent object;
+  // the passive record re-activates from the image instead.
+  auto b = second.lookup<Acc>("oopp://replica/persistent-acc");
+  EXPECT_DOUBLE_EQ(b.call<&Acc::total>(), 7.0);
+  std::filesystem::remove_all(dir);
+}
+
+// The same incarnation-safety contract holds for the legacy NameService
+// backend (mark_all_passive at restore time).
+TEST(ReplicatedRegistry, LegacyIncarnationRecordsComeBackPassive) {
+  const auto dir = fresh_dir("incarnation-legacy");
+  Cluster::Options opts;
+  opts.machines = 2;
+  opts.state_dir = dir;
+  opts.persistent_registry = true;
+
+  {
+    Cluster first(opts);
+    auto a = first.make_remote<Acc>(1, 9.0);
+    first.persist(a, "oopp://legacy/persistent-acc");
+  }
+
+  Cluster second(opts);
+  auto b = second.lookup<Acc>("oopp://legacy/persistent-acc");
+  EXPECT_DOUBLE_EQ(b.call<&Acc::total>(), 9.0);
+  std::filesystem::remove_all(dir);
+}
+
+// A replicated coordinator is itself a persistent process: passivate it,
+// re-activate through the facade, and the replica set keeps serving.
+TEST(ReplicatedDevice, CoordinatorSurvivesPassivation) {
+  const auto dir = fresh_dir("passivate");
+  Cluster::Options opts;
+  opts.machines = 3;
+  opts.state_dir = dir / "state";
+  Cluster cluster(opts);
+  ReplicaSet set(cluster, dir, 3);
+
+  const std::size_t bytes = 4 * 4 * 4 * sizeof(double);
+  set.coord.call<&storage::PageDevice::write>(patterned_page(bytes, 11), 3);
+  cluster.passivate(set.coord, "oopp://replica/coordinator");
+
+  auto coord =
+      cluster.activate<storage::ReplicatedPageDevice>(
+          "oopp://replica/coordinator", 1);
+  EXPECT_EQ(coord.machine(), 1);
+  EXPECT_EQ(coord.call<&storage::PageDevice::read>(3),
+            patterned_page(bytes, 11));
+  EXPECT_EQ(coord.call<&storage::ReplicatedPageDevice::replica_count>(), 3);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

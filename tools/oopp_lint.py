@@ -94,6 +94,16 @@ deprecated-transport-setter
                         in-tree code may not use them — see the migration
                         table in README.md.  ``src/net/`` is exempt: the
                         forwarders are defined there.
+deprecated-persist-api  The raw registry surface — ``NameService::put`` /
+                        ``get`` / ``erase`` and hand-built
+                        ``PersistRecord``s — was deprecated with the typed
+                        durability facade (``oopp::Uri`` +
+                        ``Cluster::persist/activate/lookup/forget``).  The
+                        ``[[deprecated]]`` forwarders stay one release for
+                        out-of-tree callers, but in-tree code goes through
+                        the facade — see the migration table in README.md.
+                        ``src/core/`` is exempt: the forwarders and the
+                        record type are defined (and mediated) there.
 
 Usage
 -----
@@ -135,6 +145,11 @@ BATCH_HEADER_ALLOWED = ("src/net/",)
 # everywhere else must use net::FabricOptions / Fabric::reconfigure.
 TRANSPORT_SETTER_ALLOWED = ("src/net/",)
 
+# The deprecated registry surface (NameService::put/get/erase,
+# hand-built PersistRecords) is defined and mediated here; everywhere else
+# goes through the Uri-typed Cluster facade.
+PERSIST_API_ALLOWED = ("src/core/",)
+
 # Hot paths where an unbounded Future::get() is a hang waiting to happen.
 # future.hpp is the implementation of get() itself and stays exempt.
 FUTURE_GET_SCOPED = ("src/core/", "src/kv/", "src/dsm/", "src/coll/")
@@ -171,6 +186,8 @@ RULES = {
         "gather*/barrier* collectives inside a servant method",
     "deprecated-transport-setter":
         "set_batching()/batching() deprecated — use net::FabricOptions",
+    "deprecated-persist-api":
+        "NameService::put/get/erase + bare PersistRecord — use the facade",
 }
 
 
@@ -382,6 +399,13 @@ BATCH_HEADER_RE = re.compile(
 TRANSPORT_SETTER_RE = re.compile(
     r"\bset_batching\s*\(|(?:\.|->)\s*batching\s*\(\s*\)"
 )
+# The deprecated registry surface: the old NameService method names
+# (qualified, as member-pointer call targets) and any mention of the raw
+# record type.  The replacements (bind/resolve/unbind and the Cluster
+# facade) do not match.
+DEPRECATED_PERSIST_RE = re.compile(
+    r"\bNameService\s*::\s*(put|get|erase)\b|\b(PersistRecord)\b"
+)
 
 
 def check_token_rules(path: Path, text: str, raw_lines: list[str], rel: str):
@@ -502,6 +526,27 @@ def check_token_rules(path: Path, text: str, raw_lines: list[str], rel: str):
                     "fabric constructor) and change it at runtime with "
                     "Fabric::reconfigure(); see the migration table in "
                     "README.md",
+                )
+            )
+
+    if not any(rel.startswith(p) or f"/{p}" in rel
+               for p in PERSIST_API_ALLOWED):
+        for m in DEPRECATED_PERSIST_RE.finditer(text):
+            line = line_of(text, m.start())
+            if suppressed(raw_lines, line, "deprecated-persist-api"):
+                continue
+            what = (f"NameService::{m.group(1)}" if m.group(1)
+                    else "bare PersistRecord")
+            violations.append(
+                Violation(
+                    path,
+                    line,
+                    "deprecated-persist-api",
+                    f"{what} — deprecated raw registry surface; go through "
+                    f"the typed durability facade (oopp::Uri + "
+                    f"Cluster::persist/activate/lookup/forget, or "
+                    f"NameService::bind/resolve/unbind); see the migration "
+                    f"table in README.md",
                 )
             )
 
