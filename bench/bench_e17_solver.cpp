@@ -1,0 +1,390 @@
+// E17 — solver workload on the collectives library: CG on coll::Communicator.
+//
+// Claim: compute-at-data BLAS with tree reductions beats the gather-to-
+// master style.  A conjugate-gradient iteration needs two dot products;
+// done the old way the master hauls whole vectors through its ingress
+// port every iteration, done on the Communicator each device reduces its
+// own slab and 8 bytes per member cross the network through a binomial
+// tree.  Both solvers run the same arithmetic, so they converge to the
+// same residual — the difference is purely where the reduction happens.
+//
+// Three parts:
+//   1. dot microbenchmark — tree-reduced vs gather-to-master, one vector
+//      size, the per-iteration reduction cost in isolation;
+//   2. full CG — Communicator vs gather-BLAS baseline, fixed iteration
+//      count, residuals compared, time spent in reductions recorded;
+//   3. the same Communicator CG out-of-core (simulated device service
+//      time) — the batched slab I/O keeps iterations affordable.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "array/array.hpp"
+#include "array/block_storage.hpp"
+#include "array/page_map.hpp"
+#include "bench_common.hpp"
+#include "coll/communicator.hpp"
+#include "core/oopp.hpp"
+#include "net/inproc_fabric.hpp"
+#include "util/clock.hpp"
+#include "util/prng.hpp"
+
+using namespace oopp;
+namespace arr = oopp::array;
+
+namespace {
+
+constexpr int kDevices = 4;
+
+/// A kBlocked (N1, N2, 1) array: each device owns one contiguous run of
+/// row-slab pages — the layout the Communicator's slab kernels partition.
+arr::Array make_blocked(Cluster& cluster, const std::string& prefix,
+                        index_t N1, index_t N2, index_t b1,
+                        storage::DeviceOptions dev,
+                        std::vector<arr::BlockStorage>& keep) {
+  const Extents3 grid{oopp::ceil_div(N1, b1), 1, 1};
+  arr::BlockStorageConfig cfg;
+  cfg.file_prefix = prefix;
+  cfg.devices = kDevices;
+  cfg.pages_per_device = static_cast<std::int32_t>(
+      arr::PageMapSpec{arr::PageMapKind::kBlocked}.pages_per_device(grid,
+                                                                    kDevices));
+  cfg.n1 = static_cast<int>(b1);
+  cfg.n2 = static_cast<int>(N2);
+  cfg.device_options = dev;
+  keep.push_back(arr::create_block_storage(cfg, [&](std::int32_t i) {
+    return static_cast<net::MachineId>(i % cluster.size());
+  }));
+  return arr::Array(N1, N2, 1, b1, N2, 1, keep.back(),
+                    arr::PageMapSpec{arr::PageMapKind::kBlocked});
+}
+
+std::vector<double> random_vec(std::size_t n, Xoshiro256& rng, double lo,
+                               double hi) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+/// Fixed-iteration CG on the Communicator.  Returns total seconds;
+/// *red_s accumulates the time spent in the two dot reductions.
+double comm_cg(coll::Communicator& comm, arr::Array& A, arr::Array& b,
+               arr::Array& x, arr::Array& r, arr::Array& p, arr::Array& ap,
+               index_t n, int iters, double* red_s) {
+  const arr::Domain whole(0, n, 0, 1, 0, 1);
+  x.fill(0.0, whole);
+  r.fill(0.0, whole);
+  comm.axpy(1.0, b, r);
+  p.fill(0.0, whole);
+  comm.axpy(1.0, r, p);
+  *red_s = 0.0;
+  Timer total;
+  Timer t0;
+  double rs = comm.dot(r, r);
+  *red_s += t0.seconds();
+  for (int it = 0; it < iters; ++it) {
+    comm.matvec(A, p, ap, /*reuse_matrix=*/true);
+    Timer t1;
+    const double pap = comm.dot(p, ap);
+    *red_s += t1.seconds();
+    const double alpha = rs / pap;
+    comm.axpy(alpha, p, x);
+    comm.axpy(-alpha, ap, r);
+    Timer t2;
+    const double rs_new = comm.dot(r, r);
+    *red_s += t2.seconds();
+    comm.scale(rs_new / rs, p);
+    comm.axpy(1.0, r, p);
+    rs = rs_new;
+  }
+  return total.seconds();
+}
+
+/// The same CG with gather-to-master BLAS: the matrix lives at the master
+/// (like the pre-Communicator example) and every vector primitive hauls
+/// whole vectors through the master's NIC.
+double gather_cg(const std::vector<double>& A_local, arr::Array& b,
+                 arr::Array& x, arr::Array& r, arr::Array& p, arr::Array& ap,
+                 index_t n, int iters, double* red_s) {
+  const arr::Domain whole(0, n, 0, 1, 0, 1);
+  const auto un = static_cast<std::size_t>(n);
+  auto gdot = [&](arr::Array& u, arr::Array& v) {
+    const auto uv = u.read(whole);
+    const auto vv = v.read(whole);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < un; ++i) acc += uv[i] * vv[i];
+    return acc;
+  };
+  auto gaxpy = [&](double a, arr::Array& u, arr::Array& v) {
+    const auto uv = u.read(whole);
+    auto vv = v.read(whole);
+    for (std::size_t i = 0; i < un; ++i) vv[i] += a * uv[i];
+    v.write(vv, whole);
+  };
+  auto gmatvec = [&](arr::Array& u, arr::Array& v) {
+    const auto uv = u.read(whole);
+    std::vector<double> vv(un, 0.0);
+    for (std::size_t i = 0; i < un; ++i) {
+      double acc = 0.0;
+      const double* row = A_local.data() + i * un;
+      for (std::size_t j = 0; j < un; ++j) acc += row[j] * uv[j];
+      vv[i] = acc;
+    }
+    v.write(vv, whole);
+  };
+  x.fill(0.0, whole);
+  r.fill(0.0, whole);
+  gaxpy(1.0, b, r);
+  p.fill(0.0, whole);
+  gaxpy(1.0, r, p);
+  *red_s = 0.0;
+  Timer total;
+  Timer t0;
+  double rs = gdot(r, r);
+  *red_s += t0.seconds();
+  for (int it = 0; it < iters; ++it) {
+    gmatvec(p, ap);
+    Timer t1;
+    const double pap = gdot(p, ap);
+    *red_s += t1.seconds();
+    const double alpha = rs / pap;
+    gaxpy(alpha, p, x);
+    gaxpy(-alpha, ap, r);
+    Timer t2;
+    const double rs_new = gdot(r, r);
+    *red_s += t2.seconds();
+    // p = r + beta p, via scale + axpy like the Communicator version.
+    auto pv = p.read(whole);
+    const auto rv = r.read(whole);
+    const double beta = rs_new / rs;
+    for (std::size_t i = 0; i < un; ++i) pv[i] = rv[i] + beta * pv[i];
+    p.write(pv, whole);
+    rs = rs_new;
+  }
+  return total.seconds();
+}
+
+int run(bool smoke) {
+  bench::headline("E17 solver: CG on coll::Communicator",
+                  "tree-reduced dots move 8 bytes per member; gather-BLAS "
+                  "hauls whole vectors through the master every iteration");
+
+  net::InProcFabric* fabric = nullptr;
+  Cluster::Options opts;
+  opts.machines = kDevices;
+  opts.fabric_factory = [&](std::size_t m) {
+    auto f = std::make_unique<net::InProcFabric>(m);  // free during setup
+    fabric = f.get();
+    return f;
+  };
+  Cluster cluster(opts);
+
+  // The E11 finite-egress NIC: 10 B/us injection AND drain.  The master's
+  // port is the scarce resource, which is exactly what gather-BLAS burns.
+  const net::CostModel model{.latency_ns = 20'000,
+                             .bytes_per_us = 5'000.0,
+                             .per_message_ns = 200,
+                             .egress_bytes_per_us = 10.0,
+                             .egress_per_message_ns = 1'000,
+                             .ingress_bytes_per_us = 10.0,
+                             .ingress_per_message_ns = 1'000};
+  bench::describe_cost(model);
+  bench::note("NIC model: 10 B/us egress AND ingress (the E11 model); "
+              "fixture built over a free network, model dialed in for the "
+              "measured sections");
+
+  bench::ScratchDir scratch("e17");
+  std::vector<arr::BlockStorage> storages;
+  std::vector<std::pair<std::string, double>> fields;
+  Xoshiro256 rng(1717);
+
+  // -- part 1: the reduction in isolation ---------------------------------
+  const index_t vn = smoke ? 65'536 : 262'144;
+  {
+    arr::Array vx = make_blocked(cluster, scratch.file("dot-x"), vn, 1,
+                                 vn / 8, {}, storages);
+    arr::Array vy = make_blocked(cluster, scratch.file("dot-y"), vn, 1,
+                                 vn / 8, {}, storages);
+    const arr::Domain whole(0, vn, 0, 1, 0, 1);
+    const auto xs = random_vec(static_cast<std::size_t>(vn), rng, -1.0, 1.0);
+    const auto ys = random_vec(static_cast<std::size_t>(vn), rng, -1.0, 1.0);
+    vx.write(xs, whole);
+    vy.write(ys, whole);
+    double ref = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) ref += xs[i] * ys[i];
+
+    auto comm = coll::Communicator::over(vx.storage(),
+                                         coll::CommunicatorOptions{model});
+    fabric->set_cost_model(model);
+    double tree_val = 0.0;
+    const double tree_ms = bench::median_seconds(3, [&] {
+                             tree_val = comm.dot(vx, vy);
+                           }) * 1e3;
+    double gather_val = 0.0;
+    const double gather_ms = bench::median_seconds(3, [&] {
+                               const auto gx = vx.read(whole);
+                               const auto gy = vy.read(whole);
+                               double acc = 0.0;
+                               for (std::size_t i = 0; i < gx.size(); ++i)
+                                 acc += gx[i] * gy[i];
+                               gather_val = acc;
+                             }) * 1e3;
+    fabric->set_cost_model(net::CostModel::zero());
+    comm.destroy();
+
+    const double scale = std::fabs(ref) + 1.0;
+    if (std::fabs(tree_val - ref) > 1e-9 * scale ||
+        std::fabs(gather_val - ref) > 1e-9 * scale) {
+      std::printf("FAIL: dot mismatch (tree %.17g gather %.17g ref %.17g)\n",
+                  tree_val, gather_val, ref);
+      return 1;
+    }
+    std::printf("\ndot, %lld doubles, %d members:\n",
+                static_cast<long long>(vn), kDevices);
+    std::printf("  tree-reduced: %8.2f ms   gather-to-master: %8.2f ms   "
+                "(%.1fx)\n",
+                tree_ms, gather_ms, gather_ms / tree_ms);
+    fields.emplace_back("dot_tree_ms", tree_ms);
+    fields.emplace_back("dot_gather_ms", gather_ms);
+    fields.emplace_back("dot_speedup", gather_ms / tree_ms);
+  }
+
+  // -- part 2: the full solver --------------------------------------------
+  const index_t n = smoke ? 2'048 : 3'072;
+  const index_t rb = n / 16;
+  const int kIters = 25;  // fixed count: both solvers do identical work
+  const std::string tmp = scratch.file("cg");
+  arr::Array A = make_blocked(cluster, tmp + "-A", n, n, rb, {}, storages);
+  arr::Array b = make_blocked(cluster, tmp + "-b", n, 1, rb, {}, storages);
+  arr::Array x = make_blocked(cluster, tmp + "-x", n, 1, rb, {}, storages);
+  arr::Array r = make_blocked(cluster, tmp + "-r", n, 1, rb, {}, storages);
+  arr::Array p = make_blocked(cluster, tmp + "-p", n, 1, rb, {}, storages);
+  arr::Array ap = make_blocked(cluster, tmp + "-ap", n, 1, rb, {}, storages);
+
+  // SPD system A = n*I + (M + M^T)/2, M uniform [0, 1): the dominant
+  // diagonal bounds the condition number so 25 iterations converge far
+  // past the 1e-8 gate.
+  const auto un = static_cast<std::size_t>(n);
+  std::vector<double> M = random_vec(un * un, rng, 0.0, 1.0);
+  std::vector<double> A_local(un * un);
+  for (std::size_t i = 0; i < un; ++i)
+    for (std::size_t j = 0; j < un; ++j)
+      A_local[i * un + j] = 0.5 * (M[i * un + j] + M[j * un + i]) +
+                            (i == j ? static_cast<double>(n) : 0.0);
+  const arr::Domain whole(0, n, 0, 1, 0, 1);
+  A.write(A_local, arr::Domain(0, n, 0, n, 0, 1));
+  const auto bv = random_vec(un, rng, -1.0, 1.0);
+  b.write(bv, whole);
+
+  auto comm = coll::Communicator::over(A.storage(),
+                                       coll::CommunicatorOptions{model});
+
+  fabric->set_cost_model(model);
+  double comm_red_s = 0.0;
+  const double comm_total_s =
+      comm_cg(comm, A, b, x, r, p, ap, n, kIters, &comm_red_s);
+  fabric->set_cost_model(net::CostModel::zero());
+  comm.matvec(A, x, ap, /*reuse_matrix=*/true);
+  comm.axpy(-1.0, b, ap);
+  const double comm_rel = comm.norm2(ap) / comm.norm2(b);
+
+  fabric->set_cost_model(model);
+  double gather_red_s = 0.0;
+  const double gather_total_s =
+      gather_cg(A_local, b, x, r, p, ap, n, kIters, &gather_red_s);
+  fabric->set_cost_model(net::CostModel::zero());
+  double gather_rel = 0.0;
+  {
+    const auto xv = x.read(whole);
+    double rr = 0.0, bb = 0.0;
+    for (std::size_t i = 0; i < un; ++i) {
+      double acc = -bv[i];
+      const double* row = A_local.data() + i * un;
+      for (std::size_t j = 0; j < un; ++j) acc += row[j] * xv[j];
+      rr += acc * acc;
+      bb += bv[i] * bv[i];
+    }
+    gather_rel = std::sqrt(rr / bb);
+  }
+
+  const double comm_iter_ms = comm_total_s * 1e3 / kIters;
+  const double gather_iter_ms = gather_total_s * 1e3 / kIters;
+  const double comm_red_ms = comm_red_s * 1e3 / kIters;
+  const double gather_red_ms = gather_red_s * 1e3 / kIters;
+  std::printf("\nCG, dense %lld x %lld SPD, %d members, %d iterations:\n",
+              static_cast<long long>(n), static_cast<long long>(n),
+              kDevices, kIters);
+  std::printf("  %-22s %10s %14s %12s\n", "", "iter ms", "reduction ms",
+              "residual");
+  std::printf("  %-22s %10.2f %14.3f %12.3e\n", "Communicator",
+              comm_iter_ms, comm_red_ms, comm_rel);
+  std::printf("  %-22s %10.2f %14.3f %12.3e\n", "gather-to-master",
+              gather_iter_ms, gather_red_ms, gather_rel);
+  fields.emplace_back("comm_iter_ms", comm_iter_ms);
+  fields.emplace_back("gather_iter_ms", gather_iter_ms);
+  fields.emplace_back("comm_red_ms", comm_red_ms);
+  fields.emplace_back("gather_red_ms", gather_red_ms);
+  fields.emplace_back("red_speedup", gather_red_ms / comm_red_ms);
+  fields.emplace_back("comm_rel", comm_rel);
+  fields.emplace_back("gather_rel", gather_rel);
+
+  // -- part 3: the same solver out of core --------------------------------
+  // Devices charge a simulated seek per contiguous batch; the slab
+  // kernels issue one batched read/write per device per primitive, so an
+  // iteration pays a bounded number of seeks no matter the vector size.
+  {
+    const storage::DeviceOptions ooc{.service_us = smoke ? 200u : 500u};
+    const std::string otmp = scratch.file("ooc");
+    arr::Array A2 =
+        make_blocked(cluster, otmp + "-A", n, n, rb, ooc, storages);
+    arr::Array b2 =
+        make_blocked(cluster, otmp + "-b", n, 1, rb, ooc, storages);
+    arr::Array x2 =
+        make_blocked(cluster, otmp + "-x", n, 1, rb, ooc, storages);
+    arr::Array r2 =
+        make_blocked(cluster, otmp + "-r", n, 1, rb, ooc, storages);
+    arr::Array p2 =
+        make_blocked(cluster, otmp + "-p", n, 1, rb, ooc, storages);
+    arr::Array ap2 =
+        make_blocked(cluster, otmp + "-ap", n, 1, rb, ooc, storages);
+    A2.write(A_local, arr::Domain(0, n, 0, n, 0, 1));
+    b2.write(bv, whole);
+    auto comm2 = coll::Communicator::over(A2.storage(),
+                                          coll::CommunicatorOptions{model});
+    fabric->set_cost_model(model);
+    double ooc_red_s = 0.0;
+    const double ooc_total_s =
+        comm_cg(comm2, A2, b2, x2, r2, p2, ap2, n, kIters, &ooc_red_s);
+    fabric->set_cost_model(net::CostModel::zero());
+    comm2.matvec(A2, x2, ap2, /*reuse_matrix=*/true);
+    comm2.axpy(-1.0, b2, ap2);
+    const double ooc_rel = comm2.norm2(ap2) / comm2.norm2(b2);
+    comm2.destroy();
+    const double ooc_iter_ms = ooc_total_s * 1e3 / kIters;
+    std::printf("  %-22s %10.2f %14s %12.3e  (service %u us)\n",
+                "Communicator (OOC)", ooc_iter_ms, "-", ooc_rel,
+                ooc.service_us);
+    fields.emplace_back("ooc_iter_ms", ooc_iter_ms);
+    fields.emplace_back("ooc_rel", ooc_rel);
+  }
+
+  comm.destroy();
+  for (auto& s : storages) arr::destroy_block_storage(s);
+
+  bench::note("reduction time is the two dots per iteration; the "
+              "Communicator's scalar tree makes it size-independent");
+  bench::emit_json_fields("e17", fields);
+
+  const bool ok = comm_rel < 1e-8 && gather_rel < 1e-8;
+  std::printf(ok ? "\nresiduals agree; done.\n" : "\nBAD residuals!\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  return run(smoke);
+}

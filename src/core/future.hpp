@@ -72,7 +72,10 @@ class Future {
     if constexpr (std::is_void_v<R>) {
       return;
     } else {
-      serial::IArchive ia(resp.payload);
+      // Decode over the response's backing store: serial::Bytes results
+      // arrive as views into the frame, not copies.
+      const serial::Bytes backing = resp.payload.share();
+      serial::IArchive ia(backing.span(), backing.store(), backing.offset());
       return ia.read<R>();
     }
   }

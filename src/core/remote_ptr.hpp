@@ -154,9 +154,11 @@ class remote_ptr {
     serial::OArchive oa;
     oa(tup);
     telemetry::TraceContext issued;
-    auto fut = detail::context_node().async_raw(ref_.machine, ref_.object, mid,
-                                                oa.take(), verb, &issued,
-                                                policy_ ? &*policy_ : nullptr);
+    // to_buffer preserves spliced serial::Bytes arguments as scatter-
+    // gather slices: a forwarded payload goes back out without a copy.
+    auto fut = detail::context_node().async_raw(
+        ref_.machine, ref_.object, mid, net::to_buffer(oa), verb, &issued,
+        policy_ ? &*policy_ : nullptr);
     return Future<rpc::method_result_t<M>>(std::move(fut), issued);
   }
 

@@ -36,6 +36,8 @@
 #include <utility>
 #include <vector>
 
+#include "serial/archive.hpp"
+#include "serial/bytes.hpp"
 #include "util/assert.hpp"
 
 namespace oopp::net {
@@ -65,6 +67,32 @@ class Buffer {
     b.size_ = len;
     b.slices_.push_back(Slice{std::move(store), off, len});
     return b;
+  }
+
+  /// Adopt an OArchive's sealed segment chain (refcount bumps, no byte
+  /// copies): how a payload that spliced serial::Bytes slices reaches
+  /// the wire without flattening.  Segments arrive in stream order.
+  static Buffer from_segments(std::vector<serial::Bytes> segs) {
+    Buffer b;
+    for (serial::Bytes& s : segs) {
+      if (s.empty()) continue;
+      b.size_ += s.size();
+      b.slices_.push_back(Slice{s.store(), s.offset(), s.size()});
+    }
+    return b;
+  }
+
+  /// The whole payload as one ref-counted serial::Bytes slice — what an
+  /// IArchive takes to decode Bytes arguments as views into this buffer.
+  /// Single-slice buffers (the common case) share their storage
+  /// directly; a multi-slice buffer flattens once (the same lazy flatten
+  /// bytes() performs) and shares the flat allocation.
+  [[nodiscard]] serial::Bytes share() const {
+    if (slices_.empty()) return {};
+    if (slices_.size() == 1)
+      return serial::Bytes(slices_[0].store, slices_[0].off, slices_[0].len);
+    (void)bytes();  // materialize flat_
+    return serial::Bytes(flat_, 0, size_);
   }
 
   /// Append another buffer's slices (refcount bumps, no byte copies).
@@ -151,5 +179,13 @@ class Buffer {
   /// copies of a flattened Buffer reuse it.
   mutable std::shared_ptr<const std::vector<std::byte>> flat_;
 };
+
+/// Finish an OArchive into a Buffer, preserving spliced segments: the
+/// common pack-and-send idiom `async_raw(..., to_buffer(oa), ...)`.
+/// Without segments this is exactly the old Buffer(oa.take()) adoption.
+inline Buffer to_buffer(serial::OArchive& oa) {
+  if (!oa.has_segments()) return Buffer(oa.take());
+  return Buffer::from_segments(oa.take_segments());
+}
 
 }  // namespace oopp::net

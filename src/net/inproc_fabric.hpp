@@ -114,6 +114,13 @@ class InProcFabric final : public Fabric {
 
   [[nodiscard]] const CostModel& cost_model() const { return cost_; }
 
+  /// Swap the cost model between phases.  Benches build their fixture
+  /// over a free network, then dial in the modeled NIC for the measured
+  /// section (and back off for teardown).  Deliberately unsynchronized
+  /// with send(): only call at a quiet moment, with no messages in
+  /// flight.
+  void set_cost_model(const CostModel& c) { cost_ = c; }
+
  private:
   struct Slot {
     util::CheckedMutex mu{"net.InProcFabric.slot"};

@@ -492,7 +492,11 @@ void Node::execute(const std::shared_ptr<ObjectTable::Entry>& entry,
 
   const std::int64_t t0 = trace_ ? now_ns() : 0;
   try {
-    serial::IArchive ia(req.payload);
+    // Decode over the payload's shared backing store so serial::Bytes
+    // arguments alias the inbound frame (zero-copy receive), and respond
+    // through to_buffer so spliced Bytes results go back out as slices.
+    const serial::Bytes backing = req.payload.share();
+    serial::IArchive ia(backing.span(), backing.store(), backing.offset());
     serial::OArchive oa;
     mi->fn(entry->servant->instance(), ia, oa);
     if (trace_) {
@@ -502,7 +506,7 @@ void Node::execute(const std::shared_ptr<ObjectTable::Entry>& entry,
       trace_(trace);
     }
     finish_span(net::CallStatus::kOk);
-    respond_ok(req, oa.take());
+    respond_ok(req, net::to_buffer(oa));
   } catch (const serial::serial_error& e) {
     if (trace_) {
       trace.status = net::CallStatus::kBadFrame;

@@ -39,6 +39,8 @@
 #include <utility>
 #include <vector>
 
+#include "serial/bytes.hpp"
+
 namespace oopp::serial {
 
 static_assert(std::endian::native == std::endian::little,
@@ -186,18 +188,74 @@ class OArchive {
     oopp_serialize(*this, const_cast<T&>(v));
   }
 
+  /// Length-prefixed byte slice.  Wire format is identical to a
+  /// std::vector<std::byte> of the same content; a large slice is
+  /// *spliced* into the stream as its own segment — the flat bytes
+  /// written so far are sealed off, the slice rides by reference, and
+  /// take_segments() hands the chain to net::Buffer with zero copies.
+  /// Tiny slices are inlined: a segment descriptor costs more than the
+  /// memcpy it saves.
+  void write(const Bytes& b) {
+    write(static_cast<std::uint64_t>(b.size()));
+    if (b.size() >= kSpliceThreshold && b.store() != nullptr) {
+      seal();
+      sealed_ += b.size();
+      segs_.push_back(b);
+    } else {
+      append(b.data(), b.size());
+    }
+  }
+
   /// Raw bytes without a length prefix (caller encodes framing itself).
   void write_raw(const void* p, std::size_t n) { append(p, n); }
 
-  [[nodiscard]] const std::vector<std::byte>& bytes() const { return buf_; }
+  /// Contiguous view of the encoded bytes.  Only valid while no Bytes
+  /// slice has been spliced — segment-carrying archives hand off through
+  /// take_segments() (or take(), which flattens).
+  [[nodiscard]] const std::vector<std::byte>& bytes() const {
+    if (!segs_.empty())
+      throw serial_error(
+          "OArchive::bytes() on a segmented archive; use take_segments()");
+    return buf_;
+  }
   /// Move the encoded bytes out (the sanctioned way to hand a finished
   /// pack to the transport: a net::Buffer adopts the vector so the bytes
   /// travel to the socket without another copy).  Leaves the archive
-  /// empty and reusable.
+  /// empty and reusable.  A segmented archive flattens here — callers on
+  /// the zero-copy path use take_segments() instead.
   [[nodiscard]] std::vector<std::byte> take() {
+    if (!segs_.empty()) {
+      std::vector<std::byte> flat;
+      flat.reserve(size());
+      for (const Bytes& s : segs_) {
+        const auto sp = s.span();
+        flat.insert(flat.end(), sp.begin(), sp.end());
+      }
+      flat.insert(flat.end(), buf_.begin(), buf_.end());
+      segs_.clear();
+      sealed_ = 0;
+      buf_.clear();
+      return flat;
+    }
     return std::exchange(buf_, {});
   }
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  /// True once a Bytes slice has been spliced into the stream.
+  [[nodiscard]] bool has_segments() const { return !segs_.empty(); }
+  /// Move the segment chain out, in stream order (the trailing flat
+  /// bytes are sealed as the last segment).  Each segment is a
+  /// ref-counted slice net::Buffer::view can wrap directly.  Leaves the
+  /// archive empty and reusable.
+  [[nodiscard]] std::vector<Bytes> take_segments() {
+    seal();
+    sealed_ = 0;
+    return std::exchange(segs_, {});
+  }
+  [[nodiscard]] std::size_t size() const { return sealed_ + buf_.size(); }
+
+  /// Below this, splicing a Bytes costs more (a slice descriptor, an
+  /// iovec entry on the wire) than copying it inline.  Public so callers
+  /// sizing payloads for the zero-copy path can reason about it.
+  static constexpr std::size_t kSpliceThreshold = 256;
 
  private:
   void write_sized(const void* p, std::size_t n) {
@@ -215,7 +273,15 @@ class OArchive {
   void reserve_elements(std::size_t n, std::size_t per) {
     buf_.reserve(buf_.size() + n * per);
   }
+  /// Close the current flat run into its own segment.
+  void seal() {
+    if (buf_.empty()) return;
+    sealed_ += buf_.size();
+    segs_.push_back(Bytes::adopt(std::exchange(buf_, {})));
+  }
   std::vector<std::byte> buf_;
+  std::vector<Bytes> segs_;   // sealed stream prefix, in order
+  std::size_t sealed_ = 0;    // total bytes across segs_
 };
 
 // ---------------------------------------------------------------------------
@@ -224,6 +290,20 @@ class OArchive {
 class IArchive {
  public:
   explicit IArchive(std::span<const std::byte> data) : data_(data) {}
+
+  /// Decode over a span that lives inside a shared allocation (`data`
+  /// starts at `base_off` within `*store`).  read_into(Bytes&) then
+  /// returns ref-counted *views* into the store instead of copies — the
+  /// zero-copy receive half: an RPC layer hands the request payload's
+  /// backing store here so servant methods taking Bytes arguments alias
+  /// the inbound frame.
+  IArchive(std::span<const std::byte> data,
+           std::shared_ptr<const std::vector<std::byte>> store,
+           std::size_t base_off)
+      : data_(data), store_(std::move(store)), base_(base_off) {
+    if (store_ != nullptr && base_ + data_.size() > store_->size())
+      throw serial_error("IArchive: span extends past its backing store");
+  }
 
   template <class... Ts>
   IArchive& operator()(Ts&... vs) {
@@ -347,6 +427,18 @@ class IArchive {
     oopp_serialize(*this, v);
   }
 
+  /// Length-prefixed byte slice (symmetric with OArchive::write(Bytes)).
+  /// With a backing store this is a ref-counted view — no copy; without
+  /// one the bytes are copied into a fresh allocation.
+  void read_into(Bytes& b) {
+    const auto n = read_size();
+    if (store_ != nullptr)
+      b = Bytes(store_, base_ + pos_, n);
+    else
+      b = Bytes::copy({data_.data() + pos_, n});
+    pos_ += n;
+  }
+
   void read_raw(void* p, std::size_t n) { consume(p, n); }
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
@@ -373,6 +465,9 @@ class IArchive {
   }
   std::span<const std::byte> data_;
   std::size_t pos_ = 0;
+  /// Optional shared backing allocation for zero-copy Bytes views.
+  std::shared_ptr<const std::vector<std::byte>> store_;
+  std::size_t base_ = 0;  // offset of data_[0] within *store_
 };
 
 /// Convenience: serialize a single value to a byte vector.

@@ -223,6 +223,106 @@ TEST(Serial, RawBytes) {
   EXPECT_STREQ(out, raw);
 }
 
+// ---------------------------------------------------------------------------
+// serial::Bytes: ref-counted slices, splicing, zero-copy decode
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> pattern_bytes(std::size_t n) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::byte>((i * 7 + 3) & 0xff);
+  return v;
+}
+
+TEST(SerialBytes, SubviewSharesStoreAndRejectsOverruns) {
+  serial::Bytes b = serial::Bytes::adopt(pattern_bytes(64));
+  EXPECT_EQ(b.size(), 64u);
+  serial::Bytes sub = b.subview(8, 16);
+  EXPECT_EQ(sub.size(), 16u);
+  EXPECT_EQ(sub.store(), b.store());          // refcount bump, no copy
+  EXPECT_EQ(sub.data(), b.data() + 8);        // aliases the same bytes
+  EXPECT_TRUE(b.subview(60, 8).empty());      // past the end → empty
+  EXPECT_TRUE(serial::Bytes{}.empty());
+  EXPECT_EQ(serial::Bytes{}.data(), nullptr);
+}
+
+TEST(SerialBytes, InlineBelowSpliceThresholdMatchesVectorWire) {
+  // A tiny Bytes is inlined: the archive stays flat and the encoding is
+  // byte-identical to a std::vector<std::byte> of the same content.
+  const auto payload = pattern_bytes(32);
+  serial::OArchive as_bytes;
+  as_bytes(serial::Bytes::adopt(payload));
+  EXPECT_FALSE(as_bytes.has_segments());
+  serial::OArchive as_vector;
+  as_vector(payload);
+  EXPECT_EQ(as_bytes.bytes(), as_vector.bytes());
+
+  serial::IArchive ia(as_bytes.bytes());
+  EXPECT_EQ(ia.read<std::vector<std::byte>>(), payload);
+}
+
+TEST(SerialBytes, LargeSliceSplicesAndFlattensInStreamOrder) {
+  const auto payload = pattern_bytes(serial::OArchive::kSpliceThreshold);
+  serial::OArchive oa;
+  oa(std::string("head"));
+  oa(serial::Bytes::adopt(payload));
+  oa(std::string("tail"));
+  EXPECT_TRUE(oa.has_segments());
+  EXPECT_THROW((void)oa.bytes(), serial::serial_error);
+
+  // take() flattens segments back into one stream whose decode matches.
+  const auto flat = oa.take();
+  serial::IArchive ia(flat);
+  EXPECT_EQ(ia.read<std::string>(), "head");
+  EXPECT_EQ(ia.read<std::vector<std::byte>>(), payload);
+  EXPECT_EQ(ia.read<std::string>(), "tail");
+  EXPECT_TRUE(ia.exhausted());
+}
+
+TEST(SerialBytes, TakeSegmentsCarriesTheOriginalAllocation) {
+  const auto payload = pattern_bytes(1024);
+  serial::Bytes big = serial::Bytes::adopt(payload);
+  const std::byte* source = big.data();
+  serial::OArchive oa;
+  oa(std::uint32_t{5});
+  oa(big);
+  auto segs = oa.take_segments();
+  ASSERT_GE(segs.size(), 2u);
+  // One of the segments IS the spliced slice — same allocation, not a
+  // copy (serialize once at the source).
+  bool found = false;
+  for (const auto& s : segs) found |= (s.data() == source);
+  EXPECT_TRUE(found);
+}
+
+TEST(SerialBytes, DecodeOverBackingStoreAliasesInsteadOfCopying) {
+  // Encode a large Bytes, flatten to one allocation (as the transport
+  // would), then decode over that allocation as the backing store: the
+  // decoded Bytes must be a view into it, not a fresh copy.
+  const auto payload = pattern_bytes(512);
+  serial::OArchive oa;
+  oa(serial::Bytes::adopt(payload));
+  auto store =
+      std::make_shared<const std::vector<std::byte>>(oa.take());
+  serial::IArchive ia(std::span<const std::byte>(store->data(),
+                                                 store->size()),
+                      store, 0);
+  serial::Bytes out;
+  ia.read_into(out);
+  EXPECT_EQ(out.size(), payload.size());
+  EXPECT_EQ(out.store(), store);
+  EXPECT_GE(out.data(), store->data());
+  EXPECT_LE(out.data() + out.size(), store->data() + store->size());
+  EXPECT_EQ(std::memcmp(out.data(), payload.data(), payload.size()), 0);
+
+  // Without a backing store the same decode falls back to a copy.
+  serial::IArchive plain(*store);
+  serial::Bytes copied;
+  plain.read_into(copied);
+  EXPECT_EQ(copied.size(), payload.size());
+  EXPECT_NE(copied.store(), store);
+}
+
 // Property test: random nested structures survive a round trip.
 struct RandomBlob {
   std::vector<std::uint32_t> ints;
